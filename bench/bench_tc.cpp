@@ -1,0 +1,121 @@
+// B1/B2 — recursive closure scaling: the LOGRES evaluator (semi-naive and
+// naive), the ALGRES-compiled backend (semi-naive and naive), and the flat
+// Datalog baseline, on chains and random graphs.
+//
+// Expected shape (EXPERIMENTS.md): semi-naive beats naive superlinearly as
+// n grows; the flat baseline beats the typed object engine by a constant
+// factor on this flat workload; the ALGRES-compiled backend sits between
+// them.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/algres_backend.h"
+#include "datalog/datalog.h"
+
+namespace logres {
+namespace {
+
+using bench::ChainEdges;
+using bench::EdgeDatabase;
+using bench::RandomEdges;
+
+void RunLogres(benchmark::State& state, bool semi_naive,
+               std::vector<std::pair<int64_t, int64_t>> edges) {
+  Database db = EdgeDatabase(edges);
+  EvalOptions options;
+  options.semi_naive = semi_naive;
+  size_t result_size = 0;
+  for (auto _ : state) {
+    Database fresh = EdgeDatabase(edges);
+    auto apply = fresh.ApplySource(bench::kTcRules,
+                                   ApplicationMode::kRIDV, options);
+    if (!apply.ok()) state.SkipWithError(apply.status().ToString().c_str());
+    result_size = fresh.edb().TuplesOf("TC").size();
+  }
+  state.counters["tc_tuples"] = static_cast<double>(result_size);
+}
+
+void BM_LogresChainSemiNaive(benchmark::State& state) {
+  RunLogres(state, true, ChainEdges(state.range(0)));
+}
+void BM_LogresChainNaive(benchmark::State& state) {
+  RunLogres(state, false, ChainEdges(state.range(0)));
+}
+BENCHMARK(BM_LogresChainSemiNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_LogresChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LogresRandomSemiNaive(benchmark::State& state) {
+  RunLogres(state, true, RandomEdges(state.range(0), 1.5));
+}
+BENCHMARK(BM_LogresRandomSemiNaive)->Arg(16)->Arg(32)->Arg(64);
+
+void RunAlgres(benchmark::State& state, AlgresStrategy strategy,
+               std::vector<std::pair<int64_t, int64_t>> edges) {
+  Database db = EdgeDatabase(edges);
+  auto unit = Parse(bench::kTcRules);
+  auto program = Typecheck(db.schema(), {}, unit->rules);
+  auto backend = AlgresBackend::Compile(db.schema(), *program);
+  if (!backend.ok()) {
+    state.SkipWithError(backend.status().ToString().c_str());
+    return;
+  }
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto out = backend->Run(db.edb(), strategy);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    result_size = out->TuplesOf("TC").size();
+  }
+  state.counters["tc_tuples"] = static_cast<double>(result_size);
+}
+
+void BM_AlgresChainSemiNaive(benchmark::State& state) {
+  RunAlgres(state, AlgresStrategy::kSemiNaive, ChainEdges(state.range(0)));
+}
+void BM_AlgresChainNaive(benchmark::State& state) {
+  RunAlgres(state, AlgresStrategy::kNaive, ChainEdges(state.range(0)));
+}
+BENCHMARK(BM_AlgresChainSemiNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_AlgresChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void RunDatalog(benchmark::State& state, datalog::EvalStrategy strategy,
+                std::vector<std::pair<int64_t, int64_t>> edges) {
+  namespace dl = datalog;
+  dl::Program p;
+  for (const auto& [a, b] : edges) {
+    (void)p.AddFact("edge", {dl::Constant::Int(a), dl::Constant::Int(b)});
+  }
+  auto var = [](const char* name) { return dl::Term::Var(name); };
+  dl::Rule r1;
+  r1.head = dl::Literal{"tc", {var("X"), var("Y")}, false};
+  r1.body = {dl::Literal{"edge", {var("X"), var("Y")}, false}};
+  dl::Rule r2;
+  r2.head = dl::Literal{"tc", {var("X"), var("Z")}, false};
+  r2.body = {dl::Literal{"tc", {var("X"), var("Y")}, false},
+             dl::Literal{"edge", {var("Y"), var("Z")}, false}};
+  (void)p.AddRule(r1);
+  (void)p.AddRule(r2);
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto db = Evaluate(p, strategy);
+    if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
+    result_size = db->at("tc").size();
+  }
+  state.counters["tc_tuples"] = static_cast<double>(result_size);
+}
+
+void BM_DatalogChainSemiNaive(benchmark::State& state) {
+  RunDatalog(state, datalog::EvalStrategy::kSemiNaive,
+             ChainEdges(state.range(0)));
+}
+void BM_DatalogChainNaive(benchmark::State& state) {
+  RunDatalog(state, datalog::EvalStrategy::kNaive,
+             ChainEdges(state.range(0)));
+}
+BENCHMARK(BM_DatalogChainSemiNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_DatalogChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace logres
+
+BENCHMARK_MAIN();

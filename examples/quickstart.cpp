@@ -1,0 +1,131 @@
+// Quickstart: the paper's football database (Example 2.1).
+//
+// Shows the three layers of a LOGRES schema (domains, classes,
+// associations), object creation with nested complex values (a team holds
+// a *sequence* of base players and a *set* of substitutes), rule-based
+// querying, and goal answering.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/database.h"
+
+using namespace logres;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  // ---- Schema: paper Example 2.1 -------------------------------------------
+  Database db = Unwrap(Database::Create(R"(
+    domains
+      NAME = string;
+      ROLE = integer;
+      DATE = string;
+      SCORE = (home: integer, guest: integer);
+    classes
+      PLAYER = (NAME, roles: {ROLE});
+      TEAM = (team_name: NAME, base_players: <PLAYER>,
+              substitutes: {PLAYER});
+    associations
+      GAME = (h_team: TEAM, g_team: TEAM, DATE, SCORE);
+  )"), "create database");
+
+  std::printf("Schema:\n%s\n", db.schema().ToString().c_str());
+
+  // ---- Populate -------------------------------------------------------------
+  auto player = [&](const char* name, std::vector<int64_t> roles) {
+    std::vector<Value> role_values;
+    for (int64_t r : roles) role_values.push_back(Value::Int(r));
+    return Unwrap(db.InsertObject("PLAYER", Value::MakeTuple(
+        {{"name", Value::String(name)},
+         {"roles", Value::MakeSet(std::move(role_values))}})),
+        "insert player");
+  };
+
+  Oid p1 = player("Baresi", {5, 6});
+  Oid p2 = player("Maldini", {3});
+  Oid p3 = player("Van Basten", {9});
+  Oid p4 = player("Zenga", {1});
+
+  Oid milan = Unwrap(db.InsertObject("TEAM", Value::MakeTuple(
+      {{"team_name", Value::String("Milan")},
+       {"base_players", Value::MakeSequence({Value::MakeOid(p1),
+                                             Value::MakeOid(p2),
+                                             Value::MakeOid(p3)})},
+       {"substitutes", Value::MakeSet({})}})), "insert Milan");
+  Oid inter = Unwrap(db.InsertObject("TEAM", Value::MakeTuple(
+      {{"team_name", Value::String("Inter")},
+       {"base_players", Value::MakeSequence({Value::MakeOid(p4)})},
+       {"substitutes", Value::MakeSet({Value::MakeOid(p3)})}})),
+      "insert Inter");
+
+  Check(db.InsertTuple("GAME", Value::MakeTuple(
+      {{"h_team", Value::MakeOid(milan)},
+       {"g_team", Value::MakeOid(inter)},
+       {"date", Value::String("1990-05-05")},
+       {"score", Value::MakeTuple({{"home", Value::Int(2)},
+                                   {"guest", Value::Int(1)}})}})),
+        "insert game");
+
+  // ---- Rule-based derivation -------------------------------------------------
+  // Derive a flat WINNER association with an RIDV update module: the
+  // rule's side effects land in the extensional database.
+  auto update = db.ApplySource(R"(
+    associations
+      WINNER = (team_name: string, date: string);
+    rules
+      winner(team_name: N, date: D) <-
+          game(h_team: (team_name: N), g_team: G, date: D,
+               score: (home: H, guest: A)), H > A.
+      winner(team_name: N, date: D) <-
+          game(h_team: H2, g_team: (team_name: N), date: D,
+               score: (home: H, guest: A)), A > H.
+  )", ApplicationMode::kRIDV);
+  Check(update.status(), "derive winners");
+
+  std::printf("Winners:\n");
+  for (const Value& row : db.edb().TuplesOf("WINNER")) {
+    std::printf("  %s\n", row.ToString().c_str());
+  }
+
+  // ---- Goal answering ---------------------------------------------------------
+  auto answers = Unwrap(
+      db.Query("? player(self P, name: N, roles: R), member(5, R)."),
+      "query defenders");
+  std::printf("Players with role 5:\n");
+  for (const Bindings& b : answers) {
+    std::printf("  %s (oid %s)\n", b.at("N").ToString().c_str(),
+                b.at("P").ToString().c_str());
+  }
+
+  // Object sharing: Van Basten appears in Milan's base players and in
+  // Inter's substitutes — one object, two containers (Section 2.1).
+  auto shared = Unwrap(db.Query(
+      "? team(self T, team_name: TN, substitutes: S), member(P, S), "
+      "player(self P, name: N)."), "query shared players");
+  std::printf("Substitutes by team (object sharing through oids):\n");
+  for (const Bindings& b : shared) {
+    std::printf("  %s appears as substitute of %s\n",
+                b.at("N").ToString().c_str(),
+                b.at("TN").ToString().c_str());
+  }
+  std::printf("quickstart: OK\n");
+  return 0;
+}

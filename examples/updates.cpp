@@ -1,0 +1,125 @@
+// Updates and modules: a walkthrough of the six application modes
+// (paper Section 4), including Examples 4.1 and 4.2.
+//
+// Build & run:  ./build/examples/updates
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/database.h"
+
+using namespace logres;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+void Dump(const Database& db, const char* assoc) {
+  std::printf("  %s:", assoc);
+  for (const Value& t : db.edb().TuplesOf(assoc)) {
+    std::printf(" %s", t.ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Database db = Unwrap(Database::Create(R"(
+    associations
+      ITALIAN = (name: string);
+      ROMAN = (name: string);
+      P = (d1: integer, d2: integer);
+  )"), "create database");
+
+  Check(db.InsertTuple("ITALIAN",
+      Value::MakeTuple({{"name", Value::String("Sara")}})), "seed");
+  for (int i = 1; i <= 4; ++i) {
+    Check(db.InsertTuple("P", Value::MakeTuple(
+        {{"d1", Value::Int(i)}, {"d2", Value::Int(i)}})), "seed p");
+  }
+
+  // ---- Example 4.1: RIDV insertion with an active trigger rule ------------
+  std::printf("Example 4.1 — RIDV insertion with trigger:\n");
+  Check(db.ApplySource(R"(
+    rules
+      italian(name: "Luca").
+      roman(name: "Ugo").
+      italian(X) <- roman(X).
+  )", ApplicationMode::kRIDV).status(), "apply 4.1");
+  Dump(db, "ITALIAN");
+  Dump(db, "ROMAN");
+
+  // ---- Example 4.2: updating tuples with head deletion --------------------
+  std::printf("Example 4.2 — add 1 to d2 where d1 is even:\n");
+  Check(db.ApplySource(R"(
+    associations
+      MOD = (d1: integer, d2: integer);
+    rules
+      p(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                         not mod(d1: X, d2: Y).
+      mod(d1: X, d2: Z) <- p(d1: X, d2: Y), even(X), Z = Y + 1,
+                           not mod(d1: X, d2: Y).
+      not p(d1: X, d2: Y) <- p(d1: X, d2: Y), even(X),
+                             mod(d1: X, d2: Z), Y != Z.
+  )", ApplicationMode::kRIDV).status(), "apply 4.2");
+  Dump(db, "P");
+
+  // ---- RADI: persist a view rule; RIDI: query it ---------------------------
+  std::printf("RADI persists a view; RIDI queries it:\n");
+  Check(db.ApplySource(R"(
+    associations
+      COMPATRIOTS = (a: string, b: string);
+    rules
+      compatriots(a: X, b: Y) <- italian(name: X), italian(name: Y),
+                                 X != Y.
+  )", ApplicationMode::kRADI).status(), "apply RADI");
+  auto query = Unwrap(db.ApplySource(R"(
+    goal
+      ? compatriots(a: "Sara", b: Y).
+  )", ApplicationMode::kRIDI), "apply RIDI");
+  std::printf("  Sara's compatriots: %zu\n", query.goal_answer->size());
+
+  // ---- RDDI: retract the view rule -----------------------------------------
+  Check(db.ApplySource(R"(
+    rules
+      compatriots(a: X, b: Y) <- italian(name: X), italian(name: Y),
+                                 X != Y.
+  )", ApplicationMode::kRDDI).status(), "apply RDDI");
+  std::printf("RDDI removed the view; persistent rules now: %zu\n",
+              db.rules().size());
+
+  // ---- RADV / RDDV: rules plus data -----------------------------------------
+  Check(db.ApplySource("rules roman(name: \"Livia\").",
+                       ApplicationMode::kRADV).status(), "apply RADV");
+  std::printf("After RADV:\n");
+  Dump(db, "ROMAN");
+  Check(db.ApplySource("rules roman(name: \"Livia\").",
+                       ApplicationMode::kRDDV).status(), "apply RDDV");
+  std::printf("After RDDV (rule and its fact retracted):\n");
+  Dump(db, "ROMAN");
+
+  // ---- Rejection: an inconsistent application leaves the state unchanged ----
+  std::printf("A passive constraint rejects a bad update:\n");
+  auto rejected = db.ApplySource(R"(
+    rules
+      roman(name: "Sara").
+      <- roman(name: X), italian(name: X).
+  )", ApplicationMode::kRIDV);
+  std::printf("  status: %s\n", rejected.status().ToString().c_str());
+  Dump(db, "ROMAN");
+
+  std::printf("updates: OK\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reproduces everything EXPERIMENTS.md reports:
+#   1. the full test suite (worked examples E1-E8 + semantic properties),
+#   2. every benchmark suite (B1-B9),
+# writing test_output.txt and bench_output.txt at the repository root.
+#
+# Usage:  scripts/run_experiments.sh [build-dir]
+
+set -u
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "== configuring =="
+  cmake -B "$BUILD_DIR" -G Ninja || exit 1
+fi
+
+echo "== building =="
+cmake --build "$BUILD_DIR" || exit 1
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee "$ROOT/test_output.txt" | tail -3
+
+echo "== examples =="
+for example in quickstart university genealogy updates powerset buildgraph; do
+  echo "-- $example"
+  "$BUILD_DIR/examples/$example" >/dev/null || exit 1
+done
+"$BUILD_DIR/tools/logres_shell" examples/data/shell_demo.script \
+    >/dev/null || exit 1
+
+echo "== benchmarks =="
+: > "$ROOT/bench_output.txt"
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  echo "-- $(basename "$bench")"
+  "$bench" 2>&1 | tee -a "$ROOT/bench_output.txt" | grep -c "^BM_"
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,89 @@
+#include "algres/relation.h"
+
+#include "util/string_util.h"
+
+namespace logres::algres {
+
+Result<Relation> Relation::Make(std::vector<std::string> columns,
+                                std::vector<Row> rows) {
+  Relation rel(std::move(columns));
+  for (Row& row : rows) {
+    LOGRES_ASSIGN_OR_RETURN(bool inserted, rel.Insert(std::move(row)));
+    (void)inserted;
+  }
+  return rel;
+}
+
+Result<size_t> Relation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return Status::NotFound(StrCat("no column '", name, "' in relation [",
+                                 Join(columns_, ", "), "]"));
+}
+
+bool Relation::HasColumn(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c == name) return true;
+  }
+  return false;
+}
+
+Result<bool> Relation::Insert(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrCat("row arity ", row.size(), " != relation arity ",
+               columns_.size()));
+  }
+  return rows_.insert(std::move(row)).second;
+}
+
+bool Relation::Erase(const Row& row) { return rows_.erase(row) > 0; }
+
+std::string Relation::ToString() const {
+  std::string out = StrCat("[", Join(columns_, ", "), "]\n");
+  for (const Row& row : rows_) {
+    out += "  (";
+    out += JoinMapped(row, ", ", [](const Value& v) { return v.ToString(); });
+    out += ")\n";
+  }
+  return out;
+}
+
+Status MultisetRelation::Insert(Row row, size_t count) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrCat("row arity ", row.size(), " != relation arity ",
+               columns_.size()));
+  }
+  if (count == 0) return Status::OK();
+  rows_[std::move(row)] += count;
+  total_ += count;
+  return Status::OK();
+}
+
+size_t MultisetRelation::Erase(const Row& row, size_t count) {
+  auto it = rows_.find(row);
+  if (it == rows_.end()) return 0;
+  size_t removed = std::min(count, it->second);
+  it->second -= removed;
+  total_ -= removed;
+  if (it->second == 0) rows_.erase(it);
+  return removed;
+}
+
+size_t MultisetRelation::Count(const Row& row) const {
+  auto it = rows_.find(row);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+Relation MultisetRelation::ToRelation() const {
+  Relation rel(columns_);
+  for (const auto& [row, count] : rows_) {
+    (void)count;
+    (void)rel.Insert(row);
+  }
+  return rel;
+}
+
+}  // namespace logres::algres

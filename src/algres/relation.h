@@ -1,0 +1,115 @@
+// NF² relations for the ALGRES substrate.
+//
+// A Relation is a named-column table whose cells are arbitrary complex
+// Values — this is the "extended relation" of ALGRES (paper Section 1,
+// [CCLLZ89]): non-first-normal-form, main-memory, duplicate-free by set
+// semantics. Multiset relations (needed for the multiset constructor and
+// for controlled duplicate handling) are provided by MultisetRelation.
+
+#ifndef LOGRES_ALGRES_RELATION_H_
+#define LOGRES_ALGRES_RELATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algres/value.h"
+#include "util/status.h"
+
+namespace logres::algres {
+
+using logres::Result;
+using logres::Status;
+using logres::Value;
+
+/// \brief One row of a relation; cells are positional, column names live in
+/// the owning Relation.
+using Row = std::vector<Value>;
+
+/// \brief A duplicate-free NF² relation (set of rows over named columns).
+class Relation {
+ public:
+  Relation() = default;
+
+  /// \brief An empty relation with the given column names.
+  explicit Relation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// \brief Builds a relation and bulk-inserts \p rows (arity-checked).
+  static Result<Relation> Make(std::vector<std::string> columns,
+                               std::vector<Row> rows);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// \brief Index of a column by name; error if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// \brief Inserts a row; returns true if it was new. Error on arity
+  /// mismatch.
+  Result<bool> Insert(Row row);
+
+  /// \brief Removes a row; returns true if it was present.
+  bool Erase(const Row& row);
+
+  bool Contains(const Row& row) const { return rows_.count(row) > 0; }
+
+  const std::set<Row>& rows() const { return rows_; }
+
+  auto begin() const { return rows_.begin(); }
+  auto end() const { return rows_.end(); }
+
+  /// \brief True when columns and rows are identical.
+  bool operator==(const Relation& other) const {
+    return columns_ == other.columns_ && rows_ == other.rows_;
+  }
+
+  /// \brief Rows rendered one per line, with a header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::set<Row> rows_;
+};
+
+/// \brief A relation with duplicate rows tracked by multiplicity.
+class MultisetRelation {
+ public:
+  MultisetRelation() = default;
+  explicit MultisetRelation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+
+  /// \brief Total number of rows counting multiplicity.
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// \brief Adds \p count copies of \p row.
+  Status Insert(Row row, size_t count = 1);
+
+  /// \brief Removes up to \p count copies; returns how many were removed.
+  size_t Erase(const Row& row, size_t count = 1);
+
+  size_t Count(const Row& row) const;
+
+  const std::map<Row, size_t>& rows() const { return rows_; }
+
+  /// \brief Collapses duplicates into a set-semantics Relation.
+  Relation ToRelation() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::map<Row, size_t> rows_;
+  size_t total_ = 0;
+};
+
+}  // namespace logres::algres
+
+#endif  // LOGRES_ALGRES_RELATION_H_

@@ -1,0 +1,428 @@
+#include "algres/value.h"
+
+#include <algorithm>
+#include <variant>
+
+#include "util/string_util.h"
+
+namespace logres {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNil: return "nil";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kInt: return "integer";
+    case ValueKind::kReal: return "real";
+    case ValueKind::kString: return "string";
+    case ValueKind::kOid: return "oid";
+    case ValueKind::kTuple: return "tuple";
+    case ValueKind::kSet: return "set";
+    case ValueKind::kMultiset: return "multiset";
+    case ValueKind::kSequence: return "sequence";
+  }
+  return "unknown";
+}
+
+struct Value::Rep {
+  ValueKind kind = ValueKind::kNil;
+  // Scalar payloads.
+  bool b = false;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  Oid oid;
+  // Composite payloads. For kTuple, `fields` is used; for collections,
+  // `elems` (sets: sorted+unique; multisets: sorted with duplicates;
+  // sequences: in insertion order).
+  std::vector<std::pair<std::string, Value>> fields;
+  std::vector<Value> elems;
+  // Cached hash (computed eagerly at construction; reps are immutable).
+  size_t hash = 0;
+};
+
+namespace {
+
+size_t HashRep(const Value::Rep& rep);
+
+std::shared_ptr<const Value::Rep> MakeRep(Value::Rep rep) {
+  rep.hash = HashRep(rep);
+  return std::make_shared<const Value::Rep>(std::move(rep));
+}
+
+// The shared nil rep: all default-constructed Values point here.
+const std::shared_ptr<const Value::Rep>& NilRep() {
+  static const std::shared_ptr<const Value::Rep> kNil =
+      MakeRep(Value::Rep{});
+  return kNil;
+}
+
+size_t HashRep(const Value::Rep& rep) {
+  size_t seed = static_cast<size_t>(rep.kind) * 0x9e3779b97f4a7c15ULL;
+  switch (rep.kind) {
+    case ValueKind::kNil:
+      break;
+    case ValueKind::kBool:
+      HashCombine(&seed, rep.b ? 1u : 2u);
+      break;
+    case ValueKind::kInt:
+      HashCombine(&seed, std::hash<int64_t>()(rep.i));
+      break;
+    case ValueKind::kReal:
+      HashCombine(&seed, std::hash<double>()(rep.d));
+      break;
+    case ValueKind::kString:
+      HashCombine(&seed, std::hash<std::string>()(rep.s));
+      break;
+    case ValueKind::kOid:
+      HashCombine(&seed, std::hash<uint64_t>()(rep.oid.id));
+      break;
+    case ValueKind::kTuple:
+      for (const auto& [label, v] : rep.fields) {
+        HashCombine(&seed, std::hash<std::string>()(label));
+        HashCombine(&seed, v.Hash());
+      }
+      break;
+    case ValueKind::kSet:
+    case ValueKind::kMultiset:
+    case ValueKind::kSequence:
+      for (const Value& v : rep.elems) HashCombine(&seed, v.Hash());
+      break;
+  }
+  return seed;
+}
+
+}  // namespace
+
+Value::Value() : rep_(NilRep()) {}
+
+Value Value::Nil() { return Value(); }
+
+Value Value::Bool(bool b) {
+  Rep rep;
+  rep.kind = ValueKind::kBool;
+  rep.b = b;
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::Int(int64_t i) {
+  Rep rep;
+  rep.kind = ValueKind::kInt;
+  rep.i = i;
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::Real(double d) {
+  Rep rep;
+  rep.kind = ValueKind::kReal;
+  rep.d = d;
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::String(std::string s) {
+  Rep rep;
+  rep.kind = ValueKind::kString;
+  rep.s = std::move(s);
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::MakeOid(Oid oid) {
+  Rep rep;
+  rep.kind = ValueKind::kOid;
+  rep.oid = oid;
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::MakeTuple(std::vector<std::pair<std::string, Value>> fields) {
+  Rep rep;
+  rep.kind = ValueKind::kTuple;
+  rep.fields = std::move(fields);
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::MakeSet(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  Rep rep;
+  rep.kind = ValueKind::kSet;
+  rep.elems = std::move(elements);
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::MakeMultiset(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end());
+  Rep rep;
+  rep.kind = ValueKind::kMultiset;
+  rep.elems = std::move(elements);
+  return Value(MakeRep(std::move(rep)));
+}
+
+Value Value::MakeSequence(std::vector<Value> elements) {
+  Rep rep;
+  rep.kind = ValueKind::kSequence;
+  rep.elems = std::move(elements);
+  return Value(MakeRep(std::move(rep)));
+}
+
+ValueKind Value::kind() const { return rep_->kind; }
+
+bool Value::bool_value() const {
+  assert(kind() == ValueKind::kBool);
+  return rep_->b;
+}
+
+int64_t Value::int_value() const {
+  assert(kind() == ValueKind::kInt);
+  return rep_->i;
+}
+
+double Value::real_value() const {
+  assert(kind() == ValueKind::kReal);
+  return rep_->d;
+}
+
+const std::string& Value::string_value() const {
+  assert(kind() == ValueKind::kString);
+  return rep_->s;
+}
+
+Oid Value::oid_value() const {
+  assert(kind() == ValueKind::kOid);
+  return rep_->oid;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::tuple_fields()
+    const {
+  assert(kind() == ValueKind::kTuple);
+  return rep_->fields;
+}
+
+Result<Value> Value::field(const std::string& label) const {
+  if (kind() != ValueKind::kTuple) {
+    return Status::TypeError(
+        StrCat("field '", label, "' requested on ", ValueKindName(kind()),
+               " value ", ToString()));
+  }
+  for (const auto& [l, v] : rep_->fields) {
+    if (l == label) return v;
+  }
+  return Status::NotFound(
+      StrCat("no field '", label, "' in tuple ", ToString()));
+}
+
+std::optional<Value> Value::FindField(const std::string& label) const {
+  if (kind() != ValueKind::kTuple) return std::nullopt;
+  for (const auto& [l, v] : rep_->fields) {
+    if (l == label) return v;
+  }
+  return std::nullopt;
+}
+
+size_t Value::size() const {
+  if (kind() == ValueKind::kTuple) return rep_->fields.size();
+  if (is_collection()) return rep_->elems.size();
+  return 0;
+}
+
+const std::vector<Value>& Value::elements() const {
+  assert(is_collection());
+  return rep_->elems;
+}
+
+bool Value::Contains(const Value& element) const {
+  return Count(element) > 0;
+}
+
+size_t Value::Count(const Value& element) const {
+  if (!is_collection()) return 0;
+  const auto& elems = rep_->elems;
+  if (kind() == ValueKind::kSequence) {
+    return static_cast<size_t>(
+        std::count(elems.begin(), elems.end(), element));
+  }
+  // Sets and multisets are sorted.
+  auto range = std::equal_range(elems.begin(), elems.end(), element);
+  return static_cast<size_t>(range.second - range.first);
+}
+
+Result<Value> Value::Union(const Value& other) const {
+  if (kind() != other.kind() || !is_collection()) {
+    return Status::TypeError(
+        StrCat("union of incompatible kinds: ", ValueKindName(kind()), ", ",
+               ValueKindName(other.kind())));
+  }
+  std::vector<Value> merged = rep_->elems;
+  merged.insert(merged.end(), other.rep_->elems.begin(),
+                other.rep_->elems.end());
+  switch (kind()) {
+    case ValueKind::kSet: return MakeSet(std::move(merged));
+    case ValueKind::kMultiset: return MakeMultiset(std::move(merged));
+    case ValueKind::kSequence: return MakeSequence(std::move(merged));
+    default: break;
+  }
+  return Status::TypeError("unreachable");
+}
+
+Result<Value> Value::Intersect(const Value& other) const {
+  if (kind() != other.kind() ||
+      (kind() != ValueKind::kSet && kind() != ValueKind::kMultiset)) {
+    return Status::TypeError(
+        StrCat("intersection of incompatible kinds: ",
+               ValueKindName(kind()), ", ", ValueKindName(other.kind())));
+  }
+  std::vector<Value> out;
+  std::set_intersection(rep_->elems.begin(), rep_->elems.end(),
+                        other.rep_->elems.begin(), other.rep_->elems.end(),
+                        std::back_inserter(out));
+  return kind() == ValueKind::kSet ? MakeSet(std::move(out))
+                                   : MakeMultiset(std::move(out));
+}
+
+Result<Value> Value::Difference(const Value& other) const {
+  if (kind() != other.kind() ||
+      (kind() != ValueKind::kSet && kind() != ValueKind::kMultiset)) {
+    return Status::TypeError(
+        StrCat("difference of incompatible kinds: ", ValueKindName(kind()),
+               ", ", ValueKindName(other.kind())));
+  }
+  std::vector<Value> out;
+  std::set_difference(rep_->elems.begin(), rep_->elems.end(),
+                      other.rep_->elems.begin(), other.rep_->elems.end(),
+                      std::back_inserter(out));
+  return kind() == ValueKind::kSet ? MakeSet(std::move(out))
+                                   : MakeMultiset(std::move(out));
+}
+
+Result<Value> Value::Insert(const Value& element) const {
+  if (!is_collection()) {
+    return Status::TypeError(
+        StrCat("insert into non-collection ", ValueKindName(kind())));
+  }
+  std::vector<Value> elems = rep_->elems;
+  elems.push_back(element);
+  switch (kind()) {
+    case ValueKind::kSet: return MakeSet(std::move(elems));
+    case ValueKind::kMultiset: return MakeMultiset(std::move(elems));
+    case ValueKind::kSequence: return MakeSequence(std::move(elems));
+    default: break;
+  }
+  return Status::TypeError("unreachable");
+}
+
+Result<Value> Value::WithField(const std::string& label,
+                               Value value) const {
+  if (kind() != ValueKind::kTuple) {
+    return Status::TypeError(
+        StrCat("WithField on non-tuple ", ValueKindName(kind())));
+  }
+  auto fields = rep_->fields;
+  for (auto& [l, v] : fields) {
+    if (l == label) {
+      v = std::move(value);
+      return MakeTuple(std::move(fields));
+    }
+  }
+  fields.emplace_back(label, std::move(value));
+  return MakeTuple(std::move(fields));
+}
+
+int Value::Compare(const Value& other) const {
+  if (rep_ == other.rep_) return 0;
+  if (kind() != other.kind()) {
+    return static_cast<int>(kind()) < static_cast<int>(other.kind()) ? -1
+                                                                     : 1;
+  }
+  switch (kind()) {
+    case ValueKind::kNil:
+      return 0;
+    case ValueKind::kBool:
+      return (rep_->b == other.rep_->b) ? 0 : (rep_->b ? 1 : -1);
+    case ValueKind::kInt:
+      if (rep_->i != other.rep_->i) return rep_->i < other.rep_->i ? -1 : 1;
+      return 0;
+    case ValueKind::kReal:
+      if (rep_->d != other.rep_->d) return rep_->d < other.rep_->d ? -1 : 1;
+      return 0;
+    case ValueKind::kString:
+      return rep_->s.compare(other.rep_->s);
+    case ValueKind::kOid:
+      if (rep_->oid.id != other.rep_->oid.id) {
+        return rep_->oid.id < other.rep_->oid.id ? -1 : 1;
+      }
+      return 0;
+    case ValueKind::kTuple: {
+      const auto& a = rep_->fields;
+      const auto& b = other.rep_->fields;
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int lc = a[i].first.compare(b[i].first);
+        if (lc != 0) return lc;
+        int vc = a[i].second.Compare(b[i].second);
+        if (vc != 0) return vc;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+    case ValueKind::kSet:
+    case ValueKind::kMultiset:
+    case ValueKind::kSequence: {
+      const auto& a = rep_->elems;
+      const auto& b = other.rep_->elems;
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const { return rep_->hash; }
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kBool:
+      return rep_->b ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(rep_->i);
+    case ValueKind::kReal: {
+      std::string s = StrFormat("%g", rep_->d);
+      return s;
+    }
+    case ValueKind::kString:
+      return StrCat("\"", rep_->s, "\"");
+    case ValueKind::kOid:
+      return StrCat("#", rep_->oid.id);
+    case ValueKind::kTuple:
+      return StrCat(
+          "(",
+          JoinMapped(rep_->fields, ", ",
+                     [](const std::pair<std::string, Value>& f) {
+                       return StrCat(f.first, ": ", f.second.ToString());
+                     }),
+          ")");
+    case ValueKind::kSet:
+      return StrCat("{",
+                    JoinMapped(rep_->elems, ", ",
+                               [](const Value& v) { return v.ToString(); }),
+                    "}");
+    case ValueKind::kMultiset:
+      return StrCat("[",
+                    JoinMapped(rep_->elems, ", ",
+                               [](const Value& v) { return v.ToString(); }),
+                    "]");
+    case ValueKind::kSequence:
+      return StrCat("<",
+                    JoinMapped(rep_->elems, ", ",
+                               [](const Value& v) { return v.ToString(); }),
+                    ">");
+  }
+  return "?";
+}
+
+}  // namespace logres

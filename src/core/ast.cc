@@ -1,0 +1,267 @@
+#include "core/ast.h"
+
+#include "util/string_util.h"
+
+namespace logres {
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+    case ArithOp::kMod: return "%";
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+TermPtr Term::Constant(Value v) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kConstant;
+  t->value_ = std::move(v);
+  return t;
+}
+
+TermPtr Term::Variable(std::string name) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kVariable;
+  t->name_ = std::move(name);
+  return t;
+}
+
+TermPtr Term::SelfVariable(std::string name) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kSelfVariable;
+  t->name_ = std::move(name);
+  return t;
+}
+
+TermPtr Term::TupleTerm(std::vector<Arg> fields) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kTupleTerm;
+  t->args_ = std::move(fields);
+  return t;
+}
+
+TermPtr Term::SetTerm(std::vector<TermPtr> elements) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kSetTerm;
+  t->elements_ = std::move(elements);
+  return t;
+}
+
+TermPtr Term::MultisetTerm(std::vector<TermPtr> elements) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kMultisetTerm;
+  t->elements_ = std::move(elements);
+  return t;
+}
+
+TermPtr Term::SequenceTerm(std::vector<TermPtr> elements) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kSequenceTerm;
+  t->elements_ = std::move(elements);
+  return t;
+}
+
+TermPtr Term::FunctionApp(std::string function, std::vector<TermPtr> args) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kFunctionApp;
+  t->name_ = std::move(function);
+  t->elements_ = std::move(args);
+  return t;
+}
+
+TermPtr Term::Arith(ArithOp op, TermPtr lhs, TermPtr rhs) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kArith;
+  t->arith_op_ = op;
+  t->elements_ = {std::move(lhs), std::move(rhs)};
+  return t;
+}
+
+TermPtr Term::ObjectPattern(std::vector<Arg> args) {
+  auto t = std::shared_ptr<Term>(new Term());
+  t->kind_ = TermKind::kObjectPattern;
+  t->args_ = std::move(args);
+  return t;
+}
+
+void Term::CollectVariables(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case TermKind::kVariable:
+    case TermKind::kSelfVariable:
+      out->push_back(name_);
+      break;
+    case TermKind::kTupleTerm:
+    case TermKind::kObjectPattern:
+      for (const Arg& a : args_) a.term->CollectVariables(out);
+      break;
+    case TermKind::kSetTerm:
+    case TermKind::kMultisetTerm:
+    case TermKind::kSequenceTerm:
+    case TermKind::kFunctionApp:
+    case TermKind::kArith:
+      for (const TermPtr& e : elements_) e->CollectVariables(out);
+      break;
+    case TermKind::kConstant:
+      break;
+  }
+}
+
+namespace {
+
+std::string ArgsToString(const std::vector<Arg>& args) {
+  return JoinMapped(args, ", ", [](const Arg& a) {
+    std::string prefix;
+    if (a.is_self) {
+      prefix = "self ";
+    } else if (!a.label.empty()) {
+      prefix = a.label + ": ";
+    }
+    return prefix + a.term->ToString();
+  });
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kConstant:
+      return value_.ToString();
+    case TermKind::kVariable:
+      return name_;
+    case TermKind::kSelfVariable:
+      return name_;
+    case TermKind::kTupleTerm:
+      return StrCat("(", ArgsToString(args_), ")");
+    case TermKind::kSetTerm:
+      return StrCat("{",
+                    JoinMapped(elements_, ", ",
+                               [](const TermPtr& t) { return t->ToString(); }),
+                    "}");
+    case TermKind::kMultisetTerm:
+      return StrCat("[",
+                    JoinMapped(elements_, ", ",
+                               [](const TermPtr& t) { return t->ToString(); }),
+                    "]");
+    case TermKind::kSequenceTerm:
+      return StrCat("<",
+                    JoinMapped(elements_, ", ",
+                               [](const TermPtr& t) { return t->ToString(); }),
+                    ">");
+    case TermKind::kFunctionApp:
+      return StrCat(name_, "(",
+                    JoinMapped(elements_, ", ",
+                               [](const TermPtr& t) { return t->ToString(); }),
+                    ")");
+    case TermKind::kArith:
+      return StrCat("(", lhs()->ToString(), " ", ArithOpName(arith_op_), " ",
+                    rhs()->ToString(), ")");
+    case TermKind::kObjectPattern:
+      return StrCat("(", ArgsToString(args_), ")");
+  }
+  return "?";
+}
+
+Literal Literal::Predicate(std::string name, std::vector<Arg> args,
+                           bool negated) {
+  Literal lit;
+  lit.kind = LiteralKind::kPredicate;
+  lit.negated = negated;
+  lit.predicate = std::move(name);
+  lit.args = std::move(args);
+  return lit;
+}
+
+Literal Literal::Compare(CompareOp op, TermPtr lhs, TermPtr rhs,
+                         bool negated) {
+  Literal lit;
+  lit.kind = LiteralKind::kCompare;
+  lit.negated = negated;
+  lit.compare_op = op;
+  lit.compare_lhs = std::move(lhs);
+  lit.compare_rhs = std::move(rhs);
+  return lit;
+}
+
+Literal Literal::Builtin(std::string name, std::vector<TermPtr> args,
+                         bool negated) {
+  Literal lit;
+  lit.kind = LiteralKind::kBuiltin;
+  lit.negated = negated;
+  lit.builtin = std::move(name);
+  lit.builtin_args = std::move(args);
+  return lit;
+}
+
+void Literal::CollectVariables(std::vector<std::string>* out) const {
+  switch (kind) {
+    case LiteralKind::kPredicate:
+      for (const Arg& a : args) a.term->CollectVariables(out);
+      break;
+    case LiteralKind::kCompare:
+      compare_lhs->CollectVariables(out);
+      compare_rhs->CollectVariables(out);
+      break;
+    case LiteralKind::kBuiltin:
+      for (const TermPtr& t : builtin_args) t->CollectVariables(out);
+      break;
+  }
+}
+
+std::string Literal::ToString() const {
+  std::string out = negated ? "not " : "";
+  switch (kind) {
+    case LiteralKind::kPredicate:
+      out += StrCat(predicate, "(", ArgsToString(args), ")");
+      break;
+    case LiteralKind::kCompare:
+      out += StrCat(compare_lhs->ToString(), " ", CompareOpName(compare_op),
+                    " ", compare_rhs->ToString());
+      break;
+    case LiteralKind::kBuiltin:
+      out += StrCat(builtin, "(",
+                    JoinMapped(builtin_args, ", ",
+                               [](const TermPtr& t) { return t->ToString(); }),
+                    ")");
+      break;
+  }
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string head_text = head.has_value() ? head->ToString() : "";
+  if (body.empty()) return head_text + ".";
+  return StrCat(head_text, " <- ",
+                JoinMapped(body, ", ",
+                           [](const Literal& l) { return l.ToString(); }),
+                ".");
+}
+
+std::string FunctionDecl::ToString() const {
+  return StrCat(name, ": ",
+                JoinMapped(arg_types, " x ",
+                           [](const Type& t) { return t.ToString(); }),
+                " -> ", result_type.ToString());
+}
+
+std::string Goal::ToString() const {
+  return StrCat("? ",
+                JoinMapped(literals, ", ",
+                           [](const Literal& l) { return l.ToString(); }));
+}
+
+}  // namespace logres

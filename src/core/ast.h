@@ -1,0 +1,178 @@
+// Abstract syntax of the LOGRES rule-based language (paper Section 3).
+//
+// A rule is  L <- L1, ..., Ln  where each literal is a possibly negated
+// predicate occurrence over terms. Variables come in three kinds
+// (Section 3.1):
+//   (a) ordinary typed variables,
+//   (b) oid variables, written with the `self` keyword,
+//   (c) tuple variables, binding a whole tuple (including the hidden oid
+//       for classes).
+// Terms also cover constants, tuple/set/multiset/sequence constructions,
+// data-function applications (desc(X), Example 3.2), arithmetic, and
+// nested object patterns like `school(dean(self X))` (Example 3.1, line 5)
+// which dereference a class-typed component.
+//
+// Head negation marks a deletion (Section 3.1 / 4.2); an absent head (a
+// denial, `<- body`) is a passive integrity constraint (Section 4.2).
+
+#ifndef LOGRES_CORE_AST_H_
+#define LOGRES_CORE_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algres/value.h"
+#include "core/type.h"
+#include "util/status.h"
+
+namespace logres {
+
+enum class TermKind {
+  kConstant,       // literal value, e.g. "Smith", 18, {}
+  kVariable,       // ordinary typed variable X
+  kSelfVariable,   // oid variable bound via `self X`
+  kTupleTerm,      // (person: Y, bdate: Z)
+  kSetTerm,        // {X, Y}
+  kMultisetTerm,   // [X, Y]
+  kSequenceTerm,   // <X, Y>
+  kFunctionApp,    // desc(X) — data function application
+  kArith,          // X + 1, A * B ...
+  kObjectPattern,  // dean(self X): match through a class-typed component
+};
+
+class Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+/// \brief A labeled argument of a predicate occurrence or object pattern.
+/// An empty label means the argument is positional / a tuple variable /
+/// a self marker, disambiguated during type checking.
+struct Arg {
+  std::string label;
+  TermPtr term;
+  bool is_self = false;  // written `self X` (label irrelevant then)
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+const char* ArithOpName(ArithOp op);
+
+/// \brief An immutable term tree.
+class Term {
+ public:
+  static TermPtr Constant(Value v);
+  static TermPtr Variable(std::string name);
+  static TermPtr SelfVariable(std::string name);
+  static TermPtr TupleTerm(std::vector<Arg> fields);
+  static TermPtr SetTerm(std::vector<TermPtr> elements);
+  static TermPtr MultisetTerm(std::vector<TermPtr> elements);
+  static TermPtr SequenceTerm(std::vector<TermPtr> elements);
+  static TermPtr FunctionApp(std::string function,
+                             std::vector<TermPtr> args);
+  static TermPtr Arith(ArithOp op, TermPtr lhs, TermPtr rhs);
+  static TermPtr ObjectPattern(std::vector<Arg> args);
+
+  TermKind kind() const { return kind_; }
+
+  const Value& constant() const { return value_; }
+  const std::string& name() const { return name_; }  // variable or function
+  const std::vector<Arg>& args() const { return args_; }  // tuple/object
+  const std::vector<TermPtr>& elements() const { return elements_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const TermPtr& lhs() const { return elements_[0]; }
+  const TermPtr& rhs() const { return elements_[1]; }
+
+  /// \brief Variables occurring anywhere in this term (with duplicates).
+  void CollectVariables(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  Term() = default;
+  TermKind kind_ = TermKind::kConstant;
+  Value value_;
+  std::string name_;
+  std::vector<Arg> args_;
+  std::vector<TermPtr> elements_;
+  ArithOp arith_op_ = ArithOp::kAdd;
+};
+
+/// \brief Comparison operators usable as built-in predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+enum class LiteralKind {
+  kPredicate,  // class or association occurrence
+  kCompare,    // t1 op t2
+  kBuiltin,    // member/union/append/count/... (Section 3.1)
+};
+
+/// \brief One literal of a rule.
+struct Literal {
+  LiteralKind kind = LiteralKind::kPredicate;
+  bool negated = false;
+
+  // kPredicate
+  std::string predicate;
+  std::vector<Arg> args;
+
+  // kCompare
+  CompareOp compare_op = CompareOp::kEq;
+  TermPtr compare_lhs;
+  TermPtr compare_rhs;
+
+  // kBuiltin
+  std::string builtin;
+  std::vector<TermPtr> builtin_args;
+
+  static Literal Predicate(std::string name, std::vector<Arg> args,
+                           bool negated = false);
+  static Literal Compare(CompareOp op, TermPtr lhs, TermPtr rhs,
+                         bool negated = false);
+  static Literal Builtin(std::string name, std::vector<TermPtr> args,
+                         bool negated = false);
+
+  /// \brief Variables occurring in this literal (with duplicates).
+  void CollectVariables(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+};
+
+/// \brief A rule: head <- body. A missing head (`head == nullopt`) is a
+/// denial / passive constraint. A head with `negated == true` deletes.
+struct Rule {
+  std::optional<Literal> head;
+  std::vector<Literal> body;
+
+  bool is_denial() const { return !head.has_value(); }
+  bool is_fact() const { return head.has_value() && body.empty(); }
+
+  std::string ToString() const;
+};
+
+/// \brief Data function declaration: F : T1 x ... x Tn -> {T}
+/// (Section 2.1; nullary functions name the extension of a type).
+struct FunctionDecl {
+  std::string name;
+  std::vector<Type> arg_types;
+  Type result_type;  // must be a set type {T}
+
+  /// \brief Name of the backing association ("shorthand notation for
+  /// associations", Section 2.1). Upper-case like all canonical names.
+  std::string BackingAssociation() const { return "$FN$" + name; }
+
+  std::string ToString() const;
+};
+
+/// \brief A query goal: conjunction of literals whose bindings are the
+/// answer.
+struct Goal {
+  std::vector<Literal> literals;
+  std::string ToString() const;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_AST_H_

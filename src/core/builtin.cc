@@ -1,0 +1,250 @@
+#include "core/builtin.h"
+
+#include "util/string_util.h"
+
+namespace logres {
+
+namespace {
+
+bool IsNumeric(const Value& v) {
+  return v.kind() == ValueKind::kInt || v.kind() == ValueKind::kReal;
+}
+
+double AsReal(const Value& v) {
+  return v.kind() == ValueKind::kInt ? static_cast<double>(v.int_value())
+                                     : v.real_value();
+}
+
+Status ArityError(const Literal& lit, size_t expected) {
+  return Status::TypeError(StrCat("built-in ", lit.builtin, " expects ",
+                                  expected, " arguments: ",
+                                  lit.ToString()));
+}
+
+}  // namespace
+
+Result<int> CompareValues(const Value& a, const Value& b) {
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a.kind() == b.kind()) return a.Compare(b);
+    double da = AsReal(a), db = AsReal(b);
+    return da < db ? -1 : (da > db ? 1 : 0);
+  }
+  if (a.kind() != b.kind()) {
+    // nil compares equal only to nil; everything else is a kind clash.
+    if (a.is_nil() || b.is_nil()) return a.is_nil() == b.is_nil() ? 0 : -1;
+    return Status::TypeError(
+        StrCat("cannot compare ", ValueKindName(a.kind()), " with ",
+               ValueKindName(b.kind()), " (", a.ToString(), " vs ",
+               b.ToString(), ")"));
+  }
+  return a.Compare(b);
+}
+
+Result<Value> EvalArith(ArithOp op, const Value& a, const Value& b) {
+  if (!IsNumeric(a) || !IsNumeric(b)) {
+    return Status::TypeError(
+        StrCat("arithmetic on non-numeric values: ", a.ToString(), " ",
+               ArithOpName(op), " ", b.ToString()));
+  }
+  bool ints = a.kind() == ValueKind::kInt && b.kind() == ValueKind::kInt;
+  if (ints) {
+    int64_t x = a.int_value(), y = b.int_value();
+    switch (op) {
+      case ArithOp::kAdd: return Value::Int(x + y);
+      case ArithOp::kSub: return Value::Int(x - y);
+      case ArithOp::kMul: return Value::Int(x * y);
+      case ArithOp::kDiv:
+        if (y == 0) return Status::ExecutionError("integer division by zero");
+        return Value::Int(x / y);
+      case ArithOp::kMod:
+        if (y == 0) return Status::ExecutionError("modulo by zero");
+        return Value::Int(x % y);
+    }
+  }
+  double x = AsReal(a), y = AsReal(b);
+  switch (op) {
+    case ArithOp::kAdd: return Value::Real(x + y);
+    case ArithOp::kSub: return Value::Real(x - y);
+    case ArithOp::kMul: return Value::Real(x * y);
+    case ArithOp::kDiv:
+      if (y == 0) return Status::ExecutionError("division by zero");
+      return Value::Real(x / y);
+    case ArithOp::kMod:
+      return Status::ExecutionError("modulo on reals");
+  }
+  return Status::ExecutionError("unreachable");
+}
+
+Result<std::vector<Bindings>> SolveBuiltin(const Literal& lit,
+                                           const Bindings& bindings,
+                                           const TermEvalFn& eval_term,
+                                           const TermMatchFn& match_term) {
+  const std::string& name = lit.builtin;
+  const auto& args = lit.builtin_args;
+  std::vector<Bindings> out;
+
+  auto unify_result = [&](const TermPtr& target,
+                          const Value& value) -> Status {
+    // Binds `target` (typically an output variable) to `value`, or tests
+    // equality when already ground.
+    Bindings extended = bindings;
+    LOGRES_ASSIGN_OR_RETURN(bool ok, match_term(target, value, &extended));
+    if (ok) out.push_back(std::move(extended));
+    return Status::OK();
+  };
+
+  if (name == "member") {
+    if (args.size() != 2) return ArityError(lit, 2);
+    LOGRES_ASSIGN_OR_RETURN(Value collection, eval_term(args[1]));
+    if (!collection.is_collection()) {
+      return Status::TypeError(
+          StrCat("member/2 requires a collection, got ",
+                 collection.ToString()));
+    }
+    for (const Value& element : collection.elements()) {
+      Bindings extended = bindings;
+      LOGRES_ASSIGN_OR_RETURN(bool ok,
+                              match_term(args[0], element, &extended));
+      if (ok) out.push_back(std::move(extended));
+    }
+    return out;
+  }
+
+  if (name == "union" || name == "intersection" || name == "difference") {
+    if (args.size() != 3) return ArityError(lit, 3);
+    LOGRES_ASSIGN_OR_RETURN(Value a, eval_term(args[1]));
+    LOGRES_ASSIGN_OR_RETURN(Value b, eval_term(args[2]));
+    Result<Value> r = name == "union"
+                          ? a.Union(b)
+                          : (name == "intersection" ? a.Intersect(b)
+                                                    : a.Difference(b));
+    LOGRES_RETURN_NOT_OK(r.status());
+    LOGRES_RETURN_NOT_OK(unify_result(args[0], r.value()));
+    return out;
+  }
+
+  if (name == "append") {
+    if (args.size() != 3) return ArityError(lit, 3);
+    LOGRES_ASSIGN_OR_RETURN(Value collection, eval_term(args[0]));
+    LOGRES_ASSIGN_OR_RETURN(Value element, eval_term(args[1]));
+    LOGRES_ASSIGN_OR_RETURN(Value appended, collection.Insert(element));
+    LOGRES_RETURN_NOT_OK(unify_result(args[2], appended));
+    return out;
+  }
+
+  if (name == "count" || name == "length") {
+    if (args.size() != 2) return ArityError(lit, 2);
+    LOGRES_ASSIGN_OR_RETURN(Value collection, eval_term(args[0]));
+    if (!collection.is_collection()) {
+      return Status::TypeError(StrCat(name, " requires a collection, got ",
+                                      collection.ToString()));
+    }
+    LOGRES_RETURN_NOT_OK(unify_result(
+        args[1], Value::Int(static_cast<int64_t>(collection.size()))));
+    return out;
+  }
+
+  if (name == "sum" || name == "avg" || name == "min" || name == "max") {
+    if (args.size() != 2) return ArityError(lit, 2);
+    LOGRES_ASSIGN_OR_RETURN(Value collection, eval_term(args[0]));
+    if (!collection.is_collection()) {
+      return Status::TypeError(StrCat(name, " requires a collection, got ",
+                                      collection.ToString()));
+    }
+    const auto& elems = collection.elements();
+    if (name == "min" || name == "max") {
+      if (elems.empty()) return out;  // no extremum of an empty collection
+      Value best = elems.front();
+      for (const Value& e : elems) {
+        LOGRES_ASSIGN_OR_RETURN(int c, CompareValues(e, best));
+        if ((name == "min" && c < 0) || (name == "max" && c > 0)) best = e;
+      }
+      LOGRES_RETURN_NOT_OK(unify_result(args[1], best));
+      return out;
+    }
+    bool all_int = true;
+    int64_t isum = 0;
+    double rsum = 0;
+    for (const Value& e : elems) {
+      if (!IsNumeric(e)) {
+        return Status::TypeError(
+            StrCat(name, " over non-numeric element ", e.ToString()));
+      }
+      if (e.kind() == ValueKind::kInt) {
+        isum += e.int_value();
+      } else {
+        all_int = false;
+      }
+      rsum += AsReal(e);
+    }
+    if (name == "sum") {
+      LOGRES_RETURN_NOT_OK(unify_result(
+          args[1], all_int ? Value::Int(isum) : Value::Real(rsum)));
+    } else {
+      if (elems.empty()) return out;  // avg of empty is undefined
+      LOGRES_RETURN_NOT_OK(unify_result(
+          args[1], Value::Real(rsum / static_cast<double>(elems.size()))));
+    }
+    return out;
+  }
+
+  if (name == "nth") {
+    if (args.size() != 3) return ArityError(lit, 3);
+    LOGRES_ASSIGN_OR_RETURN(Value sequence, eval_term(args[0]));
+    LOGRES_ASSIGN_OR_RETURN(Value index, eval_term(args[1]));
+    if (sequence.kind() != ValueKind::kSequence ||
+        index.kind() != ValueKind::kInt) {
+      return Status::TypeError("nth requires (sequence, integer, V)");
+    }
+    int64_t i = index.int_value();
+    if (i < 1 || static_cast<size_t>(i) > sequence.size()) return out;
+    LOGRES_RETURN_NOT_OK(
+        unify_result(args[2], sequence.elements()[static_cast<size_t>(i) - 1]));
+    return out;
+  }
+
+  if (name == "empty") {
+    if (args.size() != 1) return ArityError(lit, 1);
+    LOGRES_ASSIGN_OR_RETURN(Value collection, eval_term(args[0]));
+    if (!collection.is_collection()) {
+      return Status::TypeError(
+          StrCat("empty requires a collection, got ", collection.ToString()));
+    }
+    if (collection.size() == 0) out.push_back(bindings);
+    return out;
+  }
+
+  if (name == "even" || name == "odd") {
+    if (args.size() != 1) return ArityError(lit, 1);
+    LOGRES_ASSIGN_OR_RETURN(Value n, eval_term(args[0]));
+    if (n.kind() != ValueKind::kInt) {
+      return Status::TypeError(
+          StrCat(name, " requires an integer, got ", n.ToString()));
+    }
+    bool even = (n.int_value() % 2) == 0;
+    if ((name == "even") == even) out.push_back(bindings);
+    return out;
+  }
+
+  if (name == "subset") {
+    if (args.size() != 2) return ArityError(lit, 2);
+    LOGRES_ASSIGN_OR_RETURN(Value a, eval_term(args[0]));
+    LOGRES_ASSIGN_OR_RETURN(Value b, eval_term(args[1]));
+    if (a.kind() != ValueKind::kSet || b.kind() != ValueKind::kSet) {
+      return Status::TypeError("subset requires two sets");
+    }
+    bool all = true;
+    for (const Value& e : a.elements()) {
+      if (!b.Contains(e)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(bindings);
+    return out;
+  }
+
+  return Status::NotFound(StrCat("unknown built-in '", name, "'"));
+}
+
+}  // namespace logres

@@ -1,0 +1,73 @@
+// Built-in predicates of the LOGRES rule language (paper Section 3.1).
+//
+// "LOGRES includes a comprehensive list of built-in predicates to handle
+// complex terms (like, for example, Member, Union, Count, ...). Though
+// built-in predicates do not add expressive power ... they greatly improve
+// the readability and conciseness of LOGRES programs."
+//
+// Built-ins are untyped: argument types are checked for mutual consistency
+// at evaluation time (e.g. union of two sets requires compatible kinds).
+// Each built-in has a *mode*: which arguments must be bound (inputs) and
+// which may be free (outputs, which the builtin then binds):
+//
+//   member(E, S)                        S in; E in (test) or out (enumerate)
+//   union/intersection/difference(R, A, B)   A,B in; R in or out
+//   append(S, E, R)                     S,E in; R in or out   (R = S ∪ {E})
+//   count/sum/min/max/avg(S, N)         S in; N in or out
+//   length(Q, N)                        Q in; N in or out
+//   nth(Q, I, V)                        Q,I in; V in or out   (1-based)
+//   empty(S) / even(N) / odd(N) / subset(A, B)   all in (tests)
+//
+// Example 3.3 (powerset) uses append({}, Y, X) and union(X, Y, Z) in
+// exactly these modes.
+
+#ifndef LOGRES_CORE_BUILTIN_H_
+#define LOGRES_CORE_BUILTIN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algres/value.h"
+#include "core/ast.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief A substitution from variable names to values.
+using Bindings = std::map<std::string, Value>;
+
+/// \brief Grounds a term under the current bindings (provided by the
+/// evaluator: handles data-function applications and arithmetic).
+using TermEvalFn = std::function<Result<Value>(const TermPtr&)>;
+
+/// \brief Matches a pattern term against a value, returning the extended
+/// bindings on success (provided by the evaluator: handles oid coercions
+/// and object dereferencing).
+using TermMatchFn =
+    std::function<Result<bool>(const TermPtr&, const Value&, Bindings*)>;
+
+/// \brief Evaluates a (positive) built-in literal under \p bindings.
+///
+/// Returns every consistent extension of \p bindings — one entry for a
+/// satisfied test, several for an enumerating member/2, none when the
+/// built-in fails. Negated built-ins are handled by the caller (satisfied
+/// iff this returns no extension).
+Result<std::vector<Bindings>> SolveBuiltin(const Literal& literal,
+                                           const Bindings& bindings,
+                                           const TermEvalFn& eval_term,
+                                           const TermMatchFn& match_term);
+
+/// \brief Numeric-aware comparison: ints and reals compare by value across
+/// kinds; everything else falls back to the structural total order, with a
+/// TypeError for cross-kind comparisons (built-in argument types "should be
+/// consistent").
+Result<int> CompareValues(const Value& a, const Value& b);
+
+/// \brief Evaluates an arithmetic operation on two numeric values.
+Result<Value> EvalArith(ArithOp op, const Value& a, const Value& b);
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_BUILTIN_H_

@@ -1,0 +1,72 @@
+#include "core/constraint.h"
+
+#include "util/string_util.h"
+
+namespace logres {
+
+namespace {
+
+// Builds the literal  name(label: X)  with a single labeled variable.
+Literal FieldLiteral(const std::string& pred, const std::string& label,
+                     const std::string& var, bool negated) {
+  Arg arg;
+  arg.label = label;
+  arg.term = Term::Variable(var);
+  return Literal::Predicate(ToLower(pred), {std::move(arg)}, negated);
+}
+
+// Builds the literal  name(self X).
+Literal SelfLiteral(const std::string& pred, const std::string& var,
+                    bool negated) {
+  Arg arg;
+  arg.is_self = true;
+  arg.term = Term::Variable(var);
+  return Literal::Predicate(ToLower(pred), {std::move(arg)}, negated);
+}
+
+}  // namespace
+
+Result<std::vector<Rule>> GenerateReferentialConstraints(
+    const Schema& schema) {
+  std::vector<Rule> out;
+  auto emit_for = [&](const std::string& name,
+                      bool nil_allowed) -> Status {
+    LOGRES_ASSIGN_OR_RETURN(auto fields, schema.EffectiveFields(name));
+    for (const auto& [label, ftype] : fields) {
+      if (ftype.kind() != TypeKind::kNamed || !schema.IsClass(ftype.name())) {
+        continue;
+      }
+      Rule rule;  // denial
+      rule.body.push_back(FieldLiteral(name, label, "X", false));
+      if (nil_allowed) {
+        rule.body.push_back(Literal::Compare(
+            CompareOp::kEq, Term::Variable("X"),
+            Term::Constant(Value::Nil()), /*negated=*/true));
+      }
+      rule.body.push_back(SelfLiteral(ftype.name(), "X", true));
+      out.push_back(std::move(rule));
+    }
+    return Status::OK();
+  };
+  for (const std::string& assoc : schema.AssociationNames()) {
+    LOGRES_RETURN_NOT_OK(emit_for(assoc, /*nil_allowed=*/false));
+  }
+  for (const std::string& cls : schema.ClassNames()) {
+    LOGRES_RETURN_NOT_OK(emit_for(cls, /*nil_allowed=*/true));
+  }
+  return out;
+}
+
+Result<std::vector<Rule>> GenerateIsaPropagationRules(const Schema& schema) {
+  std::vector<Rule> out;
+  for (const IsaDecl& d : schema.isa_decls()) {
+    if (!d.component_label.empty()) continue;
+    Rule rule;
+    rule.head = SelfLiteral(d.super, "X", false);
+    rule.body.push_back(SelfLiteral(d.sub, "X", false));
+    out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace logres

@@ -1,0 +1,47 @@
+// Automatic integrity constraints (paper Sections 2.1 and 4.2).
+//
+// "The consistency of legal database states is dictated by a collection of
+// integrity constraints, which are automatically built from type
+// equations. Integrity constraints are expressed using the standard
+// rule-based programming language."
+//
+// Two kinds are produced from a schema:
+//
+//  * Referential constraints — for every class-typed component:
+//      - inside an association A:     <- a(f: X), not c(self X).
+//        (associations must reference *existing* objects; nil forbidden)
+//      - inside a class C1:           <- c1(f: X), not X = nil,
+//                                        not c2(self X).
+//        (class references may be nil, otherwise must exist)
+//  * isa containment (Definition 4a), also expressible as rules
+//        c2(self X) <- c1(self X).   for C1 isa C2
+//    (the engine maintains this invariant natively when objects are
+//    adopted; the rules are generated for inspection and for the
+//    cross-check tests).
+//
+// Passive constraints (user denials, Section 4.2) are ordinary rules with
+// an empty head and are handled by the evaluator directly.
+
+#ifndef LOGRES_CORE_CONSTRAINT_H_
+#define LOGRES_CORE_CONSTRAINT_H_
+
+#include <vector>
+
+#include "core/ast.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief Denial rules enforcing referential integrity, derived from the
+/// type equations of \p schema.
+Result<std::vector<Rule>> GenerateReferentialConstraints(
+    const Schema& schema);
+
+/// \brief isa-propagation rules (c_super(self X) <- c_sub(self X)) derived
+/// from the isa declarations of \p schema.
+Result<std::vector<Rule>> GenerateIsaPropagationRules(const Schema& schema);
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_CONSTRAINT_H_

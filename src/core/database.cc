@@ -1,0 +1,315 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "core/typecheck.h"
+#include "util/string_util.h"
+
+namespace logres {
+
+namespace {
+
+// Rules compare by their printed form (used by the RDD* modes).
+bool SameRule(const Rule& a, const Rule& b) {
+  return a.ToString() == b.ToString();
+}
+
+std::vector<Rule> SubtractRules(const std::vector<Rule>& base,
+                                const std::vector<Rule>& removed) {
+  std::vector<Rule> out;
+  for (const Rule& rule : base) {
+    bool drop = std::any_of(
+        removed.begin(), removed.end(),
+        [&](const Rule& r) { return SameRule(rule, r); });
+    if (!drop) out.push_back(rule);
+  }
+  return out;
+}
+
+std::vector<FunctionDecl> MergeFunctions(
+    const std::vector<FunctionDecl>& a,
+    const std::vector<FunctionDecl>& b) {
+  std::vector<FunctionDecl> out = a;
+  for (const FunctionDecl& fn : b) {
+    bool dup = std::any_of(out.begin(), out.end(),
+                           [&](const FunctionDecl& f) {
+                             return ToUpper(f.name) == ToUpper(fn.name);
+                           });
+    if (!dup) out.push_back(fn);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Database> Database::Create(const std::string& source) {
+  LOGRES_ASSIGN_OR_RETURN(ParsedUnit unit, logres::Parse(source));
+  Database db;
+  db.schema_ = std::move(unit.schema);
+  db.functions_ = std::move(unit.functions);
+  db.rules_ = std::move(unit.rules);
+  for (ParsedModule& m : unit.modules) {
+    db.modules_.push_back(Module::FromParsed(std::move(m)));
+  }
+  if (!unit.goals.empty()) {
+    return Status::InvalidArgument(
+        "top-level goals are not part of a database definition; put them "
+        "in a module or use Query()");
+  }
+  // Validate S0 (with function backing associations).
+  LOGRES_ASSIGN_OR_RETURN(Schema effective,
+                          db.EffectiveSchema(db.schema_, db.functions_));
+  (void)effective;
+  return db;
+}
+
+Result<Schema> Database::EffectiveSchema(
+    const Schema& base, const std::vector<FunctionDecl>& functions) const {
+  Schema schema = base;
+  for (const FunctionDecl& fn : functions) {
+    FunctionDecl canonical = fn;
+    canonical.name = ToUpper(fn.name);
+    LOGRES_RETURN_NOT_OK(DeclareBackingAssociation(&schema, canonical));
+  }
+  LOGRES_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+Result<Oid> Database::InsertObject(const std::string& cls, Value ovalue) {
+  std::string name = ToUpper(cls);
+  if (!schema_.IsClass(name)) {
+    return Status::NotFound(StrCat("'", cls, "' is not a class"));
+  }
+  return edb_.CreateObject(schema_, name, std::move(ovalue), &gen_);
+}
+
+Status Database::InsertTuple(const std::string& assoc, Value tuple) {
+  std::string name = ToUpper(assoc);
+  if (!schema_.IsAssociation(name)) {
+    return Status::NotFound(StrCat("'", assoc, "' is not an association"));
+  }
+  edb_.InsertTuple(name, std::move(tuple));
+  return Status::OK();
+}
+
+Result<Instance> Database::Evaluate(
+    const Schema& schema, const std::vector<FunctionDecl>& functions,
+    const std::vector<Rule>& rules, const Instance& edb,
+    const EvalOptions& options, EvalStats* stats) const {
+  LOGRES_ASSIGN_OR_RETURN(Schema effective,
+                          EffectiveSchema(schema, functions));
+  LOGRES_ASSIGN_OR_RETURN(CheckedProgram program,
+                          Typecheck(effective, functions, rules));
+  Evaluator evaluator(effective, program, &gen_);
+  LOGRES_ASSIGN_OR_RETURN(Instance instance,
+                          evaluator.Run(edb, options));
+  LOGRES_RETURN_NOT_OK(instance.CheckConsistent(effective));
+  if (stats != nullptr) *stats = evaluator.stats();
+  return instance;
+}
+
+Result<Instance> Database::Materialize(const EvalOptions& options) const {
+  return Evaluate(schema_, functions_, rules_, edb_, options, nullptr);
+}
+
+Result<std::vector<Bindings>> Database::Query(
+    const Goal& goal, const EvalOptions& options) const {
+  LOGRES_ASSIGN_OR_RETURN(Instance instance, Materialize(options));
+  LOGRES_ASSIGN_OR_RETURN(Schema effective,
+                          EffectiveSchema(schema_, functions_));
+  LOGRES_ASSIGN_OR_RETURN(CheckedProgram program,
+                          Typecheck(effective, functions_, rules_));
+  Evaluator evaluator(effective, program, &gen_);
+  return evaluator.AnswerGoal(instance, goal);
+}
+
+Result<std::vector<Bindings>> Database::Query(
+    const std::string& goal_text, const EvalOptions& options) const {
+  LOGRES_ASSIGN_OR_RETURN(Goal goal, ParseGoal(goal_text));
+  return Query(goal, options);
+}
+
+Result<ModuleResult> Database::Apply(const Module& module,
+                                     const EvalOptions& options) {
+  return Apply(module,
+               module.default_mode.value_or(ApplicationMode::kRIDI),
+               options);
+}
+
+Result<ModuleResult> Database::ApplyByName(const std::string& name,
+                                           const EvalOptions& options) {
+  for (const Module& m : modules_) {
+    if (m.name == ToLower(name)) return Apply(m, options);
+  }
+  return Status::NotFound(StrCat("no registered module named '", name, "'"));
+}
+
+Result<ModuleResult> Database::ApplySource(const std::string& source,
+                                           ApplicationMode mode,
+                                           const EvalOptions& options) {
+  LOGRES_ASSIGN_OR_RETURN(Module module, Module::Parse(source));
+  return Apply(module, mode, options);
+}
+
+Result<ModuleResult> Database::Apply(const Module& module,
+                                     ApplicationMode mode,
+                                     const EvalOptions& caller_options) {
+  // Modules are parametric in their rule semantics (Section 1): a
+  // declared `semantics` clause selects the evaluation mode; everything
+  // else (step budget, indexes, ...) stays with the caller.
+  EvalOptions options = caller_options;
+  if (module.semantics.has_value()) options.mode = *module.semantics;
+  if (module.goal.has_value() && !AllowsGoal(mode)) {
+    return Status::InvalidArgument(
+        StrCat("mode ", ApplicationModeName(mode),
+               " forbids a goal (Section 4.1); module '", module.name,
+               "' declares one"));
+  }
+
+  ModuleResult result;
+
+  // Candidate next state (committed only on success).
+  Schema next_schema = schema_;
+  std::vector<Rule> next_rules = rules_;
+  std::vector<FunctionDecl> next_functions = functions_;
+  Instance next_edb = edb_;
+
+  switch (mode) {
+    case ApplicationMode::kRIDI:
+    case ApplicationMode::kRADI: {
+      // Query over R0 ∪ RM with S0 ∪ SM.
+      Schema merged = schema_;
+      LOGRES_RETURN_NOT_OK(merged.Merge(module.schema));
+      std::vector<FunctionDecl> fns =
+          MergeFunctions(functions_, module.functions);
+      std::vector<Rule> rules = rules_;
+      rules.insert(rules.end(), module.rules.begin(), module.rules.end());
+      LOGRES_ASSIGN_OR_RETURN(
+          result.instance,
+          Evaluate(merged, fns, rules, edb_, options, &result.stats));
+      if (mode == ApplicationMode::kRADI) {
+        next_schema = std::move(merged);
+        next_rules = std::move(rules);
+        next_functions = std::move(fns);
+      }
+      break;
+    }
+    case ApplicationMode::kRDDI: {
+      next_rules = SubtractRules(rules_, module.rules);
+      for (const std::string& name : module.schema.DomainNames()) {
+        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+      }
+      for (const std::string& name : module.schema.ClassNames()) {
+        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+      }
+      for (const std::string& name : module.schema.AssociationNames()) {
+        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+      }
+      LOGRES_ASSIGN_OR_RETURN(
+          result.instance,
+          Evaluate(next_schema, next_functions, next_rules, edb_, options,
+                   &result.stats));
+      break;
+    }
+    case ApplicationMode::kRIDV:
+    case ApplicationMode::kRADV: {
+      // E1 = the result of applying the update rules RM to E0.
+      Schema merged = schema_;
+      LOGRES_RETURN_NOT_OK(merged.Merge(module.schema));
+      std::vector<FunctionDecl> fns =
+          MergeFunctions(functions_, module.functions);
+      LOGRES_ASSIGN_OR_RETURN(
+          next_edb, Evaluate(merged, fns, module.rules, edb_, options,
+                             &result.stats));
+      next_schema = std::move(merged);
+      next_functions = std::move(fns);
+      if (mode == ApplicationMode::kRADV) {
+        next_rules.insert(next_rules.end(), module.rules.begin(),
+                          module.rules.end());
+      }
+      // I1 = R1 applied to E1 must be consistent.
+      EvalStats stats2;
+      LOGRES_ASSIGN_OR_RETURN(
+          result.instance,
+          Evaluate(next_schema, next_functions, next_rules, next_edb,
+                   options, &stats2));
+      result.stats.steps += stats2.steps;
+      result.stats.rule_firings += stats2.rule_firings;
+      result.stats.invented_oids += stats2.invented_oids;
+      result.stats.deletions += stats2.deletions;
+      break;
+    }
+    case ApplicationMode::kRDDV: {
+      // E_M = the instance of (∅, R_M): facts derivable from the deleted
+      // rules alone; E1 = E0 − E_M (associations by tuple equality,
+      // classes by o-value equality, since invented oids differ).
+      Instance empty;
+      LOGRES_ASSIGN_OR_RETURN(
+          Instance em, Evaluate(schema_, functions_, module.rules, empty,
+                                options, &result.stats));
+      for (const auto& [assoc, tuples] : em.associations()) {
+        for (const Value& t : tuples) next_edb.EraseTuple(assoc, t);
+      }
+      for (const auto& [cls, oids] : em.class_oids()) {
+        for (Oid em_oid : oids) {
+          auto em_value = em.OValue(em_oid);
+          if (!em_value.ok()) continue;
+          std::vector<Oid> to_remove;
+          for (Oid oid : next_edb.OidsOf(cls)) {
+            auto v = next_edb.OValue(oid);
+            if (v.ok() && v.value() == em_value.value()) {
+              to_remove.push_back(oid);
+            }
+          }
+          for (Oid oid : to_remove) {
+            LOGRES_RETURN_NOT_OK(next_edb.RemoveObject(schema_, cls, oid));
+          }
+        }
+      }
+      next_rules = SubtractRules(rules_, module.rules);
+      for (const std::string& name : module.schema.DomainNames()) {
+        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+      }
+      for (const std::string& name : module.schema.ClassNames()) {
+        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+      }
+      for (const std::string& name : module.schema.AssociationNames()) {
+        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+      }
+      EvalStats stats2;
+      LOGRES_ASSIGN_OR_RETURN(
+          result.instance,
+          Evaluate(next_schema, next_functions, next_rules, next_edb,
+                   options, &stats2));
+      result.stats.steps += stats2.steps;
+      break;
+    }
+  }
+
+  // Goal answering (modes *DI only; Evaluate already used the module's
+  // rules for RIDI/RADI).
+  if (module.goal.has_value()) {
+    Schema merged = schema_;
+    LOGRES_RETURN_NOT_OK(merged.Merge(module.schema));
+    std::vector<FunctionDecl> fns =
+        MergeFunctions(functions_, module.functions);
+    LOGRES_ASSIGN_OR_RETURN(Schema effective, EffectiveSchema(merged, fns));
+    std::vector<Rule> rules = rules_;
+    rules.insert(rules.end(), module.rules.begin(), module.rules.end());
+    LOGRES_ASSIGN_OR_RETURN(CheckedProgram program,
+                            Typecheck(effective, fns, rules));
+    Evaluator evaluator(effective, program, &gen_);
+    LOGRES_ASSIGN_OR_RETURN(
+        auto answer, evaluator.AnswerGoal(result.instance, *module.goal));
+    result.goal_answer = std::move(answer);
+  }
+
+  // Commit.
+  schema_ = std::move(next_schema);
+  rules_ = std::move(next_rules);
+  functions_ = std::move(next_functions);
+  edb_ = std::move(next_edb);
+  return result;
+}
+
+}  // namespace logres

@@ -1,0 +1,131 @@
+// The LOGRES database: persistent states and module application
+// (paper Sections 4.1-4.2).
+//
+// A database *state* is the triple (E, R, S): extensionally stored facts,
+// persistent rules, and the schema. The database *instance* I is not
+// stored — it is the result of applying R to E under the inflationary
+// semantics ("a different interpretation of the EDB, which is not regarded
+// as an instance of the database", Section 3.2). A predicate can be
+// defined partly extensionally and partly intensionally.
+//
+// The evolution of the database is a sequence of module applications, each
+// qualified by one of the six modes of modes.h. An application whose
+// resulting instance is inconsistent (referential integrity, Definition 4
+// conditions, or a violated denial) is *rejected*: the state is unchanged
+// and an error is returned ("M is partial, as it is undefined over
+// instances for which I1 is inconsistent").
+
+#ifndef LOGRES_CORE_DATABASE_H_
+#define LOGRES_CORE_DATABASE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/instance.h"
+#include "core/module.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief Outcome of a module application.
+struct ModuleResult {
+  /// The instance I1 of the resulting state (materialized).
+  Instance instance;
+  /// Goal bindings, when the module carried a goal (modes *DI only).
+  std::optional<std::vector<Bindings>> goal_answer;
+  EvalStats stats;
+};
+
+/// \brief A LOGRES database: owns the state (E, R, S) and an oid
+/// generator, and applies modules to evolve it.
+class Database {
+ public:
+  Database() = default;
+
+  /// \brief Creates a database from source text: schema sections define
+  /// S0, rules sections define R0, and any `module` blocks are registered
+  /// for ApplyByName.
+  static Result<Database> Create(const std::string& source);
+
+  // ---- State access --------------------------------------------------------
+  const Schema& schema() const { return schema_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::vector<FunctionDecl>& functions() const { return functions_; }
+  const Instance& edb() const { return edb_; }
+  Instance* mutable_edb() { return &edb_; }
+  OidGenerator* oid_generator() { return &gen_; }
+
+  /// \brief How many oids this database has issued so far.
+  uint64_t oids_issued() const { return gen_.issued(); }
+
+  /// \brief Modules registered at Create time, applicable by name.
+  const std::vector<Module>& registered_modules() const { return modules_; }
+
+  // ---- Direct EDB construction (host-language API) --------------------------
+  /// \brief Creates an object in \p cls with \p ovalue; returns its oid.
+  Result<Oid> InsertObject(const std::string& cls, Value ovalue);
+
+  /// \brief Inserts a tuple into association \p assoc. Labels must match
+  /// the association's effective fields.
+  Status InsertTuple(const std::string& assoc, Value tuple);
+
+  // ---- Evaluation -----------------------------------------------------------
+  /// \brief Materializes the instance I of the current state (E, R, S).
+  Result<Instance> Materialize(const EvalOptions& options = {}) const;
+
+  /// \brief Materializes and answers \p goal.
+  Result<std::vector<Bindings>> Query(const Goal& goal,
+                                      const EvalOptions& options = {}) const;
+
+  /// \brief Parses and answers a goal ("? person(name: X)").
+  Result<std::vector<Bindings>> Query(const std::string& goal_text,
+                                      const EvalOptions& options = {}) const;
+
+  // ---- Module application ----------------------------------------------------
+  /// \brief Applies \p module under \p mode. On success the state is
+  /// updated per the mode's definition (Section 4.1); on any failure —
+  /// including an inconsistent resulting instance — the state is
+  /// unchanged and the error is returned.
+  Result<ModuleResult> Apply(const Module& module, ApplicationMode mode,
+                             const EvalOptions& options = {});
+
+  /// \brief Applies \p module under its default mode (RIDI if none).
+  Result<ModuleResult> Apply(const Module& module,
+                             const EvalOptions& options = {});
+
+  /// \brief Applies a registered module by name.
+  Result<ModuleResult> ApplyByName(const std::string& name,
+                                   const EvalOptions& options = {});
+
+  /// \brief Parses source as a module and applies it under \p mode.
+  Result<ModuleResult> ApplySource(const std::string& source,
+                                   ApplicationMode mode,
+                                   const EvalOptions& options = {});
+
+ private:
+  // Builds the working schema: S plus backing associations for functions.
+  Result<Schema> EffectiveSchema(
+      const Schema& base, const std::vector<FunctionDecl>& functions) const;
+
+  // Evaluates `rules` (plus functions) over `edb` under `schema`.
+  Result<Instance> Evaluate(const Schema& schema,
+                            const std::vector<FunctionDecl>& functions,
+                            const std::vector<Rule>& rules,
+                            const Instance& edb, const EvalOptions& options,
+                            EvalStats* stats) const;
+
+  Schema schema_;
+  std::vector<Rule> rules_;
+  std::vector<FunctionDecl> functions_;
+  Instance edb_;
+  std::vector<Module> modules_;
+  // Mutable: module application consumes oids even when rejected.
+  mutable OidGenerator gen_;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_DATABASE_H_

@@ -1,0 +1,51 @@
+// Database state persistence: dump a LOGRES state (E, R, S) to a textual
+// form and load it back.
+//
+// ALGRES was a main-memory environment and LOGRES inherits that; dumps
+// are how a state survives a process (and how the interactive shell's
+// `save`/`open` work). The format is line-oriented and human-readable:
+//
+//   generator 17;
+//   domains ... classes ... associations ...   -- the schema, as source
+//   functions DESC: PERSON -> {PERSON};
+//   rules tc(a: X, b: Y) <- e(a: X, b: Y).
+//   objects
+//     PERSON 3 = (name: "ann", spouse: oid(4));
+//     STUDENT 3;                 -- additional class membership, same oid
+//   tuples
+//     LIKES (who: oid(3), what: "jazz");
+//
+// Oids are written as `oid(n)` (the `#n` display form is not lexable).
+// Dump and load round-trip exactly: load(dump(db)) == db, including the
+// oid generator position, as the tests verify.
+
+#ifndef LOGRES_CORE_DUMP_H_
+#define LOGRES_CORE_DUMP_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief Renders a schema back to parseable source text (sections,
+/// `NAME = TYPE;` equations, isa and renaming declarations). Backing
+/// associations of data functions are omitted (they are regenerated).
+std::string SchemaToSource(const Schema& schema);
+
+/// \brief Serializes the full database state.
+std::string DumpDatabase(const Database& db);
+
+/// \brief Reconstructs a database from DumpDatabase output.
+Result<Database> LoadDatabase(const std::string& dump);
+
+/// \brief Renders a single value in dump syntax (oids as `oid(n)`).
+std::string ValueToSource(const Value& value);
+
+/// \brief Parses a value in dump syntax.
+Result<Value> ParseValue(const std::string& source);
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_DUMP_H_

@@ -1,0 +1,139 @@
+// The LOGRES evaluator: deterministic inflationary fixpoint semantics
+// (paper Section 3 and Appendix B).
+//
+// Given a set of extensional facts E (an Instance) and an analyzed program
+// R, the evaluator computes the sequence F0 = E, F1, F2, ... where each
+// step applies the one-step inflationary operator:
+//
+//   VD(R, F)  — the valuation domain: all (rule, body valuation) pairs
+//               whose body is satisfied by F and whose head is *not yet*
+//               satisfiable in F (Definition 7);
+//   eta       — the valuation map: head variables bound from the body;
+//               an unbound head self variable receives an *invented oid*,
+//               unique per valuated body, memoized across steps so "once a
+//               rule has been fired for a certain substitution ... that
+//               rule cannot generate any more oids for the same
+//               substitution" (Definition 8);
+//   Delta+/Delta- — facts derived by positive / negated heads;
+//   F' = ((F ⊕ Δ+) − Δ−) ⊕ (F ∩ Δ+ ∩ Δ−)   with ⊕ the non-commutative
+//               composition that lets new o-values supersede old ones for
+//               the same oid.
+//
+// Iteration stops at Fk = Fk+1; divergence is caught by a step budget
+// (termination "is not guaranteed, and it is not even decidable").
+//
+// Modes:
+//  * kStratified (default): strata from the type checker are evaluated
+//    bottom-up, each to its inflationary fixpoint — the perfect model on
+//    stratified programs ("if we use inflationary semantics within each
+//    stratum ... this yields the perfect model semantics"). Falls back to
+//    whole-program inflationary when the program is not stratified, as
+//    Section 3.1 prescribes.
+//  * kWholeInflationary: all rules in a single fixpoint.
+//  * kNonInflationary: replacement semantics — each step rebuilds the
+//    instance from E plus the facts derived from the previous step (the
+//    second, non-inflationary language the paper mentions; termination is
+//    entirely the program's responsibility).
+//
+// Within a stratum whose rules are positive, invention-free, and
+// data-function-free, a semi-naive delta evaluation is used (at least one
+// body predicate literal must match a newly derived fact); this is an
+// optimization only — results are identical, as the test suite checks.
+
+#ifndef LOGRES_CORE_EVAL_H_
+#define LOGRES_CORE_EVAL_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/builtin.h"
+#include "core/instance.h"
+#include "core/modes.h"
+#include "core/schema.h"
+#include "core/typecheck.h"
+#include "util/status.h"
+
+namespace logres {
+
+struct EvalOptions {
+  EvalMode mode = EvalMode::kStratified;
+  /// Abort with Status::Divergence after this many one-step applications.
+  size_t max_steps = 100000;
+  /// Evaluate denial rules (passive constraints) after the fixpoint and
+  /// fail with ConstraintViolation when one fires.
+  bool check_denials = true;
+  /// Allow the semi-naive optimization on qualifying strata.
+  bool semi_naive = true;
+  /// Probe lazily built per-step hash indexes on association fields and
+  /// class oids instead of scanning (ablation flag; results identical).
+  bool use_indexes = true;
+};
+
+struct EvalStats {
+  size_t steps = 0;
+  size_t rule_firings = 0;
+  size_t invented_oids = 0;
+  size_t deletions = 0;
+};
+
+/// \brief Evaluates analyzed programs over instances.
+class Evaluator {
+ public:
+  /// \p gen supplies invented oids; it must be the database's generator so
+  /// invented oids never collide with existing ones.
+  Evaluator(const Schema& schema, const CheckedProgram& program,
+            OidGenerator* gen)
+      : schema_(schema), program_(program), gen_(gen) {}
+
+  /// \brief Computes the instance: the fixpoint of the program applied to
+  /// \p edb. The input is not modified.
+  Result<Instance> Run(const Instance& edb,
+                       const EvalOptions& options = {});
+
+  const EvalStats& stats() const { return stats_; }
+
+  /// \brief Answers a goal against a materialized instance: returns every
+  /// binding of the goal's variables (projected to named variables).
+  Result<std::vector<Bindings>> AnswerGoal(const Instance& instance,
+                                           const Goal& goal) const;
+
+ private:
+  friend class RuleFirer;
+
+  const Schema& schema_;
+  const CheckedProgram& program_;
+  OidGenerator* gen_;
+  EvalStats stats_;
+
+  // Invented-oid memo: (rule index, serialized body valuation) -> oid.
+  std::map<std::pair<size_t, std::string>, Oid> invention_memo_;
+
+  Result<bool> RunStratum(const std::vector<const CheckedRule*>& rules,
+                          Instance* instance, const EvalOptions& options,
+                          size_t* steps_left);
+  Status CheckDenials(const Instance& instance) const;
+};
+
+/// \brief Grounds \p term under \p bindings against \p instance (exposed
+/// for tests; data-function applications read their backing association).
+Result<Value> EvalTerm(const Schema& schema, const CheckedProgram& program,
+                       const Instance& instance, const TermPtr& term,
+                       const Bindings& bindings);
+
+/// \brief Matches pattern \p term against \p value, extending \p bindings.
+/// Handles the oid coercions: a tuple variable bound to an object carries a
+/// reserved "self" field; matching it against a bare oid compares oids.
+Result<bool> MatchTerm(const Schema& schema, const CheckedProgram& program,
+                       const Instance& instance, const TermPtr& term,
+                       const Value& value, Bindings* bindings);
+
+/// \brief The reserved tuple label carrying an object's oid when a tuple
+/// variable binds a whole object.
+inline const char* kSelfLabel = "self";
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_EVAL_H_

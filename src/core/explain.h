@@ -1,0 +1,58 @@
+// Program explanation and monitoring utilities.
+//
+// The paper's future-work list (Section 5) calls for "a complete
+// programming environment for LOGRES, with tools supporting the design,
+// debugging, and monitoring of LOGRES databases and programs". This
+// module provides the inspection layer those tools build on:
+//
+//  * ExplainProgram    — human-readable report of an analyzed program:
+//                        per-rule execution schedule, inferred variable
+//                        types, invention/deletion flags, and the stratum
+//                        assignment;
+//  * DependencyGraphDot — the predicate dependency graph (negative edges
+//                        dashed) in Graphviz DOT, for visualizing why a
+//                        program is or is not stratified;
+//  * DiffInstances     — the fact-level delta between two instances
+//                        (what a module application changed);
+//  * ExplainStats      — renders evaluator statistics.
+
+#ifndef LOGRES_CORE_EXPLAIN_H_
+#define LOGRES_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/eval.h"
+#include "core/instance.h"
+#include "core/typecheck.h"
+
+namespace logres {
+
+/// \brief One-line-per-fact difference report between two instances.
+struct InstanceDiff {
+  std::vector<std::string> added;    // facts in `after` only
+  std::vector<std::string> removed;  // facts in `before` only
+
+  bool empty() const { return added.empty() && removed.empty(); }
+  std::string ToString() const;
+};
+
+/// \brief Renders an analyzed program: rules in execution order with
+/// their schedules, variable types, strata.
+std::string ExplainProgram(const CheckedProgram& program);
+
+/// \brief Graphviz DOT rendering of the predicate dependency graph.
+/// Solid edges are positive dependencies, dashed edges negative
+/// (negation, deletion, or aggregating data-function use).
+std::string DependencyGraphDot(const Schema& schema,
+                               const CheckedProgram& program);
+
+/// \brief Computes the fact-level difference `after − before` /
+/// `before − after`.
+InstanceDiff DiffInstances(const Instance& before, const Instance& after);
+
+/// \brief Renders evaluation statistics.
+std::string ExplainStats(const EvalStats& stats);
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_EXPLAIN_H_

@@ -1,0 +1,428 @@
+#include "core/instance.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace logres {
+
+namespace {
+
+const std::set<Oid> kNoOids;
+const std::set<Value> kNoTuples;
+
+}  // namespace
+
+Result<Oid> Instance::CreateObject(const Schema& schema,
+                                   const std::string& cls, Value ovalue,
+                                   OidGenerator* gen) {
+  if (!schema.IsClass(cls)) {
+    return Status::NotFound(StrCat("'", cls, "' is not a class"));
+  }
+  Oid oid = gen->Next();
+  LOGRES_RETURN_NOT_OK(AdoptObject(schema, cls, oid, std::move(ovalue)));
+  return oid;
+}
+
+Status Instance::AdoptObject(const Schema& schema, const std::string& cls,
+                             Oid oid, Value ovalue) {
+  if (!schema.IsClass(cls)) {
+    return Status::NotFound(StrCat("'", cls, "' is not a class"));
+  }
+  if (!oid.valid()) {
+    return Status::InvalidArgument("cannot adopt the invalid oid 0");
+  }
+  class_oids_[cls].insert(oid);
+  for (const std::string& super : schema.AllSuperclasses(cls)) {
+    class_oids_[super].insert(oid);
+  }
+  ovalues_[oid] = std::move(ovalue);
+  return Status::OK();
+}
+
+Status Instance::RemoveObject(const Schema& schema, const std::string& cls,
+                              Oid oid) {
+  if (!schema.IsClass(cls)) {
+    return Status::NotFound(StrCat("'", cls, "' is not a class"));
+  }
+  class_oids_[cls].erase(oid);
+  for (const std::string& sub : schema.AllSubclasses(cls)) {
+    class_oids_[sub].erase(oid);
+  }
+  bool live = false;
+  for (const auto& [c, oids] : class_oids_) {
+    (void)c;
+    if (oids.count(oid)) {
+      live = true;
+      break;
+    }
+  }
+  if (!live) ovalues_.erase(oid);
+  return Status::OK();
+}
+
+const std::set<Oid>& Instance::OidsOf(const std::string& cls) const {
+  auto it = class_oids_.find(cls);
+  return it == class_oids_.end() ? kNoOids : it->second;
+}
+
+bool Instance::HasObject(const std::string& cls, Oid oid) const {
+  return OidsOf(cls).count(oid) > 0;
+}
+
+Result<Value> Instance::OValue(Oid oid) const {
+  auto it = ovalues_.find(oid);
+  if (it == ovalues_.end()) {
+    return Status::NotFound(StrCat("oid #", oid.id, " has no o-value"));
+  }
+  return it->second;
+}
+
+Status Instance::SetOValue(Oid oid, Value ovalue) {
+  auto it = ovalues_.find(oid);
+  if (it == ovalues_.end()) {
+    return Status::NotFound(StrCat("oid #", oid.id, " is not live"));
+  }
+  it->second = std::move(ovalue);
+  return Status::OK();
+}
+
+bool Instance::InsertTuple(const std::string& assoc, Value tuple) {
+  return associations_[assoc].insert(std::move(tuple)).second;
+}
+
+bool Instance::EraseTuple(const std::string& assoc, const Value& tuple) {
+  auto it = associations_.find(assoc);
+  if (it == associations_.end()) return false;
+  return it->second.erase(tuple) > 0;
+}
+
+const std::set<Value>& Instance::TuplesOf(const std::string& assoc) const {
+  auto it = associations_.find(assoc);
+  return it == associations_.end() ? kNoTuples : it->second;
+}
+
+size_t Instance::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& [cls, oids] : class_oids_) {
+    (void)cls;
+    n += oids.size();
+  }
+  for (const auto& [assoc, tuples] : associations_) {
+    (void)assoc;
+    n += tuples.size();
+  }
+  return n;
+}
+
+Status Instance::CheckValueConforms(const Schema& schema, const Value& value,
+                                    const Type& type, bool allow_nil_refs,
+                                    const std::string& context) const {
+  switch (type.kind()) {
+    case TypeKind::kInt:
+      if (value.kind() != ValueKind::kInt) break;
+      return Status::OK();
+    case TypeKind::kString:
+      if (value.kind() != ValueKind::kString) break;
+      return Status::OK();
+    case TypeKind::kBool:
+      if (value.kind() != ValueKind::kBool) break;
+      return Status::OK();
+    case TypeKind::kReal:
+      if (value.kind() != ValueKind::kReal) break;
+      return Status::OK();
+    case TypeKind::kNamed: {
+      const std::string& name = type.name();
+      if (schema.IsClass(name)) {
+        if (value.is_nil()) {
+          if (allow_nil_refs) return Status::OK();
+          return Status::ConstraintViolation(
+              StrCat(context, ": nil oid for class '", name,
+                     "' inside an association (associations must refer to "
+                     "existing objects, Section 2.1)"));
+        }
+        if (value.kind() != ValueKind::kOid) break;
+        if (!HasObject(name, value.oid_value())) {
+          return Status::ConstraintViolation(
+              StrCat(context, ": oid ", value.ToString(),
+                     " is not a member of class '", name,
+                     "' (active referential integrity)"));
+        }
+        return Status::OK();
+      }
+      // Domain or association alias: check against its expansion.
+      LOGRES_ASSIGN_OR_RETURN(Type rhs, schema.TypeOf(name));
+      return CheckValueConforms(schema, value, rhs, allow_nil_refs, context);
+    }
+    case TypeKind::kTuple: {
+      if (value.kind() != ValueKind::kTuple) break;
+      // Projection conformance: every type field must be present and
+      // conforming; extra value fields (e.g. subclass attributes) are fine.
+      for (const auto& [label, ftype] : type.fields()) {
+        std::optional<Value> fv = value.FindField(label);
+        if (!fv.has_value()) {
+          return Status::ConstraintViolation(
+              StrCat(context, ": value ", value.ToString(),
+                     " lacks field '", label, "' of type ",
+                     ftype.ToString()));
+        }
+        LOGRES_RETURN_NOT_OK(CheckValueConforms(
+            schema, *fv, ftype, allow_nil_refs,
+            StrCat(context, ".", label)));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kSet: {
+      if (value.kind() != ValueKind::kSet) break;
+      for (const Value& e : value.elements()) {
+        LOGRES_RETURN_NOT_OK(CheckValueConforms(
+            schema, e, type.element(), allow_nil_refs, context));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kMultiset: {
+      if (value.kind() != ValueKind::kMultiset) break;
+      for (const Value& e : value.elements()) {
+        LOGRES_RETURN_NOT_OK(CheckValueConforms(
+            schema, e, type.element(), allow_nil_refs, context));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kSequence: {
+      if (value.kind() != ValueKind::kSequence) break;
+      for (const Value& e : value.elements()) {
+        LOGRES_RETURN_NOT_OK(CheckValueConforms(
+            schema, e, type.element(), allow_nil_refs, context));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::ConstraintViolation(
+      StrCat(context, ": value ", value.ToString(), " does not conform to ",
+             type.ToString()));
+}
+
+Status Instance::CheckConsistent(const Schema& schema) const {
+  // Def. 4a: pi(C) ⊆ pi(C') along isa.
+  for (const IsaDecl& d : schema.isa_decls()) {
+    if (!d.component_label.empty()) continue;
+    const std::set<Oid>& sub = OidsOf(d.sub);
+    const std::set<Oid>& super = OidsOf(d.super);
+    for (Oid oid : sub) {
+      if (!super.count(oid)) {
+        return Status::Inconsistent(
+            StrCat("oid #", oid.id, " in '", d.sub, "' but not in its "
+                   "superclass '", d.super, "' (Definition 4a)"));
+      }
+    }
+  }
+
+  // Def. 4b: classes sharing an oid must share a hierarchy root.
+  std::map<Oid, std::vector<std::string>> membership;
+  for (const auto& [cls, oids] : class_oids_) {
+    for (Oid oid : oids) membership[oid].push_back(cls);
+  }
+  for (const auto& [oid, classes] : membership) {
+    for (size_t i = 1; i < classes.size(); ++i) {
+      if (!schema.SameHierarchy(classes[0], classes[i])) {
+        return Status::Inconsistent(
+            StrCat("oid #", oid.id, " belongs to '", classes[0], "' and '",
+                   classes[i],
+                   "' which have no common ancestor (Definition 4b)"));
+      }
+    }
+  }
+
+  // nu conformance: each live oid's value projects into every owning
+  // class's type; every owning class's oid must have an o-value.
+  for (const auto& [cls, oids] : class_oids_) {
+    LOGRES_ASSIGN_OR_RETURN(Type tuple, schema.PredicateTuple(cls));
+    for (Oid oid : oids) {
+      auto it = ovalues_.find(oid);
+      if (it == ovalues_.end()) {
+        return Status::Inconsistent(
+            StrCat("oid #", oid.id, " of class '", cls,
+                   "' has no o-value"));
+      }
+      LOGRES_RETURN_NOT_OK(CheckValueConforms(
+          schema, it->second, tuple, /*allow_nil_refs=*/true,
+          StrCat(cls, "#", oid.id)));
+    }
+  }
+
+  // rho conformance: tuples match the association type; class components
+  // must reference existing objects (nil forbidden).
+  for (const auto& [assoc, tuples] : associations_) {
+    if (!schema.IsAssociation(assoc)) {
+      return Status::Inconsistent(
+          StrCat("instance stores tuples for undeclared association '",
+                 assoc, "'"));
+    }
+    LOGRES_ASSIGN_OR_RETURN(Type tuple_type, schema.PredicateTuple(assoc));
+    for (const Value& tuple : tuples) {
+      LOGRES_RETURN_NOT_OK(CheckValueConforms(
+          schema, tuple, tuple_type, /*allow_nil_refs=*/false, assoc));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Rewrites every oid in `value` through `mapping`; oids without a mapping
+// are left unchanged.
+Value RewriteOids(const Value& value, const std::map<Oid, Oid>& mapping) {
+  switch (value.kind()) {
+    case ValueKind::kOid: {
+      auto it = mapping.find(value.oid_value());
+      return it == mapping.end() ? value : Value::MakeOid(it->second);
+    }
+    case ValueKind::kTuple: {
+      std::vector<std::pair<std::string, Value>> fields;
+      for (const auto& [label, v] : value.tuple_fields()) {
+        fields.emplace_back(label, RewriteOids(v, mapping));
+      }
+      return Value::MakeTuple(std::move(fields));
+    }
+    case ValueKind::kSet:
+    case ValueKind::kMultiset:
+    case ValueKind::kSequence: {
+      std::vector<Value> elems;
+      for (const Value& e : value.elements()) {
+        elems.push_back(RewriteOids(e, mapping));
+      }
+      if (value.kind() == ValueKind::kSet) {
+        return Value::MakeSet(std::move(elems));
+      }
+      if (value.kind() == ValueKind::kMultiset) {
+        return Value::MakeMultiset(std::move(elems));
+      }
+      return Value::MakeSequence(std::move(elems));
+    }
+    default:
+      return value;
+  }
+}
+
+// Computes a structural signature for each oid by color refinement: start
+// from class memberships, then repeatedly fold in the o-value with nested
+// oids replaced by their current colors.
+std::map<Oid, size_t> RefineColors(const Instance& inst) {
+  std::map<Oid, size_t> colors;
+  for (const auto& [oid, v] : inst.ovalues()) {
+    (void)v;
+    colors[oid] = 0;
+  }
+  // Initial color: hash of owning class names.
+  for (const auto& [cls, oids] : inst.class_oids()) {
+    size_t h = std::hash<std::string>()(cls);
+    for (Oid oid : oids) {
+      HashCombine(&colors[oid], h);
+    }
+  }
+  auto color_of_value = [&](const Value& v, auto&& self) -> size_t {
+    switch (v.kind()) {
+      case ValueKind::kOid: {
+        auto it = colors.find(v.oid_value());
+        return it == colors.end() ? 0x5eed : it->second;
+      }
+      case ValueKind::kTuple: {
+        size_t h = 0x70u;
+        for (const auto& [label, f] : v.tuple_fields()) {
+          HashCombine(&h, std::hash<std::string>()(label));
+          HashCombine(&h, self(f, self));
+        }
+        return h;
+      }
+      case ValueKind::kSet:
+      case ValueKind::kMultiset:
+      case ValueKind::kSequence: {
+        size_t h = static_cast<size_t>(v.kind()) * 31;
+        for (const Value& e : v.elements()) {
+          HashCombine(&h, self(e, self));
+        }
+        return h;
+      }
+      default:
+        return v.Hash();
+    }
+  };
+  size_t n = colors.size();
+  for (size_t round = 0; round < n + 1; ++round) {
+    std::map<Oid, size_t> next;
+    for (const auto& [oid, value] : inst.ovalues()) {
+      size_t h = colors[oid];
+      HashCombine(&h, color_of_value(value, color_of_value));
+      next[oid] = h;
+    }
+    if (next == colors) break;
+    colors = std::move(next);
+  }
+  return colors;
+}
+
+}  // namespace
+
+bool Instance::IsomorphicTo(const Instance& other) const {
+  if (*this == other) return true;
+  if (ovalues_.size() != other.ovalues_.size()) return false;
+
+  // Pair up oids by refined color, tie-breaking deterministically by oid
+  // order; then verify the induced bijection actually maps one instance
+  // onto the other (so the result is never a false positive).
+  std::map<Oid, size_t> ca = RefineColors(*this);
+  std::map<Oid, size_t> cb = RefineColors(other);
+  std::multimap<size_t, Oid> by_color_a, by_color_b;
+  for (const auto& [oid, c] : ca) by_color_a.emplace(c, oid);
+  for (const auto& [oid, c] : cb) by_color_b.emplace(c, oid);
+
+  std::map<Oid, Oid> mapping;  // this -> other
+  auto ita = by_color_a.begin();
+  auto itb = by_color_b.begin();
+  while (ita != by_color_a.end() && itb != by_color_b.end()) {
+    if (ita->first != itb->first) return false;
+    mapping[ita->second] = itb->second;
+    ++ita;
+    ++itb;
+  }
+  if (ita != by_color_a.end() || itb != by_color_b.end()) return false;
+
+  // Verify: rewrite this instance through the mapping and compare.
+  Instance rewritten;
+  for (const auto& [cls, oids] : class_oids_) {
+    for (Oid oid : oids) {
+      rewritten.class_oids_[cls].insert(mapping.at(oid));
+    }
+  }
+  for (const auto& [oid, value] : ovalues_) {
+    rewritten.ovalues_[mapping.at(oid)] = RewriteOids(value, mapping);
+  }
+  for (const auto& [assoc, tuples] : associations_) {
+    for (const Value& t : tuples) {
+      rewritten.associations_[assoc].insert(RewriteOids(t, mapping));
+    }
+  }
+  return rewritten == other;
+}
+
+std::string Instance::ToString() const {
+  std::string out;
+  for (const auto& [cls, oids] : class_oids_) {
+    out += StrCat("class ", cls, ":\n");
+    for (Oid oid : oids) {
+      auto it = ovalues_.find(oid);
+      out += StrCat("  #", oid.id, " = ",
+                    it == ovalues_.end() ? "?" : it->second.ToString(),
+                    "\n");
+    }
+  }
+  for (const auto& [assoc, tuples] : associations_) {
+    out += StrCat("association ", assoc, ":\n");
+    for (const Value& t : tuples) {
+      out += StrCat("  ", t.ToString(), "\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace logres

@@ -1,0 +1,122 @@
+// LOGRES instances (paper Definitions 3-4).
+//
+// An instance of a schema (Sigma, isa) is a triple (pi, nu, rho):
+//   pi  — the *oid assignment*: each class C gets a finite set of oids,
+//         with pi(C) ⊆ pi(C') whenever C isa C' (Def. 4a) and oid sets of
+//         different hierarchies disjoint (Def. 4b);
+//   nu  — the *o-value assignment*: a partial function from oids to values,
+//         unique per oid ("to each oid corresponds a unique o-value");
+//   rho — the *association assignment*: each association gets a finite set
+//         of tuples.
+//
+// Conformance and referential integrity (the conditions at the end of
+// Def. 4) are checked by CheckConsistent(): every o-value must project
+// into the class's type; a class component inside a class value may be a
+// member oid of that class or nil; a class component inside an association
+// tuple must be a member oid (nil forbidden, Section 2.1).
+
+#ifndef LOGRES_CORE_INSTANCE_H_
+#define LOGRES_CORE_INSTANCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algres/value.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief A materialized instance (pi, nu, rho) of a schema.
+class Instance {
+ public:
+  Instance() = default;
+
+  // ---- Objects (pi, nu) ---------------------------------------------------
+
+  /// \brief Creates a fresh object in class \p cls (and, per Def. 4a, in
+  /// all its superclasses) with the given o-value. The oid comes from
+  /// \p gen. No conformance check here (CheckConsistent validates states).
+  Result<Oid> CreateObject(const Schema& schema, const std::string& cls,
+                           Value ovalue, OidGenerator* gen);
+
+  /// \brief Adds an existing oid to class \p cls and its superclasses,
+  /// overwriting the o-value (used by generalization-hierarchy rules where
+  /// sub- and superclass share the oid).
+  Status AdoptObject(const Schema& schema, const std::string& cls, Oid oid,
+                     Value ovalue);
+
+  /// \brief Removes \p oid from \p cls and all its *subclasses* (an object
+  /// leaving a superclass cannot stay in a subclass). The o-value is kept
+  /// while the oid is still a member of some class, dropped otherwise.
+  Status RemoveObject(const Schema& schema, const std::string& cls, Oid oid);
+
+  /// \brief Oids of class \p cls (pi(C)).
+  const std::set<Oid>& OidsOf(const std::string& cls) const;
+
+  bool HasObject(const std::string& cls, Oid oid) const;
+
+  /// \brief nu(oid); NotFound if unassigned.
+  Result<Value> OValue(Oid oid) const;
+
+  /// \brief Replaces nu(oid). Error if the oid is not live.
+  Status SetOValue(Oid oid, Value ovalue);
+
+  const std::map<std::string, std::set<Oid>>& class_oids() const {
+    return class_oids_;
+  }
+  const std::map<Oid, Value>& ovalues() const { return ovalues_; }
+
+  // ---- Associations (rho) -------------------------------------------------
+
+  /// \brief Inserts a tuple into association \p assoc; true if new.
+  bool InsertTuple(const std::string& assoc, Value tuple);
+
+  /// \brief Removes a tuple; true if it was present.
+  bool EraseTuple(const std::string& assoc, const Value& tuple);
+
+  /// \brief rho(assoc): the tuples of an association.
+  const std::set<Value>& TuplesOf(const std::string& assoc) const;
+
+  const std::map<std::string, std::set<Value>>& associations() const {
+    return associations_;
+  }
+
+  // ---- Whole-instance operations ------------------------------------------
+
+  /// \brief Total number of objects plus association tuples.
+  size_t TotalFacts() const;
+
+  /// \brief Definition 4 consistency: oid-set containment along isa,
+  /// disjointness across hierarchies, o-value conformance, referential
+  /// integrity of class components (nil allowed inside class values only).
+  Status CheckConsistent(const Schema& schema) const;
+
+  /// \brief Structural equality.
+  bool operator==(const Instance& other) const {
+    return class_oids_ == other.class_oids_ && ovalues_ == other.ovalues_ &&
+           associations_ == other.associations_;
+  }
+
+  /// \brief True when \p other is this instance under some oid bijection —
+  /// the paper's determinacy notion ("determinate ... up to renaming of
+  /// oids", Appendix B).
+  bool IsomorphicTo(const Instance& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Status CheckValueConforms(const Schema& schema, const Value& value,
+                            const Type& type, bool allow_nil_refs,
+                            const std::string& context) const;
+
+  std::map<std::string, std::set<Oid>> class_oids_;
+  std::map<Oid, Value> ovalues_;
+  std::map<std::string, std::set<Value>> associations_;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_INSTANCE_H_

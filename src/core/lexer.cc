@@ -1,0 +1,235 @@
+#include "core/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace logres {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent: return StrCat("identifier '", text, "'");
+    case TokenKind::kInt: return StrCat("integer ", int_value);
+    case TokenKind::kReal: return StrCat("real ", real_value);
+    case TokenKind::kString: return StrCat("string \"", text, "\"");
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kArrowLeft: return "'<-'";
+    case TokenKind::kArrowRight: return "'->'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t ahead = 0) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      line++;
+      column = 1;
+    } else {
+      column++;
+    }
+    i++;
+  };
+  auto push = [&](TokenKind kind, int tline, int tcol) {
+    Token t;
+    t.kind = kind;
+    t.line = tline;
+    t.column = tcol;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = peek();
+    int tline = line, tcol = column;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '$') {
+      std::string text;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_' || peek() == '$')) {
+        text += peek();
+        advance();
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::move(text);
+      t.line = tline;
+      t.column = tcol;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      bool real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += peek();
+        advance();
+      }
+      // A decimal point followed by a digit makes a real; a bare '.' is
+      // the rule terminator.
+      if (peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        real = true;
+        digits += '.';
+        advance();
+        while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+          digits += peek();
+          advance();
+        }
+      }
+      Token t;
+      t.line = tline;
+      t.column = tcol;
+      if (real) {
+        t.kind = TokenKind::kReal;
+        t.real_value = std::stod(digits);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::stoll(digits);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      while (i < n && peek() != '"') {
+        if (peek() == '\\' && i + 1 < n) {
+          advance();
+          char esc = peek();
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            default: text += esc; break;
+          }
+          advance();
+        } else {
+          text += peek();
+          advance();
+        }
+      }
+      if (i >= n) {
+        return Status::ParseError(
+            StrCat("unterminated string at line ", tline, ":", tcol));
+      }
+      advance();  // closing quote
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.line = tline;
+      t.column = tcol;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': advance(); push(TokenKind::kLParen, tline, tcol); break;
+      case ')': advance(); push(TokenKind::kRParen, tline, tcol); break;
+      case '{': advance(); push(TokenKind::kLBrace, tline, tcol); break;
+      case '}': advance(); push(TokenKind::kRBrace, tline, tcol); break;
+      case '[': advance(); push(TokenKind::kLBracket, tline, tcol); break;
+      case ']': advance(); push(TokenKind::kRBracket, tline, tcol); break;
+      case ',': advance(); push(TokenKind::kComma, tline, tcol); break;
+      case ';': advance(); push(TokenKind::kSemicolon, tline, tcol); break;
+      case ':': advance(); push(TokenKind::kColon, tline, tcol); break;
+      case '.': advance(); push(TokenKind::kPeriod, tline, tcol); break;
+      case '?': advance(); push(TokenKind::kQuestion, tline, tcol); break;
+      case '+': advance(); push(TokenKind::kPlus, tline, tcol); break;
+      case '*': advance(); push(TokenKind::kStar, tline, tcol); break;
+      case '/': advance(); push(TokenKind::kSlash, tline, tcol); break;
+      case '%': advance(); push(TokenKind::kPercent, tline, tcol); break;
+      case '=':
+        advance();
+        push(TokenKind::kEq, tline, tcol);
+        break;
+      case '!':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(TokenKind::kNe, tline, tcol);
+        } else {
+          return Status::ParseError(
+              StrCat("stray '!' at line ", tline, ":", tcol));
+        }
+        break;
+      case '<':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(TokenKind::kLe, tline, tcol);
+        } else if (peek() == '-') {
+          advance();
+          push(TokenKind::kArrowLeft, tline, tcol);
+        } else {
+          push(TokenKind::kLt, tline, tcol);
+        }
+        break;
+      case '>':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(TokenKind::kGe, tline, tcol);
+        } else {
+          push(TokenKind::kGt, tline, tcol);
+        }
+        break;
+      case '-':
+        advance();
+        if (peek() == '>') {
+          advance();
+          push(TokenKind::kArrowRight, tline, tcol);
+        } else {
+          push(TokenKind::kMinus, tline, tcol);
+        }
+        break;
+      default:
+        return Status::ParseError(StrCat("unexpected character '", c,
+                                         "' at line ", tline, ":", tcol));
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace logres

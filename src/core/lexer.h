@@ -1,0 +1,55 @@
+// Tokenizer for the LOGRES surface language.
+//
+// Conventions (documented in README "Language reference"):
+//  * variables start with an upper-case letter (X, Team1, ...);
+//  * predicate, function and label identifiers are folded case-insensitively
+//    (the paper writes PERSON in type equations and person in rules);
+//  * string constants are double-quoted (the paper's bare `Smith` would be
+//    ambiguous with variables);
+//  * `--` starts a comment running to end of line.
+
+#ifndef LOGRES_CORE_LEXER_H_
+#define LOGRES_CORE_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logres {
+
+enum class TokenKind {
+  kIdent,     // identifiers and keywords (text preserved as written)
+  kInt,       // 42
+  kReal,      // 3.5
+  kString,    // "hello"
+  kLParen, kRParen,       // ( )
+  kLBrace, kRBrace,       // { }
+  kLBracket, kRBracket,   // [ ]
+  kLt, kGt, kLe, kGe,     // < > <= >=
+  kEq, kNe,               // = !=
+  kComma, kSemicolon, kColon, kPeriod, kQuestion,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kArrowLeft,   // <-
+  kArrowRight,  // ->
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier / string payload
+  int64_t int_value = 0;
+  double real_value = 0;
+  int line = 0;
+  int column = 0;
+
+  std::string Describe() const;
+};
+
+/// \brief Tokenizes \p source; a ParseError names the offending position.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_LEXER_H_

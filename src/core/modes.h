@@ -1,0 +1,77 @@
+// The six module application modes of paper Section 4.1.
+//
+// An application of a module M = (R_M, S_M, G_M) to a database state
+// (E0, R0, S0) is qualified by an option that dictates its side effects:
+//
+//   RIDI  Rule Invariant  Data Invariant   ordinary query
+//   RADI  Rule Addition   Data Invariant   add rules to the persistent IDB
+//   RDDI  Rule Deletion   Data Invariant   delete rules from the IDB
+//   RIDV  Rule Invariant  Data Variant     update the EDB only
+//   RADV  Rule Addition   Data Variant     add rules and update the EDB
+//   RDDV  Rule Deletion   Data Variant     delete rules and update the EDB
+//
+// Only the *DI modes may carry a goal ("in the last three options, there is
+// no goal answer, thus the goal must not be specified").
+
+#ifndef LOGRES_CORE_MODES_H_
+#define LOGRES_CORE_MODES_H_
+
+#include <optional>
+#include <string>
+
+namespace logres {
+
+enum class ApplicationMode { kRIDI, kRADI, kRDDI, kRIDV, kRADV, kRDDV };
+
+inline const char* ApplicationModeName(ApplicationMode mode) {
+  switch (mode) {
+    case ApplicationMode::kRIDI: return "RIDI";
+    case ApplicationMode::kRADI: return "RADI";
+    case ApplicationMode::kRDDI: return "RDDI";
+    case ApplicationMode::kRIDV: return "RIDV";
+    case ApplicationMode::kRADV: return "RADV";
+    case ApplicationMode::kRDDV: return "RDDV";
+  }
+  return "?";
+}
+
+inline std::optional<ApplicationMode> ParseApplicationMode(
+    const std::string& text) {
+  if (text == "RIDI") return ApplicationMode::kRIDI;
+  if (text == "RADI") return ApplicationMode::kRADI;
+  if (text == "RDDI") return ApplicationMode::kRDDI;
+  if (text == "RIDV") return ApplicationMode::kRIDV;
+  if (text == "RADV") return ApplicationMode::kRADV;
+  if (text == "RDDV") return ApplicationMode::kRDDV;
+  return std::nullopt;
+}
+
+/// \brief True for modes whose application may change the EDB.
+inline bool IsDataVariant(ApplicationMode mode) {
+  return mode == ApplicationMode::kRIDV || mode == ApplicationMode::kRADV ||
+         mode == ApplicationMode::kRDDV;
+}
+
+/// \brief True for modes that may answer a goal (the *DI modes).
+inline bool AllowsGoal(ApplicationMode mode) { return !IsDataVariant(mode); }
+
+
+/// \brief Rule-evaluation semantics a module may request — "LOGRES
+/// modules and databases are parametric with respect to the semantics of
+/// the rules they support" (Section 1).
+enum class EvalMode {
+  kStratified,         // stratum-wise inflationary (perfect model)
+  kWholeInflationary,  // all rules in one inflationary fixpoint
+  kNonInflationary,    // replacement semantics
+};
+
+inline std::optional<EvalMode> ParseEvalModeName(const std::string& text) {
+  if (text == "stratified") return EvalMode::kStratified;
+  if (text == "inflationary") return EvalMode::kWholeInflationary;
+  if (text == "noninflationary") return EvalMode::kNonInflationary;
+  return std::nullopt;
+}
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_MODES_H_

@@ -1,0 +1,42 @@
+#include "core/module.h"
+
+#include "util/string_util.h"
+
+namespace logres {
+
+Module Module::FromParsed(ParsedModule parsed) {
+  Module module;
+  module.name = std::move(parsed.name);
+  module.schema = std::move(parsed.schema);
+  module.functions = std::move(parsed.functions);
+  module.rules = std::move(parsed.rules);
+  module.goal = std::move(parsed.goal);
+  module.default_mode = parsed.default_mode;
+  module.semantics = parsed.semantics;
+  return module;
+}
+
+Result<Module> Module::Parse(const std::string& source) {
+  LOGRES_ASSIGN_OR_RETURN(ParsedUnit unit, logres::Parse(source));
+  if (unit.modules.size() == 1 && unit.rules.empty() &&
+      unit.goals.empty() && unit.functions.empty()) {
+    return FromParsed(std::move(unit.modules.front()));
+  }
+  if (!unit.modules.empty()) {
+    return Status::ParseError(
+        "Module::Parse expects a single module block or bare sections");
+  }
+  // Bare sections form an anonymous module.
+  Module module;
+  module.name = "anonymous";
+  module.schema = std::move(unit.schema);
+  module.functions = std::move(unit.functions);
+  module.rules = std::move(unit.rules);
+  if (unit.goals.size() > 1) {
+    return Status::ParseError("a module may carry at most one goal");
+  }
+  if (!unit.goals.empty()) module.goal = std::move(unit.goals.front());
+  return module;
+}
+
+}  // namespace logres

@@ -1,0 +1,45 @@
+// LOGRES modules (paper Section 4.1).
+//
+// A module is a triple (R_M, S_M, G_M): rules, type equations, and an
+// optional goal. "The LOGRES approach to updates preserves the declarative
+// semantics of rules and puts all the control strategy into modules" —
+// a module itself carries no side-effect policy; the *application mode*
+// (modes.h) is chosen when the module is applied to a database state.
+
+#ifndef LOGRES_CORE_MODULE_H_
+#define LOGRES_CORE_MODULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/modes.h"
+#include "core/parser.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief A module: (R_M, S_M, G_M) plus declared data functions.
+struct Module {
+  std::string name;
+  Schema schema;                        // S_M
+  std::vector<FunctionDecl> functions;  // folded into S_M at application
+  std::vector<Rule> rules;              // R_M
+  std::optional<Goal> goal;             // G_M
+  std::optional<ApplicationMode> default_mode;
+  /// Requested rule semantics (overrides EvalOptions::mode at application).
+  std::optional<EvalMode> semantics;
+
+  /// \brief Converts a parsed module block.
+  static Module FromParsed(ParsedModule parsed);
+
+  /// \brief Parses source text containing exactly one `module ... end`
+  /// block (or bare sections, treated as an anonymous module).
+  static Result<Module> Parse(const std::string& source);
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_MODULE_H_

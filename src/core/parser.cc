@@ -1,0 +1,692 @@
+#include "core/parser.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace logres {
+
+bool IsBuiltinPredicate(const std::string& lower_name) {
+  static const std::set<std::string> kBuiltins = {
+      "member",  "union",   "intersection", "difference", "append",
+      "count",   "sum",     "min",          "max",        "length",
+      "nth",     "empty",   "avg",          "even",       "odd",
+      "subset",
+  };
+  return kBuiltins.count(lower_name) > 0;
+}
+
+namespace {
+
+bool IsUpperStart(const std::string& text) {
+  return !text.empty() && text[0] >= 'A' && text[0] <= 'Z';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedUnit> ParseUnit(bool inside_module);
+  Result<ParsedModule> ParseModuleBlock();
+  Result<Type> ParseTypeExpr();
+  Result<Rule> ParseOneRule();
+  Result<Goal> ParseOneGoal();
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  bool AtIdent(const char* keyword) const {
+    return Peek().kind == TokenKind::kIdent &&
+           ToLower(Peek().text) == keyword;
+  }
+  bool Accept(TokenKind kind) {
+    if (At(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptIdent(const char* keyword) {
+    if (AtIdent(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (At(kind)) {
+      Advance();
+      return Status::OK();
+    }
+    return Error(StrCat("expected ", what, ", found ", Peek().Describe()));
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError(StrCat("line ", Peek().line, ":",
+                                     Peek().column, ": ", message));
+  }
+
+  bool AtSectionKeyword() const {
+    return AtIdent("domains") || AtIdent("classes") ||
+           AtIdent("associations") || AtIdent("functions") ||
+           AtIdent("rules") || AtIdent("goal") || AtIdent("module") ||
+           AtIdent("end");
+  }
+
+  Status ParseTypeDeclSection(Schema* schema, DeclKind kind);
+  Status ParseFunctionsSection(std::vector<FunctionDecl>* functions);
+  Status ParseRulesSection(std::vector<Rule>* rules);
+  Result<Literal> ParseLiteral();
+  Result<Literal> ParseHeadLiteral(bool negated);
+  Result<std::vector<Arg>> ParseArgList();
+  Result<TermPtr> ParseTerm();
+  Result<TermPtr> ParseMultiplicative();
+  Result<TermPtr> ParsePrimary();
+  std::optional<CompareOp> PeekCompareOp() const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+std::optional<CompareOp> Parser::PeekCompareOp() const {
+  switch (Peek().kind) {
+    case TokenKind::kEq: return CompareOp::kEq;
+    case TokenKind::kNe: return CompareOp::kNe;
+    case TokenKind::kLt: return CompareOp::kLt;
+    case TokenKind::kLe: return CompareOp::kLe;
+    case TokenKind::kGt: return CompareOp::kGt;
+    case TokenKind::kGe: return CompareOp::kGe;
+    default: return std::nullopt;
+  }
+}
+
+Result<Type> Parser::ParseTypeExpr() {
+  // Elementary types and named references.
+  if (At(TokenKind::kIdent)) {
+    std::string lower = ToLower(Peek().text);
+    if (lower == "integer" || lower == "int") {
+      Advance();
+      return Type::Int();
+    }
+    if (lower == "string") {
+      Advance();
+      return Type::String();
+    }
+    if (lower == "bool" || lower == "boolean") {
+      Advance();
+      return Type::Bool();
+    }
+    if (lower == "real") {
+      Advance();
+      return Type::Real();
+    }
+    std::string name = ToUpper(Advance().text);
+    return Type::Named(std::move(name));
+  }
+  if (Accept(TokenKind::kLBrace)) {
+    LOGRES_ASSIGN_OR_RETURN(Type element, ParseTypeExpr());
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "'}'"));
+    return Type::Set(std::move(element));
+  }
+  if (Accept(TokenKind::kLBracket)) {
+    LOGRES_ASSIGN_OR_RETURN(Type element, ParseTypeExpr());
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+    return Type::Multiset(std::move(element));
+  }
+  if (Accept(TokenKind::kLt)) {
+    LOGRES_ASSIGN_OR_RETURN(Type element, ParseTypeExpr());
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kGt, "'>'"));
+    return Type::Sequence(std::move(element));
+  }
+  if (Accept(TokenKind::kLParen)) {
+    std::vector<std::pair<std::string, Type>> fields;
+    std::set<std::string> used;
+    // Default label for an unlabeled component: the lower-cased type name
+    // (the paper's labeling convention); duplicates get _2, _3 suffixes so
+    // SCORE = (integer, integer) remains expressible.
+    auto default_label = [&](const Type& t) -> std::string {
+      std::string base;
+      switch (t.kind()) {
+        case TypeKind::kNamed: base = ToLower(t.name()); break;
+        case TypeKind::kInt: base = "integer"; break;
+        case TypeKind::kString: base = "string"; break;
+        case TypeKind::kBool: base = "bool"; break;
+        case TypeKind::kReal: base = "real"; break;
+        default: base = "field"; break;
+      }
+      std::string label = base;
+      int suffix = 2;
+      while (used.count(label)) {
+        label = StrCat(base, "_", suffix++);
+      }
+      return label;
+    };
+    if (!At(TokenKind::kRParen)) {
+      for (;;) {
+        std::string label;
+        // label ':' TYPE, or a bare TYPE.
+        if (At(TokenKind::kIdent) && Peek(1).kind == TokenKind::kColon) {
+          label = ToLower(Advance().text);
+          Advance();  // ':'
+        }
+        LOGRES_ASSIGN_OR_RETURN(Type ftype, ParseTypeExpr());
+        if (label.empty()) label = default_label(ftype);
+        if (!used.insert(label).second) {
+          return Error(StrCat("duplicate tuple label '", label, "'"));
+        }
+        fields.emplace_back(std::move(label), std::move(ftype));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return Type::Tuple(std::move(fields));
+  }
+  return Error(StrCat("expected a type, found ", Peek().Describe()));
+}
+
+Status Parser::ParseTypeDeclSection(Schema* schema, DeclKind kind) {
+  while (!AtEnd() && !AtSectionKeyword()) {
+    if (!At(TokenKind::kIdent)) {
+      return Error(StrCat("expected a declaration name, found ",
+                          Peek().Describe()));
+    }
+    std::string name = ToUpper(Advance().text);
+
+    // Classes section extras: isa and renames declarations.
+    if (kind == DeclKind::kClass) {
+      if (AtIdent("isa")) {
+        Advance();
+        if (!At(TokenKind::kIdent)) return Error("expected class after isa");
+        std::string super = ToUpper(Advance().text);
+        LOGRES_RETURN_NOT_OK(schema->DeclareIsa(name, super));
+        LOGRES_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "';'"));
+        continue;
+      }
+      // Labeled component isa: "EMPL emp isa PERSON;"
+      if (At(TokenKind::kIdent) && Peek(1).kind == TokenKind::kIdent &&
+          ToLower(Peek(1).text) == "isa") {
+        std::string label = ToLower(Advance().text);
+        Advance();  // isa
+        if (!At(TokenKind::kIdent)) return Error("expected class after isa");
+        std::string super = ToUpper(Advance().text);
+        LOGRES_RETURN_NOT_OK(schema->DeclareIsa(name, super, label));
+        LOGRES_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "';'"));
+        continue;
+      }
+      if (AtIdent("renames")) {
+        Advance();
+        if (!At(TokenKind::kIdent)) return Error("expected label");
+        std::string old_label = ToLower(Advance().text);
+        if (!AcceptIdent("from")) return Error("expected 'from'");
+        if (!At(TokenKind::kIdent)) return Error("expected superclass");
+        std::string super = ToUpper(Advance().text);
+        if (!AcceptIdent("as")) return Error("expected 'as'");
+        if (!At(TokenKind::kIdent)) return Error("expected new label");
+        std::string new_label = ToLower(Advance().text);
+        LOGRES_RETURN_NOT_OK(schema->DeclareInheritanceRename(
+            name, super, old_label, new_label));
+        LOGRES_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "';'"));
+        continue;
+      }
+    }
+
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kEq, "'='"));
+    LOGRES_ASSIGN_OR_RETURN(Type type, ParseTypeExpr());
+    switch (kind) {
+      case DeclKind::kDomain:
+        LOGRES_RETURN_NOT_OK(schema->DeclareDomain(name, std::move(type)));
+        break;
+      case DeclKind::kClass:
+        LOGRES_RETURN_NOT_OK(schema->DeclareClass(name, std::move(type)));
+        break;
+      case DeclKind::kAssociation:
+        LOGRES_RETURN_NOT_OK(
+            schema->DeclareAssociation(name, std::move(type)));
+        break;
+    }
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "';'"));
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseFunctionsSection(std::vector<FunctionDecl>* functions) {
+  while (!AtEnd() && !AtSectionKeyword()) {
+    if (!At(TokenKind::kIdent)) {
+      return Error(StrCat("expected a function name, found ",
+                          Peek().Describe()));
+    }
+    FunctionDecl decl;
+    decl.name = ToUpper(Advance().text);
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+    if (!At(TokenKind::kArrowRight)) {
+      for (;;) {
+        LOGRES_ASSIGN_OR_RETURN(Type arg, ParseTypeExpr());
+        decl.arg_types.push_back(std::move(arg));
+        // Argument types are separated by ',' or the paper's 'x'.
+        if (Accept(TokenKind::kComma) || AcceptIdent("x")) continue;
+        break;
+      }
+    }
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kArrowRight, "'->'"));
+    LOGRES_ASSIGN_OR_RETURN(decl.result_type, ParseTypeExpr());
+    if (decl.result_type.kind() != TypeKind::kSet) {
+      return Error(StrCat("function ", decl.name,
+                          " must return a set type {T} (Section 2.1)"));
+    }
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "';'"));
+    functions->push_back(std::move(decl));
+  }
+  return Status::OK();
+}
+
+Result<TermPtr> Parser::ParsePrimary() {
+  // Constants.
+  if (At(TokenKind::kInt)) {
+    return Term::Constant(Value::Int(Advance().int_value));
+  }
+  if (At(TokenKind::kReal)) {
+    return Term::Constant(Value::Real(Advance().real_value));
+  }
+  if (At(TokenKind::kString)) {
+    return Term::Constant(Value::String(Advance().text));
+  }
+  if (AtIdent("true")) {
+    Advance();
+    return Term::Constant(Value::Bool(true));
+  }
+  if (AtIdent("false")) {
+    Advance();
+    return Term::Constant(Value::Bool(false));
+  }
+  if (AtIdent("nil")) {
+    Advance();
+    return Term::Constant(Value::Nil());
+  }
+  // Collection terms.
+  if (Accept(TokenKind::kLBrace)) {
+    std::vector<TermPtr> elements;
+    if (!At(TokenKind::kRBrace)) {
+      for (;;) {
+        LOGRES_ASSIGN_OR_RETURN(TermPtr e, ParseTerm());
+        elements.push_back(std::move(e));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "'}'"));
+    return Term::SetTerm(std::move(elements));
+  }
+  if (Accept(TokenKind::kLBracket)) {
+    std::vector<TermPtr> elements;
+    if (!At(TokenKind::kRBracket)) {
+      for (;;) {
+        LOGRES_ASSIGN_OR_RETURN(TermPtr e, ParseTerm());
+        elements.push_back(std::move(e));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+    return Term::MultisetTerm(std::move(elements));
+  }
+  if (Accept(TokenKind::kLt)) {
+    std::vector<TermPtr> elements;
+    if (!At(TokenKind::kGt)) {
+      for (;;) {
+        LOGRES_ASSIGN_OR_RETURN(TermPtr e, ParseTerm());
+        elements.push_back(std::move(e));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kGt, "'>'"));
+    return Term::SequenceTerm(std::move(elements));
+  }
+  // Parenthesized: tuple term, object pattern, or grouped expression.
+  if (Accept(TokenKind::kLParen)) {
+    LOGRES_ASSIGN_OR_RETURN(std::vector<Arg> args, ParseArgList());
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    // A single unlabeled non-self argument is a grouped expression.
+    if (args.size() == 1 && args[0].label.empty() && !args[0].is_self) {
+      return args[0].term;
+    }
+    return Term::TupleTerm(std::move(args));
+  }
+  if (At(TokenKind::kIdent)) {
+    std::string text = Peek().text;
+    // Function application: IDENT '(' terms ')'.
+    if (Peek(1).kind == TokenKind::kLParen) {
+      Advance();  // name
+      Advance();  // '('
+      std::vector<TermPtr> args;
+      if (!At(TokenKind::kRParen)) {
+        for (;;) {
+          LOGRES_ASSIGN_OR_RETURN(TermPtr a, ParseTerm());
+          args.push_back(std::move(a));
+          if (!Accept(TokenKind::kComma)) break;
+        }
+      }
+      LOGRES_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return Term::FunctionApp(ToUpper(text), std::move(args));
+    }
+    if (IsUpperStart(text)) {
+      Advance();
+      return Term::Variable(std::move(text));
+    }
+    return Error(StrCat(
+        "unexpected identifier '", text,
+        "' in term position (variables start upper-case; string constants "
+        "are quoted)"));
+  }
+  return Error(StrCat("expected a term, found ", Peek().Describe()));
+}
+
+Result<TermPtr> Parser::ParseMultiplicative() {
+  LOGRES_ASSIGN_OR_RETURN(TermPtr lhs, ParsePrimary());
+  for (;;) {
+    ArithOp op;
+    if (At(TokenKind::kStar)) {
+      op = ArithOp::kMul;
+    } else if (At(TokenKind::kSlash)) {
+      op = ArithOp::kDiv;
+    } else if (At(TokenKind::kPercent)) {
+      op = ArithOp::kMod;
+    } else {
+      return lhs;
+    }
+    Advance();
+    LOGRES_ASSIGN_OR_RETURN(TermPtr rhs, ParsePrimary());
+    lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<TermPtr> Parser::ParseTerm() {
+  LOGRES_ASSIGN_OR_RETURN(TermPtr lhs, ParseMultiplicative());
+  for (;;) {
+    ArithOp op;
+    if (At(TokenKind::kPlus)) {
+      op = ArithOp::kAdd;
+    } else if (At(TokenKind::kMinus)) {
+      op = ArithOp::kSub;
+    } else {
+      return lhs;
+    }
+    Advance();
+    LOGRES_ASSIGN_OR_RETURN(TermPtr rhs, ParseMultiplicative());
+    lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<std::vector<Arg>> Parser::ParseArgList() {
+  std::vector<Arg> args;
+  if (At(TokenKind::kRParen)) return args;
+  for (;;) {
+    Arg arg;
+    if (AtIdent("self")) {
+      Advance();
+      Accept(TokenKind::kColon);  // `self X` and `self: X` both accepted
+      arg.is_self = true;
+      LOGRES_ASSIGN_OR_RETURN(arg.term, ParseTerm());
+    } else if (At(TokenKind::kIdent) &&
+               Peek(1).kind == TokenKind::kColon) {
+      arg.label = ToLower(Advance().text);
+      Advance();  // ':'
+      LOGRES_ASSIGN_OR_RETURN(arg.term, ParseTerm());
+    } else {
+      LOGRES_ASSIGN_OR_RETURN(arg.term, ParseTerm());
+    }
+    args.push_back(std::move(arg));
+    if (!Accept(TokenKind::kComma)) break;
+  }
+  return args;
+}
+
+Result<Literal> Parser::ParseLiteral() {
+  bool negated = AcceptIdent("not");
+
+  // Predicate or built-in call: IDENT '(' ... ')' not followed by an
+  // operator. Try it first, rolling back if it turns out to be the lhs of
+  // a comparison (e.g. `count(S) = N`).
+  if (At(TokenKind::kIdent) && Peek(1).kind == TokenKind::kLParen) {
+    size_t saved = pos_;
+    std::string name = Advance().text;
+    Advance();  // '('
+    auto args_result = ParseArgList();
+    if (args_result.ok() && At(TokenKind::kRParen)) {
+      Advance();  // ')'
+      bool followed_by_op =
+          PeekCompareOp().has_value() || At(TokenKind::kPlus) ||
+          At(TokenKind::kMinus) || At(TokenKind::kStar) ||
+          At(TokenKind::kSlash) || At(TokenKind::kPercent);
+      if (!followed_by_op) {
+        std::string lower = ToLower(name);
+        if (IsBuiltinPredicate(lower)) {
+          std::vector<TermPtr> terms;
+          for (Arg& a : *args_result) {
+            if (a.is_self || !a.label.empty()) {
+              return Error(StrCat("built-in predicate ", lower,
+                                  " takes plain terms, not labeled "
+                                  "arguments"));
+            }
+            terms.push_back(std::move(a.term));
+          }
+          return Literal::Builtin(lower, std::move(terms), negated);
+        }
+        return Literal::Predicate(lower, std::move(*args_result), negated);
+      }
+    }
+    pos_ = saved;  // fall through to comparison parsing
+  }
+
+  // Comparison literal: term OP term.
+  LOGRES_ASSIGN_OR_RETURN(TermPtr lhs, ParseTerm());
+  std::optional<CompareOp> op = PeekCompareOp();
+  if (!op.has_value()) {
+    return Error(StrCat("expected a comparison operator after term '",
+                        lhs->ToString(), "', found ", Peek().Describe()));
+  }
+  Advance();
+  LOGRES_ASSIGN_OR_RETURN(TermPtr rhs, ParseTerm());
+  return Literal::Compare(*op, std::move(lhs), std::move(rhs), negated);
+}
+
+Result<Literal> Parser::ParseHeadLiteral(bool negated) {
+  LOGRES_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+  if (negated && lit.negated) {
+    return Error("double negation in rule head");
+  }
+  if (negated) lit.negated = true;
+  if (lit.kind == LiteralKind::kPredicate) return lit;
+  // `member(X, f(Y))` heads define data functions (Example 2.2).
+  if (lit.kind == LiteralKind::kBuiltin && lit.builtin == "member") {
+    return lit;
+  }
+  return Error(
+      StrCat("rule head must be a predicate (or a member/2 data-function "
+             "definition), found: ",
+             lit.ToString()));
+}
+
+Result<Rule> Parser::ParseOneRule() {
+  Rule rule;
+  if (Accept(TokenKind::kArrowLeft)) {
+    // Denial: "<- body."
+  } else {
+    bool negated = false;
+    if (AtIdent("not")) {
+      Advance();
+      negated = true;
+    } else if (At(TokenKind::kMinus)) {
+      Advance();
+      negated = true;
+    }
+    LOGRES_ASSIGN_OR_RETURN(Literal head, ParseHeadLiteral(negated));
+    rule.head = std::move(head);
+    if (Accept(TokenKind::kPeriod)) return rule;  // fact
+    LOGRES_RETURN_NOT_OK(Expect(TokenKind::kArrowLeft, "'<-' or '.'"));
+    if (Accept(TokenKind::kPeriod)) return rule;  // "p(...) <- ." fact form
+  }
+  for (;;) {
+    LOGRES_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+    rule.body.push_back(std::move(lit));
+    if (Accept(TokenKind::kComma)) continue;
+    break;
+  }
+  LOGRES_RETURN_NOT_OK(Expect(TokenKind::kPeriod, "'.'"));
+  return rule;
+}
+
+Status Parser::ParseRulesSection(std::vector<Rule>* rules) {
+  while (!AtEnd() && !AtSectionKeyword()) {
+    LOGRES_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+    rules->push_back(std::move(rule));
+  }
+  return Status::OK();
+}
+
+Result<Goal> Parser::ParseOneGoal() {
+  Goal goal;
+  Accept(TokenKind::kQuestion);
+  for (;;) {
+    LOGRES_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+    goal.literals.push_back(std::move(lit));
+    if (Accept(TokenKind::kComma)) continue;
+    break;
+  }
+  Accept(TokenKind::kPeriod);
+  return goal;
+}
+
+Result<ParsedModule> Parser::ParseModuleBlock() {
+  ParsedModule module;
+  if (!At(TokenKind::kIdent)) {
+    return Error("expected a module name after 'module'");
+  }
+  module.name = ToLower(Advance().text);
+  if (AcceptIdent("options")) {
+    if (!At(TokenKind::kIdent)) return Error("expected a mode after options");
+    std::string text = ToUpper(Advance().text);
+    auto mode = ParseApplicationMode(text);
+    if (!mode.has_value()) {
+      return Error(StrCat("unknown application mode '", text,
+                          "' (expected RIDI/RADI/RDDI/RIDV/RADV/RDDV)"));
+    }
+    module.default_mode = mode;
+  }
+  if (AcceptIdent("semantics")) {
+    if (!At(TokenKind::kIdent)) {
+      return Error("expected a semantics name after 'semantics'");
+    }
+    std::string text = ToLower(Advance().text);
+    auto semantics = ParseEvalModeName(text);
+    if (!semantics.has_value()) {
+      return Error(StrCat("unknown semantics '", text,
+                          "' (expected stratified/inflationary/"
+                          "noninflationary)"));
+    }
+    module.semantics = semantics;
+  }
+  std::vector<Goal> goals;
+  while (!AtEnd() && !AtIdent("end")) {
+    if (AcceptIdent("domains")) {
+      LOGRES_RETURN_NOT_OK(
+          ParseTypeDeclSection(&module.schema, DeclKind::kDomain));
+    } else if (AcceptIdent("classes")) {
+      LOGRES_RETURN_NOT_OK(
+          ParseTypeDeclSection(&module.schema, DeclKind::kClass));
+    } else if (AcceptIdent("associations")) {
+      LOGRES_RETURN_NOT_OK(
+          ParseTypeDeclSection(&module.schema, DeclKind::kAssociation));
+    } else if (AcceptIdent("functions")) {
+      LOGRES_RETURN_NOT_OK(ParseFunctionsSection(&module.functions));
+    } else if (AcceptIdent("rules")) {
+      LOGRES_RETURN_NOT_OK(ParseRulesSection(&module.rules));
+    } else if (AcceptIdent("goal")) {
+      LOGRES_ASSIGN_OR_RETURN(Goal goal, ParseOneGoal());
+      goals.push_back(std::move(goal));
+    } else {
+      return Error(StrCat("expected a section keyword inside module, found ",
+                          Peek().Describe()));
+    }
+  }
+  if (!AcceptIdent("end")) return Error("expected 'end' to close module");
+  if (goals.size() > 1) {
+    return Error(StrCat("module '", module.name,
+                        "' declares more than one goal"));
+  }
+  if (!goals.empty()) module.goal = std::move(goals.front());
+  return module;
+}
+
+Result<ParsedUnit> Parser::ParseUnit(bool inside_module) {
+  (void)inside_module;
+  ParsedUnit unit;
+  while (!AtEnd()) {
+    if (AcceptIdent("domains")) {
+      LOGRES_RETURN_NOT_OK(
+          ParseTypeDeclSection(&unit.schema, DeclKind::kDomain));
+    } else if (AcceptIdent("classes")) {
+      LOGRES_RETURN_NOT_OK(
+          ParseTypeDeclSection(&unit.schema, DeclKind::kClass));
+    } else if (AcceptIdent("associations")) {
+      LOGRES_RETURN_NOT_OK(
+          ParseTypeDeclSection(&unit.schema, DeclKind::kAssociation));
+    } else if (AcceptIdent("functions")) {
+      LOGRES_RETURN_NOT_OK(ParseFunctionsSection(&unit.functions));
+    } else if (AcceptIdent("rules")) {
+      LOGRES_RETURN_NOT_OK(ParseRulesSection(&unit.rules));
+    } else if (AcceptIdent("goal")) {
+      LOGRES_ASSIGN_OR_RETURN(Goal goal, ParseOneGoal());
+      unit.goals.push_back(std::move(goal));
+    } else if (AcceptIdent("module")) {
+      LOGRES_ASSIGN_OR_RETURN(ParsedModule module, ParseModuleBlock());
+      unit.modules.push_back(std::move(module));
+    } else {
+      return Error(StrCat("expected a section keyword, found ",
+                          Peek().Describe()));
+    }
+  }
+  return unit;
+}
+
+}  // namespace
+
+Result<ParsedUnit> Parse(const std::string& source) {
+  LOGRES_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseUnit(/*inside_module=*/false);
+}
+
+Result<Rule> ParseRule(const std::string& source) {
+  LOGRES_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  LOGRES_ASSIGN_OR_RETURN(Rule rule, parser.ParseOneRule());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after rule");
+  }
+  return rule;
+}
+
+Result<Type> ParseType(const std::string& source) {
+  LOGRES_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  LOGRES_ASSIGN_OR_RETURN(Type type, parser.ParseTypeExpr());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after type");
+  }
+  return type;
+}
+
+Result<Goal> ParseGoal(const std::string& source) {
+  LOGRES_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  LOGRES_ASSIGN_OR_RETURN(Goal goal, parser.ParseOneGoal());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after goal");
+  }
+  return goal;
+}
+
+}  // namespace logres

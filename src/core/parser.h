@@ -1,0 +1,87 @@
+// Parser for the LOGRES surface language.
+//
+// A compilation unit is a sequence of sections:
+//
+//   domains       NAME = TYPE; ...
+//   classes       NAME = TYPE;  SUB isa SUPER;  SUB label isa SUPER;
+//                 CLS renames LABEL from SUPER as NEWLABEL; ...
+//   associations  NAME = TYPE; ...
+//   functions     NAME: T1 -> {T};   NAME: -> {T};  (nullary)
+//   rules         head <- body.   head.   not head <- body.   <- body.
+//   goal          ? body.
+//   module NAME [options MODE] <sections...> end
+//
+// Types:   integer | string | bool | real | NAME
+//        | ( [label:] TYPE, ... )        -- unlabeled components get the
+//                                           lower-cased type name as label
+//        | { TYPE } | [ TYPE ] | < TYPE >
+//
+// Rule literals: predicates with labeled or positional arguments, `self X`
+// oid variables, comparisons (= != < <= > >=), built-in predicates
+// (member, union, ...), data-function application terms, arithmetic.
+//
+// Name conventions: type / predicate / function / label identifiers are
+// case-insensitive (canonicalized: types and functions to UPPER, labels
+// and predicates to lower); variables start with an upper-case letter and
+// are case-sensitive. Keywords are lower-case.
+
+#ifndef LOGRES_CORE_PARSER_H_
+#define LOGRES_CORE_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/lexer.h"
+#include "core/modes.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace logres {
+
+struct ParsedModule;
+
+/// \brief Everything a source text contributes outside of modules.
+struct ParsedUnit {
+  Schema schema;
+  std::vector<FunctionDecl> functions;
+  std::vector<Rule> rules;
+  std::vector<Goal> goals;
+  std::vector<ParsedModule> modules;
+};
+
+/// \brief A parsed `module NAME ... end` block (paper Section 4.1:
+/// a triple (R_M, S_M, G_M); the application mode is chosen at apply time,
+/// `options` merely records a default).
+struct ParsedModule {
+  std::string name;
+  std::optional<ApplicationMode> default_mode;
+  /// Optional `semantics` clause: the rule semantics this module requests.
+  std::optional<EvalMode> semantics;
+  Schema schema;
+  std::vector<FunctionDecl> functions;
+  std::vector<Rule> rules;
+  std::optional<Goal> goal;
+};
+
+/// \brief Parses a full compilation unit.
+Result<ParsedUnit> Parse(const std::string& source);
+
+/// \brief Parses a single rule ("head <- body.").
+Result<Rule> ParseRule(const std::string& source);
+
+/// \brief Parses a single type expression ("(name: NAME, roles: {ROLE})").
+Result<Type> ParseType(const std::string& source);
+
+/// \brief Parses a single goal ("? person(name: X)." — leading '?' and
+/// trailing '.' optional).
+Result<Goal> ParseGoal(const std::string& source);
+
+/// \brief The built-in predicate names the parser recognizes
+/// (Section 3.1's "comprehensive list": member, union, ...).
+bool IsBuiltinPredicate(const std::string& lower_name);
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_PARSER_H_

@@ -1,0 +1,198 @@
+#include "core/type.h"
+
+#include "util/string_util.h"
+
+namespace logres {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt: return "integer";
+    case TypeKind::kString: return "string";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kReal: return "real";
+    case TypeKind::kNamed: return "named";
+    case TypeKind::kTuple: return "tuple";
+    case TypeKind::kSet: return "set";
+    case TypeKind::kMultiset: return "multiset";
+    case TypeKind::kSequence: return "sequence";
+  }
+  return "unknown";
+}
+
+struct Type::Rep {
+  TypeKind kind = TypeKind::kInt;
+  std::string name;
+  std::vector<std::pair<std::string, Type>> fields;
+  std::vector<Type> element;  // 0 or 1 entries (indirection for recursion)
+};
+
+namespace {
+
+const std::shared_ptr<const Type::Rep>& LeafRep(TypeKind kind) {
+  static const auto kInt = std::make_shared<const Type::Rep>(
+      Type::Rep{TypeKind::kInt, {}, {}, {}});
+  static const auto kString = std::make_shared<const Type::Rep>(
+      Type::Rep{TypeKind::kString, {}, {}, {}});
+  static const auto kBool = std::make_shared<const Type::Rep>(
+      Type::Rep{TypeKind::kBool, {}, {}, {}});
+  static const auto kReal = std::make_shared<const Type::Rep>(
+      Type::Rep{TypeKind::kReal, {}, {}, {}});
+  switch (kind) {
+    case TypeKind::kString: return kString;
+    case TypeKind::kBool: return kBool;
+    case TypeKind::kReal: return kReal;
+    default: return kInt;
+  }
+}
+
+}  // namespace
+
+Type::Type() : rep_(LeafRep(TypeKind::kInt)) {}
+
+Type Type::Int() { return Type(LeafRep(TypeKind::kInt)); }
+Type Type::String() { return Type(LeafRep(TypeKind::kString)); }
+Type Type::Bool() { return Type(LeafRep(TypeKind::kBool)); }
+Type Type::Real() { return Type(LeafRep(TypeKind::kReal)); }
+
+Type Type::Named(std::string name) {
+  auto rep = std::make_shared<Type::Rep>();
+  rep->kind = TypeKind::kNamed;
+  rep->name = std::move(name);
+  return Type(std::move(rep));
+}
+
+Type Type::Tuple(std::vector<std::pair<std::string, Type>> fields) {
+  auto rep = std::make_shared<Type::Rep>();
+  rep->kind = TypeKind::kTuple;
+  rep->fields = std::move(fields);
+  return Type(std::move(rep));
+}
+
+Type Type::Set(Type element) {
+  auto rep = std::make_shared<Type::Rep>();
+  rep->kind = TypeKind::kSet;
+  rep->element.push_back(std::move(element));
+  return Type(std::move(rep));
+}
+
+Type Type::Multiset(Type element) {
+  auto rep = std::make_shared<Type::Rep>();
+  rep->kind = TypeKind::kMultiset;
+  rep->element.push_back(std::move(element));
+  return Type(std::move(rep));
+}
+
+Type Type::Sequence(Type element) {
+  auto rep = std::make_shared<Type::Rep>();
+  rep->kind = TypeKind::kSequence;
+  rep->element.push_back(std::move(element));
+  return Type(std::move(rep));
+}
+
+TypeKind Type::kind() const { return rep_->kind; }
+
+const std::string& Type::name() const {
+  assert(kind() == TypeKind::kNamed);
+  return rep_->name;
+}
+
+const std::vector<std::pair<std::string, Type>>& Type::fields() const {
+  assert(kind() == TypeKind::kTuple);
+  return rep_->fields;
+}
+
+Result<Type> Type::field(const std::string& label) const {
+  if (kind() != TypeKind::kTuple) {
+    return Status::TypeError(
+        StrCat("field '", label, "' requested on ", TypeKindName(kind()),
+               " type ", ToString()));
+  }
+  for (const auto& [l, t] : rep_->fields) {
+    if (l == label) return t;
+  }
+  return Status::NotFound(
+      StrCat("no field '", label, "' in tuple type ", ToString()));
+}
+
+const Type& Type::element() const {
+  assert(is_collection());
+  return rep_->element.front();
+}
+
+bool Type::Equals(const Type& other) const {
+  if (rep_ == other.rep_) return true;
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case TypeKind::kInt:
+    case TypeKind::kString:
+    case TypeKind::kBool:
+    case TypeKind::kReal:
+      return true;
+    case TypeKind::kNamed:
+      return rep_->name == other.rep_->name;
+    case TypeKind::kTuple: {
+      const auto& a = rep_->fields;
+      const auto& b = other.rep_->fields;
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].first != b[i].first) return false;
+        if (!a[i].second.Equals(b[i].second)) return false;
+      }
+      return true;
+    }
+    case TypeKind::kSet:
+    case TypeKind::kMultiset:
+    case TypeKind::kSequence:
+      return element().Equals(other.element());
+  }
+  return false;
+}
+
+std::string Type::ToString() const {
+  switch (kind()) {
+    case TypeKind::kInt: return "integer";
+    case TypeKind::kString: return "string";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kReal: return "real";
+    case TypeKind::kNamed: return rep_->name;
+    case TypeKind::kTuple:
+      return StrCat(
+          "(",
+          JoinMapped(rep_->fields, ", ",
+                     [](const std::pair<std::string, Type>& f) {
+                       return StrCat(f.first, ": ", f.second.ToString());
+                     }),
+          ")");
+    case TypeKind::kSet:
+      return StrCat("{", element().ToString(), "}");
+    case TypeKind::kMultiset:
+      return StrCat("[", element().ToString(), "]");
+    case TypeKind::kSequence:
+      return StrCat("<", element().ToString(), ">");
+  }
+  return "?";
+}
+
+std::vector<std::string> Type::ReferencedNames() const {
+  std::vector<std::string> out;
+  switch (kind()) {
+    case TypeKind::kNamed:
+      out.push_back(rep_->name);
+      break;
+    case TypeKind::kTuple:
+      for (const auto& [l, t] : rep_->fields) {
+        (void)l;
+        for (auto& n : t.ReferencedNames()) out.push_back(std::move(n));
+      }
+      break;
+    case TypeKind::kSet:
+    case TypeKind::kMultiset:
+    case TypeKind::kSequence:
+      return element().ReferencedNames();
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace logres

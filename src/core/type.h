@@ -1,0 +1,114 @@
+// LOGRES type descriptors (paper Definition 1).
+//
+// A type is an elementary type (integer I, string S — plus bool and real,
+// which footnote 2 of the paper admits as additional elementary types), a
+// *named* reference to a domain / class / association defined by a type
+// equation, or a construction: tuple (L1: t1, ..., Lk: tk), set {t},
+// multiset [t], sequence <t>.
+//
+// Types are immutable shared trees, like Values. The refinement relation ≼
+// (Definition 2) needs the schema to resolve named references, so it lives
+// on Schema, not here.
+
+#ifndef LOGRES_CORE_TYPE_H_
+#define LOGRES_CORE_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logres {
+
+enum class TypeKind {
+  kInt = 0,
+  kString,
+  kBool,
+  kReal,
+  kNamed,     // reference to a domain, class, or association by name
+  kTuple,
+  kSet,
+  kMultiset,
+  kSequence,
+};
+
+const char* TypeKindName(TypeKind kind);
+
+/// \brief An immutable type descriptor.
+class Type {
+ public:
+  /// Default-constructed type is integer.
+  Type();
+
+  static Type Int();
+  static Type String();
+  static Type Bool();
+  static Type Real();
+
+  /// \brief Reference to a named domain/class/association. What the name
+  /// denotes is resolved against a Schema.
+  static Type Named(std::string name);
+
+  /// \brief Tuple with labeled components (order significant).
+  static Type Tuple(std::vector<std::pair<std::string, Type>> fields);
+
+  static Type Set(Type element);
+  static Type Multiset(Type element);
+  static Type Sequence(Type element);
+
+  TypeKind kind() const;
+  bool is_elementary() const {
+    TypeKind k = kind();
+    return k == TypeKind::kInt || k == TypeKind::kString ||
+           k == TypeKind::kBool || k == TypeKind::kReal;
+  }
+  bool is_collection() const {
+    TypeKind k = kind();
+    return k == TypeKind::kSet || k == TypeKind::kMultiset ||
+           k == TypeKind::kSequence;
+  }
+
+  /// Precondition: kind() == kNamed.
+  const std::string& name() const;
+
+  /// Precondition: kind() == kTuple.
+  const std::vector<std::pair<std::string, Type>>& fields() const;
+
+  /// \brief Field lookup by label; NotFound if absent, TypeError if not a
+  /// tuple.
+  Result<Type> field(const std::string& label) const;
+
+  /// Precondition: is_collection().
+  const Type& element() const;
+
+  /// \brief Structural equality (named references compare by name).
+  bool Equals(const Type& other) const;
+  friend bool operator==(const Type& a, const Type& b) { return a.Equals(b); }
+  friend bool operator!=(const Type& a, const Type& b) {
+    return !a.Equals(b);
+  }
+
+  /// \brief Paper-style rendering: (name: NAME, roles: {ROLE}).
+  std::string ToString() const;
+
+  /// \brief All named references occurring in this type (with duplicates).
+  std::vector<std::string> ReferencedNames() const;
+
+  /// Opaque immutable representation (defined in type.cc; public only so
+  /// that file-local helpers there can name it).
+  struct Rep;
+
+ private:
+  explicit Type(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Type& t) {
+  return os << t.ToString();
+}
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_TYPE_H_

@@ -1,0 +1,939 @@
+#include "core/typecheck.h"
+
+#include <algorithm>
+
+#include "core/parser.h"
+#include "util/string_util.h"
+
+namespace logres {
+
+Status DeclareBackingAssociation(Schema* schema, const FunctionDecl& fn) {
+  std::vector<std::pair<std::string, Type>> fields;
+  for (size_t i = 0; i < fn.arg_types.size(); ++i) {
+    fields.emplace_back(StrCat("arg", i + 1), fn.arg_types[i]);
+  }
+  if (fn.result_type.kind() != TypeKind::kSet) {
+    return Status::TypeError(
+        StrCat("function ", fn.name, " must return a set type"));
+  }
+  fields.emplace_back("member", fn.result_type.element());
+  return schema->DeclareAssociation(fn.BackingAssociation(),
+                                    Type::Tuple(std::move(fields)));
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Variable typing
+
+class VarTyper {
+ public:
+  explicit VarTyper(const Schema& schema) : schema_(schema) {}
+
+  // Constrains `var` to `type`, keeping the more specific of the two under
+  // refinement; incompatible constraints are a type error.
+  Status Constrain(const std::string& var, const Type& type,
+                   const std::string& context) {
+    auto it = types_.find(var);
+    if (it == types_.end()) {
+      types_.emplace(var, type);
+      return Status::OK();
+    }
+    LOGRES_ASSIGN_OR_RETURN(bool new_refines_old,
+                            schema_.IsRefinement(type, it->second));
+    if (new_refines_old) {
+      it->second = type;  // keep the more specific
+      return Status::OK();
+    }
+    LOGRES_ASSIGN_OR_RETURN(bool old_refines_new,
+                            schema_.IsRefinement(it->second, type));
+    if (old_refines_new) return Status::OK();
+    return Status::TypeError(
+        StrCat("variable ", var, " used with incompatible types ",
+               it->second.ToString(), " and ", type.ToString(), " (", context,
+               ")"));
+  }
+
+  std::optional<Type> TypeOfVar(const std::string& var) const {
+    auto it = types_.find(var);
+    if (it == types_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::map<std::string, Type>& types() const { return types_; }
+
+ private:
+  const Schema& schema_;
+  std::map<std::string, Type> types_;
+};
+
+// Constrains the variables inside `term` matched against `type`.
+Status TypeTermAgainst(const Schema& schema, VarTyper* typer,
+                       const TermPtr& term, const Type& type,
+                       const std::string& context) {
+  switch (term->kind()) {
+    case TermKind::kVariable:
+    case TermKind::kSelfVariable:
+      return typer->Constrain(term->name(), type, context);
+    case TermKind::kConstant:
+      return Status::OK();  // conformance enforced at evaluation time
+    case TermKind::kTupleTerm: {
+      // Matched against a class-typed component this is an object pattern
+      // (Example 3.1, school(dean: (self X))); against a tuple type it is
+      // a structural pattern.
+      Type target = type;
+      if (target.kind() == TypeKind::kNamed) {
+        if (schema.IsClass(target.name())) {
+          const std::string cls = target.name();
+          for (const Arg& arg : term->args()) {
+            if (arg.is_self) {
+              LOGRES_RETURN_NOT_OK(typer->Constrain(
+                  arg.term->name(), Type::Named(cls), context));
+              continue;
+            }
+            if (arg.label.empty()) {
+              return Status::TypeError(
+                  StrCat(context,
+                         ": object pattern components must be labeled or "
+                         "self"));
+            }
+            LOGRES_ASSIGN_OR_RETURN(Type pt, schema.PredicateTuple(cls));
+            auto ft = pt.field(ToLower(arg.label));
+            if (!ft.ok()) {
+              return Status::TypeError(
+                  StrCat(context, ": class ", cls, " has no component '",
+                         arg.label, "'"));
+            }
+            LOGRES_RETURN_NOT_OK(TypeTermAgainst(schema, typer, arg.term,
+                                                 ft.value(), context));
+          }
+          return Status::OK();
+        }
+        LOGRES_ASSIGN_OR_RETURN(target, schema.Expand(target));
+      }
+      if (target.kind() != TypeKind::kTuple) {
+        return Status::TypeError(
+            StrCat(context, ": tuple term ", term->ToString(),
+                   " matched against non-tuple type ", type.ToString()));
+      }
+      for (const Arg& arg : term->args()) {
+        if (arg.is_self) {
+          return Status::TypeError(
+              StrCat(context, ": self inside a value tuple"));
+        }
+        if (arg.label.empty()) {
+          return Status::TypeError(
+              StrCat(context, ": tuple term components must be labeled"));
+        }
+        auto ft = target.field(ToLower(arg.label));
+        if (!ft.ok()) {
+          return Status::TypeError(
+              StrCat(context, ": type ", type.ToString(), " has no field '",
+                     arg.label, "'"));
+        }
+        LOGRES_RETURN_NOT_OK(
+            TypeTermAgainst(schema, typer, arg.term, ft.value(), context));
+      }
+      return Status::OK();
+    }
+    case TermKind::kSetTerm:
+    case TermKind::kMultisetTerm:
+    case TermKind::kSequenceTerm: {
+      Type target = type;
+      if (target.kind() == TypeKind::kNamed) {
+        LOGRES_ASSIGN_OR_RETURN(target, schema.Expand(target));
+      }
+      if (!target.is_collection()) {
+        return Status::TypeError(
+            StrCat(context, ": collection term matched against ",
+                   type.ToString()));
+      }
+      for (const TermPtr& e : term->elements()) {
+        LOGRES_RETURN_NOT_OK(
+            TypeTermAgainst(schema, typer, e, target.element(), context));
+      }
+      return Status::OK();
+    }
+    case TermKind::kFunctionApp:
+    case TermKind::kArith:
+    case TermKind::kObjectPattern:
+      return Status::OK();  // typed at their own occurrence sites
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling / safety
+
+void VarsOfTerm(const TermPtr& term, std::set<std::string>* out) {
+  std::vector<std::string> vars;
+  term->CollectVariables(&vars);
+  out->insert(vars.begin(), vars.end());
+}
+
+std::set<std::string> VarsOfLiteral(const CheckedLiteral& lit) {
+  std::set<std::string> out;
+  std::vector<std::string> vars;
+  lit.source.CollectVariables(&vars);
+  out.insert(vars.begin(), vars.end());
+  return out;
+}
+
+// True when `term` can *produce* bindings for its variables once the other
+// side of an equality is known: variables, tuple terms of bindable parts,
+// and sequence terms (matched positionally). Sets and multisets are not
+// patterns — their element order is not addressable.
+bool IsBindablePattern(const TermPtr& term) {
+  switch (term->kind()) {
+    case TermKind::kVariable:
+    case TermKind::kSelfVariable:
+    case TermKind::kConstant:
+      return true;
+    case TermKind::kTupleTerm:
+      for (const Arg& a : term->args()) {
+        if (!IsBindablePattern(a.term)) return false;
+      }
+      return true;
+    case TermKind::kSequenceTerm:
+      for (const TermPtr& e : term->elements()) {
+        if (!IsBindablePattern(e)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Whether a builtin literal can run given the currently bound variables.
+// Returns the set of variables it will bind, or nullopt when not ready.
+// Mode table (result argument first unless noted; see README):
+//   member(E, S)          S in, E in-or-out
+//   union(R, A, B)        A,B in, R in-or-out (same for intersection,
+//                         difference)
+//   append(S, E, R)       S,E in, R in-or-out
+//   count/sum/min/max/avg/length(S, N)   S in, N in-or-out
+//   nth(Q, I, V)          Q,I in, V in-or-out
+//   empty(S), even(N), odd(N), subset(A, B)   all in
+std::optional<std::set<std::string>> BuiltinReady(
+    const Literal& lit, const std::set<std::string>& bound) {
+  auto term_bound = [&](const TermPtr& t) {
+    std::set<std::string> vars;
+    VarsOfTerm(t, &vars);
+    for (const auto& v : vars) {
+      if (!bound.count(v)) return false;
+    }
+    return true;
+  };
+  auto out_vars = [&](const TermPtr& t) {
+    std::set<std::string> vars;
+    VarsOfTerm(t, &vars);
+    std::set<std::string> out;
+    for (const auto& v : vars) {
+      if (!bound.count(v)) out.insert(v);
+    }
+    return out;
+  };
+  const std::string& name = lit.builtin;
+  const auto& args = lit.builtin_args;
+  auto arity_is = [&](size_t n) { return args.size() == n; };
+
+  if (name == "member" && arity_is(2)) {
+    // The collection side: either a plain term or a data-function
+    // application whose arguments must be bound.
+    if (!term_bound(args[1])) {
+      if (args[1]->kind() == TermKind::kFunctionApp) {
+        bool ok = true;
+        for (const TermPtr& a : args[1]->elements()) {
+          if (!term_bound(a)) ok = false;
+        }
+        if (!ok) return std::nullopt;
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (!IsBindablePattern(args[0]) && !term_bound(args[0])) {
+      return std::nullopt;
+    }
+    return out_vars(args[0]);
+  }
+  if ((name == "union" || name == "intersection" || name == "difference") &&
+      arity_is(3)) {
+    if (!term_bound(args[1]) || !term_bound(args[2])) return std::nullopt;
+    if (!term_bound(args[0]) && args[0]->kind() != TermKind::kVariable) {
+      return std::nullopt;
+    }
+    return out_vars(args[0]);
+  }
+  if (name == "append" && arity_is(3)) {
+    if (!term_bound(args[0]) || !term_bound(args[1])) return std::nullopt;
+    if (!term_bound(args[2]) && args[2]->kind() != TermKind::kVariable) {
+      return std::nullopt;
+    }
+    return out_vars(args[2]);
+  }
+  if ((name == "count" || name == "sum" || name == "min" || name == "max" ||
+       name == "avg" || name == "length") &&
+      arity_is(2)) {
+    if (!term_bound(args[0])) return std::nullopt;
+    if (!term_bound(args[1]) && args[1]->kind() != TermKind::kVariable) {
+      return std::nullopt;
+    }
+    return out_vars(args[1]);
+  }
+  if (name == "nth" && arity_is(3)) {
+    if (!term_bound(args[0]) || !term_bound(args[1])) return std::nullopt;
+    if (!term_bound(args[2]) && args[2]->kind() != TermKind::kVariable) {
+      return std::nullopt;
+    }
+    return out_vars(args[2]);
+  }
+  if ((name == "empty" && arity_is(1)) ||
+      ((name == "even" || name == "odd") && arity_is(1)) ||
+      (name == "subset" && arity_is(2))) {
+    for (const TermPtr& a : args) {
+      if (!term_bound(a)) return std::nullopt;
+    }
+    return std::set<std::string>{};
+  }
+  return std::nullopt;  // unknown builtin/arity: never ready (caught later)
+}
+
+}  // namespace
+
+Result<ResolvedPredicate> ResolvePredicate(
+    const Schema& schema,
+    const std::map<std::string, FunctionDecl>& functions,
+    const Literal& literal) {
+  (void)functions;
+  ResolvedPredicate out;
+  out.name = ToUpper(literal.predicate);
+  if (!schema.Has(out.name)) {
+    return Status::NotFound(
+        StrCat("unknown predicate '", literal.predicate,
+               "' (no class or association named ", out.name, ")"));
+  }
+  LOGRES_ASSIGN_OR_RETURN(DeclKind kind, schema.KindOf(out.name));
+  if (kind == DeclKind::kDomain) {
+    return Status::TypeError(
+        StrCat("domain '", literal.predicate,
+               "' cannot be used as a predicate (Section 2.1)"));
+  }
+  out.is_class = (kind == DeclKind::kClass);
+  LOGRES_ASSIGN_OR_RETURN(auto fields, schema.EffectiveFields(out.name));
+
+  auto has_field = [&](const std::string& label) {
+    for (const auto& [l, t] : fields) {
+      (void)t;
+      if (l == label) return true;
+    }
+    return false;
+  };
+
+  std::vector<const Arg*> unlabeled;
+  for (const Arg& arg : literal.args) {
+    if (arg.is_self) {
+      if (!out.is_class) {
+        return Status::TypeError(
+            StrCat("self used on association '", literal.predicate,
+               "' (oid variables exist only for classes, Section 3.1)"));
+      }
+      if (out.self_term) {
+        return Status::TypeError(
+            StrCat("duplicate self in ", literal.ToString()));
+      }
+      if (arg.term->kind() != TermKind::kVariable &&
+          arg.term->kind() != TermKind::kConstant) {
+        return Status::TypeError(
+            StrCat("self must bind a variable in ", literal.ToString()));
+      }
+      out.self_term = arg.term;
+      continue;
+    }
+    if (!arg.label.empty()) {
+      std::string label = ToLower(arg.label);
+      if (!has_field(label)) {
+        return Status::TypeError(
+            StrCat("predicate '", literal.predicate, "' has no argument '",
+                   label, "'"));
+      }
+      for (const auto& [l, t] : out.fields) {
+        (void)t;
+        if (l == label) {
+          return Status::TypeError(
+              StrCat("duplicate argument '", label, "' in ",
+                     literal.ToString()));
+        }
+      }
+      out.fields.emplace_back(label, arg.term);
+      continue;
+    }
+    unlabeled.push_back(&arg);
+  }
+
+  if (!unlabeled.empty()) {
+    bool all_unlabeled = out.fields.empty() && !out.self_term &&
+                         unlabeled.size() == literal.args.size();
+    if (all_unlabeled && unlabeled.size() == fields.size() &&
+        // A single unlabeled *variable* against a 1-field predicate is
+        // still positional; a tuple variable needs >= 1 mismatch or
+        // explicit labels elsewhere.
+        true) {
+      // Positional occurrence: map in declaration order (pair(X, X)).
+      for (size_t i = 0; i < unlabeled.size(); ++i) {
+        out.fields.emplace_back(fields[i].first, unlabeled[i]->term);
+      }
+    } else if (unlabeled.size() == 1 &&
+               unlabeled[0]->term->kind() == TermKind::kVariable) {
+      // Tuple variable (person(name: X, Y, self: Z)).
+      out.tuple_var = unlabeled[0]->term;
+    } else {
+      return Status::TypeError(StrCat(
+          "cannot resolve arguments of ", literal.ToString(), ": give all ",
+          fields.size(), " arguments positionally, or label them, or use "
+          "a single unlabeled tuple variable"));
+    }
+  }
+  return out;
+}
+
+Result<CheckedProgram> Typecheck(const Schema& schema,
+                                 const std::vector<FunctionDecl>& functions,
+                                 const std::vector<Rule>& rules) {
+  CheckedProgram program;
+  for (const FunctionDecl& fn : functions) {
+    std::string name = ToUpper(fn.name);
+    if (program.functions.count(name)) {
+      return Status::AlreadyExists(
+          StrCat("function '", fn.name, "' declared twice"));
+    }
+    FunctionDecl canonical = fn;
+    canonical.name = name;
+    program.functions.emplace(name, std::move(canonical));
+  }
+
+  // Dependency edges for stratification: head -> (body predicate, negative?)
+  struct Edge {
+    std::string head;
+    std::string body;
+    bool negative;
+  };
+  std::vector<Edge> edges;
+  std::set<std::string> all_preds;
+
+  size_t index = 0;
+  for (const Rule& rule : rules) {
+    CheckedRule checked;
+    checked.source = rule;
+    checked.index = index++;
+    VarTyper typer(schema);
+    std::string context = rule.ToString();
+
+    // ---- Resolve and type the head --------------------------------------
+    std::string head_pred;  // canonical, for strata
+    if (rule.head.has_value()) {
+      const Literal& head = *rule.head;
+      if (head.kind == LiteralKind::kBuiltin && head.builtin == "member") {
+        // Data-function definition: member(T, F(X1..Xn)).
+        if (head.builtin_args.size() != 2 ||
+            head.builtin_args[1]->kind() != TermKind::kFunctionApp) {
+          return Status::TypeError(
+              StrCat("a member/2 head must be member(Elem, F(Args)): ",
+                     context));
+        }
+        std::string fname = ToUpper(head.builtin_args[1]->name());
+        auto fit = program.functions.find(fname);
+        if (fit == program.functions.end()) {
+          return Status::NotFound(
+              StrCat("undeclared function '", fname, "' in ", context));
+        }
+        const FunctionDecl& fn = fit->second;
+        if (head.builtin_args[1]->elements().size() !=
+            fn.arg_types.size()) {
+          return Status::TypeError(
+              StrCat("function ", fname, " expects ", fn.arg_types.size(),
+                     " arguments in ", context));
+        }
+        // Rewrite into the backing association:
+        // $fn$F(arg1: X1, ..., member: T).
+        std::vector<Arg> args;
+        for (size_t i = 0; i < fn.arg_types.size(); ++i) {
+          Arg a;
+          a.label = StrCat("arg", i + 1);
+          a.term = head.builtin_args[1]->elements()[i];
+          LOGRES_RETURN_NOT_OK(TypeTermAgainst(schema, &typer, a.term,
+                                               fn.arg_types[i], context));
+          args.push_back(std::move(a));
+        }
+        Arg m;
+        m.label = "member";
+        m.term = head.builtin_args[0];
+        LOGRES_RETURN_NOT_OK(TypeTermAgainst(
+            schema, &typer, m.term, fn.result_type.element(), context));
+        args.push_back(std::move(m));
+        Literal rewritten = Literal::Predicate(
+            ToLower(fn.BackingAssociation()), std::move(args), head.negated);
+        CheckedLiteral cl;
+        cl.source = rewritten;
+        LOGRES_ASSIGN_OR_RETURN(
+            auto resolved,
+            ResolvePredicate(schema, program.functions, rewritten));
+        cl.pred = std::move(resolved);
+        head_pred = cl.pred->name;
+        checked.head = std::move(cl);
+        checked.defines_function = true;
+        checked.function_name = fname;
+      } else if (head.kind == LiteralKind::kPredicate) {
+        CheckedLiteral cl;
+        cl.source = head;
+        LOGRES_ASSIGN_OR_RETURN(
+            auto resolved, ResolvePredicate(schema, program.functions, head));
+        cl.pred = std::move(resolved);
+        head_pred = cl.pred->name;
+        checked.head = std::move(cl);
+      } else {
+        return Status::TypeError(
+            StrCat("illegal head literal in ", context));
+      }
+
+      // Type head terms against the predicate's fields.
+      const ResolvedPredicate& rp = *checked.head->pred;
+      LOGRES_ASSIGN_OR_RETURN(auto fields, schema.EffectiveFields(rp.name));
+      for (const auto& [label, term] : rp.fields) {
+        for (const auto& [flabel, ftype] : fields) {
+          if (flabel == label) {
+            LOGRES_RETURN_NOT_OK(
+                TypeTermAgainst(schema, &typer, term, ftype, context));
+          }
+        }
+      }
+      if (rp.self_term && rp.self_term->kind() == TermKind::kVariable) {
+        LOGRES_RETURN_NOT_OK(typer.Constrain(
+            rp.self_term->name(), Type::Named(rp.name), context));
+      }
+      if (rp.tuple_var) {
+        LOGRES_RETURN_NOT_OK(typer.Constrain(
+            rp.tuple_var->name(), Type::Named(rp.name), context));
+      }
+    }
+
+    // ---- Resolve body literals ------------------------------------------
+    std::vector<CheckedLiteral> body;
+    for (const Literal& lit : rule.body) {
+      CheckedLiteral cl;
+      cl.source = lit;
+      if (lit.kind == LiteralKind::kPredicate) {
+        LOGRES_ASSIGN_OR_RETURN(
+            auto resolved, ResolvePredicate(schema, program.functions, lit));
+        cl.pred = std::move(resolved);
+        const ResolvedPredicate& rp = *cl.pred;
+        LOGRES_ASSIGN_OR_RETURN(auto fields,
+                                schema.EffectiveFields(rp.name));
+        for (const auto& [label, term] : rp.fields) {
+          for (const auto& [flabel, ftype] : fields) {
+            if (flabel == label) {
+              LOGRES_RETURN_NOT_OK(
+                  TypeTermAgainst(schema, &typer, term, ftype, context));
+            }
+          }
+        }
+        if (rp.self_term && rp.self_term->kind() == TermKind::kVariable) {
+          LOGRES_RETURN_NOT_OK(typer.Constrain(
+              rp.self_term->name(), Type::Named(rp.name), context));
+        }
+        if (rp.tuple_var) {
+          LOGRES_RETURN_NOT_OK(typer.Constrain(
+              rp.tuple_var->name(), Type::Named(rp.name), context));
+        }
+      } else if (lit.kind == LiteralKind::kBuiltin) {
+        if (!IsBuiltinPredicate(lit.builtin)) {
+          return Status::NotFound(
+              StrCat("unknown built-in '", lit.builtin, "' in ", context));
+        }
+        // Data-function applications inside builtins must be declared.
+        for (const TermPtr& t : lit.builtin_args) {
+          if (t->kind() == TermKind::kFunctionApp &&
+              !program.functions.count(ToUpper(t->name()))) {
+            return Status::NotFound(
+                StrCat("undeclared function '", t->name(), "' in ",
+                       context));
+          }
+        }
+      } else {
+        // Comparison: function applications must be declared.
+        for (const TermPtr& t : {lit.compare_lhs, lit.compare_rhs}) {
+          if (t->kind() == TermKind::kFunctionApp &&
+              !program.functions.count(ToUpper(t->name()))) {
+            return Status::NotFound(
+                StrCat("undeclared function '", t->name(), "' in ",
+                       context));
+          }
+        }
+      }
+      body.push_back(std::move(cl));
+    }
+
+    // ---- Equality-based type propagation (one pass) ----------------------
+    for (const CheckedLiteral& cl : body) {
+      if (cl.kind() != LiteralKind::kCompare) continue;
+      if (cl.source.compare_op != CompareOp::kEq) continue;
+      const TermPtr& l = cl.source.compare_lhs;
+      const TermPtr& r = cl.source.compare_rhs;
+      // X = F(Y): X gets the function's result (set) type.
+      auto propagate = [&](const TermPtr& var_side,
+                           const TermPtr& expr_side) -> Status {
+        if (var_side->kind() != TermKind::kVariable) return Status::OK();
+        if (expr_side->kind() == TermKind::kFunctionApp) {
+          auto fit = program.functions.find(ToUpper(expr_side->name()));
+          if (fit != program.functions.end()) {
+            return typer.Constrain(var_side->name(),
+                                   fit->second.result_type, context);
+          }
+        }
+        if (expr_side->kind() == TermKind::kVariable) {
+          auto t = typer.TypeOfVar(expr_side->name());
+          if (t.has_value()) {
+            return typer.Constrain(var_side->name(), *t, context);
+          }
+        }
+        return Status::OK();
+      };
+      LOGRES_RETURN_NOT_OK(propagate(l, r));
+      LOGRES_RETURN_NOT_OK(propagate(r, l));
+    }
+
+    // ---- Schedule the body (safety requirement 2) -------------------------
+    std::set<std::string> bound;
+    std::vector<bool> used(body.size(), false);
+    std::vector<CheckedLiteral> schedule;
+    for (size_t step = 0; step < body.size(); ++step) {
+      bool progressed = false;
+      // Pass 1: literals fully ready without active-domain enumeration.
+      for (size_t i = 0; i < body.size() && !progressed; ++i) {
+        if (used[i]) continue;
+        const CheckedLiteral& cl = body[i];
+        std::set<std::string> vars = VarsOfLiteral(cl);
+        auto all_bound = [&]() {
+          return std::all_of(vars.begin(), vars.end(),
+                             [&](const std::string& v) {
+                               return bound.count(v) > 0;
+                             });
+        };
+        switch (cl.kind()) {
+          case LiteralKind::kPredicate: {
+            // Function-app args inside predicate terms need bound inputs;
+            // positive predicates otherwise always produce bindings.
+            if (!cl.negated()) {
+              used[i] = true;
+              schedule.push_back(cl);
+              bound.insert(vars.begin(), vars.end());
+              progressed = true;
+            } else if (all_bound()) {
+              used[i] = true;
+              schedule.push_back(cl);
+              progressed = true;
+            }
+            break;
+          }
+          case LiteralKind::kCompare: {
+            const TermPtr& l = cl.source.compare_lhs;
+            const TermPtr& r = cl.source.compare_rhs;
+            std::set<std::string> lv, rv;
+            VarsOfTerm(l, &lv);
+            VarsOfTerm(r, &rv);
+            auto side_bound = [&](const std::set<std::string>& side) {
+              return std::all_of(side.begin(), side.end(),
+                                 [&](const std::string& v) {
+                                   return bound.count(v) > 0;
+                                 });
+            };
+            bool lb = side_bound(lv), rb = side_bound(rv);
+            if (cl.source.compare_op == CompareOp::kEq && !cl.negated()) {
+              if ((lb && (rb || IsBindablePattern(r))) ||
+                  (rb && (lb || IsBindablePattern(l))) ||
+                  (lb && r->kind() == TermKind::kFunctionApp) ||
+                  (rb && l->kind() == TermKind::kFunctionApp)) {
+                used[i] = true;
+                schedule.push_back(cl);
+                bound.insert(lv.begin(), lv.end());
+                bound.insert(rv.begin(), rv.end());
+                progressed = true;
+              }
+            } else if (lb && rb) {
+              used[i] = true;
+              schedule.push_back(cl);
+              progressed = true;
+            }
+            break;
+          }
+          case LiteralKind::kBuiltin: {
+            auto binds = BuiltinReady(cl.source, bound);
+            if (binds.has_value() && !cl.negated()) {
+              used[i] = true;
+              schedule.push_back(cl);
+              bound.insert(binds->begin(), binds->end());
+              progressed = true;
+            } else if (cl.negated() && all_bound()) {
+              used[i] = true;
+              schedule.push_back(cl);
+              progressed = true;
+            }
+            break;
+          }
+        }
+      }
+      if (progressed) continue;
+      // Pass 2: negated predicates with unbound variables — legal, their
+      // free variables range over the active domain (Section 2.1).
+      for (size_t i = 0; i < body.size() && !progressed; ++i) {
+        if (used[i]) continue;
+        const CheckedLiteral& cl = body[i];
+        if (cl.kind() == LiteralKind::kPredicate && cl.negated()) {
+          used[i] = true;
+          schedule.push_back(cl);
+          std::set<std::string> vars = VarsOfLiteral(cl);
+          bound.insert(vars.begin(), vars.end());
+          progressed = true;
+        }
+      }
+      if (!progressed) {
+        std::string pending;
+        for (size_t i = 0; i < body.size(); ++i) {
+          if (!used[i]) pending += StrCat(" ", body[i].source.ToString());
+        }
+        return Status::UnsafeRule(
+            StrCat("cannot order body literals (unbound inputs):", pending,
+                   " in ", context));
+      }
+    }
+    checked.body = std::move(schedule);
+
+    // ---- Head safety -------------------------------------------------------
+    if (checked.head.has_value()) {
+      const ResolvedPredicate& rp = *checked.head->pred;
+      if (rp.tuple_var && !bound.count(rp.tuple_var->name())) {
+        return Status::UnsafeRule(
+            StrCat("head tuple variable ", rp.tuple_var->name(),
+                   " not bound by the body in ", context));
+      }
+      for (const auto& [label, term] : rp.fields) {
+        std::set<std::string> vars;
+        VarsOfTerm(term, &vars);
+        for (const std::string& v : vars) {
+          if (bound.count(v)) continue;
+          // Valuation-map point (c): an unbound head variable of class
+          // type (not the head's own self) becomes nil.
+          auto vt = typer.TypeOfVar(v);
+          bool class_typed = vt.has_value() &&
+                             vt->kind() == TypeKind::kNamed &&
+                             schema.IsClass(vt->name());
+          if (!class_typed) {
+            return Status::UnsafeRule(
+                StrCat("head variable ", v, " (argument '", label,
+                       "') not bound by the body in ", context));
+          }
+        }
+      }
+      if (rp.self_term && rp.self_term->kind() == TermKind::kVariable &&
+          !bound.count(rp.self_term->name())) {
+        // Safety requirement 1: unbound head self invents an oid.
+        checked.invents_oid = true;
+      }
+      // Generalization-hierarchy legality (Section 3.1): if the head's
+      // oid-carrying variable is bound by a body occurrence of another
+      // class, the two classes must be isa-related.
+      if (rp.is_class) {
+        std::string head_oid_var;
+        if (rp.self_term && rp.self_term->kind() == TermKind::kVariable &&
+            bound.count(rp.self_term->name())) {
+          head_oid_var = rp.self_term->name();
+        } else if (rp.tuple_var) {
+          head_oid_var = rp.tuple_var->name();
+        }
+        if (!head_oid_var.empty()) {
+          auto vt = typer.TypeOfVar(head_oid_var);
+          if (vt.has_value() && vt->kind() == TypeKind::kNamed &&
+              schema.IsClass(vt->name()) && vt->name() != rp.name) {
+            const std::string& other = vt->name();
+            if (!schema.IsaReachable(rp.name, other) &&
+                !schema.IsaReachable(other, rp.name)) {
+              return Status::TypeError(StrCat(
+                  "rule shares an oid between classes '", rp.name,
+                  "' and '", other,
+                  "' which are not in the same generalization hierarchy "
+                  "(Section 3.1): ",
+                  context));
+            }
+            checked.shares_head_oid = true;
+          } else if (vt.has_value() && vt->kind() == TypeKind::kNamed &&
+                     vt->name() == rp.name) {
+            checked.shares_head_oid = true;
+          }
+        }
+      }
+    }
+
+    checked.var_types = typer.types();
+
+    // ---- Strata edges ------------------------------------------------------
+    if (!head_pred.empty()) all_preds.insert(head_pred);
+    // Variables whose data-function binding is used monotonically: bound
+    // once by V = F(...) and otherwise appearing only as the collection
+    // argument of member/2 in the body (the paper's recursive-function
+    // idiom, Example 3.2). Such uses read the growing set incrementally
+    // and do not force a stratum boundary. Any other use (head occurrence,
+    // comparisons, other builtins) aggregates the whole set and does.
+    std::set<std::string> monotonic_fn_vars;
+    {
+      std::set<std::string> head_vars;
+      if (checked.head.has_value()) {
+        std::vector<std::string> hv;
+        checked.head->source.CollectVariables(&hv);
+        head_vars.insert(hv.begin(), hv.end());
+      }
+      std::set<std::string> candidates;
+      for (const CheckedLiteral& cl : checked.body) {
+        if (cl.kind() != LiteralKind::kCompare ||
+            cl.source.compare_op != CompareOp::kEq || cl.negated()) {
+          continue;
+        }
+        auto consider = [&](const TermPtr& v, const TermPtr& f) {
+          if (v->kind() == TermKind::kVariable &&
+              f->kind() == TermKind::kFunctionApp &&
+              !head_vars.count(v->name())) {
+            candidates.insert(v->name());
+          }
+        };
+        consider(cl.source.compare_lhs, cl.source.compare_rhs);
+        consider(cl.source.compare_rhs, cl.source.compare_lhs);
+      }
+      for (const std::string& v : candidates) {
+        bool all_monotonic = true;
+        for (const CheckedLiteral& cl : checked.body) {
+          if (cl.kind() == LiteralKind::kCompare) continue;  // the binder
+          std::vector<std::string> vars;
+          cl.source.CollectVariables(&vars);
+          if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+            continue;
+          }
+          bool is_member_collection =
+              cl.kind() == LiteralKind::kBuiltin &&
+              cl.source.builtin == "member" && !cl.negated() &&
+              cl.source.builtin_args.size() == 2 &&
+              cl.source.builtin_args[1]->kind() == TermKind::kVariable &&
+              cl.source.builtin_args[1]->name() == v;
+          if (!is_member_collection) {
+            all_monotonic = false;
+            break;
+          }
+        }
+        if (all_monotonic) monotonic_fn_vars.insert(v);
+      }
+    }
+    for (const CheckedLiteral& cl : checked.body) {
+      std::string dep;
+      bool negative = cl.negated();
+      if (cl.pred.has_value()) {
+        dep = cl.pred->name;
+      }
+      // Data-function applications depend (non-monotonically, except under
+      // member) on the backing association.
+      auto scan_term = [&](const TermPtr& t, bool monotonic,
+                           auto&& self) -> void {
+        if (t->kind() == TermKind::kFunctionApp) {
+          auto fit = program.functions.find(ToUpper(t->name()));
+          if (fit != program.functions.end() && !head_pred.empty()) {
+            edges.push_back(Edge{head_pred,
+                                 fit->second.BackingAssociation(),
+                                 !monotonic});
+            all_preds.insert(fit->second.BackingAssociation());
+          }
+        }
+        for (const TermPtr& e : t->elements()) self(e, false, self);
+        for (const Arg& a : t->args()) self(a.term, false, self);
+      };
+      if (cl.kind() == LiteralKind::kBuiltin) {
+        bool is_member = cl.source.builtin == "member";
+        for (size_t ai = 0; ai < cl.source.builtin_args.size(); ++ai) {
+          scan_term(cl.source.builtin_args[ai],
+                    is_member && ai == 1 && !cl.negated(), scan_term);
+        }
+      } else if (cl.kind() == LiteralKind::kCompare) {
+        auto is_monotonic_binder = [&](const TermPtr& other) {
+          return other->kind() == TermKind::kVariable &&
+                 monotonic_fn_vars.count(other->name()) > 0;
+        };
+        scan_term(cl.source.compare_lhs,
+                  is_monotonic_binder(cl.source.compare_rhs), scan_term);
+        scan_term(cl.source.compare_rhs,
+                  is_monotonic_binder(cl.source.compare_lhs), scan_term);
+      } else if (cl.pred.has_value()) {
+        for (const auto& [label, t] : cl.pred->fields) {
+          (void)label;
+          scan_term(t, false, scan_term);
+        }
+      }
+      if (!dep.empty() && !head_pred.empty()) {
+        edges.push_back(Edge{head_pred, dep, negative});
+        all_preds.insert(dep);
+      }
+    }
+    // Deletion heads make the fixpoint non-monotone in the head predicate.
+    if (checked.head.has_value() && checked.head->negated() &&
+        !head_pred.empty()) {
+      edges.push_back(Edge{head_pred, head_pred, true});
+    }
+    // isa propagation: deriving a subclass fact implicitly derives the
+    // superclass fact, so superclasses depend on subclasses.
+    if (checked.head.has_value() && checked.head->pred->is_class) {
+      for (const std::string& super :
+           schema.AllSuperclasses(checked.head->pred->name)) {
+        edges.push_back(Edge{super, head_pred, false});
+        all_preds.insert(super);
+      }
+    }
+
+    program.rules.push_back(std::move(checked));
+  }
+
+  // ---- Stratification ------------------------------------------------------
+  std::map<std::string, int> strata;
+  for (const auto& p : all_preds) strata[p] = 0;
+  const int limit = static_cast<int>(all_preds.size()) + 1;
+  bool changed = true;
+  bool stratified = true;
+  while (changed && stratified) {
+    changed = false;
+    for (const Edge& e : edges) {
+      int required = strata[e.body] + (e.negative ? 1 : 0);
+      if (strata[e.head] < required) {
+        strata[e.head] = required;
+        changed = true;
+        if (strata[e.head] > limit) {
+          stratified = false;  // cycle through negation / data functions
+          break;
+        }
+      }
+    }
+  }
+  program.stratified = stratified;
+  if (stratified) {
+    program.strata = std::move(strata);
+    for (const auto& [p, s] : program.strata) {
+      (void)p;
+      program.max_stratum = std::max(program.max_stratum, s);
+    }
+  }
+  for (const CheckedRule& r : program.rules) {
+    int s = 0;
+    if (program.stratified && r.head.has_value()) {
+      auto it = program.strata.find(r.head->pred->name);
+      if (it != program.strata.end()) s = it->second;
+    } else if (!r.head.has_value()) {
+      s = program.max_stratum;  // denials run last
+    }
+    program.rule_strata.push_back(s);
+  }
+  return program;
+}
+
+}  // namespace logres

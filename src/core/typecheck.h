@@ -1,0 +1,118 @@
+// Static analysis of LOGRES rules (paper Section 3.1).
+//
+// The type checker resolves every predicate occurrence against the schema
+// and rewrites it into a canonical form (self term, optional tuple
+// variable, labeled field terms), infers a type for every variable,
+// verifies unification compatibility ("two types are compatible if one is
+// obtained as a refinement of the other"), enforces the safety
+// requirements (head arguments bound by the body; an unbound head self
+// generates an invented oid), enforces the oid legality rules for
+// generalization hierarchies (a rule C1(X) <- C2(X) is incorrect unless
+// C1 isa C2 or C2 isa C1), and computes an executable body order plus the
+// stratification of the program with respect to negation and data
+// functions.
+//
+// "Unsafe rules can be detected at compilation time" — all of these are
+// compile-time (pre-evaluation) errors.
+
+#ifndef LOGRES_CORE_TYPECHECK_H_
+#define LOGRES_CORE_TYPECHECK_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ast.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief Canonical form of a class/association occurrence.
+struct ResolvedPredicate {
+  std::string name;   // canonical (upper-case) schema name
+  bool is_class = false;
+  TermPtr self_term;  // oid variable (classes only), null if absent
+  TermPtr tuple_var;  // whole-tuple variable, null if absent
+  std::vector<std::pair<std::string, TermPtr>> fields;  // label -> term
+};
+
+/// \brief A literal after resolution.
+struct CheckedLiteral {
+  Literal source;  // original form (for messages / compare / builtin)
+  std::optional<ResolvedPredicate> pred;  // set when kind == kPredicate
+
+  LiteralKind kind() const { return source.kind; }
+  bool negated() const { return source.negated; }
+};
+
+/// \brief A rule after static analysis.
+struct CheckedRule {
+  Rule source;
+  size_t index = 0;  // position in the program
+
+  std::optional<CheckedLiteral> head;
+  /// Body literals in *execution order*: a greedy schedule where each
+  /// literal's required inputs are bound by its predecessors.
+  std::vector<CheckedLiteral> body;
+
+  /// Inferred variable types (variables without a constraining occurrence
+  /// are absent).
+  std::map<std::string, Type> var_types;
+
+  /// True when the head's self variable is unbound by the body: firing the
+  /// rule invents a new oid (safety requirement 1).
+  bool invents_oid = false;
+
+  /// True for member(T, F(X)) heads: the rule defines data function F.
+  bool defines_function = false;
+  std::string function_name;  // when defines_function
+
+  /// True when the head and a body class literal share their oid: the rule
+  /// propagates along a generalization hierarchy (Section 3.1 case b) and
+  /// the head object must adopt the body object's oid.
+  bool shares_head_oid = false;
+};
+
+/// \brief The whole analyzed program.
+struct CheckedProgram {
+  std::vector<CheckedRule> rules;
+  std::map<std::string, FunctionDecl> functions;  // by canonical name
+
+  /// Stratum per predicate (canonical names; data-function backing
+  /// associations included). Empty when the program is not stratified —
+  /// the evaluator then falls back to whole-program inflationary
+  /// computation, as Section 3.1 prescribes.
+  std::map<std::string, int> strata;
+  bool stratified = false;
+
+  /// Highest stratum index (0 when unstratified).
+  int max_stratum = 0;
+
+  /// Stratum of a rule = stratum of its head predicate (0 for denials).
+  std::vector<int> rule_strata;
+};
+
+/// \brief Analyzes \p rules against \p schema. The \p functions list is
+/// used both to resolve data-function applications and to register their
+/// backing associations. The backing associations must already be declared
+/// in \p schema (Database::Build does this).
+Result<CheckedProgram> Typecheck(const Schema& schema,
+                                 const std::vector<FunctionDecl>& functions,
+                                 const std::vector<Rule>& rules);
+
+/// \brief Resolves one predicate occurrence (exposed for goals).
+Result<ResolvedPredicate> ResolvePredicate(
+    const Schema& schema,
+    const std::map<std::string, FunctionDecl>& functions,
+    const Literal& literal);
+
+/// \brief Declares the backing association of \p fn in \p schema:
+/// ($fn$F = (arg1: T1, ..., argn: Tn, member: T)).
+Status DeclareBackingAssociation(Schema* schema, const FunctionDecl& fn);
+
+}  // namespace logres
+
+#endif  // LOGRES_CORE_TYPECHECK_H_

@@ -1,0 +1,322 @@
+#include "datalog/datalog.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/string_util.h"
+
+namespace logres::datalog {
+
+std::string Constant::ToString() const {
+  if (is_int()) return std::to_string(int_value());
+  return sym_value();
+}
+
+std::string Term::ToString() const {
+  if (is_var()) return var_name();
+  return constant().ToString();
+}
+
+std::string Literal::ToString() const {
+  std::string out = negated ? "not " : "";
+  out += predicate;
+  out += "(";
+  out += JoinMapped(terms, ", ", [](const Term& t) { return t.ToString(); });
+  out += ")";
+  return out;
+}
+
+std::string Rule::ToString() const {
+  return StrCat(head.ToString(), " :- ",
+                JoinMapped(body, ", ",
+                           [](const Literal& l) { return l.ToString(); }),
+                ".");
+}
+
+Status Program::AddRule(Rule rule) {
+  if (rule.head.negated) {
+    return Status::InvalidArgument(
+        StrCat("flat Datalog forbids negated heads: ", rule.ToString()));
+  }
+  // Safety: every head variable and every variable in a negated body
+  // literal must occur in some positive body literal.
+  std::set<std::string> positive_vars;
+  for (const Literal& lit : rule.body) {
+    if (lit.negated) continue;
+    for (const Term& t : lit.terms) {
+      if (t.is_var()) positive_vars.insert(t.var_name());
+    }
+  }
+  auto check = [&](const Literal& lit, const char* where) -> Status {
+    for (const Term& t : lit.terms) {
+      if (t.is_var() && !positive_vars.count(t.var_name())) {
+        return Status::UnsafeRule(
+            StrCat("variable ", t.var_name(), " in ", where,
+                   " not bound by a positive body literal: ",
+                   rule.ToString()));
+      }
+    }
+    return Status::OK();
+  };
+  LOGRES_RETURN_NOT_OK(check(rule.head, "head"));
+  for (const Literal& lit : rule.body) {
+    if (lit.negated) LOGRES_RETURN_NOT_OK(check(lit, "negated literal"));
+  }
+  // Arity consistency.
+  auto note_arity = [&](const Literal& lit) -> Status {
+    auto [it, inserted] = arity_.emplace(lit.predicate, lit.terms.size());
+    if (!inserted && it->second != lit.terms.size()) {
+      return Status::InvalidArgument(
+          StrCat("predicate ", lit.predicate, " used with arities ",
+                 it->second, " and ", lit.terms.size()));
+    }
+    return Status::OK();
+  };
+  LOGRES_RETURN_NOT_OK(note_arity(rule.head));
+  for (const Literal& lit : rule.body) LOGRES_RETURN_NOT_OK(note_arity(lit));
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status Program::AddFact(const std::string& predicate, Fact fact) {
+  auto [it, inserted] = arity_.emplace(predicate, fact.size());
+  if (!inserted && it->second != fact.size()) {
+    return Status::InvalidArgument(
+        StrCat("predicate ", predicate, " used with arities ", it->second,
+               " and ", fact.size()));
+  }
+  edb_[predicate].insert(std::move(fact));
+  return Status::OK();
+}
+
+Result<std::map<std::string, int>> Stratify(const Program& program) {
+  // Build the dependency graph: head depends on each body predicate,
+  // marked "negative" when the body literal is negated.
+  struct Edge {
+    std::string from;
+    bool negative;
+  };
+  std::map<std::string, std::vector<Edge>> deps;  // head -> body deps
+  std::set<std::string> preds;
+  for (const auto& [p, facts] : program.edb()) {
+    (void)facts;
+    preds.insert(p);
+  }
+  for (const Rule& rule : program.rules()) {
+    preds.insert(rule.head.predicate);
+    for (const Literal& lit : rule.body) {
+      preds.insert(lit.predicate);
+      deps[rule.head.predicate].push_back(Edge{lit.predicate, lit.negated});
+    }
+  }
+  std::map<std::string, int> stratum;
+  for (const auto& p : preds) stratum[p] = 0;
+  // Bellman-Ford style relaxation: stratum(head) >= stratum(body),
+  // strictly greater across negative edges. A stratum exceeding the number
+  // of predicates implies a cycle through negation.
+  const int limit = static_cast<int>(preds.size()) + 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [head, edges] : deps) {
+      for (const Edge& e : edges) {
+        int required = stratum[e.from] + (e.negative ? 1 : 0);
+        if (stratum[head] < required) {
+          stratum[head] = required;
+          if (stratum[head] > limit) {
+            return Status::Inconsistent(
+                StrCat("program is not stratified: cycle through negation "
+                       "involving predicate ",
+                       head));
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  return stratum;
+}
+
+namespace {
+
+using Bindings = std::map<std::string, Constant>;
+
+// Attempts to extend `bindings` so that `lit` (positive) matches `fact`.
+bool Match(const Literal& lit, const Fact& fact, Bindings* bindings) {
+  if (lit.terms.size() != fact.size()) return false;
+  std::vector<std::pair<std::string, Constant>> added;
+  for (size_t i = 0; i < lit.terms.size(); ++i) {
+    const Term& t = lit.terms[i];
+    if (t.is_var()) {
+      auto it = bindings->find(t.var_name());
+      if (it == bindings->end()) {
+        bindings->emplace(t.var_name(), fact[i]);
+        added.emplace_back(t.var_name(), fact[i]);
+      } else if (!(it->second == fact[i])) {
+        for (auto& [name, c] : added) {
+          (void)c;
+          bindings->erase(name);
+        }
+        return false;
+      }
+    } else if (!(t.constant() == fact[i])) {
+      for (auto& [name, c] : added) {
+        (void)c;
+        bindings->erase(name);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+Fact Instantiate(const Literal& lit, const Bindings& bindings) {
+  Fact fact;
+  fact.reserve(lit.terms.size());
+  for (const Term& t : lit.terms) {
+    if (t.is_var()) {
+      fact.push_back(bindings.at(t.var_name()));
+    } else {
+      fact.push_back(t.constant());
+    }
+  }
+  return fact;
+}
+
+const std::set<Fact>& FactsOf(const Database& db, const std::string& pred) {
+  static const std::set<Fact> kEmpty;
+  auto it = db.find(pred);
+  return it == db.end() ? kEmpty : it->second;
+}
+
+// Evaluates one rule against `db`; for semi-naive evaluation, at least one
+// positive body literal must match within `delta` (pass nullptr for naive).
+void FireRule(const Rule& rule, const Database& db, const Database* delta,
+              std::set<Fact>* out) {
+  // Choose which positive literal is forced into the delta (all choices).
+  std::vector<size_t> positive_positions;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (!rule.body[i].negated) positive_positions.push_back(i);
+  }
+
+  // Recursive join over body literals.
+  auto join = [&](auto&& self, size_t idx, Bindings& bindings,
+                  size_t delta_pos) -> void {
+    if (idx == rule.body.size()) {
+      out->insert(Instantiate(rule.head, bindings));
+      return;
+    }
+    const Literal& lit = rule.body[idx];
+    if (lit.negated) {
+      Fact probe = Instantiate(lit, bindings);
+      if (!FactsOf(db, lit.predicate).count(probe)) {
+        self(self, idx + 1, bindings, delta_pos);
+      }
+      return;
+    }
+    const std::set<Fact>& source =
+        (delta != nullptr && idx == delta_pos)
+            ? FactsOf(*delta, lit.predicate)
+            : FactsOf(db, lit.predicate);
+    for (const Fact& fact : source) {
+      Bindings saved = bindings;
+      if (Match(lit, fact, &bindings)) {
+        self(self, idx + 1, bindings, delta_pos);
+      }
+      bindings = std::move(saved);
+    }
+  };
+
+  if (delta == nullptr) {
+    Bindings bindings;
+    join(join, 0, bindings, static_cast<size_t>(-1));
+  } else {
+    // Semi-naive: union over choices of the delta literal.
+    for (size_t pos : positive_positions) {
+      Bindings bindings;
+      join(join, 0, bindings, pos);
+    }
+    if (positive_positions.empty()) {
+      Bindings bindings;
+      join(join, 0, bindings, static_cast<size_t>(-1));
+    }
+  }
+}
+
+size_t TotalSize(const Database& db) {
+  size_t n = 0;
+  for (const auto& [p, facts] : db) {
+    (void)p;
+    n += facts.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
+  LOGRES_ASSIGN_OR_RETURN(auto strata, Stratify(program));
+  int max_stratum = 0;
+  for (const auto& [p, s] : strata) {
+    (void)p;
+    max_stratum = std::max(max_stratum, s);
+  }
+
+  Database db = program.edb();
+  for (int s = 0; s <= max_stratum; ++s) {
+    std::vector<const Rule*> stratum_rules;
+    for (const Rule& rule : program.rules()) {
+      if (strata.at(rule.head.predicate) == s) stratum_rules.push_back(&rule);
+    }
+    if (stratum_rules.empty()) continue;
+
+    if (strategy == EvalStrategy::kNaive) {
+      for (;;) {
+        size_t before = TotalSize(db);
+        for (const Rule* rule : stratum_rules) {
+          std::set<Fact> produced;
+          FireRule(*rule, db, nullptr, &produced);
+          auto& target = db[rule->head.predicate];
+          target.insert(produced.begin(), produced.end());
+        }
+        if (TotalSize(db) == before) break;
+      }
+    } else {
+      // Semi-naive: seed delta with everything currently visible to the
+      // stratum, iterate with delta-restricted joins.
+      Database delta = db;
+      for (;;) {
+        Database next_delta;
+        for (const Rule* rule : stratum_rules) {
+          std::set<Fact> produced;
+          FireRule(*rule, db, &delta, &produced);
+          for (const Fact& f : produced) {
+            if (!db[rule->head.predicate].count(f)) {
+              next_delta[rule->head.predicate].insert(f);
+            }
+          }
+        }
+        if (TotalSize(next_delta) == 0) break;
+        for (auto& [p, facts] : next_delta) {
+          db[p].insert(facts.begin(), facts.end());
+        }
+        delta = std::move(next_delta);
+      }
+    }
+  }
+  return db;
+}
+
+Result<std::set<Fact>> Query(const Database& db, const Literal& query) {
+  if (query.negated) {
+    return Status::InvalidArgument("cannot query a negated literal");
+  }
+  std::set<Fact> out;
+  for (const Fact& fact : FactsOf(db, query.predicate)) {
+    Bindings bindings;
+    if (Match(query, fact, &bindings)) out.insert(fact);
+  }
+  return out;
+}
+
+}  // namespace logres::datalog

@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace logres {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kSchemaError: return "SchemaError";
+    case StatusCode::kConstraintViolation: return "ConstraintViolation";
+    case StatusCode::kInconsistent: return "Inconsistent";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kUnsafeRule: return "UnsafeRule";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kExecutionError: return "ExecutionError";
+    case StatusCode::kDivergence: return "Divergence";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+}  // namespace logres

@@ -1,0 +1,186 @@
+// Status and Result<T>: error propagation without exceptions, in the style
+// used by Apache Arrow and RocksDB. Library code returns Status (or
+// Result<T>) instead of throwing; callers propagate with the
+// LOGRES_RETURN_NOT_OK / LOGRES_ASSIGN_OR_RETURN macros.
+
+#ifndef LOGRES_UTIL_STATUS_H_
+#define LOGRES_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace logres {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kTypeError,         // static type checking failed
+  kParseError,        // lexer/parser rejected input text
+  kSchemaError,       // ill-formed schema / type equations
+  kConstraintViolation,  // integrity constraint violated
+  kInconsistent,      // database state or instance inconsistent
+  kNotFound,          // named entity missing
+  kAlreadyExists,     // duplicate definition
+  kUnsafeRule,        // rule fails the safety requirements of Section 3.1
+  kNotImplemented,
+  kExecutionError,    // runtime evaluation failure
+  kDivergence,        // fixpoint did not converge within the step budget
+};
+
+/// \brief Human-readable name of a StatusCode ("TypeError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief An operation outcome: OK, or an error code plus message.
+///
+/// Statuses are cheap to copy in the OK case (a single null pointer) and
+/// carry a heap-allocated payload only on error.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SchemaError(std::string msg) {
+    return Status(StatusCode::kSchemaError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status UnsafeRule(std::string msg) {
+    return Status(StatusCode::kUnsafeRule, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Divergence(std::string msg) {
+    return Status(StatusCode::kDivergence, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// \brief "OK" or "TypeError: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy with \p context prepended to the message.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status. Arrow-style.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(storage_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or \p fallback on error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+#define LOGRES_CONCAT_IMPL(a, b) a##b
+#define LOGRES_CONCAT(a, b) LOGRES_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define LOGRES_RETURN_NOT_OK(expr)                    \
+  do {                                                \
+    ::logres::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define LOGRES_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define LOGRES_ASSIGN_OR_RETURN(lhs, expr) \
+  LOGRES_ASSIGN_OR_RETURN_IMPL(LOGRES_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace logres
+
+#endif  // LOGRES_UTIL_STATUS_H_

@@ -1,0 +1,61 @@
+// Small string helpers shared across the LOGRES code base.
+
+#ifndef LOGRES_UTIL_STRING_UTIL_H_
+#define LOGRES_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logres {
+
+/// \brief Joins the elements of \p parts with \p sep between them.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// \brief Joins container elements after applying \p fn to each.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    out += fn(item);
+  }
+  return out;
+}
+
+/// \brief Splits \p text on \p sep; never returns empty trailing pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// \brief Lower-cases ASCII characters.
+std::string ToLower(std::string_view text);
+
+/// \brief Upper-cases ASCII characters.
+std::string ToUpper(std::string_view text);
+
+/// \brief True if \p text starts with \p prefix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Streams all arguments into one string (absl::StrCat-alike).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// \brief Hash combiner (boost::hash_combine formula).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace logres
+
+#endif  // LOGRES_UTIL_STRING_UTIL_H_

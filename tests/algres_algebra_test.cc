@@ -1,0 +1,363 @@
+// Unit tests for the ALGRES extended relational algebra, including the
+// NF² restructuring operators and the liberal closure operator.
+
+#include <gtest/gtest.h>
+
+#include "algres/algebra.h"
+
+namespace logres::algres {
+namespace {
+
+Relation Parent() {
+  return Relation::Make({"par", "chil"},
+                        {{Value::String("a"), Value::String("b")},
+                         {Value::String("b"), Value::String("c")},
+                         {Value::String("b"), Value::String("d")}})
+      .value();
+}
+
+TEST(AlgebraTest, Select) {
+  Relation r = Parent();
+  auto out = Select(r, [&](const Row& row) -> Result<bool> {
+    return row[0] == Value::String("b");
+  });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  // Predicate errors propagate.
+  auto err = Select(r, [](const Row&) -> Result<bool> {
+    return Status::ExecutionError("boom");
+  });
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(AlgebraTest, ProjectDeduplicates) {
+  auto out = Project(Parent(), {"par"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);  // a, b
+  EXPECT_EQ(out->columns(), std::vector<std::string>{"par"});
+  EXPECT_FALSE(Project(Parent(), {"zip"}).ok());
+}
+
+TEST(AlgebraTest, ProjectReorders) {
+  auto out = Project(Parent(), {"chil", "par"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->columns()[0], "chil");
+  EXPECT_TRUE(out->Contains({Value::String("b"), Value::String("a")}));
+}
+
+TEST(AlgebraTest, Rename) {
+  auto out = Rename(Parent(), {{"par", "x"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->HasColumn("x"));
+  EXPECT_FALSE(out->HasColumn("par"));
+  EXPECT_EQ(out->size(), 3u);
+  // Renaming onto an existing column is rejected.
+  EXPECT_FALSE(Rename(Parent(), {{"par", "chil"}}).ok());
+}
+
+TEST(AlgebraTest, ProductRequiresDisjointColumns) {
+  Relation r = Parent();
+  auto renamed = Rename(r, {{"par", "p2"}, {"chil", "c2"}}).value();
+  auto out = Product(r, renamed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 9u);
+  EXPECT_EQ(out->arity(), 4u);
+  EXPECT_FALSE(Product(r, r).ok());
+}
+
+TEST(AlgebraTest, NaturalJoinOnSharedColumn) {
+  Relation parent = Parent();
+  Relation grand = Rename(parent, {{"par", "chil"}, {"chil", "gchil"}})
+                       .value();
+  auto out = NaturalJoin(parent, grand);
+  ASSERT_TRUE(out.ok());
+  // a->b->c, a->b->d.
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_TRUE(out->Contains({Value::String("a"), Value::String("b"),
+                             Value::String("c")}));
+}
+
+TEST(AlgebraTest, NaturalJoinDisjointIsProduct) {
+  Relation a = Relation::Make({"x"}, {{Value::Int(1)}, {Value::Int(2)}})
+                   .value();
+  Relation b = Relation::Make({"y"}, {{Value::Int(3)}}).value();
+  auto out = NaturalJoin(a, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->arity(), 2u);
+}
+
+TEST(AlgebraTest, EquiJoinDropsRightKeys) {
+  Relation left = Parent();
+  Relation right =
+      Relation::Make({"person", "age"},
+                     {{Value::String("b"), Value::Int(10)}})
+          .value();
+  auto out = EquiJoin(left, right, {{"chil", "person"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_TRUE(out->HasColumn("age"));
+  EXPECT_FALSE(out->HasColumn("person"));
+}
+
+TEST(AlgebraTest, SetOperations) {
+  Relation a = Relation::Make({"x"}, {{Value::Int(1)}, {Value::Int(2)}})
+                   .value();
+  Relation b = Relation::Make({"x"}, {{Value::Int(2)}, {Value::Int(3)}})
+                   .value();
+  EXPECT_EQ(Union(a, b)->size(), 3u);
+  EXPECT_EQ(Intersect(a, b)->size(), 1u);
+  EXPECT_EQ(Difference(a, b)->size(), 1u);
+  Relation c({"y"});
+  EXPECT_FALSE(Union(a, c).ok());
+  EXPECT_FALSE(Intersect(a, c).ok());
+  EXPECT_FALSE(Difference(a, c).ok());
+}
+
+TEST(AlgebraTest, NestGroupsIntoSets) {
+  auto out = Nest(Parent(), {"chil"}, "children");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  for (const Row& row : *out) {
+    if (row[0] == Value::String("b")) {
+      EXPECT_EQ(row[1], Value::MakeSet({Value::String("c"),
+                                        Value::String("d")}));
+    }
+  }
+  EXPECT_FALSE(Nest(Parent(), {}, "x").ok());
+}
+
+TEST(AlgebraTest, NestMultipleColumnsMakesTuples) {
+  Relation r = Relation::Make(
+                   {"g", "a", "b"},
+                   {{Value::Int(1), Value::Int(10), Value::Int(20)}})
+                   .value();
+  auto out = Nest(r, {"a", "b"}, "pairs");
+  ASSERT_TRUE(out.ok());
+  const Row& row = *out->begin();
+  const Value& set = row[1];
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.elements()[0].field("a").value(), Value::Int(10));
+}
+
+TEST(AlgebraTest, UnnestIsInverseOfNestOnKeys) {
+  auto nested = Nest(Parent(), {"chil"}, "children").value();
+  auto flat = Unnest(nested, "children");
+  ASSERT_TRUE(flat.ok());
+  // The unnested column is named after the nest column.
+  auto renamed = Rename(*flat, {{"children", "chil"}}).value();
+  auto expected = Project(Parent(), {"par", "chil"}).value();
+  EXPECT_TRUE(renamed == expected);
+}
+
+TEST(AlgebraTest, UnnestSpreadsTuples) {
+  Relation r({"g", "items"});
+  ASSERT_TRUE(r.Insert({Value::Int(1),
+                        Value::MakeSet({Value::MakeTuple(
+                            {{"a", Value::Int(10)},
+                             {"b", Value::Int(20)}})})})
+                  .ok());
+  auto out = Unnest(r, "items", /*spread_tuple=*/true);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->HasColumn("a"));
+  EXPECT_TRUE(out->HasColumn("b"));
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST(AlgebraTest, UnnestRejectsScalars) {
+  Relation r({"x"});
+  ASSERT_TRUE(r.Insert({Value::Int(1)}).ok());
+  EXPECT_EQ(Unnest(r, "x").status().code(), StatusCode::kTypeError);
+}
+
+TEST(AlgebraTest, Extend) {
+  auto out = Extend(Parent(), "const7",
+                    [](const Row&) -> Result<Value> {
+                      return Value::Int(7);
+                    });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->arity(), 3u);
+  for (const Row& row : *out) EXPECT_EQ(row[2], Value::Int(7));
+  EXPECT_FALSE(Extend(Parent(), "par", [](const Row&) -> Result<Value> {
+                 return Value::Int(0);
+               }).ok());
+}
+
+TEST(AlgebraTest, AggregateCountSumMinMaxAvg) {
+  Relation r = Relation::Make({"g", "v"},
+                              {{Value::Int(1), Value::Int(10)},
+                               {Value::Int(1), Value::Int(20)},
+                               {Value::Int(2), Value::Int(5)}})
+                   .value();
+  auto count = Aggregate(r, {"g"}, AggregateKind::kCount, "", "n").value();
+  EXPECT_TRUE(count.Contains({Value::Int(1), Value::Int(2)}));
+  auto sum = Aggregate(r, {"g"}, AggregateKind::kSum, "v", "s").value();
+  EXPECT_TRUE(sum.Contains({Value::Int(1), Value::Int(30)}));
+  auto mn = Aggregate(r, {"g"}, AggregateKind::kMin, "v", "m").value();
+  EXPECT_TRUE(mn.Contains({Value::Int(1), Value::Int(10)}));
+  auto mx = Aggregate(r, {"g"}, AggregateKind::kMax, "v", "m").value();
+  EXPECT_TRUE(mx.Contains({Value::Int(1), Value::Int(20)}));
+  auto avg = Aggregate(r, {"g"}, AggregateKind::kAvg, "v", "a").value();
+  EXPECT_TRUE(avg.Contains({Value::Int(1), Value::Real(15.0)}));
+}
+
+TEST(AlgebraTest, ThetaJoinArbitraryPredicate) {
+  Relation ages = Relation::Make({"person", "age"},
+                                 {{Value::String("a"), Value::Int(30)},
+                                  {Value::String("b"), Value::Int(20)}})
+                      .value();
+  Relation limits = Relation::Make({"category", "min_age"},
+                                   {{Value::String("senior"),
+                                     Value::Int(25)}})
+                        .value();
+  auto out = ThetaJoin(ages, limits, [](const Row& row) -> Result<bool> {
+    // age >= min_age
+    return row[1].int_value() >= row[3].int_value();
+  });
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->begin()->at(0), Value::String("a"));
+}
+
+TEST(AlgebraTest, SemiJoinKeepsMatchedLeftRows) {
+  Relation employees =
+      Relation::Make({"name", "dept"},
+                     {{Value::String("a"), Value::String("db")},
+                      {Value::String("b"), Value::String("os")}})
+          .value();
+  Relation active = Relation::Make({"dept"}, {{Value::String("db")}})
+                        .value();
+  auto out = SemiJoin(employees, active);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->columns(), employees.columns());
+  auto anti = AntiJoin(employees, active);
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(anti->size(), 1u);
+  EXPECT_EQ(anti->begin()->at(0), Value::String("b"));
+  // Semi ∪ anti = left.
+  EXPECT_TRUE(Union(*out, *anti).value() == employees);
+}
+
+TEST(AlgebraTest, SemiAntiJoinDisjointColumns) {
+  Relation left = Relation::Make({"x"}, {{Value::Int(1)}}).value();
+  Relation nonempty = Relation::Make({"y"}, {{Value::Int(9)}}).value();
+  Relation empty({"y"});
+  // With no shared columns: matched iff the right side is nonempty.
+  EXPECT_EQ(SemiJoin(left, nonempty)->size(), 1u);
+  EXPECT_EQ(SemiJoin(left, empty)->size(), 0u);
+  EXPECT_EQ(AntiJoin(left, nonempty)->size(), 0u);
+  EXPECT_EQ(AntiJoin(left, empty)->size(), 1u);
+}
+
+TEST(AlgebraTest, DivisionFindsUniversalMatches) {
+  // Who takes *every* required course?
+  Relation takes =
+      Relation::Make({"student", "course"},
+                     {{Value::String("ann"), Value::String("db")},
+                      {Value::String("ann"), Value::String("os")},
+                      {Value::String("bob"), Value::String("db")}})
+          .value();
+  Relation required = Relation::Make({"course"}, {{Value::String("db")},
+                                                  {Value::String("os")}})
+                          .value();
+  auto out = Divide(takes, required);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->begin()->at(0), Value::String("ann"));
+  // Dividing by a single course keeps everyone taking it.
+  Relation only_db = Relation::Make({"course"},
+                                    {{Value::String("db")}}).value();
+  EXPECT_EQ(Divide(takes, only_db)->size(), 2u);
+}
+
+TEST(AlgebraTest, DivisionErrors) {
+  Relation takes = Relation::Make({"student", "course"},
+                                  {{Value::String("a"),
+                                    Value::String("x")}})
+                       .value();
+  Relation same = takes;
+  // Divisor covering all columns (or none of them) is rejected.
+  EXPECT_FALSE(Divide(takes, same).ok());
+  Relation unrelated = Relation::Make({"room"}, {{Value::Int(1)}}).value();
+  EXPECT_FALSE(Divide(takes, unrelated).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The liberal closure operator.
+
+// One transitive-closure step: edges ⋈ current.
+ClosureStep TcStep(const Relation& edges) {
+  return [edges](const Relation& current) -> Result<Relation> {
+    LOGRES_ASSIGN_OR_RETURN(
+        Relation hop, Rename(edges, {{"par", "mid"}, {"chil", "chil2"}}));
+    LOGRES_ASSIGN_OR_RETURN(
+        Relation renamed, Rename(current, {{"chil", "mid"}}));
+    LOGRES_ASSIGN_OR_RETURN(Relation joined, NaturalJoin(renamed, hop));
+    LOGRES_ASSIGN_OR_RETURN(Relation projected,
+                            Project(joined, {"par", "chil2"}));
+    return Rename(projected, {{"chil2", "chil"}});
+  };
+}
+
+TEST(ClosureTest, InflationaryTransitiveClosure) {
+  Relation edges = Parent();
+  auto result = Closure(edges, TcStep(edges));
+  ASSERT_TRUE(result.ok());
+  // a->b, b->c, b->d, a->c, a->d.
+  EXPECT_EQ(result->size(), 5u);
+  EXPECT_TRUE(result->Contains({Value::String("a"), Value::String("d")}));
+}
+
+TEST(ClosureTest, SemiNaiveMatchesNaive) {
+  Relation edges = Parent();
+  auto naive = Closure(edges, TcStep(edges)).value();
+  auto semi = SemiNaiveClosure(edges, TcStep(edges)).value();
+  EXPECT_TRUE(naive == semi);
+}
+
+TEST(ClosureTest, ReplacementSemanticsReachesFixpoint) {
+  // Replacement with an idempotent step: converges to the step's image.
+  Relation seed = Relation::Make({"x"}, {{Value::Int(1)}}).value();
+  ClosureOptions options;
+  options.semantics = ClosureSemantics::kReplacement;
+  auto result = Closure(seed,
+                        [](const Relation& r) -> Result<Relation> {
+                          Relation out(r.columns());
+                          LOGRES_RETURN_NOT_OK(
+                              out.Insert({Value::Int(2)}).status());
+                          return out;
+                        },
+                        options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->Contains({Value::Int(2)}));
+}
+
+TEST(ClosureTest, DivergenceIsCaught) {
+  Relation seed = Relation::Make({"x"}, {{Value::Int(0)}}).value();
+  ClosureOptions options;
+  options.max_steps = 10;
+  auto result = Closure(
+      seed,
+      [](const Relation& r) -> Result<Relation> {
+        // Keeps producing fresh values: never converges.
+        Relation out(r.columns());
+        LOGRES_RETURN_NOT_OK(
+            out.Insert({Value::Int(static_cast<int64_t>(r.size()))})
+                .status());
+        return out;
+      },
+      options);
+  EXPECT_EQ(result.status().code(), StatusCode::kDivergence);
+}
+
+TEST(ClosureTest, SemiNaiveEmptySeedTerminatesImmediately) {
+  Relation seed({"par", "chil"});
+  auto result = SemiNaiveClosure(seed, TcStep(Parent()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace logres::algres

@@ -1,0 +1,91 @@
+// Property sweeps over the liberal closure operator: idempotence of
+// transitive closure, agreement between accumulation disciplines on
+// monotone steps, and delta-restriction soundness on random graphs.
+
+#include <gtest/gtest.h>
+
+#include "algres/algebra.h"
+
+namespace logres::algres {
+namespace {
+
+Relation RandomEdges(unsigned seed, int nodes, int edges) {
+  Relation r({"par", "chil"});
+  uint64_t x = seed * 1099511628211ULL + 3;
+  for (int i = 0; i < edges; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    (void)r.Insert({Value::Int(static_cast<int64_t>((x >> 11) % nodes)),
+                    Value::Int(static_cast<int64_t>((x >> 37) % nodes))});
+  }
+  return r;
+}
+
+ClosureStep TcStep(const Relation& edges) {
+  return [edges](const Relation& current) -> Result<Relation> {
+    LOGRES_ASSIGN_OR_RETURN(
+        Relation hop, Rename(edges, {{"par", "mid"}, {"chil", "chil2"}}));
+    LOGRES_ASSIGN_OR_RETURN(Relation renamed,
+                            Rename(current, {{"chil", "mid"}}));
+    LOGRES_ASSIGN_OR_RETURN(Relation joined, NaturalJoin(renamed, hop));
+    LOGRES_ASSIGN_OR_RETURN(Relation projected,
+                            Project(joined, {"par", "chil2"}));
+    return Rename(projected, {{"chil2", "chil"}});
+  };
+}
+
+class ClosureProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ClosureProperty, TransitiveClosureIsIdempotent) {
+  Relation edges = RandomEdges(GetParam(), 8, 14);
+  Relation tc = Closure(edges, TcStep(edges)).value();
+  // Closing the closure adds nothing.
+  Relation tc2 = Closure(tc, TcStep(edges)).value();
+  EXPECT_TRUE(tc == tc2);
+}
+
+TEST_P(ClosureProperty, SemiNaiveAgreesOnRandomGraphs) {
+  Relation edges = RandomEdges(GetParam() * 31 + 1, 9, 16);
+  Relation naive = Closure(edges, TcStep(edges)).value();
+  Relation semi = SemiNaiveClosure(edges, TcStep(edges)).value();
+  EXPECT_TRUE(naive == semi);
+}
+
+TEST_P(ClosureProperty, ClosureContainsSeedAndIsTransitive) {
+  Relation edges = RandomEdges(GetParam() * 7 + 5, 7, 12);
+  Relation tc = Closure(edges, TcStep(edges)).value();
+  // Seed containment (inflationary discipline).
+  for (const Row& row : edges) {
+    EXPECT_TRUE(tc.Contains(row));
+  }
+  // Transitivity: (a,b), (b,c) in tc implies (a,c) in tc.
+  for (const Row& ab : tc) {
+    for (const Row& bc : tc) {
+      if (ab[1] == bc[0]) {
+        EXPECT_TRUE(tc.Contains({ab[0], bc[1]}))
+            << ab[0] << "->" << ab[1] << "->" << bc[1];
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureProperty, ::testing::Range(0u, 12u));
+
+TEST(ClosureEdgeTest, EmptySeedStaysEmptyUnderMonotoneStep) {
+  Relation empty({"par", "chil"});
+  Relation edges = RandomEdges(3, 5, 8);
+  // The step joins against `current`, so an empty current yields nothing.
+  Relation closed = Closure(empty, TcStep(edges)).value();
+  EXPECT_TRUE(closed.empty());
+}
+
+TEST(ClosureEdgeTest, MaxStepsZeroMeansUnbounded) {
+  Relation edges = RandomEdges(9, 6, 10);
+  ClosureOptions options;
+  options.max_steps = 0;  // unbounded: must still converge on finite data
+  auto tc = Closure(edges, TcStep(edges), options);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_GE(tc->size(), edges.size());
+}
+
+}  // namespace
+}  // namespace logres::algres

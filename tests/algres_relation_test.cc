@@ -1,0 +1,116 @@
+// Unit tests for NF² relations and multiset relations.
+
+#include <gtest/gtest.h>
+
+#include "algres/relation.h"
+
+namespace logres::algres {
+namespace {
+
+Relation People() {
+  auto r = Relation::Make(
+      {"name", "age"},
+      {{Value::String("ann"), Value::Int(30)},
+       {Value::String("bob"), Value::Int(25)}});
+  return r.value();
+}
+
+TEST(RelationTest, MakeAndInspect) {
+  Relation r = People();
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.HasColumn("name"));
+  EXPECT_FALSE(r.HasColumn("address"));
+  EXPECT_EQ(r.ColumnIndex("age").value(), 1u);
+  EXPECT_EQ(r.ColumnIndex("zip").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r({"x"});
+  EXPECT_TRUE(r.Insert({Value::Int(1)}).value());
+  EXPECT_FALSE(r.Insert({Value::Int(1)}).value());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, InsertChecksArity) {
+  Relation r({"x", "y"});
+  EXPECT_EQ(r.Insert({Value::Int(1)}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, EraseAndContains) {
+  Relation r = People();
+  Row ann = {Value::String("ann"), Value::Int(30)};
+  EXPECT_TRUE(r.Contains(ann));
+  EXPECT_TRUE(r.Erase(ann));
+  EXPECT_FALSE(r.Contains(ann));
+  EXPECT_FALSE(r.Erase(ann));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, EqualityIsHeaderAndRows) {
+  Relation a = People();
+  Relation b = People();
+  EXPECT_TRUE(a == b);
+  b.Erase({Value::String("ann"), Value::Int(30)});
+  EXPECT_FALSE(a == b);
+  Relation c({"other"});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RelationTest, NestedComplexCells) {
+  Relation r({"team", "players"});
+  Value players = Value::MakeSequence(
+      {Value::String("p1"), Value::String("p2")});
+  ASSERT_TRUE(r.Insert({Value::String("t"), players}).ok());
+  EXPECT_EQ(r.begin()->at(1).size(), 2u);
+}
+
+TEST(RelationTest, ToStringListsRows) {
+  Relation r = People();
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("\"ann\""), std::string::npos);
+}
+
+TEST(MultisetRelationTest, CountsMultiplicity) {
+  MultisetRelation m({"x"});
+  ASSERT_TRUE(m.Insert({Value::Int(1)}).ok());
+  ASSERT_TRUE(m.Insert({Value::Int(1)}, 2).ok());
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.Count({Value::Int(1)}), 3u);
+  EXPECT_EQ(m.Count({Value::Int(2)}), 0u);
+}
+
+TEST(MultisetRelationTest, EraseReducesMultiplicity) {
+  MultisetRelation m({"x"});
+  ASSERT_TRUE(m.Insert({Value::Int(1)}, 3).ok());
+  EXPECT_EQ(m.Erase({Value::Int(1)}, 2), 2u);
+  EXPECT_EQ(m.Count({Value::Int(1)}), 1u);
+  // Erasing more than present removes what is there.
+  EXPECT_EQ(m.Erase({Value::Int(1)}, 5), 1u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MultisetRelationTest, InsertZeroIsNoop) {
+  MultisetRelation m({"x"});
+  ASSERT_TRUE(m.Insert({Value::Int(1)}, 0).ok());
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MultisetRelationTest, ToRelationCollapsesDuplicates) {
+  MultisetRelation m({"x"});
+  ASSERT_TRUE(m.Insert({Value::Int(1)}, 3).ok());
+  ASSERT_TRUE(m.Insert({Value::Int(2)}, 1).ok());
+  Relation r = m.ToRelation();
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MultisetRelationTest, ArityChecked) {
+  MultisetRelation m({"x", "y"});
+  EXPECT_FALSE(m.Insert({Value::Int(1)}).ok());
+}
+
+}  // namespace
+}  // namespace logres::algres

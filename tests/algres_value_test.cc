@@ -1,0 +1,256 @@
+// Unit and property tests for the ALGRES complex-value system.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algres/value.h"
+
+namespace logres {
+namespace {
+
+TEST(ValueTest, ScalarConstruction) {
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).real_value(), 2.5);
+  EXPECT_TRUE(Value::Nil().is_nil());
+  EXPECT_EQ(Value().kind(), ValueKind::kNil);
+  EXPECT_EQ(Value::MakeOid(Oid{7}).oid_value().id, 7u);
+}
+
+TEST(ValueTest, KindPredicates) {
+  EXPECT_TRUE(Value::Int(1).is_scalar());
+  EXPECT_TRUE(Value::MakeSet({}).is_collection());
+  EXPECT_FALSE(Value::MakeTuple({}).is_scalar());
+  EXPECT_FALSE(Value::MakeTuple({}).is_collection());
+}
+
+TEST(ValueTest, SetDeduplicatesAndSorts) {
+  Value s = Value::MakeSet({Value::Int(3), Value::Int(1), Value::Int(3)});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.elements()[0], Value::Int(1));
+  EXPECT_EQ(s.elements()[1], Value::Int(3));
+}
+
+TEST(ValueTest, SetEqualityIsOrderIndependent) {
+  Value a = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  Value b = Value::MakeSet({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, MultisetKeepsDuplicates) {
+  Value m = Value::MakeMultiset({Value::Int(1), Value::Int(1)});
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.Count(Value::Int(1)), 2u);
+  // Distinct from the set with the same support.
+  EXPECT_NE(m, Value::MakeMultiset({Value::Int(1)}));
+}
+
+TEST(ValueTest, SequencePreservesOrder) {
+  Value s = Value::MakeSequence({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(s.elements()[0], Value::Int(2));
+  EXPECT_NE(s, Value::MakeSequence({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTest, TupleFieldAccess) {
+  Value t = Value::MakeTuple(
+      {{"name", Value::String("ann")}, {"age", Value::Int(30)}});
+  EXPECT_EQ(t.field("name").value(), Value::String("ann"));
+  EXPECT_EQ(t.field("age").value(), Value::Int(30));
+  EXPECT_EQ(t.field("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(t.FindField("missing").has_value());
+  EXPECT_EQ(Value::Int(1).field("x").status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ValueTest, WithFieldReplacesOrAppends) {
+  Value t = Value::MakeTuple({{"a", Value::Int(1)}});
+  Value t2 = t.WithField("a", Value::Int(2)).value();
+  EXPECT_EQ(t2.field("a").value(), Value::Int(2));
+  Value t3 = t.WithField("b", Value::Int(3)).value();
+  EXPECT_EQ(t3.size(), 2u);
+  // Original is untouched (immutability).
+  EXPECT_EQ(t.field("a").value(), Value::Int(1));
+}
+
+TEST(ValueTest, UnionIntersectDifference) {
+  Value a = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  Value b = Value::MakeSet({Value::Int(2), Value::Int(3)});
+  EXPECT_EQ(a.Union(b).value().size(), 3u);
+  EXPECT_EQ(a.Intersect(b).value(),
+            Value::MakeSet({Value::Int(2)}));
+  EXPECT_EQ(a.Difference(b).value(),
+            Value::MakeSet({Value::Int(1)}));
+  // Cross-kind operations are type errors.
+  EXPECT_FALSE(a.Union(Value::MakeSequence({})).ok());
+  EXPECT_FALSE(Value::Int(1).Union(Value::Int(2)).ok());
+}
+
+TEST(ValueTest, MultisetUnionAddsMultiplicities) {
+  Value a = Value::MakeMultiset({Value::Int(1)});
+  Value b = Value::MakeMultiset({Value::Int(1), Value::Int(2)});
+  Value u = a.Union(b).value();
+  EXPECT_EQ(u.Count(Value::Int(1)), 2u);
+  EXPECT_EQ(u.Count(Value::Int(2)), 1u);
+}
+
+TEST(ValueTest, SequenceUnionConcatenates) {
+  Value a = Value::MakeSequence({Value::Int(2)});
+  Value b = Value::MakeSequence({Value::Int(1)});
+  Value u = a.Union(b).value();
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.elements()[0], Value::Int(2));
+  EXPECT_EQ(u.elements()[1], Value::Int(1));
+}
+
+TEST(ValueTest, InsertIntoCollections) {
+  EXPECT_EQ(Value::EmptySet().Insert(Value::Int(1)).value().size(), 1u);
+  // Set insert of an existing element is a no-op.
+  Value s = Value::MakeSet({Value::Int(1)});
+  EXPECT_EQ(s.Insert(Value::Int(1)).value().size(), 1u);
+  // Sequence insert appends at the end.
+  Value q = Value::MakeSequence({Value::Int(1)});
+  EXPECT_EQ(q.Insert(Value::Int(2)).value().elements()[1], Value::Int(2));
+  EXPECT_FALSE(Value::Int(1).Insert(Value::Int(2)).ok());
+}
+
+TEST(ValueTest, ContainsAndCount) {
+  Value s = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(s.Contains(Value::Int(1)));
+  EXPECT_FALSE(s.Contains(Value::Int(9)));
+  Value q = Value::MakeSequence({Value::Int(1), Value::Int(1)});
+  EXPECT_EQ(q.Count(Value::Int(1)), 2u);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Nil().ToString(), "nil");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::MakeOid(Oid{4}).ToString(), "#4");
+  EXPECT_EQ(Value::MakeSet({Value::Int(1)}).ToString(), "{1}");
+  EXPECT_EQ(Value::MakeMultiset({Value::Int(1)}).ToString(), "[1]");
+  EXPECT_EQ(Value::MakeSequence({Value::Int(1)}).ToString(), "<1>");
+  EXPECT_EQ(
+      Value::MakeTuple({{"a", Value::Int(1)}, {"b", Value::Nil()}})
+          .ToString(),
+      "(a: 1, b: nil)");
+}
+
+TEST(ValueTest, NestedStructures) {
+  // Example 2.1's TEAM shape: sequence of players plus set of substitutes.
+  Value player = Value::MakeTuple(
+      {{"name", Value::String("p1")},
+       {"roles", Value::MakeSet({Value::Int(4), Value::Int(9)})}});
+  Value team = Value::MakeTuple(
+      {{"team_name", Value::String("t")},
+       {"base_players", Value::MakeSequence({player})},
+       {"substitutes", Value::MakeSet({})}});
+  EXPECT_EQ(team.field("base_players").value().elements()[0], player);
+  EXPECT_EQ(
+      player.field("roles").value().Count(Value::Int(4)), 1u);
+}
+
+TEST(ValueTest, OidGeneratorIsMonotonic) {
+  OidGenerator gen;
+  Oid a = gen.Next();
+  Oid b = gen.Next();
+  EXPECT_LT(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(gen.issued(), 2u);
+  EXPECT_FALSE(Oid{}.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: total order and hashing over a generated value universe.
+
+std::vector<Value> SampleUniverse() {
+  std::vector<Value> out = {
+      Value::Nil(),
+      Value::Bool(false),
+      Value::Bool(true),
+      Value::Int(-1),
+      Value::Int(0),
+      Value::Int(7),
+      Value::Real(0.5),
+      Value::String(""),
+      Value::String("abc"),
+      Value::MakeOid(Oid{1}),
+      Value::MakeOid(Oid{2}),
+  };
+  size_t scalars = out.size();
+  for (size_t i = 0; i < scalars; ++i) {
+    out.push_back(Value::MakeSet({out[i]}));
+    out.push_back(Value::MakeSequence({out[i], out[i]}));
+    out.push_back(Value::MakeTuple({{"f", out[i]}}));
+  }
+  out.push_back(Value::MakeMultiset({Value::Int(1), Value::Int(1)}));
+  return out;
+}
+
+class ValueOrderProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ValueOrderProperty, CompareIsTotalAndConsistentWithHash) {
+  std::vector<Value> universe = SampleUniverse();
+  const Value& a = universe[GetParam()];
+  for (const Value& b : universe) {
+    int ab = a.Compare(b);
+    int ba = b.Compare(a);
+    // Antisymmetry.
+    EXPECT_EQ(ab == 0, ba == 0);
+    if (ab != 0) {
+      EXPECT_EQ(ab < 0, ba > 0);
+    }
+    // Reflexivity through equality; equal values hash alike.
+    if (ab == 0) {
+      EXPECT_EQ(a.Hash(), b.Hash());
+      EXPECT_EQ(a.ToString(), b.ToString());
+    }
+    // Transitivity spot check against every third value.
+    for (size_t k = 0; k < universe.size(); k += 7) {
+      const Value& c = universe[k];
+      if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+        EXPECT_LE(a.Compare(c), 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universe, ValueOrderProperty,
+                         ::testing::Range<size_t>(0, 44));
+
+class SetAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetAlgebraProperty, UnionIntersectionLaws) {
+  // Build two pseudo-random integer sets from the parameter.
+  int seed = GetParam();
+  std::vector<Value> ea, eb;
+  for (int i = 0; i < 8; ++i) {
+    if ((seed >> i) & 1) ea.push_back(Value::Int(i));
+    if ((seed >> (i + 4)) & 1) eb.push_back(Value::Int(i));
+  }
+  Value a = Value::MakeSet(ea);
+  Value b = Value::MakeSet(eb);
+  Value u = a.Union(b).value();
+  Value i = a.Intersect(b).value();
+  Value d = a.Difference(b).value();
+  // |A ∪ B| = |A| + |B| − |A ∩ B|.
+  EXPECT_EQ(u.size(), a.size() + b.size() - i.size());
+  // A = (A − B) ∪ (A ∩ B).
+  EXPECT_EQ(d.Union(i).value(), a);
+  // Commutativity.
+  EXPECT_EQ(u, b.Union(a).value());
+  EXPECT_EQ(i, b.Intersect(a).value());
+  // Everything in the intersection is in both.
+  for (const Value& e : i.elements()) {
+    EXPECT_TRUE(a.Contains(e));
+    EXPECT_TRUE(b.Contains(e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetAlgebraProperty,
+                         ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace logres

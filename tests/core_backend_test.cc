@@ -1,0 +1,397 @@
+// Tests for the ALGRES compilation backend: cross-validation against the
+// direct evaluator on the flat positive fragment, and fragment rejection.
+
+#include <gtest/gtest.h>
+
+#include "core/algres_backend.h"
+#include "core/database.h"
+#include "core/parser.h"
+
+namespace logres {
+namespace {
+
+struct Compiled {
+  Schema schema;
+  CheckedProgram program;
+};
+
+Result<Compiled> Build(const std::string& schema_text,
+                       const std::vector<std::string>& rule_texts) {
+  LOGRES_ASSIGN_OR_RETURN(ParsedUnit unit, Parse(schema_text));
+  LOGRES_RETURN_NOT_OK(unit.schema.Validate());
+  std::vector<Rule> rules;
+  for (const std::string& text : rule_texts) {
+    LOGRES_ASSIGN_OR_RETURN(Rule rule, ParseRule(text));
+    rules.push_back(std::move(rule));
+  }
+  LOGRES_ASSIGN_OR_RETURN(CheckedProgram program,
+                          Typecheck(unit.schema, {}, rules));
+  Compiled out{std::move(unit.schema), std::move(program)};
+  return out;
+}
+
+Value Edge(int a, int b) {
+  return Value::MakeTuple({{"a", Value::Int(a)}, {"b", Value::Int(b)}});
+}
+
+TEST(BackendTest, TransitiveClosureMatchesEvaluator) {
+  auto built = Build(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);",
+      {"tc(a: X, b: Y) <- e(a: X, b: Y).",
+       "tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z)."});
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  Instance edb;
+  for (int i = 0; i < 6; ++i) edb.InsertTuple("E", Edge(i, i + 1));
+  edb.InsertTuple("E", Edge(0, 3));
+
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto via_algebra = backend->Run(edb);
+  ASSERT_TRUE(via_algebra.ok()) << via_algebra.status();
+
+  OidGenerator gen;
+  Evaluator evaluator(built->schema, built->program, &gen);
+  auto via_eval = evaluator.Run(edb);
+  ASSERT_TRUE(via_eval.ok()) << via_eval.status();
+
+  EXPECT_EQ(via_algebra->TuplesOf("TC"), via_eval->TuplesOf("TC"));
+  // A 7-node chain has C(7,2) = 21 reachable pairs; the 0->3 shortcut
+  // adds none.
+  EXPECT_EQ(via_algebra->TuplesOf("TC").size(), 21u);
+}
+
+TEST(BackendTest, NaiveAndSemiNaiveAgree) {
+  auto built = Build(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);",
+      {"tc(a: X, b: Y) <- e(a: X, b: Y).",
+       "tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z)."});
+  ASSERT_TRUE(built.ok());
+  Instance edb;
+  for (int i = 0; i < 10; ++i) edb.InsertTuple("E", Edge(i, (i * 3) % 10));
+  auto backend = AlgresBackend::Compile(built->schema,
+                                        built->program).value();
+  auto naive = backend.Run(edb, AlgresStrategy::kNaive);
+  auto semi = backend.Run(edb, AlgresStrategy::kSemiNaive);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(semi.ok());
+  EXPECT_TRUE(*naive == *semi);
+}
+
+TEST(BackendTest, ComparisonsAndConstantsCompile) {
+  auto built = Build(
+      "associations P = (x: integer, y: integer);"
+      "             Q = (x: integer);",
+      {"q(x: X) <- p(x: X, y: Y), X > Y, X != 4.",
+       "q(x: 100) <- p(x: 1, y: 1)."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  edb.InsertTuple("P", Edge(3, 1));  // labels a/b vs x/y mismatch below
+  Instance edb2;
+  auto tup = [](int x, int y) {
+    return Value::MakeTuple({{"x", Value::Int(x)}, {"y", Value::Int(y)}});
+  };
+  edb2.InsertTuple("P", tup(3, 1));
+  edb2.InsertTuple("P", tup(4, 1));
+  edb2.InsertTuple("P", tup(1, 1));
+  auto backend = AlgresBackend::Compile(built->schema,
+                                        built->program).value();
+  auto out = backend.Run(edb2);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->TuplesOf("Q").size(), 2u);  // x=3 and the constant 100
+  EXPECT_TRUE(out->TuplesOf("Q").count(
+      Value::MakeTuple({{"x", Value::Int(3)}})));
+  EXPECT_TRUE(out->TuplesOf("Q").count(
+      Value::MakeTuple({{"x", Value::Int(100)}})));
+}
+
+TEST(BackendTest, ArithmeticInComparisons) {
+  auto built = Build(
+      "associations P = (x: integer); Q = (x: integer);",
+      {"q(x: X) <- p(x: X), X = 2 * 3."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  edb.InsertTuple("P", Value::MakeTuple({{"x", Value::Int(6)}}));
+  edb.InsertTuple("P", Value::MakeTuple({{"x", Value::Int(5)}}));
+  auto backend = AlgresBackend::Compile(built->schema,
+                                        built->program).value();
+  auto out = backend.Run(edb);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->TuplesOf("Q").size(), 1u);
+}
+
+TEST(BackendTest, ClassRelationsCarrySelfColumn) {
+  auto built = Build(
+      "classes PERSON = (name: string);"
+      "associations OUT = (name: string);",
+      {"out(name: N) <- person(self X, name: N)."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Schema& schema = built->schema;
+  Instance edb;
+  OidGenerator gen;
+  ASSERT_TRUE(edb.CreateObject(schema, "PERSON",
+      Value::MakeTuple({{"name", Value::String("ann")}}), &gen).ok());
+  auto backend = AlgresBackend::Compile(schema, built->program).value();
+  auto out = backend.Run(edb);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->TuplesOf("OUT").size(), 1u);
+  // Round-trip preserved the object.
+  EXPECT_EQ(out->OidsOf("PERSON").size(), 1u);
+}
+
+TEST(BackendTest, InstanceRelationRoundTrip) {
+  auto built = Build(
+      "classes PERSON = (name: string);"
+      "associations LIKES = (who: PERSON, what: string);", {});
+  ASSERT_TRUE(built.ok());
+  Instance edb;
+  OidGenerator gen;
+  Oid ann = edb.CreateObject(built->schema, "PERSON",
+      Value::MakeTuple({{"name", Value::String("ann")}}), &gen).value();
+  edb.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(ann)}, {"what", Value::String("jazz")}}));
+  auto rels = InstanceToRelations(built->schema, edb);
+  ASSERT_TRUE(rels.ok()) << rels.status();
+  EXPECT_EQ(rels->at("PERSON").size(), 1u);
+  EXPECT_EQ(rels->at("PERSON").columns().front(), "$self");
+  auto back = RelationsToInstance(built->schema, *rels);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(*back == edb);
+}
+
+// ---------------------------------------------------------------------------
+// Fragment rejection: everything outside the flat positive fragment.
+
+TEST(BackendTest, StratifiedNegationCompilesToAntiJoin) {
+  auto built = Build(
+      "associations NODE = (x: integer); COV = (x: integer);"
+      "             UNCOV = (x: integer);",
+      {"uncov(x: X) <- node(x: X), not cov(x: X)."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  for (int i = 0; i < 4; ++i) {
+    edb.InsertTuple("NODE", Value::MakeTuple({{"x", Value::Int(i)}}));
+  }
+  edb.InsertTuple("COV", Value::MakeTuple({{"x", Value::Int(1)}}));
+  edb.InsertTuple("COV", Value::MakeTuple({{"x", Value::Int(3)}}));
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto out = backend->Run(edb);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->TuplesOf("UNCOV").size(), 2u);
+  // Agrees with the direct evaluator.
+  OidGenerator gen;
+  Evaluator evaluator(built->schema, built->program, &gen);
+  auto direct = evaluator.Run(edb);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out->TuplesOf("UNCOV"), direct->TuplesOf("UNCOV"));
+}
+
+TEST(BackendTest, NegationAcrossStrataWithRecursion) {
+  // TC in stratum 0, a complement query in stratum 1.
+  auto built = Build(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);"
+      "             UNREACH = (a: integer, b: integer);",
+      {"tc(a: X, b: Y) <- e(a: X, b: Y).",
+       "tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).",
+       "unreach(a: X, b: Y) <- e(a: X, b: P), e(a: Y, b: Q), "
+       "not tc(a: X, b: Y)."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  edb.InsertTuple("E", Edge(1, 2));
+  edb.InsertTuple("E", Edge(2, 3));
+  edb.InsertTuple("E", Edge(4, 4));
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  for (auto strategy :
+       {AlgresStrategy::kNaive, AlgresStrategy::kSemiNaive}) {
+    auto out = backend->Run(edb, strategy);
+    ASSERT_TRUE(out.ok()) << out.status();
+    OidGenerator gen;
+    Evaluator evaluator(built->schema, built->program, &gen);
+    auto direct = evaluator.Run(edb);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(out->TuplesOf("UNREACH"), direct->TuplesOf("UNREACH"));
+  }
+}
+
+TEST(BackendTest, RejectsUnstratifiedNegation) {
+  auto built = Build(
+      "associations P = (x: integer); Q = (x: integer);",
+      {"q(x: X) <- p(x: X), not q(x: X)."});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(AlgresBackend::Compile(built->schema, built->program)
+                .status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(BackendTest, NegatedComparisons) {
+  auto built = Build(
+      "associations P = (x: integer); Q = (x: integer);",
+      {"q(x: X) <- p(x: X), not X = 2."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  for (int i = 1; i <= 3; ++i) {
+    edb.InsertTuple("P", Value::MakeTuple({{"x", Value::Int(i)}}));
+  }
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto out = backend->Run(edb);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->TuplesOf("Q").size(), 2u);
+}
+
+TEST(BackendTest, RejectsDeletionHeads) {
+  auto built = Build("associations P = (x: integer);",
+                     {"not p(x: X) <- p(x: X), X > 1."});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(AlgresBackend::Compile(built->schema, built->program)
+                .status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(BackendTest, RejectsInvention) {
+  auto built = Build(
+      "classes OBJ = (x: integer); associations S = (x: integer);",
+      {"obj(self O, x: X) <- s(x: X)."});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(AlgresBackend::Compile(built->schema, built->program)
+                .status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(BackendTest, RejectsBuiltins) {
+  auto built = Build(
+      "associations P = (s: {integer}); Q = (x: integer);",
+      {"q(x: X) <- p(s: S), member(X, S)."});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(AlgresBackend::Compile(built->schema, built->program)
+                .status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(BackendTest, NestedTuplePatternsCompile) {
+  // NF² cells: a game with a nested score, selected and destructured.
+  auto built = Build(
+      "domains SCORE = (home: integer, guest: integer);"
+      "associations GAME = (team: string, score: SCORE);"
+      "             HOMEWIN = (team: string, margin: integer);",
+      {"homewin(team: T, margin: M) <- "
+       "game(team: T, score: (home: H, guest: G)), H > G, M = H - G."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  auto game = [](const char* t, int h, int g) {
+    return Value::MakeTuple(
+        {{"team", Value::String(t)},
+         {"score", Value::MakeTuple({{"home", Value::Int(h)},
+                                     {"guest", Value::Int(g)}})}});
+  };
+  edb.InsertTuple("GAME", game("milan", 3, 1));
+  edb.InsertTuple("GAME", game("inter", 0, 2));
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto out = backend->Run(edb);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->TuplesOf("HOMEWIN").size(), 1u);
+  EXPECT_TRUE(out->TuplesOf("HOMEWIN").count(Value::MakeTuple(
+      {{"team", Value::String("milan")}, {"margin", Value::Int(2)}})));
+  // Cross-validate against the direct evaluator.
+  OidGenerator gen;
+  Evaluator evaluator(built->schema, built->program, &gen);
+  auto direct = evaluator.Run(edb);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out->TuplesOf("HOMEWIN"), direct->TuplesOf("HOMEWIN"));
+}
+
+TEST(BackendTest, NestedConstantSelection) {
+  auto built = Build(
+      "domains SCORE = (home: integer, guest: integer);"
+      "associations GAME = (team: string, score: SCORE);"
+      "             SHUTOUT = (team: string);",
+      {"shutout(team: T) <- game(team: T, score: (guest: 0))."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  edb.InsertTuple("GAME", Value::MakeTuple(
+      {{"team", Value::String("a")},
+       {"score", Value::MakeTuple({{"home", Value::Int(1)},
+                                   {"guest", Value::Int(0)}})}}));
+  edb.InsertTuple("GAME", Value::MakeTuple(
+      {{"team", Value::String("b")},
+       {"score", Value::MakeTuple({{"home", Value::Int(2)},
+                                   {"guest", Value::Int(2)}})}}));
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto out = backend->Run(edb);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->TuplesOf("SHUTOUT").size(), 1u);
+}
+
+TEST(BackendTest, NestedHeadConstruction) {
+  // The head rebuilds a nested value from flat inputs.
+  auto built = Build(
+      "domains SCORE = (home: integer, guest: integer);"
+      "associations FLAT = (team: string, h: integer, g: integer);"
+      "             GAME = (team: string, score: SCORE);",
+      {"game(team: T, score: (home: H, guest: G)) <- "
+       "flat(team: T, h: H, g: G)."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  edb.InsertTuple("FLAT", Value::MakeTuple(
+      {{"team", Value::String("x")}, {"h", Value::Int(4)},
+       {"g", Value::Int(2)}}));
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto out = backend->Run(edb);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->TuplesOf("GAME").size(), 1u);
+  const Value& game = *out->TuplesOf("GAME").begin();
+  EXPECT_EQ(game.field("score").value().field("home").value(),
+            Value::Int(4));
+  // The evaluator agrees.
+  OidGenerator gen;
+  Evaluator evaluator(built->schema, built->program, &gen);
+  auto direct = evaluator.Run(edb);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out->TuplesOf("GAME"), direct->TuplesOf("GAME"));
+}
+
+TEST(BackendTest, RepeatedVariableAcrossNestedPaths) {
+  // The same variable bound through a path and a direct column forces an
+  // intra-literal equality.
+  auto built = Build(
+      "domains P = (v: integer);"
+      "associations A = (x: integer, nest: P);"
+      "             OUT = (x: integer);",
+      {"out(x: X) <- a(x: X, nest: (v: X))."});
+  ASSERT_TRUE(built.ok()) << built.status();
+  Instance edb;
+  auto row = [](int x, int v) {
+    return Value::MakeTuple(
+        {{"x", Value::Int(x)},
+         {"nest", Value::MakeTuple({{"v", Value::Int(v)}})}});
+  };
+  edb.InsertTuple("A", row(1, 1));
+  edb.InsertTuple("A", row(2, 3));
+  auto backend = AlgresBackend::Compile(built->schema, built->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto out = backend->Run(edb);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->TuplesOf("OUT").size(), 1u);
+  EXPECT_TRUE(out->TuplesOf("OUT").count(Value::MakeTuple(
+      {{"x", Value::Int(1)}})));
+}
+
+TEST(BackendTest, RejectsDenials) {
+  auto built = Build("associations P = (x: integer);",
+                     {"<- p(x: X), X > 10."});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(AlgresBackend::Compile(built->schema, built->program)
+                .status().code(),
+            StatusCode::kNotImplemented);
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,261 @@
+// Unit tests for the built-in predicates (Section 3.1) and the value
+// comparison / arithmetic helpers they rest on.
+
+#include <gtest/gtest.h>
+
+#include "core/builtin.h"
+#include "core/parser.h"
+
+namespace logres {
+namespace {
+
+// A little harness: evaluates builtin literal text against bindings with a
+// plain term evaluator / matcher (no instance needed for these builtins).
+Result<std::vector<Bindings>> Solve(const std::string& literal_text,
+                                    Bindings bindings) {
+  auto rule = ParseRule("x(a: 1) <- " + literal_text + ".");
+  if (!rule.ok()) return rule.status();
+  const Literal& lit = rule->body[0];
+
+  TermEvalFn eval = [&bindings, &eval](const TermPtr& t) -> Result<Value> {
+    switch (t->kind()) {
+      case TermKind::kConstant:
+        return t->constant();
+      case TermKind::kVariable: {
+        auto it = bindings.find(t->name());
+        if (it == bindings.end()) {
+          return Status::ExecutionError("unbound " + t->name());
+        }
+        return it->second;
+      }
+      case TermKind::kSetTerm: {
+        std::vector<Value> elems;
+        for (const TermPtr& e : t->elements()) {
+          LOGRES_ASSIGN_OR_RETURN(Value v, eval(e));
+          elems.push_back(v);
+        }
+        return Value::MakeSet(std::move(elems));
+      }
+      case TermKind::kSequenceTerm: {
+        std::vector<Value> elems;
+        for (const TermPtr& e : t->elements()) {
+          LOGRES_ASSIGN_OR_RETURN(Value v, eval(e));
+          elems.push_back(v);
+        }
+        return Value::MakeSequence(std::move(elems));
+      }
+      case TermKind::kMultisetTerm: {
+        std::vector<Value> elems;
+        for (const TermPtr& e : t->elements()) {
+          LOGRES_ASSIGN_OR_RETURN(Value v, eval(e));
+          elems.push_back(v);
+        }
+        return Value::MakeMultiset(std::move(elems));
+      }
+      case TermKind::kArith: {
+        LOGRES_ASSIGN_OR_RETURN(Value a, eval(t->lhs()));
+        LOGRES_ASSIGN_OR_RETURN(Value b, eval(t->rhs()));
+        return EvalArith(t->arith_op(), a, b);
+      }
+      default:
+        return Status::ExecutionError("unsupported term in test harness");
+    }
+  };
+  TermMatchFn match = [](const TermPtr& t, const Value& v,
+                         Bindings* b) -> Result<bool> {
+    if (t->kind() == TermKind::kVariable) {
+      auto it = b->find(t->name());
+      if (it != b->end()) return it->second == v;
+      b->emplace(t->name(), v);
+      return true;
+    }
+    if (t->kind() == TermKind::kConstant) return t->constant() == v;
+    return false;
+  };
+  return SolveBuiltin(lit, bindings, eval, match);
+}
+
+Value IntSet(std::vector<int64_t> xs) {
+  std::vector<Value> vs;
+  for (int64_t x : xs) vs.push_back(Value::Int(x));
+  return Value::MakeSet(std::move(vs));
+}
+
+TEST(BuiltinTest, MemberEnumerates) {
+  Bindings b = {{"S", IntSet({1, 2, 3})}};
+  auto out = Solve("member(X, S)", b);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(BuiltinTest, MemberTests) {
+  Bindings b = {{"S", IntSet({1, 2})}, {"X", Value::Int(2)}};
+  EXPECT_EQ(Solve("member(X, S)", b)->size(), 1u);
+  b["X"] = Value::Int(9);
+  EXPECT_TRUE(Solve("member(X, S)", b)->empty());
+}
+
+TEST(BuiltinTest, MemberOverSequencesAndMultisets) {
+  Bindings b = {{"Q", Value::MakeSequence({Value::Int(1), Value::Int(1)})}};
+  // Enumeration visits each occurrence but identical bindings collapse at
+  // the receiving end; here we get two (identical) extensions.
+  EXPECT_EQ(Solve("member(X, Q)", b)->size(), 2u);
+  EXPECT_FALSE(Solve("member(X, Y)", {{"Y", Value::Int(3)}}).ok());
+}
+
+TEST(BuiltinTest, UnionIntersectionDifference) {
+  Bindings b = {{"A", IntSet({1, 2})}, {"B", IntSet({2, 3})}};
+  auto u = Solve("union(R, A, B)", b);
+  ASSERT_EQ(u->size(), 1u);
+  EXPECT_EQ(u->front().at("R"), IntSet({1, 2, 3}));
+  EXPECT_EQ(Solve("intersection(R, A, B)", b)->front().at("R"),
+            IntSet({2}));
+  EXPECT_EQ(Solve("difference(R, A, B)", b)->front().at("R"), IntSet({1}));
+  // Bound result acts as a test.
+  Bindings b2 = b;
+  b2["R"] = IntSet({1, 2, 3});
+  EXPECT_EQ(Solve("union(R, A, B)", b2)->size(), 1u);
+  b2["R"] = IntSet({1});
+  EXPECT_TRUE(Solve("union(R, A, B)", b2)->empty());
+}
+
+TEST(BuiltinTest, AppendInsertsElement) {
+  // Example 3.3: append({}, Y, X) makes the singleton {Y}.
+  Bindings b = {{"Y", Value::Int(5)}};
+  auto out = Solve("append({}, Y, X)", b);
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->front().at("X"), IntSet({5}));
+}
+
+TEST(BuiltinTest, CountSumMinMaxAvgLength) {
+  Bindings b = {{"S", IntSet({1, 2, 3})}};
+  EXPECT_EQ(Solve("count(S, N)", b)->front().at("N"), Value::Int(3));
+  EXPECT_EQ(Solve("sum(S, N)", b)->front().at("N"), Value::Int(6));
+  EXPECT_EQ(Solve("min(S, N)", b)->front().at("N"), Value::Int(1));
+  EXPECT_EQ(Solve("max(S, N)", b)->front().at("N"), Value::Int(3));
+  EXPECT_EQ(Solve("avg(S, N)", b)->front().at("N"), Value::Real(2.0));
+  Bindings q = {{"Q", Value::MakeSequence({Value::Int(9)})}};
+  EXPECT_EQ(Solve("length(Q, N)", q)->front().at("N"), Value::Int(1));
+}
+
+TEST(BuiltinTest, MinMaxAvgOfEmptyFail) {
+  Bindings b = {{"S", IntSet({})}};
+  EXPECT_TRUE(Solve("min(S, N)", b)->empty());
+  EXPECT_TRUE(Solve("max(S, N)", b)->empty());
+  EXPECT_TRUE(Solve("avg(S, N)", b)->empty());
+  // count/sum of empty are 0.
+  EXPECT_EQ(Solve("count(S, N)", b)->front().at("N"), Value::Int(0));
+  EXPECT_EQ(Solve("sum(S, N)", b)->front().at("N"), Value::Int(0));
+}
+
+TEST(BuiltinTest, SumMixedNumericIsReal) {
+  Bindings b = {{"S", Value::MakeSet({Value::Int(1), Value::Real(0.5)})}};
+  EXPECT_EQ(Solve("sum(S, N)", b)->front().at("N"), Value::Real(1.5));
+  Bindings bad = {{"S", Value::MakeSet({Value::String("x")})}};
+  EXPECT_EQ(Solve("sum(S, N)", bad).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(BuiltinTest, Nth) {
+  Bindings b = {{"Q", Value::MakeSequence({Value::Int(10), Value::Int(20)})},
+                {"I", Value::Int(2)}};
+  EXPECT_EQ(Solve("nth(Q, I, V)", b)->front().at("V"), Value::Int(20));
+  b["I"] = Value::Int(3);
+  EXPECT_TRUE(Solve("nth(Q, I, V)", b)->empty());
+  b["I"] = Value::Int(0);
+  EXPECT_TRUE(Solve("nth(Q, I, V)", b)->empty());
+}
+
+TEST(BuiltinTest, EmptyEvenOddSubset) {
+  EXPECT_EQ(Solve("empty(S)", {{"S", IntSet({})}})->size(), 1u);
+  EXPECT_TRUE(Solve("empty(S)", {{"S", IntSet({1})}})->empty());
+  EXPECT_EQ(Solve("even(N)", {{"N", Value::Int(4)}})->size(), 1u);
+  EXPECT_TRUE(Solve("even(N)", {{"N", Value::Int(3)}})->empty());
+  EXPECT_EQ(Solve("odd(N)", {{"N", Value::Int(3)}})->size(), 1u);
+  EXPECT_EQ(Solve("subset(A, B)",
+                  {{"A", IntSet({1})}, {"B", IntSet({1, 2})}})->size(),
+            1u);
+  EXPECT_TRUE(Solve("subset(A, B)",
+                    {{"A", IntSet({3})}, {"B", IntSet({1, 2})}})->empty());
+}
+
+TEST(BuiltinTest, KindErrors) {
+  EXPECT_EQ(Solve("even(N)", {{"N", Value::String("x")}}).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Solve("count(S, N)", {{"S", Value::Int(1)}}).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Solve("union(R, A, B)",
+                  {{"A", IntSet({1})},
+                   {"B", Value::MakeSequence({})}}).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Solve("subset(A, B)",
+                  {{"A", Value::Int(1)}, {"B", IntSet({})}})
+                .status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(BuiltinTest, ArityErrors) {
+  EXPECT_EQ(Solve("member(X)", {}).status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Solve("union(A, B)", {{"A", IntSet({})}, {"B", IntSet({})}})
+                .status().code(),
+            StatusCode::kTypeError);
+}
+
+// ---------------------------------------------------------------------------
+// CompareValues / EvalArith.
+
+TEST(CompareValuesTest, NumericCrossKind) {
+  EXPECT_EQ(CompareValues(Value::Int(2), Value::Real(2.0)).value(), 0);
+  EXPECT_LT(CompareValues(Value::Int(1), Value::Real(1.5)).value(), 0);
+  EXPECT_GT(CompareValues(Value::Real(3.5), Value::Int(3)).value(), 0);
+}
+
+TEST(CompareValuesTest, SameKindStructural) {
+  EXPECT_LT(CompareValues(Value::String("a"), Value::String("b")).value(),
+            0);
+  EXPECT_EQ(CompareValues(IntSet({1, 2}), IntSet({1, 2})).value(), 0);
+}
+
+TEST(CompareValuesTest, CrossKindIsError) {
+  EXPECT_FALSE(CompareValues(Value::Int(1), Value::String("1")).ok());
+  // nil compares only against nil.
+  EXPECT_EQ(CompareValues(Value::Nil(), Value::Nil()).value(), 0);
+  EXPECT_NE(CompareValues(Value::Nil(), Value::Int(0)).value(), 0);
+}
+
+TEST(EvalArithTest, IntegerOps) {
+  EXPECT_EQ(EvalArith(ArithOp::kAdd, Value::Int(2), Value::Int(3)).value(),
+            Value::Int(5));
+  EXPECT_EQ(EvalArith(ArithOp::kSub, Value::Int(2), Value::Int(3)).value(),
+            Value::Int(-1));
+  EXPECT_EQ(EvalArith(ArithOp::kMul, Value::Int(4), Value::Int(3)).value(),
+            Value::Int(12));
+  EXPECT_EQ(EvalArith(ArithOp::kDiv, Value::Int(7), Value::Int(2)).value(),
+            Value::Int(3));
+  EXPECT_EQ(EvalArith(ArithOp::kMod, Value::Int(7), Value::Int(2)).value(),
+            Value::Int(1));
+}
+
+TEST(EvalArithTest, RealPromotion) {
+  EXPECT_EQ(EvalArith(ArithOp::kAdd, Value::Int(1), Value::Real(0.5))
+                .value(),
+            Value::Real(1.5));
+  EXPECT_EQ(EvalArith(ArithOp::kDiv, Value::Real(1.0), Value::Real(4.0))
+                .value(),
+            Value::Real(0.25));
+}
+
+TEST(EvalArithTest, Errors) {
+  EXPECT_EQ(EvalArith(ArithOp::kDiv, Value::Int(1), Value::Int(0))
+                .status().code(),
+            StatusCode::kExecutionError);
+  EXPECT_EQ(EvalArith(ArithOp::kMod, Value::Real(1.0), Value::Real(2.0))
+                .status().code(),
+            StatusCode::kExecutionError);
+  EXPECT_EQ(EvalArith(ArithOp::kAdd, Value::String("a"), Value::Int(1))
+                .status().code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,244 @@
+// Tests for collection-valued rule machinery: sequences, multisets, nth /
+// length, nil semantics in heads and values, and o-value merging when
+// rules update existing objects.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace logres {
+namespace {
+
+TEST(CollectionRuleTest, SequencesFlowThroughRules) {
+  auto db_result = Database::Create(R"(
+    associations
+      ROUTE = (name: string, stops: <string>);
+      FIRSTSTOP = (name: string, stop: string);
+      LEN = (name: string, n: integer);
+  )");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("ROUTE", Value::MakeTuple(
+      {{"name", Value::String("r1")},
+       {"stops", Value::MakeSequence({Value::String("a"),
+                                      Value::String("b"),
+                                      Value::String("c")})}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      firststop(name: N, stop: S) <- route(name: N, stops: Q),
+                                     nth(Q, 1, S).
+      len(name: N, n: L) <- route(name: N, stops: Q), length(Q, L).
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_TRUE(db.edb().TuplesOf("FIRSTSTOP").count(Value::MakeTuple(
+      {{"name", Value::String("r1")}, {"stop", Value::String("a")}})));
+  EXPECT_TRUE(db.edb().TuplesOf("LEN").count(Value::MakeTuple(
+      {{"name", Value::String("r1")}, {"n", Value::Int(3)}})));
+}
+
+TEST(CollectionRuleTest, SequencePatternMatching) {
+  // A sequence term of patterns destructures a stored sequence.
+  auto db_result = Database::Create(R"(
+    associations
+      PAIRSEQ = (s: <integer>);
+      SWAPPED = (s: <integer>);
+  )");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("PAIRSEQ", Value::MakeTuple(
+      {{"s", Value::MakeSequence({Value::Int(1), Value::Int(2)})}})).ok());
+  ASSERT_TRUE(db.InsertTuple("PAIRSEQ", Value::MakeTuple(
+      {{"s", Value::MakeSequence({Value::Int(7)})}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      swapped(s: T) <- pairseq(s: Q), Q = <A, B>, T = <B, A>.
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // Only the length-2 sequence matches the pattern.
+  ASSERT_EQ(db.edb().TuplesOf("SWAPPED").size(), 1u);
+  EXPECT_TRUE(db.edb().TuplesOf("SWAPPED").count(Value::MakeTuple(
+      {{"s", Value::MakeSequence({Value::Int(2), Value::Int(1)})}})));
+}
+
+TEST(CollectionRuleTest, MultisetsKeepMultiplicity) {
+  auto db_result = Database::Create(R"(
+    associations
+      BAG = (b: [integer]);
+      SIZE = (n: integer);
+  )");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("BAG", Value::MakeTuple(
+      {{"b", Value::MakeMultiset({Value::Int(1), Value::Int(1),
+                                  Value::Int(2)})}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      size(n: N) <- bag(b: B), count(B, N).
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // Multiset count includes duplicates: 3, not 2.
+  EXPECT_TRUE(db.edb().TuplesOf("SIZE").count(Value::MakeTuple(
+      {{"n", Value::Int(3)}})));
+}
+
+TEST(CollectionRuleTest, MemberEnumeratesSequencesWithDuplicates) {
+  auto db_result = Database::Create(R"(
+    associations
+      Q = (s: <integer>);
+      SEEN = (x: integer);
+  )");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("Q", Value::MakeTuple(
+      {{"s", Value::MakeSequence({Value::Int(5), Value::Int(5),
+                                  Value::Int(6)})}})).ok());
+  auto apply = db.ApplySource(
+      "rules seen(x: X) <- q(s: S), member(X, S).",
+      ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_EQ(db.edb().TuplesOf("SEEN").size(), 2u);  // deduped by SEEN
+}
+
+TEST(NilSemanticsTest, UnboundClassHeadVariableBecomesNil) {
+  // Valuation map point (c): class-typed head variables not bound by the
+  // body are nil — and nil is a legal class reference inside a class.
+  auto db_result = Database::Create(R"(
+    classes
+      PERSON = (name: string, spouse: PERSON);
+    associations
+      SRC = (n: string);
+  )");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("SRC", Value::MakeTuple(
+      {{"n", Value::String("solo")}})).ok());
+  auto apply = db.ApplySource(
+      "rules person(self P, name: N, spouse: S) <- src(n: N).",
+      ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  ASSERT_EQ(db.edb().OidsOf("PERSON").size(), 1u);
+  Oid p = *db.edb().OidsOf("PERSON").begin();
+  EXPECT_EQ(db.edb().OValue(p).value().field("spouse").value(),
+            Value::Nil());
+}
+
+TEST(NilSemanticsTest, NilComparesOnlyToNil) {
+  auto db_result = Database::Create(R"(
+    classes
+      PERSON = (name: string, spouse: PERSON);
+    associations
+      SINGLE = (name: string);
+  )");
+  Database db = std::move(db_result).value();
+  auto a = db.InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("a")}, {"spouse", Value::Nil()}}));
+  auto b = db.InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("b")}, {"spouse", Value::MakeOid(*a)}}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      single(name: N) <- person(name: N, spouse: S), S = nil.
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_EQ(db.edb().TuplesOf("SINGLE").size(), 1u);
+  EXPECT_TRUE(db.edb().TuplesOf("SINGLE").count(Value::MakeTuple(
+      {{"name", Value::String("a")}})));
+}
+
+TEST(MergeSemanticsTest, PartialHeadUpdatesMergeIntoExistingObject) {
+  // A rule that re-derives an existing object (same oid) with a subset of
+  // fields keeps the other fields: the ⊕ composition merged with the
+  // existing o-value.
+  auto db_result = Database::Create(R"(
+    classes
+      PERSON = (name: string, age: integer);
+  )");
+  Database db = std::move(db_result).value();
+  auto ann = db.InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("ann")}, {"age", Value::Int(30)}}));
+  ASSERT_TRUE(ann.ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      person(self P, age: A2) <- person(self P, name: "ann", age: A),
+                                 A2 = A + 1, A < 31.
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  Value v = db.edb().OValue(*ann).value();
+  EXPECT_EQ(v.field("name").value(), Value::String("ann"));
+  EXPECT_EQ(v.field("age").value(), Value::Int(31));
+  EXPECT_EQ(db.edb().OidsOf("PERSON").size(), 1u);
+}
+
+TEST(MergeSemanticsTest, NestedCollectionsInObjects) {
+  // Rules that rebuild an object's set-valued field.
+  auto db_result = Database::Create(R"(
+    classes
+      TEAM = (tname: string, tags: {string});
+    associations
+      TAG = (tname: string, tag: string);
+  )");
+  Database db = std::move(db_result).value();
+  auto t = db.InsertObject("TEAM", Value::MakeTuple(
+      {{"tname", Value::String("milan")},
+       {"tags", Value::MakeSet({})}}));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(db.InsertTuple("TAG", Value::MakeTuple(
+      {{"tname", Value::String("milan")},
+       {"tag", Value::String("red")}})).ok());
+  ASSERT_TRUE(db.InsertTuple("TAG", Value::MakeTuple(
+      {{"tname", Value::String("milan")},
+       {"tag", Value::String("black")}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      team(self T, tags: S2) <- team(self T, tname: N, tags: S),
+                                tag(tname: N, tag: G),
+                                not member(G, S), append(S, G, S2).
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  Value v = db.edb().OValue(*t).value();
+  EXPECT_EQ(v.field("tags").value().size(), 2u);
+  EXPECT_TRUE(v.field("tags").value().Contains(Value::String("red")));
+}
+
+TEST(CollectionRuleTest, EmptyCollectionLiterals) {
+  auto db_result = Database::Create(R"(
+    associations
+      KINDS = (s: {integer}, q: <integer>, m: [integer]);
+      HIT = (k: integer);
+  )");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("KINDS", Value::MakeTuple(
+      {{"s", Value::MakeSet({})},
+       {"q", Value::MakeSequence({})},
+       {"m", Value::MakeMultiset({})}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      hit(k: 1) <- kinds(s: S), empty(S), S = {}.
+      hit(k: 2) <- kinds(q: Q), Q = <>.
+      hit(k: 3) <- kinds(m: M), M = [].
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_EQ(db.edb().TuplesOf("HIT").size(), 3u);
+}
+
+TEST(CollectionRuleTest, DeepNestingThroughRules) {
+  // A set of sequences of tuples, consumed by chained member/nth.
+  auto db_result = Database::Create(R"(
+    associations
+      DEEP = (d: {<(x: integer)>});
+      OUT = (x: integer);
+  )");
+  Database db = std::move(db_result).value();
+  Value inner1 = Value::MakeSequence(
+      {Value::MakeTuple({{"x", Value::Int(10)}}),
+       Value::MakeTuple({{"x", Value::Int(20)}})});
+  Value inner2 = Value::MakeSequence(
+      {Value::MakeTuple({{"x", Value::Int(30)}})});
+  ASSERT_TRUE(db.InsertTuple("DEEP", Value::MakeTuple(
+      {{"d", Value::MakeSet({inner1, inner2})}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      out(x: X) <- deep(d: D), member(Q, D), member(T, Q),
+                   T = (x: X).
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_EQ(db.edb().TuplesOf("OUT").size(), 3u);
+}
+
+}  // namespace
+}  // namespace logres

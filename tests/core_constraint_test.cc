@@ -1,0 +1,186 @@
+// Tests for automatically generated integrity constraints (Section 2.1 /
+// 4.2): referential denials from type equations and isa propagation.
+
+#include <gtest/gtest.h>
+
+#include "core/constraint.h"
+#include "core/database.h"
+
+namespace logres {
+namespace {
+
+Schema RefSchema() {
+  Schema s;
+  EXPECT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()},
+                   {"spouse", Type::Named("PERSON")}})).ok());
+  EXPECT_TRUE(s.DeclareClass("STUDENT",
+      Type::Tuple({{"person", Type::Named("PERSON")},
+                   {"school", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareIsa("STUDENT", "PERSON").ok());
+  EXPECT_TRUE(s.DeclareAssociation("LIKES",
+      Type::Tuple({{"who", Type::Named("PERSON")},
+                   {"what", Type::String()}})).ok());
+  EXPECT_TRUE(s.Validate().ok());
+  return s;
+}
+
+TEST(ConstraintTest, ReferentialDenialsGenerated) {
+  Schema s = RefSchema();
+  auto rules = GenerateReferentialConstraints(s);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  // LIKES.who; PERSON.spouse; STUDENT inherits spouse too.
+  ASSERT_GE(rules->size(), 3u);
+  for (const Rule& r : *rules) {
+    EXPECT_TRUE(r.is_denial()) << r.ToString();
+  }
+  // Association constraints must NOT tolerate nil; class ones must.
+  bool found_assoc = false, found_class = false;
+  for (const Rule& r : *rules) {
+    std::string text = r.ToString();
+    if (text.find("likes(") != std::string::npos) {
+      found_assoc = true;
+      EXPECT_EQ(text.find("nil"), std::string::npos) << text;
+    }
+    if (text.find("person(spouse") != std::string::npos ||
+        (text.find("person(") == 3 && text.find("nil") !=
+         std::string::npos)) {
+      found_class = true;
+    }
+    if (text.find("nil") != std::string::npos) found_class = true;
+  }
+  EXPECT_TRUE(found_assoc);
+  EXPECT_TRUE(found_class);
+}
+
+TEST(ConstraintTest, GeneratedDenialsDetectDanglingReference) {
+  // Evaluate the generated constraints through the engine: a dangling
+  // association reference violates the denial.
+  Schema s = RefSchema();
+  auto denials = GenerateReferentialConstraints(s).value();
+
+  Instance inst;
+  inst.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(Oid{99})},
+       {"what", Value::String("jazz")}}));
+  auto program = Typecheck(s, {}, denials);
+  ASSERT_TRUE(program.ok()) << program.status();
+  OidGenerator gen;
+  Evaluator eval(s, *program, &gen);
+  auto run = eval.Run(inst);
+  EXPECT_EQ(run.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(ConstraintTest, GeneratedDenialsAcceptValidInstance) {
+  Schema s = RefSchema();
+  auto denials = GenerateReferentialConstraints(s).value();
+  Instance inst;
+  OidGenerator gen;
+  Oid ann = inst.CreateObject(s, "PERSON",
+      Value::MakeTuple({{"name", Value::String("ann")},
+                        {"spouse", Value::Nil()}}), &gen).value();
+  inst.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(ann)}, {"what", Value::String("x")}}));
+  auto program = Typecheck(s, {}, denials);
+  ASSERT_TRUE(program.ok()) << program.status();
+  Evaluator eval(s, *program, &gen);
+  auto run = eval.Run(inst);
+  EXPECT_TRUE(run.ok()) << run.status();
+}
+
+TEST(ConstraintTest, NilClassReferencePassesDenials) {
+  // The class-side constraint has the `not X = nil` guard.
+  Schema s = RefSchema();
+  auto denials = GenerateReferentialConstraints(s).value();
+  Instance inst;
+  OidGenerator gen;
+  ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+      Value::MakeTuple({{"name", Value::String("solo")},
+                        {"spouse", Value::Nil()}}), &gen).ok());
+  auto program = Typecheck(s, {}, denials);
+  ASSERT_TRUE(program.ok());
+  Evaluator eval(s, *program, &gen);
+  EXPECT_TRUE(eval.Run(inst).ok());
+}
+
+TEST(ConstraintTest, DanglingClassReferenceCaughtByDenials) {
+  Schema s = RefSchema();
+  auto denials = GenerateReferentialConstraints(s).value();
+  Instance inst;
+  OidGenerator gen;
+  ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+      Value::MakeTuple({{"name", Value::String("x")},
+                        {"spouse", Value::MakeOid(Oid{1234})}}),
+      &gen).ok());
+  auto program = Typecheck(s, {}, denials);
+  ASSERT_TRUE(program.ok());
+  Evaluator eval(s, *program, &gen);
+  EXPECT_EQ(eval.Run(inst).status().code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ConstraintTest, IsaPropagationRulesGenerated) {
+  Schema s = RefSchema();
+  auto rules = GenerateIsaPropagationRules(s);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ(rules->front().ToString(),
+            "person(self X) <- student(self X).");
+}
+
+TEST(ConstraintTest, DenialAgreementWithCheckConsistent) {
+  // The generated rule-based constraints and the native Definition-4
+  // checker agree on a batch of instances.
+  Schema s = RefSchema();
+  auto denials = GenerateReferentialConstraints(s).value();
+  auto program = Typecheck(s, {}, denials).value();
+  OidGenerator gen;
+
+  auto agree = [&](const Instance& inst) {
+    Evaluator eval(s, program, &gen);
+    bool denial_ok = eval.Run(inst).ok();
+    bool native_ok = inst.CheckConsistent(s).ok();
+    EXPECT_EQ(denial_ok, native_ok) << inst.ToString();
+  };
+
+  // Valid: empty.
+  agree(Instance{});
+  // Valid: one person, nil spouse.
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+        Value::MakeTuple({{"name", Value::String("a")},
+                          {"spouse", Value::Nil()}}), &gen).ok());
+    agree(inst);
+  }
+  // Invalid: dangling association reference.
+  {
+    Instance inst;
+    inst.InsertTuple("LIKES", Value::MakeTuple(
+        {{"who", Value::MakeOid(Oid{5})},
+         {"what", Value::String("y")}}));
+    agree(inst);
+  }
+  // Invalid: dangling spouse.
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+        Value::MakeTuple({{"name", Value::String("a")},
+                          {"spouse", Value::MakeOid(Oid{555})}}),
+        &gen).ok());
+    agree(inst);
+  }
+}
+
+TEST(ConstraintTest, NoConstraintsForValueOnlySchemas) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("FLAT",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  auto rules = GenerateReferentialConstraints(s);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,160 @@
+// Error paths and miscellaneous behaviour of the Database facade.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace logres {
+namespace {
+
+TEST(DatabaseTest, CreateRejectsTopLevelGoals) {
+  auto db = Database::Create(R"(
+    associations P = (x: integer);
+    goal ? p(x: X).
+  )");
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, CreateRejectsInvalidSchema) {
+  auto db = Database::Create(
+      "classes C = (x: GHOST);");
+  EXPECT_EQ(db.status().code(), StatusCode::kSchemaError);
+  auto db2 = Database::Create("classes C = ;");
+  EXPECT_EQ(db2.status().code(), StatusCode::kParseError);
+}
+
+TEST(DatabaseTest, InsertErrors) {
+  auto db = Database::Create(
+      "classes C = (x: integer); associations A = (x: integer);");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->InsertObject("A", Value::Nil()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db->InsertObject("GHOST", Value::Nil()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db->InsertTuple("C", Value::Nil()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db->InsertTuple("GHOST", Value::Nil()).code(),
+            StatusCode::kNotFound);
+  // Names are case-insensitive.
+  EXPECT_TRUE(db->InsertObject("c", Value::MakeTuple(
+      {{"x", Value::Int(1)}})).ok());
+}
+
+TEST(DatabaseTest, QueryErrors) {
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->Query("? ghost(x: X).").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db->Query("?? nonsense").status().code(),
+            StatusCode::kParseError);
+  // A query over an unsafe goal is rejected.
+  EXPECT_EQ(db->Query("? X = Y.").status().code(),
+            StatusCode::kUnsafeRule);
+}
+
+TEST(DatabaseTest, ApplySourceParseErrorLeavesStateIntact) {
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
+      {{"x", Value::Int(1)}})).ok());
+  auto result = db->ApplySource("rules p(x: 2", ApplicationMode::kRIDV);
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(db->edb().TuplesOf("P").size(), 1u);
+}
+
+TEST(DatabaseTest, ApplyRejectsUnknownPredicateInModule) {
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok());
+  auto result = db->ApplySource("rules ghost(x: 1).",
+                                ApplicationMode::kRIDV);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ModuleFunctionsMergeWithoutDuplication) {
+  auto db = Database::Create(R"(
+    classes PERSON = (name: string);
+    associations PARENT = (par: PERSON, chil: PERSON);
+    functions DESC: PERSON -> {PERSON};
+  )");
+  ASSERT_TRUE(db.ok());
+  // A module redeclaring the same function is fine (idempotent merge).
+  auto result = db->ApplySource(R"(
+    functions
+      DESC: PERSON -> {PERSON};
+    rules
+      member(X, desc(Y)) <- parent(par: Y, chil: X).
+  )", ApplicationMode::kRADI);
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(db->functions().size(), 1u);
+}
+
+TEST(DatabaseTest, ModeDefaultsToRidiWhenUnspecified) {
+  auto db = Database::Create(R"(
+    associations P = (x: integer);
+    module probe
+      rules
+        p(x: 1).
+      goal
+        ? p(x: X).
+    end
+  )");
+  ASSERT_TRUE(db.ok());
+  auto result = db->ApplyByName("probe");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // RIDI: the fact is visible to the goal but not persisted.
+  EXPECT_EQ(result->goal_answer->size(), 1u);
+  EXPECT_TRUE(db->edb().TuplesOf("P").empty());
+}
+
+TEST(DatabaseTest, MaterializeIsIdempotentOnFixpoints) {
+  auto db = Database::Create(R"(
+    associations P = (x: integer); Q = (x: integer);
+    rules
+      q(x: X) <- p(x: X).
+  )");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
+      {{"x", Value::Int(1)}})).ok());
+  auto i1 = db->Materialize();
+  ASSERT_TRUE(i1.ok());
+  // Materializing the materialized instance adds nothing.
+  Database db2 = std::move(db).value();
+  *db2.mutable_edb() = *i1;
+  auto i2 = db2.Materialize();
+  ASSERT_TRUE(i2.ok());
+  EXPECT_TRUE(*i1 == *i2);
+}
+
+TEST(DatabaseTest, EvalOptionsArePropagated) {
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
+      {{"x", Value::Int(0)}})).ok());
+  EvalOptions tight;
+  tight.max_steps = 2;
+  auto result = db->ApplySource(
+      "rules p(x: Y) <- p(x: X), Y = X + 1, X < 100.",
+      ApplicationMode::kRIDV, tight);
+  EXPECT_EQ(result.status().code(), StatusCode::kDivergence);
+}
+
+TEST(DatabaseTest, GoalOverDerivedAndExtensionalMix) {
+  // "A predicate can be defined partly extensionally and partly
+  // intensionally" (Section 4.2).
+  auto db = Database::Create(R"(
+    associations STAFF = (name: string); GUEST = (name: string);
+    rules
+      staff(name: N) <- guest(name: N).
+  )");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertTuple("STAFF", Value::MakeTuple(
+      {{"name", Value::String("perm")}})).ok());
+  ASSERT_TRUE(db->InsertTuple("GUEST", Value::MakeTuple(
+      {{"name", Value::String("vis")}})).ok());
+  auto ans = db->Query("? staff(name: N).");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->size(), 2u);
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,164 @@
+// Tests for database state serialization: value syntax, schema
+// round-tripping, and full dump/load equality.
+
+#include <gtest/gtest.h>
+
+#include "core/dump.h"
+#include "core/parser.h"
+
+namespace logres {
+namespace {
+
+TEST(ValueSyntaxTest, ScalarRoundTrip) {
+  std::vector<Value> values = {
+      Value::Nil(),
+      Value::Bool(true),
+      Value::Bool(false),
+      Value::Int(42),
+      Value::Int(-7),
+      Value::Real(2.5),
+      Value::String("hello \"world\""),
+      Value::MakeOid(Oid{9}),
+  };
+  for (const Value& v : values) {
+    auto parsed = ParseValue(ValueToSource(v));
+    ASSERT_TRUE(parsed.ok()) << ValueToSource(v) << ": "
+                             << parsed.status();
+    EXPECT_EQ(*parsed, v) << ValueToSource(v);
+  }
+}
+
+TEST(ValueSyntaxTest, CompositeRoundTrip) {
+  Value nested = Value::MakeTuple(
+      {{"who", Value::MakeOid(Oid{3})},
+       {"tags", Value::MakeSet({Value::Int(1), Value::Int(2)})},
+       {"history", Value::MakeSequence(
+           {Value::MakeTuple({{"at", Value::String("t1")}}),
+            Value::MakeTuple({{"at", Value::String("t2")}})})},
+       {"bag", Value::MakeMultiset({Value::Int(1), Value::Int(1)})}});
+  auto parsed = ParseValue(ValueToSource(nested));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, nested);
+}
+
+TEST(ValueSyntaxTest, Errors) {
+  EXPECT_FALSE(ParseValue("oid(x)").ok());
+  EXPECT_FALSE(ParseValue("(unlabeled)").ok());
+  EXPECT_FALSE(ParseValue("1 2").ok());
+  EXPECT_FALSE(ParseValue("{1,").ok());
+}
+
+TEST(SchemaSourceTest, RoundTripsThroughParser) {
+  auto unit = Parse(R"(
+    domains
+      NAME = string;
+      SCORE = (home: integer, guest: integer);
+    classes
+      PERSON = (name: NAME);
+      STUDENT = (PERSON, school: NAME);
+      STUDENT isa PERSON;
+    associations
+      LIKES = (who: PERSON, what: NAME);
+  )");
+  ASSERT_TRUE(unit.ok());
+  std::string source = SchemaToSource(unit->schema);
+  auto reparsed = Parse(source);
+  ASSERT_TRUE(reparsed.ok()) << source << "\n" << reparsed.status();
+  EXPECT_TRUE(reparsed->schema.Validate().ok());
+  EXPECT_TRUE(reparsed->schema.IsClass("STUDENT"));
+  EXPECT_TRUE(reparsed->schema.IsaReachable("STUDENT", "PERSON"));
+  EXPECT_EQ(reparsed->schema.TypeOf("SCORE").value(),
+            unit->schema.TypeOf("SCORE").value());
+  // Idempotent: dumping the reparsed schema gives the same text.
+  EXPECT_EQ(SchemaToSource(reparsed->schema), source);
+}
+
+Database PopulatedDb() {
+  auto db_result = Database::Create(R"(
+    classes
+      PERSON = (name: string, spouse: PERSON);
+      STUDENT = (PERSON, school: string);
+      STUDENT isa PERSON;
+    associations
+      LIKES = (who: PERSON, what: string);
+    functions
+      FRIENDS: PERSON -> {PERSON};
+    rules
+      likes(who: X, what: "logres") <- student(self X).
+  )");
+  Database db = std::move(db_result).value();
+  Oid ann = db.InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("ann")}, {"spouse", Value::Nil()}})).value();
+  Oid bob = db.InsertObject("STUDENT", Value::MakeTuple(
+      {{"name", Value::String("bob")},
+       {"spouse", Value::MakeOid(ann)},
+       {"school", Value::String("polimi")}})).value();
+  db.mutable_edb()->InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(bob)}, {"what", Value::String("jazz")}}));
+  return db;
+}
+
+TEST(DumpTest, FullRoundTrip) {
+  Database db = PopulatedDb();
+  std::string dump = DumpDatabase(db);
+  auto loaded = LoadDatabase(dump);
+  ASSERT_TRUE(loaded.ok()) << dump << "\n" << loaded.status();
+  // State components are preserved exactly.
+  EXPECT_TRUE(loaded->edb() == db.edb());
+  EXPECT_EQ(loaded->rules().size(), db.rules().size());
+  EXPECT_EQ(loaded->functions().size(), db.functions().size());
+  EXPECT_EQ(loaded->oids_issued(), db.oids_issued());
+  EXPECT_EQ(SchemaToSource(loaded->schema()), SchemaToSource(db.schema()));
+}
+
+TEST(DumpTest, LoadedDatabaseEvaluates) {
+  Database db = PopulatedDb();
+  auto loaded = LoadDatabase(DumpDatabase(db));
+  ASSERT_TRUE(loaded.ok());
+  // The persistent rule still derives: bob (a student) likes logres.
+  auto inst = loaded->Materialize();
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  EXPECT_EQ(inst->TuplesOf("LIKES").size(), 2u);
+}
+
+TEST(DumpTest, InventedOidsDoNotCollideAfterLoad) {
+  Database db = PopulatedDb();
+  auto loaded = LoadDatabase(DumpDatabase(db));
+  ASSERT_TRUE(loaded.ok());
+  // Invent new objects; their oids must not collide with loaded ones.
+  auto apply = loaded->ApplySource(
+      "rules person(self P, name: \"carl\", spouse: X) <- "
+      "person(self X, name: \"ann\").",
+      ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_EQ(loaded->edb().OidsOf("PERSON").size(), 3u);
+}
+
+TEST(DumpTest, MembershipLinesPreserveSharedOids) {
+  Database db = PopulatedDb();
+  std::string dump = DumpDatabase(db);
+  // bob's oid appears for both PERSON and STUDENT.
+  auto loaded = LoadDatabase(dump);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->edb().OidsOf("PERSON").size(), 2u);
+  EXPECT_EQ(loaded->edb().OidsOf("STUDENT").size(), 1u);
+  Oid student = *loaded->edb().OidsOf("STUDENT").begin();
+  EXPECT_TRUE(loaded->edb().HasObject("PERSON", student));
+}
+
+TEST(DumpTest, EmptyDatabaseRoundTrips) {
+  auto db = Database::Create("associations P = (x: integer);");
+  std::string dump = DumpDatabase(*db);
+  auto loaded = LoadDatabase(dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->edb() == db->edb());
+}
+
+TEST(DumpTest, MalformedDumpsRejected) {
+  EXPECT_FALSE(LoadDatabase("objects\n  GHOST 1 = nil;\n").ok());
+  EXPECT_FALSE(LoadDatabase("generator x;\n").ok());
+  EXPECT_FALSE(LoadDatabase("tuples\n  1 2 3\n").ok());
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,407 @@
+// Semantic tests for the inflationary evaluator (Appendix B): valuation
+// domains, invented oids, deletions, negation and active domains,
+// stratified vs whole-program evaluation, determinacy up to oid renaming.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/eval.h"
+#include "core/parser.h"
+
+namespace logres {
+namespace {
+
+// Helper: build a database from schema text, run rule text as RIDV, and
+// return the database.
+Result<Database> RunRules(const std::string& schema_text,
+                          const std::string& rules_text,
+                          std::vector<std::pair<std::string, Value>> edb,
+                          EvalOptions options = {}) {
+  LOGRES_ASSIGN_OR_RETURN(Database db, Database::Create(schema_text));
+  for (auto& [assoc, tuple] : edb) {
+    LOGRES_RETURN_NOT_OK(db.InsertTuple(assoc, std::move(tuple)));
+  }
+  LOGRES_ASSIGN_OR_RETURN(
+      auto result,
+      db.ApplySource("rules " + rules_text, ApplicationMode::kRIDV,
+                     options));
+  (void)result;
+  return db;
+}
+
+Value T1(const std::string& label, int64_t v) {
+  return Value::MakeTuple({{label, Value::Int(v)}});
+}
+
+TEST(EvalTest, FactsAndSimpleDerivation) {
+  auto db = RunRules(
+      "associations P = (x: integer); Q = (x: integer);",
+      "p(x: 1). p(x: 2). q(x: X) <- p(x: X), X > 1.", {});
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->edb().TuplesOf("P").size(), 2u);
+  EXPECT_EQ(db->edb().TuplesOf("Q").size(), 1u);
+  EXPECT_TRUE(db->edb().TuplesOf("Q").count(T1("x", 2)));
+}
+
+TEST(EvalTest, RecursiveTransitiveClosure) {
+  std::vector<std::pair<std::string, Value>> edb;
+  for (int i = 1; i < 5; ++i) {
+    edb.emplace_back("E", Value::MakeTuple(
+        {{"a", Value::Int(i)}, {"b", Value::Int(i + 1)}}));
+  }
+  auto db = RunRules(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);",
+      "tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).",
+      std::move(edb));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->edb().TuplesOf("TC").size(), 10u);  // C(5,2)
+}
+
+TEST(EvalTest, NegationStratified) {
+  auto db = RunRules(
+      "associations NODE = (x: integer); COV = (x: integer);"
+      "             UNCOV = (x: integer);",
+      "uncov(x: X) <- node(x: X), not cov(x: X).",
+      {{"NODE", T1("x", 1)}, {"NODE", T1("x", 2)}, {"COV", T1("x", 1)}});
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->edb().TuplesOf("UNCOV").size(), 1u);
+  EXPECT_TRUE(db->edb().TuplesOf("UNCOV").count(T1("x", 2)));
+}
+
+TEST(EvalTest, NegatedLiteralWithFreeVariableUsesActiveDomain) {
+  // "variables which are only present in negated literals [are]
+  // restricted to their current active domain."
+  // q(y: Y) holds for Y in the active domain with no p-fact p(x: Y).
+  auto db = RunRules(
+      "associations P = (x: integer); D = (x: integer);"
+      "             Q = (y: integer);",
+      "q(y: Y) <- d(x: X), not p(x: Y).",
+      {{"D", T1("x", 1)}, {"D", T1("x", 2)}, {"P", T1("x", 1)}});
+  ASSERT_TRUE(db.ok()) << db.status();
+  // Active domain of integers: {1, 2}. p(1) holds, p(2) does not.
+  EXPECT_EQ(db->edb().TuplesOf("Q").size(), 1u);
+  EXPECT_TRUE(db->edb().TuplesOf("Q").count(T1("y", 2)));
+}
+
+TEST(EvalTest, DeletionRemovesFacts) {
+  auto db = RunRules(
+      "associations P = (x: integer);",
+      "not p(x: X) <- p(x: X), X > 1.",
+      {{"P", T1("x", 1)}, {"P", T1("x", 2)}, {"P", T1("x", 3)}});
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->edb().TuplesOf("P").size(), 1u);
+  EXPECT_TRUE(db->edb().TuplesOf("P").count(T1("x", 1)));
+}
+
+TEST(EvalTest, AddAndDeleteSameFactKeepsPreexisting) {
+  // The VAR' carve-out: a fact in F ∩ Δ+ ∩ Δ− survives.
+  auto db = RunRules(
+      "associations P = (x: integer); S = (x: integer);",
+      "p(x: 1) <- s(x: 1)."
+      "not p(x: 1) <- s(x: 1).",
+      {{"P", T1("x", 1)}, {"S", T1("x", 1)}});
+  ASSERT_TRUE(db.ok()) << db.status();
+  // p(1) was pre-existing, is both re-derived and deleted: stays.
+  EXPECT_TRUE(db->edb().TuplesOf("P").count(T1("x", 1)));
+}
+
+TEST(EvalTest, AddAndDeleteOfNewFactDoesNotStick) {
+  auto db = RunRules(
+      "associations P = (x: integer); S = (x: integer);",
+      "p(x: 2) <- s(x: 1)."
+      "not p(x: 2) <- s(x: 1).",
+      {{"S", T1("x", 1)}});
+  ASSERT_TRUE(db.ok()) << db.status();
+  // p(2) was not in F: net effect of add+delete is absence.
+  EXPECT_FALSE(db->edb().TuplesOf("P").count(T1("x", 2)));
+}
+
+TEST(EvalTest, InventedOidsAreMemoizedAcrossSteps) {
+  // One object per source fact, not one per step.
+  auto db = RunRules(
+      "classes OBJ = (x: integer); associations S = (x: integer);",
+      "obj(self O, x: X) <- s(x: X).",
+      {{"S", T1("x", 1)}, {"S", T1("x", 2)}});
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->edb().OidsOf("OBJ").size(), 2u);
+}
+
+TEST(EvalTest, ValuationDomainConditionBlocksRefiring) {
+  // Once ip(emp, mgr) exists, no second object is invented for the same
+  // bindings (Definition 7's head-satisfiability condition).
+  auto db_result = Database::Create(
+      "associations PAIR = (e: integer, m: integer);"
+      "classes IP = PAIR;");
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("PAIR", Value::MakeTuple(
+      {{"e", Value::Int(1)}, {"m", Value::Int(2)}})).ok());
+  // Apply the same module twice: the second application must not create
+  // more objects.
+  const char* mod = "rules ip(self X, C) <- pair(C).";
+  ASSERT_TRUE(db.ApplySource(mod, ApplicationMode::kRIDV).ok());
+  EXPECT_EQ(db.edb().OidsOf("IP").size(), 1u);
+  ASSERT_TRUE(db.ApplySource(mod, ApplicationMode::kRIDV).ok());
+  EXPECT_EQ(db.edb().OidsOf("IP").size(), 1u);
+}
+
+TEST(EvalTest, InterestingPairExample34) {
+  // The paper's Example 3.4: pair as an association deduplicates; ip then
+  // gets one object per distinct pair.
+  auto db_result = Database::Create(R"(
+    classes
+      EMP = (name: string, works: integer);
+      MGR = (name: string, dept: integer);
+    associations
+      PAIR = (employee: EMP, manager: MGR);
+    classes
+      IP = PAIR;
+  )");
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  auto e1 = db.InsertObject("EMP", Value::MakeTuple(
+      {{"name", Value::String("smith")}, {"works", Value::Int(1)}}));
+  auto e2 = db.InsertObject("EMP", Value::MakeTuple(
+      {{"name", Value::String("smith")}, {"works", Value::Int(1)}}));
+  auto m = db.InsertObject("MGR", Value::MakeTuple(
+      {{"name", Value::String("smith")}, {"dept", Value::Int(1)}}));
+  ASSERT_TRUE(e1.ok() && e2.ok() && m.ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      pair(employee: E, manager: M) <-
+          emp(self E, name: N, works: D), mgr(self M, name: N, dept: D).
+      ip(self X, C) <- pair(C).
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // Two distinct employees pair with the manager: two pairs, two objects.
+  EXPECT_EQ(db.edb().TuplesOf("PAIR").size(), 2u);
+  EXPECT_EQ(db.edb().OidsOf("IP").size(), 2u);
+}
+
+TEST(EvalTest, DeterminacyUpToOidRenaming) {
+  // Two runs of the same inventing program produce isomorphic instances
+  // even when the oid generators are offset (Appendix B determinacy).
+  auto build = [](int burn) -> Instance {
+    auto db_result = Database::Create(
+        "classes OBJ = (x: integer); associations S = (x: integer);");
+    Database db = std::move(db_result).value();
+    for (int i = 0; i < burn; ++i) db.oid_generator()->Next();
+    EXPECT_TRUE(db.InsertTuple("S", T1("x", 1)).ok());
+    EXPECT_TRUE(db.InsertTuple("S", T1("x", 2)).ok());
+    EXPECT_TRUE(db.ApplySource("rules obj(self O, x: X) <- s(x: X).",
+                               ApplicationMode::kRIDV).ok());
+    return db.edb();
+  };
+  Instance a = build(0);
+  Instance b = build(10);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.IsomorphicTo(b));
+}
+
+TEST(EvalTest, StratifiedEqualsWholeProgramOnStratifiedInput) {
+  std::vector<std::pair<std::string, Value>> edb = {
+      {"NODE", T1("x", 1)}, {"NODE", T1("x", 2)}, {"COV", T1("x", 1)}};
+  const char* schema =
+      "associations NODE = (x: integer); COV = (x: integer);"
+      "             UNCOV = (x: integer);";
+  const char* rules = "uncov(x: X) <- node(x: X), not cov(x: X).";
+  EvalOptions strat;
+  strat.mode = EvalMode::kStratified;
+  EvalOptions whole;
+  whole.mode = EvalMode::kWholeInflationary;
+  auto a = RunRules(schema, rules, edb, strat);
+  auto b = RunRules(schema, rules, edb, whole);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->edb() == b->edb());
+}
+
+TEST(EvalTest, SemiNaiveMatchesNaiveOnRecursion) {
+  std::vector<std::pair<std::string, Value>> edb;
+  for (int i = 1; i < 8; ++i) {
+    edb.emplace_back("E", Value::MakeTuple(
+        {{"a", Value::Int(i)}, {"b", Value::Int(i + 1)}}));
+  }
+  const char* schema =
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);";
+  const char* rules =
+      "tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).";
+  EvalOptions with;
+  with.semi_naive = true;
+  EvalOptions without;
+  without.semi_naive = false;
+  auto a = RunRules(schema, rules, edb, with);
+  auto b = RunRules(schema, rules, edb, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->edb() == b->edb());
+  EXPECT_EQ(a->edb().TuplesOf("TC").size(), 28u);
+}
+
+TEST(EvalTest, NonInflationaryReplacementSemantics) {
+  // Under replacement semantics derived facts must re-derive each step;
+  // a plain projection converges to EDB + its image.
+  auto db_result = Database::Create(
+      "associations P = (x: integer); Q = (x: integer);");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("P", T1("x", 1)).ok());
+  EvalOptions options;
+  options.mode = EvalMode::kNonInflationary;
+  auto apply = db.ApplySource("rules q(x: X) <- p(x: X).",
+                              ApplicationMode::kRIDV, options);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_TRUE(db.edb().TuplesOf("Q").count(T1("x", 1)));
+}
+
+TEST(EvalTest, DivergenceGuard) {
+  // A counter that never converges trips the step budget.
+  EvalOptions options;
+  options.max_steps = 25;
+  auto db = RunRules(
+      "associations P = (x: integer);",
+      "p(x: Y) <- p(x: X), Y = X + 1.",
+      {{"P", T1("x", 0)}}, options);
+  EXPECT_EQ(db.status().code(), StatusCode::kDivergence);
+}
+
+TEST(EvalTest, DenialViolationRejectsApplication) {
+  auto db = RunRules(
+      "associations MARRIED = (p: integer); DIVORCED = (p: integer);",
+      "married(p: 1). divorced(p: 1). <- married(p: X), divorced(p: X).",
+      {});
+  EXPECT_EQ(db.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(EvalTest, DenialPassesWhenUnsatisfied) {
+  auto db = RunRules(
+      "associations MARRIED = (p: integer); DIVORCED = (p: integer);",
+      "married(p: 1). divorced(p: 2). <- married(p: X), divorced(p: X).",
+      {});
+  EXPECT_TRUE(db.ok()) << db.status();
+}
+
+TEST(EvalTest, GoalAnswering) {
+  auto db = RunRules(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);",
+      "tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).",
+      {{"E", Value::MakeTuple({{"a", Value::Int(1)},
+                               {"b", Value::Int(2)}})},
+       {"E", Value::MakeTuple({{"a", Value::Int(2)},
+                               {"b", Value::Int(3)}})}});
+  ASSERT_TRUE(db.ok());
+  auto ans = db->Query("? tc(a: 1, b: Y).");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->size(), 2u);  // Y = 2, 3
+  auto none = db->Query("? tc(a: 3, b: Y).");
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(EvalTest, ObjectPatternDereferencesOid) {
+  // Example 3.1 line 5: school(dean: (self X)).
+  auto db_result = Database::Create(R"(
+    classes
+      PROFESSOR = (name: string);
+      SCHOOL = (sname: string, dean: PROFESSOR);
+  )");
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  auto prof = db.InsertObject("PROFESSOR",
+      Value::MakeTuple({{"name", Value::String("dr")}}));
+  ASSERT_TRUE(prof.ok());
+  ASSERT_TRUE(db.InsertObject("SCHOOL",
+      Value::MakeTuple({{"sname", Value::String("polimi")},
+                        {"dean", Value::MakeOid(*prof)}})).ok());
+  auto ans = db.Query("? school(dean: (self X, name: N)).");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  ASSERT_EQ(ans->size(), 1u);
+  EXPECT_EQ(ans->front().at("N"), Value::String("dr"));
+  EXPECT_EQ(ans->front().at("X"), Value::MakeOid(*prof));
+}
+
+TEST(EvalTest, TupleVariableUnifiesWithOidField) {
+  // Section 3.1: pair(X, X) via tuple variables against association
+  // oid-valued fields.
+  auto db_result = Database::Create(R"(
+    classes
+      PROFESSOR = (name: string);
+      STUDENT = (name: string);
+    associations
+      ADVISES = (professor: PROFESSOR, student: STUDENT);
+      PAIR = (p_name: string, s_name: string);
+  )");
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  auto p = db.InsertObject("PROFESSOR",
+      Value::MakeTuple({{"name", Value::String("kim")}}));
+  auto st = db.InsertObject("STUDENT",
+      Value::MakeTuple({{"name", Value::String("kim")}}));
+  ASSERT_TRUE(p.ok() && st.ok());
+  ASSERT_TRUE(db.InsertTuple("ADVISES", Value::MakeTuple(
+      {{"professor", Value::MakeOid(*p)},
+       {"student", Value::MakeOid(*st)}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      pair(p_name: X, s_name: X) <-
+          professor(X1, name: X), student(Y1, name: X),
+          advises(professor: X1, student: Y1).
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_EQ(db.edb().TuplesOf("PAIR").size(), 1u);
+}
+
+TEST(EvalTest, IsaPropagationOnDerivedObjects) {
+  // Deriving into a subclass also populates the superclass (Def. 4a is
+  // maintained natively).
+  auto db = RunRules(
+      "classes PERSON = (name: string);"
+      "        STUDENT = (PERSON, school: string);"
+      "        STUDENT isa PERSON;"
+      "associations SRC = (n: string);",
+      "student(self S, name: N, school: \"x\") <- src(n: N).",
+      {{"SRC", Value::MakeTuple({{"n", Value::String("ann")}})}});
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->edb().OidsOf("STUDENT").size(), 1u);
+  EXPECT_EQ(db->edb().OidsOf("PERSON").size(), 1u);
+}
+
+TEST(EvalTest, GeneralizationCaseAUnrelatedClassesCopyValues) {
+  // Section 3.1 case (a): C1(Y) <- C2(X) with unrelated classes copies
+  // values under fresh oids.
+  auto db = RunRules(
+      "classes A = (x: integer); B = (x: integer);",
+      "a(self Y, x: V) <- b(self X, x: V).", {});
+  ASSERT_TRUE(db.ok()) << db.status();
+  Database database = std::move(db).value();
+  ASSERT_TRUE(database.InsertObject("B", T1("x", 7)).ok());
+  ASSERT_TRUE(database.ApplySource(
+      "rules a(self Y, x: V) <- b(self X, x: V).",
+      ApplicationMode::kRIDV).ok());
+  ASSERT_EQ(database.edb().OidsOf("A").size(), 1u);
+  ASSERT_EQ(database.edb().OidsOf("B").size(), 1u);
+  Oid a_oid = *database.edb().OidsOf("A").begin();
+  Oid b_oid = *database.edb().OidsOf("B").begin();
+  EXPECT_NE(a_oid, b_oid);
+  EXPECT_EQ(database.edb().OValue(a_oid).value().field("x").value(),
+            Value::Int(7));
+}
+
+TEST(EvalTest, StatsAreReported) {
+  auto db_result = Database::Create(
+      "associations P = (x: integer); Q = (x: integer);");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("P", T1("x", 1)).ok());
+  auto apply = db.ApplySource("rules q(x: X) <- p(x: X).",
+                              ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok());
+  EXPECT_GE(apply->stats.steps, 1u);
+  EXPECT_GE(apply->stats.rule_firings, 1u);
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,308 @@
+// Unit tests for instances (Definitions 3-4): oid assignment, o-values,
+// associations, consistency, and isomorphism up to oid renaming.
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+
+namespace logres {
+namespace {
+
+Schema UniSchema() {
+  Schema s;
+  EXPECT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareClass("STUDENT",
+      Type::Tuple({{"person", Type::Named("PERSON")},
+                   {"school", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareIsa("STUDENT", "PERSON").ok());
+  EXPECT_TRUE(s.DeclareAssociation("LIKES",
+      Type::Tuple({{"who", Type::Named("PERSON")},
+                   {"what", Type::String()}})).ok());
+  EXPECT_TRUE(s.Validate().ok());
+  return s;
+}
+
+Value PersonValue(const std::string& name) {
+  return Value::MakeTuple({{"name", Value::String(name)}});
+}
+
+TEST(InstanceTest, CreateObjectPopulatesSuperclasses) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid oid = inst.CreateObject(s, "STUDENT",
+      Value::MakeTuple({{"name", Value::String("john")},
+                        {"school", Value::String("polimi")}}),
+      &gen).value();
+  EXPECT_TRUE(inst.HasObject("STUDENT", oid));
+  EXPECT_TRUE(inst.HasObject("PERSON", oid));
+  EXPECT_EQ(inst.OidsOf("PERSON").size(), 1u);
+  EXPECT_TRUE(inst.CheckConsistent(s).ok());
+}
+
+TEST(InstanceTest, CreateObjectRejectsNonClass) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  EXPECT_EQ(inst.CreateObject(s, "LIKES", Value::Nil(), &gen)
+                .status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(InstanceTest, OValueAccessAndUpdate) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid oid = inst.CreateObject(s, "PERSON", PersonValue("ann"),
+                              &gen).value();
+  EXPECT_EQ(inst.OValue(oid).value(), PersonValue("ann"));
+  EXPECT_TRUE(inst.SetOValue(oid, PersonValue("anna")).ok());
+  EXPECT_EQ(inst.OValue(oid).value(), PersonValue("anna"));
+  EXPECT_EQ(inst.OValue(Oid{999}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(inst.SetOValue(Oid{999}, Value::Nil()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(InstanceTest, RemoveObjectCascadesToSubclasses) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid oid = inst.CreateObject(s, "STUDENT",
+      Value::MakeTuple({{"name", Value::String("j")},
+                        {"school", Value::String("x")}}), &gen).value();
+  // Removing from the superclass must also remove from the subclass,
+  // otherwise Definition 4a would be violated.
+  ASSERT_TRUE(inst.RemoveObject(s, "PERSON", oid).ok());
+  EXPECT_FALSE(inst.HasObject("STUDENT", oid));
+  EXPECT_FALSE(inst.HasObject("PERSON", oid));
+  // The o-value of a fully dead oid is gone.
+  EXPECT_FALSE(inst.OValue(oid).ok());
+}
+
+TEST(InstanceTest, RemoveFromSubclassKeepsSuperclassMembership) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid oid = inst.CreateObject(s, "STUDENT",
+      Value::MakeTuple({{"name", Value::String("j")},
+                        {"school", Value::String("x")}}), &gen).value();
+  ASSERT_TRUE(inst.RemoveObject(s, "STUDENT", oid).ok());
+  EXPECT_FALSE(inst.HasObject("STUDENT", oid));
+  EXPECT_TRUE(inst.HasObject("PERSON", oid));
+  EXPECT_TRUE(inst.OValue(oid).ok());
+}
+
+TEST(InstanceTest, AssociationTuples) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid oid = inst.CreateObject(s, "PERSON", PersonValue("ann"),
+                              &gen).value();
+  Value t = Value::MakeTuple({{"who", Value::MakeOid(oid)},
+                              {"what", Value::String("jazz")}});
+  EXPECT_TRUE(inst.InsertTuple("LIKES", t));
+  EXPECT_FALSE(inst.InsertTuple("LIKES", t));  // duplicate-free
+  EXPECT_EQ(inst.TuplesOf("LIKES").size(), 1u);
+  EXPECT_TRUE(inst.EraseTuple("LIKES", t));
+  EXPECT_FALSE(inst.EraseTuple("LIKES", t));
+  EXPECT_TRUE(inst.TuplesOf("NOPE").empty());
+}
+
+TEST(InstanceTest, TotalFactsCountsObjectsAndTuples) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid oid = inst.CreateObject(s, "STUDENT",
+      Value::MakeTuple({{"name", Value::String("j")},
+                        {"school", Value::String("x")}}), &gen).value();
+  inst.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(oid)}, {"what", Value::String("a")}}));
+  // STUDENT + PERSON membership + 1 tuple.
+  EXPECT_EQ(inst.TotalFacts(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Consistency (Definition 4).
+
+TEST(ConsistencyTest, DanglingAssociationReferenceRejected) {
+  Schema s = UniSchema();
+  Instance inst;
+  inst.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(Oid{42})}, {"what", Value::String("x")}}));
+  EXPECT_EQ(inst.CheckConsistent(s).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ConsistencyTest, NilInAssociationRejected) {
+  // "we do not accept nil oids within associations."
+  Schema s = UniSchema();
+  Instance inst;
+  inst.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::Nil()}, {"what", Value::String("x")}}));
+  EXPECT_EQ(inst.CheckConsistent(s).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ConsistencyTest, NilClassReferenceAllowed) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()},
+                   {"spouse", Type::Named("PERSON")}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  Instance inst;
+  OidGenerator gen;
+  ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+      Value::MakeTuple({{"name", Value::String("solo")},
+                        {"spouse", Value::Nil()}}), &gen).ok());
+  EXPECT_TRUE(inst.CheckConsistent(s).ok());
+}
+
+TEST(ConsistencyTest, DanglingClassReferenceRejected) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()},
+                   {"spouse", Type::Named("PERSON")}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  Instance inst;
+  OidGenerator gen;
+  ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+      Value::MakeTuple({{"name", Value::String("x")},
+                        {"spouse", Value::MakeOid(Oid{77})}}),
+      &gen).ok());
+  EXPECT_EQ(inst.CheckConsistent(s).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ConsistencyTest, MissingFieldRejected) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+      Value::MakeTuple({}), &gen).ok());
+  EXPECT_EQ(inst.CheckConsistent(s).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ConsistencyTest, WrongKindRejected) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  ASSERT_TRUE(inst.CreateObject(s, "PERSON",
+      Value::MakeTuple({{"name", Value::Int(3)}}), &gen).ok());
+  EXPECT_EQ(inst.CheckConsistent(s).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ConsistencyTest, SubclassValueConformsToSuperclassByProjection) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  // The student value has extra fields relative to PERSON: fine.
+  ASSERT_TRUE(inst.CreateObject(s, "STUDENT",
+      Value::MakeTuple({{"name", Value::String("j")},
+                        {"school", Value::String("x")}}), &gen).ok());
+  EXPECT_TRUE(inst.CheckConsistent(s).ok());
+}
+
+TEST(ConsistencyTest, CrossHierarchySharedOidRejected) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("A", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("B", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  Instance inst;
+  ASSERT_TRUE(inst.AdoptObject(s, "A", Oid{1},
+      Value::MakeTuple({{"x", Value::Int(1)}})).ok());
+  ASSERT_TRUE(inst.AdoptObject(s, "B", Oid{1},
+      Value::MakeTuple({{"x", Value::Int(1)}})).ok());
+  // A and B are distinct hierarchy roots: sharing oid 1 violates Def. 4b.
+  EXPECT_EQ(inst.CheckConsistent(s).code(), StatusCode::kInconsistent);
+}
+
+TEST(ConsistencyTest, UndeclaredAssociationRejected) {
+  Schema s = UniSchema();
+  Instance inst;
+  inst.InsertTuple("GHOST", Value::MakeTuple({}));
+  EXPECT_EQ(inst.CheckConsistent(s).code(), StatusCode::kInconsistent);
+}
+
+// ---------------------------------------------------------------------------
+// Isomorphism up to oid renaming (Appendix B determinacy).
+
+TEST(IsomorphismTest, RenamedOidsAreIsomorphic) {
+  Schema s = UniSchema();
+  Instance a, b;
+  OidGenerator gen_a, gen_b;
+  // Burn some oids in b so the numbers differ.
+  gen_b.Next();
+  gen_b.Next();
+  Oid oa = a.CreateObject(s, "PERSON", PersonValue("ann"), &gen_a).value();
+  Oid ob = b.CreateObject(s, "PERSON", PersonValue("ann"), &gen_b).value();
+  a.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(oa)}, {"what", Value::String("jazz")}}));
+  b.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(ob)}, {"what", Value::String("jazz")}}));
+  EXPECT_NE(oa, ob);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.IsomorphicTo(b));
+  EXPECT_TRUE(b.IsomorphicTo(a));
+}
+
+TEST(IsomorphismTest, DifferentValuesAreNotIsomorphic) {
+  Schema s = UniSchema();
+  Instance a, b;
+  OidGenerator gen;
+  ASSERT_TRUE(a.CreateObject(s, "PERSON", PersonValue("ann"), &gen).ok());
+  ASSERT_TRUE(b.CreateObject(s, "PERSON", PersonValue("bob"), &gen).ok());
+  EXPECT_FALSE(a.IsomorphicTo(b));
+}
+
+TEST(IsomorphismTest, DifferentCardinalityNotIsomorphic) {
+  Schema s = UniSchema();
+  Instance a, b;
+  OidGenerator gen;
+  ASSERT_TRUE(a.CreateObject(s, "PERSON", PersonValue("x"), &gen).ok());
+  EXPECT_FALSE(a.IsomorphicTo(b));
+}
+
+TEST(IsomorphismTest, ObjectGraphStructureMatters) {
+  // Two people pointing at each other vs two self-loops: same local
+  // values, different shape — not isomorphic.
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("NODE",
+      Type::Tuple({{"next", Type::Named("NODE")}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  Instance cycle2, loops;
+  ASSERT_TRUE(cycle2.AdoptObject(s, "NODE", Oid{1},
+      Value::MakeTuple({{"next", Value::MakeOid(Oid{2})}})).ok());
+  ASSERT_TRUE(cycle2.AdoptObject(s, "NODE", Oid{2},
+      Value::MakeTuple({{"next", Value::MakeOid(Oid{1})}})).ok());
+  ASSERT_TRUE(loops.AdoptObject(s, "NODE", Oid{3},
+      Value::MakeTuple({{"next", Value::MakeOid(Oid{3})}})).ok());
+  ASSERT_TRUE(loops.AdoptObject(s, "NODE", Oid{4},
+      Value::MakeTuple({{"next", Value::MakeOid(Oid{4})}})).ok());
+  EXPECT_FALSE(cycle2.IsomorphicTo(loops));
+  // But a relabeled 2-cycle is isomorphic to the original.
+  Instance cycle2b;
+  ASSERT_TRUE(cycle2b.AdoptObject(s, "NODE", Oid{7},
+      Value::MakeTuple({{"next", Value::MakeOid(Oid{9})}})).ok());
+  ASSERT_TRUE(cycle2b.AdoptObject(s, "NODE", Oid{9},
+      Value::MakeTuple({{"next", Value::MakeOid(Oid{7})}})).ok());
+  EXPECT_TRUE(cycle2.IsomorphicTo(cycle2b));
+}
+
+TEST(InstanceTest, ToStringShowsObjectsAndTuples) {
+  Schema s = UniSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid oid = inst.CreateObject(s, "PERSON", PersonValue("ann"),
+                              &gen).value();
+  inst.InsertTuple("LIKES", Value::MakeTuple(
+      {{"who", Value::MakeOid(oid)}, {"what", Value::String("x")}}));
+  std::string text = inst.ToString();
+  EXPECT_NE(text.find("class PERSON"), std::string::npos);
+  EXPECT_NE(text.find("association LIKES"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,175 @@
+// Runtime semantics of generalization hierarchies: object migration into
+// subclasses through rules (Section 3.1 case b), multi-level hierarchies,
+// deletion cascades, and queries across levels.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace logres {
+namespace {
+
+Result<Database> UniversityDb() {
+  return Database::Create(R"(
+    classes
+      PERSON = (name: string, age: integer);
+      STUDENT = (PERSON, school: string);
+      STUDENT isa PERSON;
+      PHD = (STUDENT, topic: string);
+      PHD isa STUDENT;
+    associations
+      ENROLLED = (who: PERSON, where: string);
+  )");
+}
+
+TEST(IsaRuntimeTest, RuleMigratesObjectIntoSubclass) {
+  // Section 3.1 case (b): a rule head sharing the body's oid along an isa
+  // edge unifies the oids — here it *promotes* a person into STUDENT
+  // ("role acquisition").
+  Database db = UniversityDb().value();
+  auto ann = db.InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("ann")}, {"age", Value::Int(22)}}));
+  ASSERT_TRUE(ann.ok());
+  ASSERT_TRUE(db.InsertTuple("ENROLLED", Value::MakeTuple(
+      {{"who", Value::MakeOid(*ann)},
+       {"where", Value::String("polimi")}})).ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      student(self X, school: W) <- person(self X),
+                                    enrolled(who: X, where: W).
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // Same oid, now a student; the o-value gained the school field and
+  // kept name/age.
+  EXPECT_TRUE(db.edb().HasObject("STUDENT", *ann));
+  Value v = db.edb().OValue(*ann).value();
+  EXPECT_EQ(v.field("name").value(), Value::String("ann"));
+  EXPECT_EQ(v.field("school").value(), Value::String("polimi"));
+  EXPECT_EQ(db.edb().OidsOf("PERSON").size(), 1u);
+}
+
+TEST(IsaRuntimeTest, TwoLevelPromotion) {
+  Database db = UniversityDb().value();
+  auto bob = db.InsertObject("STUDENT", Value::MakeTuple(
+      {{"name", Value::String("bob")}, {"age", Value::Int(26)},
+       {"school", Value::String("polimi")}}));
+  ASSERT_TRUE(bob.ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      phd(self X, topic: "databases") <-
+          student(self X, age: A), A > 24.
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // The oid is now in all three classes (Definition 4a containment).
+  EXPECT_TRUE(db.edb().HasObject("PHD", *bob));
+  EXPECT_TRUE(db.edb().HasObject("STUDENT", *bob));
+  EXPECT_TRUE(db.edb().HasObject("PERSON", *bob));
+  // And the superclass query sees the topic-carrying o-value projected.
+  auto ans = db.Query("? person(self P, name: N), phd(self P, topic: T).");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 1u);
+}
+
+TEST(IsaRuntimeTest, SubclassQueriesDoNotSeeSuperclassOnlyObjects) {
+  Database db = UniversityDb().value();
+  ASSERT_TRUE(db.InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("civ")}, {"age", Value::Int(40)}})).ok());
+  ASSERT_TRUE(db.InsertObject("STUDENT", Value::MakeTuple(
+      {{"name", Value::String("stu")}, {"age", Value::Int(20)},
+       {"school", Value::String("s")}})).ok());
+  auto persons = db.Query("? person(self P, name: N).");
+  auto students = db.Query("? student(self P, name: N).");
+  ASSERT_TRUE(persons.ok());
+  ASSERT_TRUE(students.ok());
+  EXPECT_EQ(persons->size(), 2u);
+  EXPECT_EQ(students->size(), 1u);
+}
+
+TEST(IsaRuntimeTest, DeletingFromSuperclassCascades) {
+  Database db = UniversityDb().value();
+  auto stu = db.InsertObject("PHD", Value::MakeTuple(
+      {{"name", Value::String("x")}, {"age", Value::Int(30)},
+       {"school", Value::String("s")}, {"topic", Value::String("t")}}));
+  ASSERT_TRUE(stu.ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      not person(self X) <- person(self X, name: "x").
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // Leaving PERSON removes the object from every subclass too — the
+  // alternative would violate Definition 4a.
+  EXPECT_FALSE(db.edb().HasObject("PERSON", *stu));
+  EXPECT_FALSE(db.edb().HasObject("STUDENT", *stu));
+  EXPECT_FALSE(db.edb().HasObject("PHD", *stu));
+}
+
+TEST(IsaRuntimeTest, DeletingFromSubclassKeepsSuperclassRole) {
+  Database db = UniversityDb().value();
+  auto stu = db.InsertObject("STUDENT", Value::MakeTuple(
+      {{"name", Value::String("y")}, {"age", Value::Int(20)},
+       {"school", Value::String("s")}}));
+  ASSERT_TRUE(stu.ok());
+  auto apply = db.ApplySource(R"(
+    rules
+      not student(self X) <- student(self X, name: "y").
+  )", ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_FALSE(db.edb().HasObject("STUDENT", *stu));
+  EXPECT_TRUE(db.edb().HasObject("PERSON", *stu));
+}
+
+TEST(IsaRuntimeTest, MigrationIsIdempotent) {
+  Database db = UniversityDb().value();
+  auto ann = db.InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("ann")}, {"age", Value::Int(22)}}));
+  ASSERT_TRUE(ann.ok());
+  ASSERT_TRUE(db.InsertTuple("ENROLLED", Value::MakeTuple(
+      {{"who", Value::MakeOid(*ann)},
+       {"where", Value::String("polimi")}})).ok());
+  const char* promote =
+      "rules student(self X, school: W) <- person(self X), "
+      "enrolled(who: X, where: W).";
+  ASSERT_TRUE(db.ApplySource(promote, ApplicationMode::kRIDV).ok());
+  size_t students = db.edb().OidsOf("STUDENT").size();
+  size_t persons = db.edb().OidsOf("PERSON").size();
+  ASSERT_TRUE(db.ApplySource(promote, ApplicationMode::kRIDV).ok());
+  EXPECT_EQ(db.edb().OidsOf("STUDENT").size(), students);
+  EXPECT_EQ(db.edb().OidsOf("PERSON").size(), persons);
+}
+
+TEST(IsaRuntimeTest, SharedObjectsAcrossContainers) {
+  // Section 2.1 object sharing: the same object referenced from two
+  // containers; updating it through one path is visible through the
+  // other.
+  auto db_result = Database::Create(R"(
+    classes
+      PLAYER = (name: string, goals: integer);
+      TEAM = (tname: string, star: PLAYER);
+  )");
+  Database db = std::move(db_result).value();
+  auto star = db.InsertObject("PLAYER", Value::MakeTuple(
+      {{"name", Value::String("vb")}, {"goals", Value::Int(0)}}));
+  ASSERT_TRUE(star.ok());
+  ASSERT_TRUE(db.InsertObject("TEAM", Value::MakeTuple(
+      {{"tname", Value::String("milan")},
+       {"star", Value::MakeOid(*star)}})).ok());
+  ASSERT_TRUE(db.InsertObject("TEAM", Value::MakeTuple(
+      {{"tname", Value::String("national")},
+       {"star", Value::MakeOid(*star)}})).ok());
+  // Update the player through a rule.
+  ASSERT_TRUE(db.ApplySource(
+      "rules player(self P, goals: G2) <- player(self P, name: \"vb\", "
+      "goals: G), G2 = G + 1, G < 1.",
+      ApplicationMode::kRIDV).ok());
+  // Both teams observe the update through the shared oid.
+  auto ans = db.Query(
+      "? team(tname: T, star: (self S, goals: G)).");
+  ASSERT_TRUE(ans.ok());
+  ASSERT_EQ(ans->size(), 2u);
+  for (const Bindings& b : *ans) {
+    EXPECT_EQ(b.at("G"), Value::Int(1));
+  }
+}
+
+}  // namespace
+}  // namespace logres

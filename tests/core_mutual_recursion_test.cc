@@ -1,0 +1,154 @@
+// Mutually recursive class structures — Example 3.1's full schema has
+// PROFESSOR referencing SCHOOL and SCHOOL referencing PROFESSOR (through
+// its dean). This exercises the coinductive refinement guard, circular
+// object graphs at the instance level, dump/load of cycles, and queries
+// navigating loops.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/dump.h"
+
+namespace logres {
+namespace {
+
+Result<Database> CyclicSchema() {
+  // The paper's Example 3.1 classes, verbatim in structure:
+  //   SCHOOL = (NAME, ADDRESS, KIND, DEAN (PROFESSOR))
+  //   PROFESSOR = (PERSON, COURSE, PROFSCHOOL SCHOOL)
+  return Database::Create(R"(
+    classes
+      PERSON = (name: string, address: string);
+      PROFESSOR = (PERSON, course: string, profschool: SCHOOL);
+      PROFESSOR isa PERSON;
+      STUDENT = (PERSON, studschool: SCHOOL);
+      STUDENT isa PERSON;
+      SCHOOL = (sname: string, kind: string, dean: PROFESSOR);
+    associations
+      ADVISES = (professor: PROFESSOR, student: STUDENT);
+  )");
+}
+
+TEST(MutualRecursionTest, CyclicSchemaValidates) {
+  auto db = CyclicSchema();
+  ASSERT_TRUE(db.ok()) << db.status();
+  const Schema& s = db->schema();
+  // Refinement involving the cycle terminates (coinductive guard).
+  EXPECT_TRUE(s.IsRefinement(Type::Named("PROFESSOR"),
+                             Type::Named("PERSON")).value());
+  EXPECT_FALSE(s.IsRefinement(Type::Named("SCHOOL"),
+                              Type::Named("PERSON")).value());
+  EXPECT_TRUE(s.IsRefinement(Type::Named("SCHOOL"),
+                             Type::Named("SCHOOL")).value());
+}
+
+// Builds the circular instance: a school whose dean works at the school.
+struct Campus {
+  Database db;
+  Oid dean;
+  Oid school;
+};
+
+Result<Campus> BuildCampus() {
+  LOGRES_ASSIGN_OR_RETURN(Database db, CyclicSchema());
+  // Create the dean with a nil school first, the school referencing the
+  // dean, then close the loop.
+  LOGRES_ASSIGN_OR_RETURN(Oid dean, db.InsertObject("PROFESSOR",
+      Value::MakeTuple({{"name", Value::String("Ceri")},
+                        {"address", Value::String("Milano")},
+                        {"course", Value::String("DB")},
+                        {"profschool", Value::Nil()}})));
+  LOGRES_ASSIGN_OR_RETURN(Oid school, db.InsertObject("SCHOOL",
+      Value::MakeTuple({{"sname", Value::String("Informatica")},
+                        {"kind", Value::String("eng")},
+                        {"dean", Value::MakeOid(dean)}})));
+  LOGRES_RETURN_NOT_OK(db.mutable_edb()->SetOValue(dean,
+      Value::MakeTuple({{"name", Value::String("Ceri")},
+                        {"address", Value::String("Milano")},
+                        {"course", Value::String("DB")},
+                        {"profschool", Value::MakeOid(school)}})));
+  Campus out{std::move(db), dean, school};
+  return out;
+}
+
+TEST(MutualRecursionTest, CircularInstanceIsConsistent) {
+  Campus campus = BuildCampus().value();
+  auto inst = campus.db.Materialize();
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  EXPECT_TRUE(inst->CheckConsistent(campus.db.schema()).ok());
+}
+
+TEST(MutualRecursionTest, QueriesNavigateTheLoop) {
+  Campus campus = BuildCampus().value();
+  // Who is the dean of the school they work at?
+  auto ans = campus.db.Query(
+      "? professor(self P, profschool: S), "
+      "school(self S, dean: P, sname: N).");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  ASSERT_EQ(ans->size(), 1u);
+  EXPECT_EQ(ans->front().at("N"), Value::String("Informatica"));
+}
+
+TEST(MutualRecursionTest, ObjectPatternThroughTheLoop) {
+  Campus campus = BuildCampus().value();
+  // Dereference two hops: school -> dean -> profschool.
+  auto ans = campus.db.Query(
+      "? school(self S, dean: (self D, profschool: (self S2, sname: N))).");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  ASSERT_EQ(ans->size(), 1u);
+  // The loop closes: S2 == S.
+  EXPECT_EQ(ans->front().at("S2"), ans->front().at("S"));
+}
+
+TEST(MutualRecursionTest, CyclicGraphSurvivesDumpLoad) {
+  Campus campus = BuildCampus().value();
+  std::string dump = DumpDatabase(campus.db);
+  auto loaded = LoadDatabase(dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status() << "\n" << dump;
+  EXPECT_TRUE(loaded->edb() == campus.db.edb());
+  // The restored loop still answers the navigation query.
+  auto ans = loaded->Query(
+      "? professor(self P, profschool: S), school(self S, dean: P).");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 1u);
+}
+
+TEST(MutualRecursionTest, DeletionInsideLoopIsRejected) {
+  // Deleting the dean would leave the school dangling: the referential
+  // constraint rejects the module application.
+  Campus campus = BuildCampus().value();
+  auto result = campus.db.ApplySource(
+      "rules not professor(self X) <- professor(self X, course: \"DB\").",
+      ApplicationMode::kRIDV);
+  EXPECT_EQ(result.status().code(), StatusCode::kConstraintViolation);
+  // The dean survives the rejected application.
+  EXPECT_TRUE(campus.db.edb().HasObject("PROFESSOR", campus.dean));
+}
+
+TEST(MutualRecursionTest, IsomorphismOnCyclicGraphs) {
+  Instance a = BuildCampus().value().db.edb();
+  // A second campus built after burning oids: isomorphic, not equal.
+  auto db2 = CyclicSchema().value();
+  db2.oid_generator()->Next();
+  db2.oid_generator()->Next();
+  auto dean = db2.InsertObject("PROFESSOR",
+      Value::MakeTuple({{"name", Value::String("Ceri")},
+                        {"address", Value::String("Milano")},
+                        {"course", Value::String("DB")},
+                        {"profschool", Value::Nil()}})).value();
+  auto school = db2.InsertObject("SCHOOL",
+      Value::MakeTuple({{"sname", Value::String("Informatica")},
+                        {"kind", Value::String("eng")},
+                        {"dean", Value::MakeOid(dean)}})).value();
+  ASSERT_TRUE(db2.mutable_edb()->SetOValue(dean,
+      Value::MakeTuple({{"name", Value::String("Ceri")},
+                        {"address", Value::String("Milano")},
+                        {"course", Value::String("DB")},
+                        {"profschool", Value::MakeOid(school)}})).ok());
+  Instance b = db2.edb();
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.IsomorphicTo(b));
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,370 @@
+// Unit tests for the lexer and parser of the LOGRES surface language.
+
+#include <gtest/gtest.h>
+
+#include "core/lexer.h"
+#include "core/parser.h"
+
+namespace logres {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer.
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("person(name: X) <- 42 3.5 \"txt\" .");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "person");
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kRParen);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kArrowLeft);
+  EXPECT_EQ((*tokens)[7].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[8].real_value, 3.5);
+  EXPECT_EQ((*tokens)[9].text, "txt");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, CommentsAndWhitespace) {
+  auto tokens = Tokenize("a -- comment to end\n b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 3u);  // a, b, eof
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, OperatorsAndArrows) {
+  auto tokens = Tokenize("< > <= >= = != <- -> + - * / %");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds[0], TokenKind::kLt);
+  EXPECT_EQ(kinds[2], TokenKind::kLe);
+  EXPECT_EQ(kinds[5], TokenKind::kNe);
+  EXPECT_EQ(kinds[6], TokenKind::kArrowLeft);
+  EXPECT_EQ(kinds[7], TokenKind::kArrowRight);
+  EXPECT_EQ(kinds[12], TokenKind::kPercent);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize(R"("a\nb\"c")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a\nb\"c");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_EQ(Tokenize("\"unterminated").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("a ! b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("@").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, RealVsRuleTerminator) {
+  // "1." is integer then period; "1.5" is a real.
+  auto a = Tokenize("1.");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*a)[1].kind, TokenKind::kPeriod);
+  auto b = Tokenize("1.5");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)[0].kind, TokenKind::kReal);
+}
+
+// ---------------------------------------------------------------------------
+// Types.
+
+TEST(ParserTest, ElementaryAndNamedTypes) {
+  EXPECT_EQ(ParseType("integer").value(), Type::Int());
+  EXPECT_EQ(ParseType("string").value(), Type::String());
+  EXPECT_EQ(ParseType("bool").value(), Type::Bool());
+  EXPECT_EQ(ParseType("real").value(), Type::Real());
+  EXPECT_EQ(ParseType("person").value(), Type::Named("PERSON"));
+}
+
+TEST(ParserTest, ConstructedTypes) {
+  EXPECT_EQ(ParseType("{ROLE}").value(), Type::Set(Type::Named("ROLE")));
+  EXPECT_EQ(ParseType("[integer]").value(), Type::Multiset(Type::Int()));
+  EXPECT_EQ(ParseType("<PLAYER>").value(),
+            Type::Sequence(Type::Named("PLAYER")));
+  Type t = ParseType("(name: NAME, roles: {ROLE})").value();
+  ASSERT_EQ(t.fields().size(), 2u);
+  EXPECT_EQ(t.field("roles").value(), Type::Set(Type::Named("ROLE")));
+}
+
+TEST(ParserTest, UnlabeledComponentsGetDefaultLabels) {
+  // The paper's convention: PLAYER = (NAME, ROLES {ROLE}).
+  Type t = ParseType("(NAME, roles: {ROLE})").value();
+  EXPECT_EQ(t.fields()[0].first, "name");
+  // Duplicate elementary components get suffixes: SCORE = (INTEGER,
+  // INTEGER).
+  Type score = ParseType("(integer, integer)").value();
+  EXPECT_EQ(score.fields()[0].first, "integer");
+  EXPECT_EQ(score.fields()[1].first, "integer_2");
+}
+
+TEST(ParserTest, DuplicateExplicitLabelRejected) {
+  EXPECT_EQ(ParseType("(a: integer, a: string)").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, TypeErrors) {
+  EXPECT_FALSE(ParseType("{").ok());
+  EXPECT_FALSE(ParseType("(a: integer").ok());
+  EXPECT_FALSE(ParseType("integer extra").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Units and sections.
+
+TEST(ParserTest, FootballSchemaParses) {
+  auto unit = Parse(R"(
+    domains
+      NAME = string;
+      ROLE = integer;
+      DATE = string;
+      SCORE = (home: integer, guest: integer);
+    classes
+      PLAYER = (NAME, roles: {ROLE});
+      TEAM = (team_name: NAME, base_players: <PLAYER>,
+              substitutes: {PLAYER});
+    associations
+      GAME = (h_team: TEAM, g_team: TEAM, DATE, SCORE);
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_TRUE(unit->schema.IsClass("TEAM"));
+  EXPECT_TRUE(unit->schema.IsAssociation("GAME"));
+  EXPECT_TRUE(unit->schema.Validate().ok());
+  auto game = unit->schema.EffectiveFields("GAME").value();
+  EXPECT_EQ(game[2].first, "date");
+}
+
+TEST(ParserTest, IsaDeclarations) {
+  auto unit = Parse(R"(
+    classes
+      PERSON = (name: string);
+      STUDENT = (PERSON, school: string);
+      STUDENT isa PERSON;
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_TRUE(unit->schema.IsaReachable("STUDENT", "PERSON"));
+}
+
+TEST(ParserTest, LabeledIsaAndRenames) {
+  auto unit = Parse(R"(
+    classes
+      PERSON = (name: string);
+      EMPL = (emp: PERSON, manager: PERSON);
+      EMPL emp isa PERSON;
+      EMPL renames name from PERSON as pname;
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  ASSERT_EQ(unit->schema.isa_decls().size(), 1u);
+  EXPECT_EQ(unit->schema.isa_decls()[0].component_label, "emp");
+}
+
+TEST(ParserTest, FunctionDeclarations) {
+  auto unit = Parse(R"(
+    classes
+      PERSON = (name: string);
+    functions
+      DESC: PERSON -> {PERSON};
+      PAIRS: PERSON, PERSON -> {(a: PERSON, b: PERSON)};
+      JUNIOR: -> {PERSON};
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  ASSERT_EQ(unit->functions.size(), 3u);
+  EXPECT_EQ(unit->functions[0].name, "DESC");
+  EXPECT_EQ(unit->functions[1].arg_types.size(), 2u);
+  EXPECT_TRUE(unit->functions[2].arg_types.empty());
+}
+
+TEST(ParserTest, FunctionMustReturnSet) {
+  auto unit = Parse(R"(
+    functions
+      F: integer -> integer;
+  )");
+  EXPECT_EQ(unit.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+
+TEST(ParserTest, FactAndRuleForms) {
+  EXPECT_TRUE(ParseRule("p(x: 1).").ok());
+  EXPECT_TRUE(ParseRule("p(x: 1) <- .").ok());
+  EXPECT_TRUE(ParseRule("p(x: X) <- q(x: X).").ok());
+  Rule denial = ParseRule("<- married(p: X), divorced(p: X).").value();
+  EXPECT_TRUE(denial.is_denial());
+  Rule fact = ParseRule("p(x: 1).").value();
+  EXPECT_TRUE(fact.is_fact());
+}
+
+TEST(ParserTest, NegatedHeads) {
+  Rule r1 = ParseRule("not p(x: X) <- q(x: X).").value();
+  EXPECT_TRUE(r1.head->negated);
+  Rule r2 = ParseRule("- p(x: X) <- q(x: X).").value();
+  EXPECT_TRUE(r2.head->negated);
+}
+
+TEST(ParserTest, SelfArguments) {
+  Rule r = ParseRule("person(self X, name: N) <- student(self X).").value();
+  const Literal& head = *r.head;
+  ASSERT_EQ(head.args.size(), 2u);
+  EXPECT_TRUE(head.args[0].is_self);
+  EXPECT_EQ(head.args[1].label, "name");
+}
+
+TEST(ParserTest, PaperPredicateOccurrences) {
+  // The seven legal occurrences of Example 3.1 (in our quoting/colon
+  // syntax).
+  const char* occurrences[] = {
+      "person(name: \"Smith\", address: X)",
+      "person(self X)",
+      "person(X)",
+      "person(name: X, Y, self Z)",
+      "school(dean: (self X))",
+      "advises(professor: X)",
+      "professor(X)",
+  };
+  for (const char* occ : occurrences) {
+    auto rule = ParseRule(std::string("p(a: 1) <- ") + occ + ".");
+    EXPECT_TRUE(rule.ok()) << occ << ": " << rule.status();
+  }
+}
+
+TEST(ParserTest, BuiltinsAndComparisons) {
+  Rule r = ParseRule(
+      "power(set: X) <- power(set: Y), power(set: Z), union(X, Y, Z).")
+      .value();
+  EXPECT_EQ(r.body[2].kind, LiteralKind::kBuiltin);
+  EXPECT_EQ(r.body[2].builtin, "union");
+  Rule c = ParseRule("q(x: X) <- p(x: X), X <= 18.").value();
+  EXPECT_EQ(c.body[1].kind, LiteralKind::kCompare);
+  EXPECT_EQ(c.body[1].compare_op, CompareOp::kLe);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  Rule r = ParseRule("q(x: Z) <- p(x: Y), Z = Y + 2 * 3.").value();
+  const Literal& eq = r.body[1];
+  ASSERT_EQ(eq.kind, LiteralKind::kCompare);
+  // Z = (Y + (2 * 3))
+  EXPECT_EQ(eq.compare_rhs->ToString(), "(Y + (2 * 3))");
+}
+
+TEST(ParserTest, CollectionTerms) {
+  Rule r = ParseRule(
+      "q(s: S) <- p(x: X), S = {X, 1}, T = <X, X>, M = [X].").value();
+  EXPECT_EQ(r.body[1].compare_rhs->kind(), TermKind::kSetTerm);
+  EXPECT_EQ(r.body[2].compare_rhs->kind(), TermKind::kSequenceTerm);
+  EXPECT_EQ(r.body[3].compare_rhs->kind(), TermKind::kMultisetTerm);
+}
+
+TEST(ParserTest, FunctionApplicationTerms) {
+  Rule r = ParseRule(
+      "member(X, desc(Y)) <- parent(par: Y, chil: X).").value();
+  ASSERT_EQ(r.head->kind, LiteralKind::kBuiltin);
+  EXPECT_EQ(r.head->builtin_args[1]->kind(), TermKind::kFunctionApp);
+  EXPECT_EQ(r.head->builtin_args[1]->name(), "DESC");
+}
+
+TEST(ParserTest, TupleTermsInEquality) {
+  Rule r = ParseRule(
+      "a(x: T) <- p(y: Y, z: Z), T = (person: Y, bdate: Z).").value();
+  EXPECT_EQ(r.body[1].compare_rhs->kind(), TermKind::kTupleTerm);
+  EXPECT_EQ(r.body[1].compare_rhs->args().size(), 2u);
+}
+
+TEST(ParserTest, NegatedBodyLiterals) {
+  Rule r = ParseRule("q(x: X) <- p(x: X), not m(x: X).").value();
+  EXPECT_TRUE(r.body[1].negated);
+  EXPECT_FALSE(r.body[0].negated);
+}
+
+TEST(ParserTest, RuleErrors) {
+  EXPECT_FALSE(ParseRule("p(x: X) <- q(x: X)").ok());   // missing period
+  EXPECT_FALSE(ParseRule("<- .").ok());                 // empty denial
+  EXPECT_FALSE(ParseRule("X = 1 <- p(x: X).").ok());    // compare head
+  EXPECT_FALSE(ParseRule("p(x: lower) .").ok());        // bare lowercase
+}
+
+// ---------------------------------------------------------------------------
+// Goals and modules.
+
+TEST(ParserTest, Goals) {
+  Goal g = ParseGoal("? game(h_team: T), T != nil.").value();
+  EXPECT_EQ(g.literals.size(), 2u);
+  // '?' and '.' are optional.
+  EXPECT_TRUE(ParseGoal("person(name: X)").ok());
+}
+
+TEST(ParserTest, ModuleBlocks) {
+  auto unit = Parse(R"(
+    associations
+      ITALIAN = (name: string);
+    module add_people options RIDV
+      rules
+        italian(name: "Luca").
+    end
+    module ask options RIDI
+      goal
+        ? italian(name: X).
+    end
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  ASSERT_EQ(unit->modules.size(), 2u);
+  EXPECT_EQ(unit->modules[0].name, "add_people");
+  EXPECT_EQ(unit->modules[0].default_mode, ApplicationMode::kRIDV);
+  EXPECT_EQ(unit->modules[0].rules.size(), 1u);
+  ASSERT_TRUE(unit->modules[1].goal.has_value());
+}
+
+TEST(ParserTest, ModuleErrors) {
+  EXPECT_FALSE(Parse("module m options WXYZ end").ok());
+  EXPECT_FALSE(Parse("module m rules p(x: 1).").ok());  // missing end
+  EXPECT_FALSE(Parse(R"(
+    module m
+      goal ? p(x: X).
+      goal ? p(x: Y).
+    end
+  )").ok());
+}
+
+TEST(ParserTest, SectionKeywordRequired) {
+  EXPECT_EQ(Parse("NAME = string;").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, ApplicationModeNames) {
+  EXPECT_EQ(ParseApplicationMode("RIDI"), ApplicationMode::kRIDI);
+  EXPECT_EQ(ParseApplicationMode("RDDV"), ApplicationMode::kRDDV);
+  EXPECT_FALSE(ParseApplicationMode("XXXX").has_value());
+  EXPECT_STREQ(ApplicationModeName(ApplicationMode::kRADV), "RADV");
+  EXPECT_TRUE(IsDataVariant(ApplicationMode::kRIDV));
+  EXPECT_FALSE(IsDataVariant(ApplicationMode::kRADI));
+  EXPECT_TRUE(AllowsGoal(ApplicationMode::kRIDI));
+  EXPECT_FALSE(AllowsGoal(ApplicationMode::kRDDV));
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const char* rules[] = {
+      "p(x: X) <- q(x: X), not r(x: X).",
+      "member(X, desc(Y)) <- parent(par: Y, chil: X).",
+      "<- married(p: X), divorced(p: X).",
+  };
+  for (const char* text : rules) {
+    Rule r = ParseRule(text).value();
+    // Re-parsing the printed form gives the same print.
+    Rule r2 = ParseRule(r.ToString()).value();
+    EXPECT_EQ(r.ToString(), r2.ToString());
+  }
+}
+
+}  // namespace
+}  // namespace logres

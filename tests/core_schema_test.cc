@@ -1,0 +1,460 @@
+// Unit tests for schemas: type equations, isa hierarchies, multiple
+// inheritance, the refinement relation (Definition 2), and validation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/schema.h"
+
+namespace logres {
+namespace {
+
+// The paper's football schema (Example 2.1).
+Schema Football() {
+  Schema s;
+  EXPECT_TRUE(s.DeclareDomain("NAME", Type::String()).ok());
+  EXPECT_TRUE(s.DeclareDomain("ROLE", Type::Int()).ok());
+  EXPECT_TRUE(s.DeclareDomain("DATE", Type::String()).ok());
+  EXPECT_TRUE(s.DeclareDomain(
+      "SCORE", Type::Tuple({{"home", Type::Int()},
+                            {"guest", Type::Int()}})).ok());
+  EXPECT_TRUE(s.DeclareClass(
+      "PLAYER", Type::Tuple({{"name", Type::Named("NAME")},
+                             {"roles",
+                              Type::Set(Type::Named("ROLE"))}})).ok());
+  EXPECT_TRUE(s.DeclareClass(
+      "TEAM",
+      Type::Tuple({{"team_name", Type::Named("NAME")},
+                   {"base_players",
+                    Type::Sequence(Type::Named("PLAYER"))},
+                   {"substitutes",
+                    Type::Set(Type::Named("PLAYER"))}})).ok());
+  EXPECT_TRUE(s.DeclareAssociation(
+      "GAME", Type::Tuple({{"h_team", Type::Named("TEAM")},
+                           {"g_team", Type::Named("TEAM")},
+                           {"date", Type::Named("DATE")},
+                           {"score", Type::Named("SCORE")}})).ok());
+  return s;
+}
+
+// The paper's university schema (Example 3.1, without the school loop).
+Schema University() {
+  Schema s;
+  EXPECT_TRUE(s.DeclareClass(
+      "PERSON", Type::Tuple({{"name", Type::String()},
+                             {"address", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareClass(
+      "STUDENT", Type::Tuple({{"person", Type::Named("PERSON")},
+                              {"studschool", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareClass(
+      "PROFESSOR", Type::Tuple({{"person", Type::Named("PERSON")},
+                                {"course", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareIsa("STUDENT", "PERSON").ok());
+  EXPECT_TRUE(s.DeclareIsa("PROFESSOR", "PERSON").ok());
+  EXPECT_TRUE(s.DeclareAssociation(
+      "ADVISES", Type::Tuple({{"professor", Type::Named("PROFESSOR")},
+                              {"student", Type::Named("STUDENT")}})).ok());
+  return s;
+}
+
+TEST(SchemaTest, FootballValidates) {
+  Schema s = Football();
+  EXPECT_TRUE(s.Validate().ok()) << s.Validate();
+  EXPECT_TRUE(s.IsDomain("SCORE"));
+  EXPECT_TRUE(s.IsClass("PLAYER"));
+  EXPECT_TRUE(s.IsAssociation("GAME"));
+  EXPECT_EQ(s.DomainNames().size(), 4u);
+  EXPECT_EQ(s.ClassNames().size(), 2u);
+  EXPECT_EQ(s.AssociationNames().size(), 1u);
+}
+
+TEST(SchemaTest, LookupErrors) {
+  Schema s = Football();
+  EXPECT_EQ(s.TypeOf("MISSING").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.KindOf("MISSING").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(s.Has("MISSING"));
+}
+
+TEST(SchemaTest, DuplicateDeclarationRejectedIdempotentAccepted) {
+  Schema s = Football();
+  // Identical re-declaration is a no-op...
+  EXPECT_TRUE(s.DeclareDomain("NAME", Type::String()).ok());
+  // ...but a conflicting one errors.
+  EXPECT_EQ(s.DeclareDomain("NAME", Type::Int()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.DeclareClass("NAME", Type::String()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, UndeclaredReferenceFailsValidation) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("C", Type::Tuple(
+      {{"x", Type::Named("GHOST")}})).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, DomainMayNotReferenceClass) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("C", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareDomain("D", Type::Set(Type::Named("C"))).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, AssociationMayNotContainAssociation) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("A",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareAssociation("B",
+      Type::Tuple({{"a", Type::Named("A")}})).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, ClassMayAliasAssociationWholeRhs) {
+  // Example 3.4: IP = PAIR.
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("PAIR",
+      Type::Tuple({{"employee", Type::String()},
+                   {"manager", Type::String()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("IP", Type::Named("PAIR")).ok());
+  EXPECT_TRUE(s.Validate().ok()) << s.Validate();
+  auto fields = s.EffectiveFields("IP");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 2u);
+  EXPECT_EQ(fields->front().first, "employee");
+}
+
+TEST(SchemaTest, ClassMayNotEmbedAssociationAsComponent) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("A",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("C",
+      Type::Tuple({{"a", Type::Named("A")}})).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, RecursiveDomainRejected) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareDomain("T",
+      Type::Tuple({{"next", Type::Named("T")}})).ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, RecursiveClassAllowed) {
+  // A class may reference itself: class components are oid indirections.
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()},
+                   {"spouse", Type::Named("PERSON")}})).ok());
+  EXPECT_TRUE(s.Validate().ok()) << s.Validate();
+}
+
+TEST(SchemaTest, IsaReachabilityAndSubSuperSets) {
+  Schema s = University();
+  EXPECT_TRUE(s.IsaReachable("STUDENT", "PERSON"));
+  EXPECT_TRUE(s.IsaReachable("STUDENT", "STUDENT"));
+  EXPECT_FALSE(s.IsaReachable("PERSON", "STUDENT"));
+  EXPECT_FALSE(s.IsaReachable("STUDENT", "PROFESSOR"));
+  EXPECT_EQ(s.DirectSuperclasses("STUDENT"),
+            std::vector<std::string>{"PERSON"});
+  EXPECT_EQ(s.AllSuperclasses("STUDENT"),
+            std::vector<std::string>{"PERSON"});
+  auto subs = s.AllSubclasses("PERSON");
+  EXPECT_EQ(subs.size(), 2u);
+}
+
+TEST(SchemaTest, IsaRequiresRefinement) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("A",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("B",
+      Type::Tuple({{"y", Type::String()}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("B", "A").ok());
+  // B lacks A's field x, so Sigma(B) does not refine Sigma(A).
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, IsaCycleRejected) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("A", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("B", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("A", "B").ok());
+  ASSERT_TRUE(s.DeclareIsa("B", "A").ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, IsaOnNonClassRejected) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareDomain("D", Type::Int()).ok());
+  ASSERT_TRUE(s.DeclareClass("C", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("C", "D").ok());
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, MultipleInheritanceNeedsCommonAncestor) {
+  // "we only allow multiple inheritance among classes which share a
+  // common ancestor, as we do not postulate the existence of a universal
+  // class."
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("A", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("B", Type::Tuple({{"y", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("C",
+      Type::Tuple({{"x", Type::Int()}, {"y", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("C", "A").ok());
+  ASSERT_TRUE(s.DeclareIsa("C", "B").ok());
+  // A and B are distinct roots: C would bridge two hierarchies.
+  EXPECT_EQ(s.Validate().code(), StatusCode::kSchemaError);
+}
+
+TEST(SchemaTest, DiamondInheritanceWithCommonAncestorAllowed) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("TOP", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("L",
+      Type::Tuple({{"x", Type::Int()}, {"l", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("R",
+      Type::Tuple({{"x", Type::Int()}, {"r", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("BOTTOM",
+      Type::Tuple({{"x", Type::Int()}, {"l", Type::Int()},
+                   {"r", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("L", "TOP").ok());
+  ASSERT_TRUE(s.DeclareIsa("R", "TOP").ok());
+  ASSERT_TRUE(s.DeclareIsa("BOTTOM", "L").ok());
+  ASSERT_TRUE(s.DeclareIsa("BOTTOM", "R").ok());
+  EXPECT_TRUE(s.Validate().ok()) << s.Validate();
+  EXPECT_EQ(s.RootOf("BOTTOM").value(), "TOP");
+  EXPECT_TRUE(s.SameHierarchy("L", "R"));
+}
+
+TEST(SchemaTest, InheritanceInliningFlattensSuperFields) {
+  // STUDENT = (PERSON, studschool: ...) with STUDENT isa PERSON exposes
+  // name and address as STUDENT properties (Section 2.1).
+  Schema s = University();
+  auto fields = s.EffectiveFields("STUDENT");
+  ASSERT_TRUE(fields.ok()) << fields.status();
+  std::vector<std::string> labels;
+  for (const auto& [l, t] : *fields) {
+    (void)t;
+    labels.push_back(l);
+  }
+  EXPECT_EQ(labels, (std::vector<std::string>{"name", "address",
+                                              "studschool"}));
+}
+
+TEST(SchemaTest, LabeledClassComponentIsObjectSharingNotInheritance) {
+  // EMPL = (emp: PERSON, manager: PERSON): labeled components stay
+  // oid references even though PERSON is a class.
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("EMPL",
+      Type::Tuple({{"emp", Type::Named("PERSON")},
+                   {"manager", Type::Named("PERSON")}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  auto fields = s.EffectiveFields("EMPL");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 2u);
+  EXPECT_EQ(fields->at(0).second, Type::Named("PERSON"));
+}
+
+TEST(SchemaTest, LabeledComponentIsa) {
+  // "EMPL emp ISA PERSON": the emp component must refine PERSON.
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("EMPL",
+      Type::Tuple({{"emp", Type::Named("PERSON")},
+                   {"manager", Type::Named("PERSON")}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("EMPL", "PERSON", "emp").ok());
+  EXPECT_TRUE(s.Validate().ok()) << s.Validate();
+  // The labeled form does not make EMPL a subclass.
+  EXPECT_FALSE(s.IsaReachable("EMPL", "PERSON"));
+}
+
+TEST(SchemaTest, MultipleInheritanceConflictNeedsRenaming) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("TOP", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("L",
+      Type::Tuple({{"x", Type::Int()}, {"v", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("R",
+      Type::Tuple({{"x", Type::Int()}, {"v", Type::String()}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("L", "TOP").ok());
+  ASSERT_TRUE(s.DeclareIsa("R", "TOP").ok());
+  // BOTTOM inlines both L and R: label v collides (and x from TOP twice).
+  ASSERT_TRUE(s.DeclareClass("BOTTOM",
+      Type::Tuple({{"l", Type::Named("L")},
+                   {"r", Type::Named("R")}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("BOTTOM", "L").ok());
+  ASSERT_TRUE(s.DeclareIsa("BOTTOM", "R").ok());
+  // With labeled components there's no inlining so no conflict; re-declare
+  // with the unlabeled (inheriting) convention: labels equal the
+  // lower-cased class names trigger inlining.
+  Schema s2;
+  ASSERT_TRUE(s2.DeclareClass("TOP",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s2.DeclareClass("L",
+      Type::Tuple({{"top", Type::Named("TOP")},
+                   {"v", Type::Int()}})).ok());
+  ASSERT_TRUE(s2.DeclareIsa("L", "TOP").ok());
+  ASSERT_TRUE(s2.DeclareClass("R",
+      Type::Tuple({{"top", Type::Named("TOP")},
+                   {"v", Type::String()}})).ok());
+  ASSERT_TRUE(s2.DeclareIsa("R", "TOP").ok());
+  ASSERT_TRUE(s2.DeclareClass("BOTTOM",
+      Type::Tuple({{"l", Type::Named("L")},
+                   {"r", Type::Named("R")}})).ok());
+  ASSERT_TRUE(s2.DeclareIsa("BOTTOM", "L").ok());
+  ASSERT_TRUE(s2.DeclareIsa("BOTTOM", "R").ok());
+  // BOTTOM inlines both L and R. The diamond copy of TOP's `x` merges
+  // silently (identical type), but `v` reaches BOTTOM as both integer
+  // (via L) and string (via R): a genuine conflict.
+  EXPECT_EQ(s2.Validate().code(), StatusCode::kSchemaError);
+  // The renaming policy resolves it.
+  ASSERT_TRUE(s2.DeclareInheritanceRename("BOTTOM", "R", "v",
+                                          "r_v").ok());
+  EXPECT_TRUE(s2.Validate().ok()) << s2.Validate();
+  auto fields = s2.EffectiveFields("BOTTOM").value();
+  std::set<std::string> labels;
+  for (const auto& [l, t] : fields) {
+    (void)t;
+    labels.insert(l);
+  }
+  EXPECT_TRUE(labels.count("x"));
+  EXPECT_TRUE(labels.count("v"));
+  EXPECT_TRUE(labels.count("r_v"));
+}
+
+TEST(SchemaTest, RenamingPolicyResolvesInheritedConflict) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()}})).ok());
+  // STUDENT also declares its own `name`, conflicting with the inherited
+  // one; the rename exposes the inherited one as person_name.
+  ASSERT_TRUE(s.DeclareClass("STUDENT",
+      Type::Tuple({{"person", Type::Named("PERSON")},
+                   {"name", Type::String()}})).ok());
+  ASSERT_TRUE(s.DeclareIsa("STUDENT", "PERSON").ok());
+  auto before = s.EffectiveFields("STUDENT");
+  EXPECT_EQ(before.status().code(), StatusCode::kSchemaError);
+  ASSERT_TRUE(s.DeclareInheritanceRename("STUDENT", "PERSON", "name",
+                                         "person_name").ok());
+  auto after = s.EffectiveFields("STUDENT");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->at(0).first, "person_name");
+  EXPECT_EQ(after->at(1).first, "name");
+}
+
+// ---------------------------------------------------------------------------
+// Refinement (Definition 2).
+
+TEST(RefinementTest, Condition1IdenticalTypes) {
+  Schema s = Football();
+  EXPECT_TRUE(s.IsRefinement(Type::Int(), Type::Int()).value());
+  EXPECT_TRUE(s.IsRefinement(Type::Named("NAME"),
+                             Type::Named("NAME")).value());
+  EXPECT_FALSE(s.IsRefinement(Type::Int(), Type::String()).value());
+}
+
+TEST(RefinementTest, Condition2DomainUnfoldsLeft) {
+  Schema s = Football();
+  // NAME = string, so NAME ≼ string.
+  EXPECT_TRUE(s.IsRefinement(Type::Named("NAME"), Type::String()).value());
+  EXPECT_FALSE(s.IsRefinement(Type::Named("NAME"), Type::Int()).value());
+}
+
+TEST(RefinementTest, Condition3ClassesViaIsa) {
+  Schema s = University();
+  EXPECT_TRUE(s.IsRefinement(Type::Named("STUDENT"),
+                             Type::Named("PERSON")).value());
+  EXPECT_FALSE(s.IsRefinement(Type::Named("PERSON"),
+                              Type::Named("STUDENT")).value());
+}
+
+TEST(RefinementTest, Condition4TupleProjection) {
+  Schema s;
+  // A tuple with more fields refines one with fewer (q <= p).
+  Type big = Type::Tuple({{"a", Type::Int()}, {"b", Type::String()}});
+  Type small = Type::Tuple({{"a", Type::Int()}});
+  EXPECT_TRUE(s.IsRefinement(big, small).value());
+  EXPECT_FALSE(s.IsRefinement(small, big).value());
+  // Field types must refine pointwise.
+  Type wrong = Type::Tuple({{"a", Type::String()}});
+  EXPECT_FALSE(s.IsRefinement(big, wrong).value());
+}
+
+TEST(RefinementTest, Conditions5to7Collections) {
+  Schema s;
+  Type big = Type::Tuple({{"a", Type::Int()}, {"b", Type::Int()}});
+  Type small = Type::Tuple({{"a", Type::Int()}});
+  EXPECT_TRUE(s.IsRefinement(Type::Set(big), Type::Set(small)).value());
+  EXPECT_TRUE(s.IsRefinement(Type::Multiset(big),
+                             Type::Multiset(small)).value());
+  EXPECT_TRUE(s.IsRefinement(Type::Sequence(big),
+                             Type::Sequence(small)).value());
+  // Mismatched constructors do not refine.
+  EXPECT_FALSE(s.IsRefinement(Type::Set(big),
+                              Type::Multiset(small)).value());
+  EXPECT_FALSE(s.IsRefinement(Type::Set(big),
+                              Type::Sequence(small)).value());
+}
+
+TEST(RefinementTest, CompatibilityIsSymmetricRefinement) {
+  Schema s = University();
+  EXPECT_TRUE(s.AreCompatible(Type::Named("STUDENT"),
+                              Type::Named("PERSON")).value());
+  EXPECT_TRUE(s.AreCompatible(Type::Named("PERSON"),
+                              Type::Named("STUDENT")).value());
+  EXPECT_FALSE(s.AreCompatible(Type::Named("STUDENT"),
+                               Type::Named("PROFESSOR")).value());
+}
+
+TEST(RefinementTest, UnknownNameIsError) {
+  Schema s;
+  EXPECT_FALSE(s.IsRefinement(Type::Named("GHOST"), Type::Int()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Expansion, merge, undeclare.
+
+TEST(SchemaTest, ExpandSubstitutesDomainsKeepsClasses) {
+  Schema s = Football();
+  Type game = s.TypeOf("GAME").value();
+  Type expanded = s.Expand(game).value();
+  // DATE (domain) became string; TEAM (class) stayed a reference.
+  EXPECT_EQ(expanded.field("date").value(), Type::String());
+  EXPECT_EQ(expanded.field("h_team").value(), Type::Named("TEAM"));
+  EXPECT_EQ(expanded.field("score").value().kind(), TypeKind::kTuple);
+}
+
+TEST(SchemaTest, MergeIsIdempotentAndConflictChecked) {
+  Schema a = Football();
+  Schema b = Football();
+  EXPECT_TRUE(a.Merge(b).ok());
+  Schema c;
+  ASSERT_TRUE(c.DeclareDomain("NAME", Type::Int()).ok());
+  EXPECT_EQ(a.Merge(c).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, UndeclareChecksReferences) {
+  Schema s = Football();
+  // TEAM is referenced by GAME.
+  EXPECT_EQ(s.Undeclare("TEAM").code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(s.Undeclare("GAME").ok());
+  EXPECT_FALSE(s.Has("GAME"));
+  EXPECT_EQ(s.Undeclare("GAME").code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, PredicateTupleOfDomainRejected) {
+  Schema s = Football();
+  EXPECT_EQ(s.EffectiveFields("NAME").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ToStringShowsSections) {
+  Schema s = University();
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("classes"), std::string::npos);
+  EXPECT_NE(text.find("STUDENT isa PERSON"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,212 @@
+// Edge cases of the evaluation semantics: unstratified programs under
+// whole-program inflationary computation, differences between the
+// inflationary and replacement semantics, and goal answering through
+// builtins and data functions.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/parser.h"
+#include "core/typecheck.h"
+
+namespace logres {
+namespace {
+
+Value T1(const std::string& l, int64_t v) {
+  return Value::MakeTuple({{l, Value::Int(v)}});
+}
+
+// The classic win-move game is not stratified (win depends negatively on
+// itself through move). Section 3.1: "Whenever the program is not
+// stratified ... it can also be assigned a meaning, by computing it as a
+// whole still under inflationary semantics." The inflationary result is
+// well-defined and deterministic — this test pins it down.
+TEST(UnstratifiedTest, WinMoveGetsInflationaryMeaning) {
+  auto db_result = Database::Create(
+      "associations MOVE = (a: integer, b: integer);"
+      "             WIN = (a: integer);");
+  Database db = std::move(db_result).value();
+  // Positions: 1 -> 2 -> 3 (3 is lost: no moves).
+  ASSERT_TRUE(db.InsertTuple("MOVE", Value::MakeTuple(
+      {{"a", Value::Int(1)}, {"b", Value::Int(2)}})).ok());
+  ASSERT_TRUE(db.InsertTuple("MOVE", Value::MakeTuple(
+      {{"a", Value::Int(2)}, {"b", Value::Int(3)}})).ok());
+  auto unit = Parse("rules win(a: X) <- move(a: X, b: Y), not win(a: Y).");
+  auto program = Typecheck(db.schema(), {}, unit->rules);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_FALSE(program->stratified);
+  auto apply = db.ApplySource(
+      "rules win(a: X) <- move(a: X, b: Y), not win(a: Y).",
+      ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // Step 1 (win empty): both 1 and 2 derive win. Inflationary: they stay.
+  // This is the inflationary meaning — NOT the well-founded model (where
+  // only 2 wins); the test documents the semantics the paper chose.
+  EXPECT_TRUE(db.edb().TuplesOf("WIN").count(T1("a", 1)));
+  EXPECT_TRUE(db.edb().TuplesOf("WIN").count(T1("a", 2)));
+  EXPECT_FALSE(db.edb().TuplesOf("WIN").count(T1("a", 3)));
+}
+
+TEST(UnstratifiedTest, DeterministicAcrossRuns) {
+  // The unstratified meaning is still deterministic: repeated runs agree.
+  auto run = []() -> Instance {
+    auto db_result = Database::Create(
+        "associations MOVE = (a: integer, b: integer);"
+        "             WIN = (a: integer);");
+    Database db = std::move(db_result).value();
+    for (int i = 1; i <= 4; ++i) {
+      (void)db.InsertTuple("MOVE", Value::MakeTuple(
+          {{"a", Value::Int(i)}, {"b", Value::Int(i + 1)}}));
+    }
+    EXPECT_TRUE(db.ApplySource(
+        "rules win(a: X) <- move(a: X, b: Y), not win(a: Y).",
+        ApplicationMode::kRIDV).ok());
+    return db.edb();
+  };
+  EXPECT_TRUE(run() == run());
+}
+
+TEST(SemanticsTest, InflationaryAndReplacementDiffer) {
+  // p persists under inflationary semantics but must re-derive under
+  // replacement: a one-shot trigger distinguishes them.
+  const char* schema =
+      "associations SEED = (x: integer); OUT = (x: integer);"
+      "             STAGE = (x: integer);";
+  // stage derives from seed; out derives from stage AND seed's absence is
+  // irrelevant — under replacement, out must re-derive each step from the
+  // rebuilt stage, which works; the difference shows with deletion:
+  const char* rules =
+      "rules stage(x: X) <- seed(x: X)."
+      "      out(x: X) <- stage(x: X).";
+  for (EvalMode mode :
+       {EvalMode::kStratified, EvalMode::kNonInflationary}) {
+    auto db_result = Database::Create(schema);
+    Database db = std::move(db_result).value();
+    ASSERT_TRUE(db.InsertTuple("SEED", T1("x", 1)).ok());
+    EvalOptions options;
+    options.mode = mode;
+    auto apply = db.ApplySource(rules, ApplicationMode::kRIDV, options);
+    ASSERT_TRUE(apply.ok()) << apply.status();
+    // Both converge to the same instance on this monotone program.
+    EXPECT_TRUE(db.edb().TuplesOf("OUT").count(T1("x", 1)));
+  }
+}
+
+TEST(SemanticsTest, ReplacementDropsUnsupportedFacts) {
+  // Under replacement semantics, extensional facts persist (they are in
+  // E) but derived facts not re-derivable vanish. Build a state where a
+  // derived fact's support was removed, then re-run under replacement.
+  auto db_result = Database::Create(
+      "associations SEED = (x: integer); OUT = (x: integer);");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("OUT", T1("x", 9)).ok());  // unsupported
+  ASSERT_TRUE(db.InsertTuple("SEED", T1("x", 1)).ok());
+  EvalOptions replacement;
+  replacement.mode = EvalMode::kNonInflationary;
+  // The module's rules derive OUT only from SEED; the pre-existing OUT(9)
+  // is extensional, so E ⊕ Δ keeps it: this documents that replacement
+  // semantics re-seeds from E, not from ∅.
+  auto apply = db.ApplySource("rules out(x: X) <- seed(x: X).",
+                              ApplicationMode::kRIDV, replacement);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_TRUE(db.edb().TuplesOf("OUT").count(T1("x", 1)));
+  EXPECT_TRUE(db.edb().TuplesOf("OUT").count(T1("x", 9)));
+}
+
+TEST(GoalTest, BuiltinsInGoals) {
+  auto db_result = Database::Create(
+      "associations BAG = (s: {integer});");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("BAG", Value::MakeTuple(
+      {{"s", Value::MakeSet({Value::Int(1), Value::Int(2),
+                             Value::Int(3)})}})).ok());
+  auto sum = db.Query("? bag(s: S), sum(S, N).");
+  ASSERT_TRUE(sum.ok()) << sum.status();
+  ASSERT_EQ(sum->size(), 1u);
+  EXPECT_EQ(sum->front().at("N"), Value::Int(6));
+  auto members = db.Query("? bag(s: S), member(X, S), X > 1.");
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 2u);
+}
+
+TEST(GoalTest, FunctionApplicationsInGoals) {
+  auto db_result = Database::Create(R"(
+    classes PERSON = (name: string);
+    associations PARENT = (par: PERSON, chil: PERSON);
+    functions KIDS: PERSON -> {PERSON};
+    rules
+      member(X, kids(Y)) <- parent(par: Y, chil: X).
+  )");
+  Database db = std::move(db_result).value();
+  auto p = db.InsertObject("PERSON",
+      Value::MakeTuple({{"name", Value::String("p")}}));
+  auto c = db.InsertObject("PERSON",
+      Value::MakeTuple({{"name", Value::String("c")}}));
+  ASSERT_TRUE(p.ok() && c.ok());
+  ASSERT_TRUE(db.InsertTuple("PARENT", Value::MakeTuple(
+      {{"par", Value::MakeOid(*p)}, {"chil", Value::MakeOid(*c)}})).ok());
+  auto ans = db.Query(
+      "? person(self Y, name: \"p\"), member(X, kids(Y)), "
+      "person(self X, name: N).");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  ASSERT_EQ(ans->size(), 1u);
+  EXPECT_EQ(ans->front().at("N"), Value::String("c"));
+}
+
+TEST(GoalTest, GoalAnswersAreDeduplicated) {
+  auto db_result = Database::Create(
+      "associations E = (a: integer, b: integer);");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("E", Value::MakeTuple(
+      {{"a", Value::Int(1)}, {"b", Value::Int(2)}})).ok());
+  ASSERT_TRUE(db.InsertTuple("E", Value::MakeTuple(
+      {{"a", Value::Int(1)}, {"b", Value::Int(3)}})).ok());
+  // Projecting onto `a` collapses the two rows.
+  auto ans = db.Query("? e(a: X).");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 1u);
+}
+
+TEST(SemanticsTest, DenialWithActiveDomainNegation) {
+  // A denial whose negated literal has a free variable: satisfied when
+  // some active-domain instantiation makes the body true.
+  auto db_result = Database::Create(
+      "associations HAVE = (x: integer); NEED = (x: integer);");
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("NEED", T1("x", 1)).ok());
+  ASSERT_TRUE(db.InsertTuple("NEED", T1("x", 2)).ok());
+  ASSERT_TRUE(db.InsertTuple("HAVE", T1("x", 1)).ok());
+  // Denial: no needed item may be missing.
+  auto missing = db.ApplySource(
+      "rules <- need(x: X), not have(x: X).", ApplicationMode::kRADI);
+  EXPECT_EQ(missing.status().code(), StatusCode::kConstraintViolation);
+  // After supplying item 2 the same module applies cleanly.
+  ASSERT_TRUE(db.InsertTuple("HAVE", T1("x", 2)).ok());
+  EXPECT_TRUE(db.ApplySource(
+      "rules <- need(x: X), not have(x: X).",
+      ApplicationMode::kRADI).ok());
+}
+
+TEST(SemanticsTest, WholeProgramDeletionInteractsWithDerivation) {
+  // A module that simultaneously derives into Q and prunes P: the
+  // one-step operator applies Δ+ and Δ− of the same step together.
+  auto db_result = Database::Create(
+      "associations P = (x: integer); Q = (x: integer);");
+  Database db = std::move(db_result).value();
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(db.InsertTuple("P", T1("x", i)).ok());
+  }
+  auto apply = db.ApplySource(
+      "rules q(x: X) <- p(x: X), even(X)."
+      "      not p(x: X) <- p(x: X), even(X).",
+      ApplicationMode::kRIDV);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  // Evens moved from P to Q.
+  EXPECT_EQ(db.edb().TuplesOf("P").size(), 2u);
+  EXPECT_EQ(db.edb().TuplesOf("Q").size(), 2u);
+  EXPECT_TRUE(db.edb().TuplesOf("Q").count(T1("x", 2)));
+  EXPECT_FALSE(db.edb().TuplesOf("P").count(T1("x", 2)));
+}
+
+}  // namespace
+}  // namespace logres

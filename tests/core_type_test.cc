@@ -1,0 +1,89 @@
+// Unit tests for LOGRES type descriptors (Definition 1).
+
+#include <gtest/gtest.h>
+
+#include "core/type.h"
+
+namespace logres {
+namespace {
+
+TEST(TypeTest, ElementaryTypes) {
+  EXPECT_EQ(Type::Int().kind(), TypeKind::kInt);
+  EXPECT_EQ(Type::String().kind(), TypeKind::kString);
+  EXPECT_EQ(Type::Bool().kind(), TypeKind::kBool);
+  EXPECT_EQ(Type::Real().kind(), TypeKind::kReal);
+  EXPECT_TRUE(Type::Int().is_elementary());
+  EXPECT_FALSE(Type::Named("X").is_elementary());
+  EXPECT_EQ(Type().kind(), TypeKind::kInt);  // default
+}
+
+TEST(TypeTest, NamedReferences) {
+  Type t = Type::Named("PERSON");
+  EXPECT_EQ(t.kind(), TypeKind::kNamed);
+  EXPECT_EQ(t.name(), "PERSON");
+}
+
+TEST(TypeTest, TupleFields) {
+  Type t = Type::Tuple({{"name", Type::String()}, {"age", Type::Int()}});
+  ASSERT_EQ(t.fields().size(), 2u);
+  EXPECT_EQ(t.field("name").value(), Type::String());
+  EXPECT_EQ(t.field("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Type::Int().field("x").status().code(), StatusCode::kTypeError);
+}
+
+TEST(TypeTest, CollectionConstructors) {
+  Type s = Type::Set(Type::Int());
+  Type m = Type::Multiset(Type::String());
+  Type q = Type::Sequence(Type::Named("PLAYER"));
+  EXPECT_TRUE(s.is_collection());
+  EXPECT_TRUE(m.is_collection());
+  EXPECT_TRUE(q.is_collection());
+  EXPECT_EQ(s.element(), Type::Int());
+  EXPECT_EQ(q.element().name(), "PLAYER");
+  EXPECT_FALSE(Type::Int().is_collection());
+}
+
+TEST(TypeTest, StructuralEquality) {
+  Type a = Type::Tuple({{"x", Type::Set(Type::Int())}});
+  Type b = Type::Tuple({{"x", Type::Set(Type::Int())}});
+  Type c = Type::Tuple({{"x", Type::Multiset(Type::Int())}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, Type::Tuple({{"y", Type::Set(Type::Int())}}));
+  EXPECT_NE(Type::Named("A"), Type::Named("B"));
+  EXPECT_EQ(Type::Named("A"), Type::Named("A"));
+}
+
+TEST(TypeTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(Type::Set(Type::Named("ROLE")).ToString(), "{ROLE}");
+  EXPECT_EQ(Type::Multiset(Type::Int()).ToString(), "[integer]");
+  EXPECT_EQ(Type::Sequence(Type::Named("PLAYER")).ToString(), "<PLAYER>");
+  EXPECT_EQ(
+      Type::Tuple({{"name", Type::String()}, {"roles",
+                    Type::Set(Type::Named("ROLE"))}}).ToString(),
+      "(name: string, roles: {ROLE})");
+}
+
+TEST(TypeTest, ReferencedNamesCollectsAllOccurrences) {
+  Type t = Type::Tuple({{"h", Type::Named("TEAM")},
+                        {"g", Type::Named("TEAM")},
+                        {"s", Type::Set(Type::Named("SCORE"))}});
+  auto names = t.ReferencedNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "TEAM");
+  EXPECT_EQ(names[1], "TEAM");
+  EXPECT_EQ(names[2], "SCORE");
+  EXPECT_TRUE(Type::Int().ReferencedNames().empty());
+}
+
+TEST(TypeTest, DeepNesting) {
+  // {<(x: [integer])>} — nesting of all four constructors.
+  Type t = Type::Set(Type::Sequence(
+      Type::Tuple({{"x", Type::Multiset(Type::Int())}})));
+  EXPECT_EQ(t.ToString(), "{<(x: [integer])>}");
+  EXPECT_EQ(t.element().element().field("x").value().element(),
+            Type::Int());
+}
+
+}  // namespace
+}  // namespace logres

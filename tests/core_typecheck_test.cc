@@ -1,0 +1,394 @@
+// Unit tests for static analysis: predicate resolution, variable typing,
+// safety, oid legality, and stratification.
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/typecheck.h"
+
+namespace logres {
+namespace {
+
+Schema UniSchema() {
+  Schema s;
+  EXPECT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()},
+                   {"address", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareClass("STUDENT",
+      Type::Tuple({{"person", Type::Named("PERSON")},
+                   {"school", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareIsa("STUDENT", "PERSON").ok());
+  EXPECT_TRUE(s.DeclareAssociation("ADVISES",
+      Type::Tuple({{"prof", Type::Named("PERSON")},
+                   {"stud", Type::Named("STUDENT")}})).ok());
+  EXPECT_TRUE(s.DeclareAssociation("PAIR",
+      Type::Tuple({{"p_name", Type::String()},
+                   {"s_name", Type::String()}})).ok());
+  EXPECT_TRUE(s.Validate().ok());
+  return s;
+}
+
+Result<CheckedProgram> Check(const Schema& s,
+                             const std::string& rule_text) {
+  auto rule = ParseRule(rule_text);
+  if (!rule.ok()) return rule.status();
+  return Typecheck(s, {}, {std::move(rule).value()});
+}
+
+// ---------------------------------------------------------------------------
+// Predicate resolution.
+
+TEST(ResolveTest, LabeledArguments) {
+  Schema s = UniSchema();
+  Literal lit = ParseRule("x(a: 1) <- person(name: N, address: A).")
+                    .value().body[0];
+  auto rp = ResolvePredicate(s, {}, lit);
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  EXPECT_EQ(rp->name, "PERSON");
+  EXPECT_TRUE(rp->is_class);
+  EXPECT_EQ(rp->fields.size(), 2u);
+  EXPECT_FALSE(rp->tuple_var);
+  EXPECT_FALSE(rp->self_term);
+}
+
+TEST(ResolveTest, PositionalArguments) {
+  // pair(X, X) from Section 3.1.
+  Schema s = UniSchema();
+  Literal lit = ParseRule("x(a: 1) <- pair(X, X).").value().body[0];
+  auto rp = ResolvePredicate(s, {}, lit);
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  ASSERT_EQ(rp->fields.size(), 2u);
+  EXPECT_EQ(rp->fields[0].first, "p_name");
+  EXPECT_EQ(rp->fields[1].first, "s_name");
+}
+
+TEST(ResolveTest, TupleVariable) {
+  Schema s = UniSchema();
+  Literal lit = ParseRule("x(a: 1) <- person(name: N, Y, self Z).")
+                    .value().body[0];
+  auto rp = ResolvePredicate(s, {}, lit);
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  ASSERT_TRUE(rp->tuple_var != nullptr);
+  EXPECT_EQ(rp->tuple_var->name(), "Y");
+  ASSERT_TRUE(rp->self_term != nullptr);
+  EXPECT_EQ(rp->fields.size(), 1u);
+}
+
+TEST(ResolveTest, SingleTupleVariable) {
+  Schema s = UniSchema();
+  Literal lit = ParseRule("x(a: 1) <- person(X).").value().body[0];
+  auto rp = ResolvePredicate(s, {}, lit);
+  ASSERT_TRUE(rp.ok());
+  // person has 2 fields; a single unlabeled variable is the tuple var.
+  EXPECT_TRUE(rp->tuple_var != nullptr);
+}
+
+TEST(ResolveTest, Errors) {
+  Schema s = UniSchema();
+  auto body_of = [](const std::string& text) {
+    return ParseRule("x(a: 1) <- " + text + ".").value().body[0];
+  };
+  // Unknown predicate.
+  EXPECT_EQ(ResolvePredicate(s, {}, body_of("ghost(a: 1)"))
+                .status().code(),
+            StatusCode::kNotFound);
+  // Unknown label.
+  EXPECT_EQ(ResolvePredicate(s, {}, body_of("person(zip: 1)"))
+                .status().code(),
+            StatusCode::kTypeError);
+  // self on an association.
+  EXPECT_EQ(ResolvePredicate(s, {}, body_of("advises(self X)"))
+                .status().code(),
+            StatusCode::kTypeError);
+  // Duplicate labeled argument.
+  EXPECT_EQ(ResolvePredicate(s, {},
+                             body_of("person(name: X, name: Y)"))
+                .status().code(),
+            StatusCode::kTypeError);
+  // Ambiguous unlabeled arguments (2 of 2 fields but one is a constant
+  // and one a variable is fine positionally; 3 unlabeled is not).
+  EXPECT_EQ(ResolvePredicate(
+                s, {}, body_of("person(X, Y, Z)")).status().code(),
+            StatusCode::kTypeError);
+}
+
+// ---------------------------------------------------------------------------
+// Safety and scheduling.
+
+TEST(SafetyTest, UnboundHeadVariableRejected) {
+  Schema s = UniSchema();
+  auto r = Check(s, "pair(p_name: X, s_name: Y) <- person(name: X).");
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafeRule);
+}
+
+TEST(SafetyTest, UnboundHeadSelfInventsOid) {
+  Schema s = UniSchema();
+  auto r = Check(s, "person(self X, name: N, address: A) <- "
+                    "pair(p_name: N, s_name: A).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rules[0].invents_oid);
+}
+
+TEST(SafetyTest, BoundHeadSelfDoesNotInvent) {
+  Schema s = UniSchema();
+  auto r = Check(s, "person(self X, name: N) <- student(self X, name: N).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->rules[0].invents_oid);
+  EXPECT_TRUE(r->rules[0].shares_head_oid);
+}
+
+TEST(SafetyTest, EqualityBindsThroughArithmetic) {
+  Schema s = UniSchema();
+  Schema s2 = s;
+  ASSERT_TRUE(s2.DeclareAssociation("P",
+      Type::Tuple({{"d", Type::Int()}})).ok());
+  auto r = Check(s2, "p(d: Z) <- p(d: Y), Z = Y + 1, Z < 5.");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // The schedule must order the equality before the comparison.
+  const CheckedRule& rule = r->rules[0];
+  ASSERT_EQ(rule.body.size(), 3u);
+  EXPECT_EQ(rule.body[1].source.compare_op, CompareOp::kEq);
+  EXPECT_EQ(rule.body[2].source.compare_op, CompareOp::kLt);
+}
+
+TEST(SafetyTest, ReorderingPutsProducerFirst) {
+  Schema s = UniSchema();
+  // Written with the builtin before its input is bound.
+  Schema s2 = s;
+  ASSERT_TRUE(s2.DeclareAssociation("Q",
+      Type::Tuple({{"s", Type::Set(Type::Int())}})).ok());
+  auto r = Check(s2, "pair(p_name: \"a\", s_name: \"b\") <- "
+                     "member(X, S), q(s: S), X > 1.");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const CheckedRule& rule = r->rules[0];
+  EXPECT_EQ(rule.body[0].kind(), LiteralKind::kPredicate);
+  EXPECT_EQ(rule.body[1].kind(), LiteralKind::kBuiltin);
+}
+
+TEST(SafetyTest, HopelesslyUnboundRejected) {
+  Schema s = UniSchema();
+  auto r = Check(s, "pair(p_name: X, s_name: X) <- X = Y.");
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafeRule);
+}
+
+TEST(SafetyTest, UnboundClassTypedHeadVarBecomesNil) {
+  // Valuation-map point (c): class-typed head vars not in the body are
+  // nil, so the rule is legal.
+  Schema s = UniSchema();
+  auto r = Check(s, "advises(prof: P, stud: S) <- student(self S).");
+  ASSERT_TRUE(r.ok()) << r.status();
+}
+
+// ---------------------------------------------------------------------------
+// Oid legality (Section 3.1).
+
+TEST(OidLegalityTest, SharedOidAcrossHierarchiesRejected) {
+  Schema s;
+  // Two fields so that a single unlabeled variable reads as a tuple
+  // variable, not a positional argument.
+  ASSERT_TRUE(s.DeclareClass("A",
+      Type::Tuple({{"x", Type::Int()}, {"y", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("B",
+      Type::Tuple({{"x", Type::Int()}, {"y", Type::Int()}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  // a(X) <- b(X) with X the shared tuple variable: incorrect, A and B are
+  // unrelated ("two objects cannot have the same oid if they do not
+  // belong to the same generalization hierarchy").
+  auto r = Check(s, "a(X) <- b(X).");
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+  // Shared self variables are equally illegal.
+  auto r2 = Check(s, "a(self X, x: V, y: W) <- b(self X, x: V, y: W).");
+  EXPECT_EQ(r2.status().code(), StatusCode::kTypeError);
+}
+
+TEST(OidLegalityTest, DistinctVariablesCreateNewObjects) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("A", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareClass("B", Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.Validate().ok());
+  // a(self Y, x: V) <- b(self X, x: V): fresh oid per b-object.
+  auto r = Check(s, "a(self Y, x: V) <- b(self X, x: V).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rules[0].invents_oid);
+}
+
+TEST(OidLegalityTest, IsaRelatedSharedOidAccepted) {
+  Schema s = UniSchema();
+  auto r = Check(s, "person(X) <- student(X).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rules[0].shares_head_oid);
+}
+
+// ---------------------------------------------------------------------------
+// Variable typing.
+
+TEST(TypingTest, IncompatibleUsesRejected) {
+  Schema s = UniSchema();
+  Schema s2 = s;
+  ASSERT_TRUE(s2.DeclareAssociation("NUM",
+      Type::Tuple({{"n", Type::Int()}})).ok());
+  // X used both as a string field and an integer field.
+  auto r = Check(s2, "pair(p_name: X, s_name: X) <- "
+                     "person(name: X), num(n: X).");
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TypingTest, CompatibleAcrossIsa) {
+  Schema s = UniSchema();
+  // Example 3.1's unification across person/student/advises: the same
+  // variable may range over STUDENT and PERSON (compatible via isa).
+  auto r = Check(s, "pair(p_name: N, s_name: N) <- "
+                    "advises(prof: X, stud: Y), person(self X, name: N), "
+                    "student(self Y, name: N).");
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(TypingTest, VarTypesRecorded) {
+  Schema s = UniSchema();
+  auto r = Check(s, "pair(p_name: N, s_name: N) <- person(self X, name: N).");
+  ASSERT_TRUE(r.ok());
+  const auto& types = r->rules[0].var_types;
+  EXPECT_EQ(types.at("N"), Type::String());
+  EXPECT_EQ(types.at("X"), Type::Named("PERSON"));
+}
+
+// ---------------------------------------------------------------------------
+// Data functions.
+
+TEST(FunctionTest, BackingAssociationDeclared) {
+  Schema s = UniSchema();
+  FunctionDecl fn;
+  fn.name = "DESC";
+  fn.arg_types = {Type::Named("PERSON")};
+  fn.result_type = Type::Set(Type::Named("PERSON"));
+  ASSERT_TRUE(DeclareBackingAssociation(&s, fn).ok());
+  ASSERT_TRUE(s.IsAssociation("$FN$DESC"));
+  auto fields = s.EffectiveFields("$FN$DESC").value();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].first, "arg1");
+  EXPECT_EQ(fields[1].first, "member");
+}
+
+TEST(FunctionTest, MemberHeadRewrittenToBacking) {
+  Schema s = UniSchema();
+  FunctionDecl fn;
+  fn.name = "DESC";
+  fn.arg_types = {Type::Named("PERSON")};
+  fn.result_type = Type::Set(Type::Named("PERSON"));
+  ASSERT_TRUE(DeclareBackingAssociation(&s, fn).ok());
+  auto rule = ParseRule(
+      "member(X, desc(Y)) <- advises(prof: Y, stud: X).").value();
+  auto r = Typecheck(s, {fn}, {rule});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rules[0].defines_function);
+  EXPECT_EQ(r->rules[0].function_name, "DESC");
+  EXPECT_EQ(r->rules[0].head->pred->name, "$FN$DESC");
+}
+
+TEST(FunctionTest, UndeclaredFunctionRejected) {
+  Schema s = UniSchema();
+  auto rule = ParseRule(
+      "member(X, ghost(Y)) <- advises(prof: Y, stud: X).").value();
+  auto r = Typecheck(s, {}, {rule});
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FunctionTest, WrongArityRejected) {
+  Schema s = UniSchema();
+  FunctionDecl fn;
+  fn.name = "DESC";
+  fn.arg_types = {Type::Named("PERSON")};
+  fn.result_type = Type::Set(Type::Named("PERSON"));
+  ASSERT_TRUE(DeclareBackingAssociation(&s, fn).ok());
+  auto rule = ParseRule(
+      "member(X, desc(Y, Z)) <- advises(prof: Y, stud: X), "
+      "advises(prof: Z, stud: X).").value();
+  auto r = Typecheck(s, {fn}, {rule});
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+// ---------------------------------------------------------------------------
+// Stratification.
+
+TEST(StrataTest, NegationSplitsStrata) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("BASE",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareAssociation("D1",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareAssociation("D2",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  auto r1 = ParseRule("d1(x: X) <- base(x: X).").value();
+  auto r2 = ParseRule("d2(x: X) <- base(x: X), not d1(x: X).").value();
+  auto program = Typecheck(s, {}, {r1, r2});
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_TRUE(program->stratified);
+  EXPECT_LT(program->strata.at("D1"), program->strata.at("D2"));
+}
+
+TEST(StrataTest, NegationCycleUnstratified) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("P",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  ASSERT_TRUE(s.DeclareAssociation("Q",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  auto r1 = ParseRule("p(x: X) <- q(x: X), not p(x: X).").value();
+  auto program = Typecheck(s, {}, {r1});
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(program->stratified);
+}
+
+TEST(StrataTest, DeletionHeadForcesUnstratified) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("P",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  auto r = ParseRule("not p(x: X) <- p(x: X), X > 3.").value();
+  auto program = Typecheck(s, {}, {r});
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(program->stratified);
+}
+
+TEST(StrataTest, AggregatingFunctionUseSplitsStrata) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()}})).ok());
+  ASSERT_TRUE(s.DeclareAssociation("PARENT",
+      Type::Tuple({{"par", Type::Named("PERSON")},
+                   {"chil", Type::Named("PERSON")}})).ok());
+  ASSERT_TRUE(s.DeclareAssociation("ANCESTOR",
+      Type::Tuple({{"anc", Type::Named("PERSON")},
+                   {"des", Type::Set(Type::Named("PERSON"))}})).ok());
+  FunctionDecl fn;
+  fn.name = "DESC";
+  fn.arg_types = {Type::Named("PERSON")};
+  fn.result_type = Type::Set(Type::Named("PERSON"));
+  ASSERT_TRUE(DeclareBackingAssociation(&s, fn).ok());
+  auto r1 = ParseRule(
+      "member(X, desc(Y)) <- parent(par: Y, chil: X).").value();
+  auto r2 = ParseRule(
+      "member(X, desc(Y)) <- parent(par: Y, chil: Z), member(X, T), "
+      "T = desc(Z).").value();
+  auto r3 = ParseRule(
+      "ancestor(anc: X, des: Y) <- parent(par: X), Y = desc(X).").value();
+  auto program = Typecheck(s, {fn}, {r1, r2, r3});
+  ASSERT_TRUE(program.ok()) << program.status();
+  // The recursive member/T=desc idiom is monotonic (same stratum); the
+  // head use in r3 aggregates (higher stratum).
+  EXPECT_TRUE(program->stratified);
+  EXPECT_LT(program->strata.at("$FN$DESC"),
+            program->strata.at("ANCESTOR"));
+}
+
+TEST(StrataTest, DenialsRunLast) {
+  Schema s;
+  ASSERT_TRUE(s.DeclareAssociation("P",
+      Type::Tuple({{"x", Type::Int()}})).ok());
+  auto r1 = ParseRule("p(x: 1).").value();
+  auto denial = ParseRule("<- p(x: X), X > 10.").value();
+  auto program = Typecheck(s, {}, {r1, denial});
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rule_strata[1], program->max_stratum);
+}
+
+}  // namespace
+}  // namespace logres

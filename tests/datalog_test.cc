@@ -1,0 +1,248 @@
+// Unit tests for the flat Datalog baseline engine.
+
+#include <gtest/gtest.h>
+
+#include "datalog/datalog.h"
+
+namespace logres::datalog {
+namespace {
+
+Rule MakeRule(Literal head, std::vector<Literal> body) {
+  Rule r;
+  r.head = std::move(head);
+  r.body = std::move(body);
+  return r;
+}
+
+Literal Lit(const std::string& pred, std::vector<Term> terms,
+            bool negated = false) {
+  Literal l;
+  l.predicate = pred;
+  l.terms = std::move(terms);
+  l.negated = negated;
+  return l;
+}
+
+Program TransitiveClosure() {
+  Program p;
+  // edge facts: a chain 1->2->3->4.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_TRUE(p.AddFact("edge", {Constant::Int(i),
+                                   Constant::Int(i + 1)}).ok());
+  }
+  EXPECT_TRUE(p.AddRule(MakeRule(
+      Lit("tc", {Term::Var("X"), Term::Var("Y")}),
+      {Lit("edge", {Term::Var("X"), Term::Var("Y")})})).ok());
+  EXPECT_TRUE(p.AddRule(MakeRule(
+      Lit("tc", {Term::Var("X"), Term::Var("Z")}),
+      {Lit("edge", {Term::Var("X"), Term::Var("Y")}),
+       Lit("tc", {Term::Var("Y"), Term::Var("Z")})})).ok());
+  return p;
+}
+
+TEST(DatalogTest, TransitiveClosureNaive) {
+  Program p = TransitiveClosure();
+  auto db = Evaluate(p, EvalStrategy::kNaive);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->at("tc").size(), 6u);  // C(4,2) pairs on a chain of 4
+}
+
+TEST(DatalogTest, SemiNaiveAgreesWithNaive) {
+  Program p = TransitiveClosure();
+  auto naive = Evaluate(p, EvalStrategy::kNaive);
+  auto semi = Evaluate(p, EvalStrategy::kSemiNaive);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(*naive, *semi);
+}
+
+TEST(DatalogTest, QueryBindsConstants) {
+  Program p = TransitiveClosure();
+  auto db = Evaluate(p).value();
+  auto ans = Query(db, Lit("tc", {Term::Int(1), Term::Var("Y")}));
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 3u);  // 1 reaches 2, 3, 4
+  auto none = Query(db, Lit("tc", {Term::Int(4), Term::Var("Y")}));
+  EXPECT_TRUE(none->empty());
+  EXPECT_FALSE(Query(db, Lit("tc", {Term::Var("X")}, true)).ok());
+}
+
+TEST(DatalogTest, RepeatedVariablesInBody) {
+  Program p;
+  ASSERT_TRUE(p.AddFact("e", {Constant::Int(1), Constant::Int(1)}).ok());
+  ASSERT_TRUE(p.AddFact("e", {Constant::Int(1), Constant::Int(2)}).ok());
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("loop", {Term::Var("X")}),
+      {Lit("e", {Term::Var("X"), Term::Var("X")})})).ok());
+  auto db = Evaluate(p).value();
+  EXPECT_EQ(db.at("loop").size(), 1u);
+}
+
+TEST(DatalogTest, StratifiedNegation) {
+  Program p;
+  ASSERT_TRUE(p.AddFact("node", {Constant::Sym("a")}).ok());
+  ASSERT_TRUE(p.AddFact("node", {Constant::Sym("b")}).ok());
+  ASSERT_TRUE(p.AddFact("covered", {Constant::Sym("a")}).ok());
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("uncovered", {Term::Var("X")}),
+      {Lit("node", {Term::Var("X")}),
+       Lit("covered", {Term::Var("X")}, /*negated=*/true)})).ok());
+  auto db = Evaluate(p).value();
+  ASSERT_EQ(db.at("uncovered").size(), 1u);
+  EXPECT_EQ(db.at("uncovered").begin()->front(), Constant::Sym("b"));
+}
+
+TEST(DatalogTest, StratifyAssignsLevels) {
+  Program p;
+  ASSERT_TRUE(p.AddFact("base", {Constant::Int(1)}).ok());
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("derived", {Term::Var("X")}),
+      {Lit("base", {Term::Var("X")})})).ok());
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("top", {Term::Var("X")}),
+      {Lit("base", {Term::Var("X")}),
+       Lit("derived", {Term::Var("X")}, true)})).ok());
+  auto strata = Stratify(p);
+  ASSERT_TRUE(strata.ok());
+  EXPECT_EQ(strata->at("base"), 0);
+  EXPECT_EQ(strata->at("derived"), 0);
+  EXPECT_EQ(strata->at("top"), 1);
+}
+
+TEST(DatalogTest, UnstratifiedProgramRejected) {
+  Program p;
+  ASSERT_TRUE(p.AddFact("seed", {Constant::Int(1)}).ok());
+  // p :- seed, not q.  q :- seed, not p.  — a negation cycle.
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("p", {Term::Var("X")}),
+      {Lit("seed", {Term::Var("X")}),
+       Lit("q", {Term::Var("X")}, true)})).ok());
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("q", {Term::Var("X")}),
+      {Lit("seed", {Term::Var("X")}),
+       Lit("p", {Term::Var("X")}, true)})).ok());
+  EXPECT_EQ(Evaluate(p).status().code(), StatusCode::kInconsistent);
+}
+
+TEST(DatalogTest, SafetyRejectsUnboundHeadVariable) {
+  Program p;
+  Status s = p.AddRule(MakeRule(
+      Lit("out", {Term::Var("X"), Term::Var("Y")}),
+      {Lit("in", {Term::Var("X")})}));
+  EXPECT_EQ(s.code(), StatusCode::kUnsafeRule);
+}
+
+TEST(DatalogTest, SafetyRejectsUnboundNegatedVariable) {
+  Program p;
+  Status s = p.AddRule(MakeRule(
+      Lit("out", {Term::Var("X")}),
+      {Lit("in", {Term::Var("X")}),
+       Lit("other", {Term::Var("Z")}, true)}));
+  EXPECT_EQ(s.code(), StatusCode::kUnsafeRule);
+}
+
+TEST(DatalogTest, NegatedHeadRejected) {
+  Program p;
+  Status s = p.AddRule(MakeRule(
+      Lit("out", {Term::Var("X")}, /*negated=*/true),
+      {Lit("in", {Term::Var("X")})}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatalogTest, ArityMismatchRejected) {
+  Program p;
+  ASSERT_TRUE(p.AddFact("p", {Constant::Int(1)}).ok());
+  EXPECT_FALSE(p.AddFact("p", {Constant::Int(1), Constant::Int(2)}).ok());
+  Status s = p.AddRule(MakeRule(
+      Lit("q", {Term::Var("X")}),
+      {Lit("p", {Term::Var("X"), Term::Var("X")})}));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(DatalogTest, ConstantsInRuleBodies) {
+  Program p = TransitiveClosure();
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("from1", {Term::Var("Y")}),
+      {Lit("tc", {Term::Int(1), Term::Var("Y")})})).ok());
+  auto db = Evaluate(p).value();
+  EXPECT_EQ(db.at("from1").size(), 3u);
+}
+
+TEST(DatalogTest, SameGeneration) {
+  Program p;
+  // A small tree: r -> a, r -> b; a -> a1, b -> b1.
+  auto add = [&](const char* x, const char* y) {
+    ASSERT_TRUE(p.AddFact("par", {Constant::Sym(x),
+                                  Constant::Sym(y)}).ok());
+  };
+  add("r", "a");
+  add("r", "b");
+  add("a", "a1");
+  add("b", "b1");
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("sg", {Term::Var("X"), Term::Var("Y")}),
+      {Lit("par", {Term::Var("P"), Term::Var("X")}),
+       Lit("par", {Term::Var("P"), Term::Var("Y")})})).ok());
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("sg", {Term::Var("X"), Term::Var("Y")}),
+      {Lit("par", {Term::Var("P1"), Term::Var("X")}),
+       Lit("sg", {Term::Var("P1"), Term::Var("P2")}),
+       Lit("par", {Term::Var("P2"), Term::Var("Y")})})).ok());
+  auto db = Evaluate(p).value();
+  // a1 and b1 are same-generation.
+  EXPECT_TRUE(db.at("sg").count({Constant::Sym("a1"),
+                                 Constant::Sym("b1")}));
+  EXPECT_FALSE(db.at("sg").count({Constant::Sym("a"),
+                                  Constant::Sym("a1")}));
+}
+
+TEST(DatalogTest, ConstantOrderingAndPrinting) {
+  EXPECT_LT(Constant::Int(1), Constant::Int(2));
+  EXPECT_EQ(Constant::Int(3).ToString(), "3");
+  EXPECT_EQ(Constant::Sym("x").ToString(), "x");
+  EXPECT_EQ(Term::Var("X").ToString(), "X");
+  Literal l = Lit("p", {Term::Var("X"), Term::Int(1)}, true);
+  EXPECT_EQ(l.ToString(), "not p(X, 1)");
+  Rule r = MakeRule(Lit("q", {Term::Var("X")}),
+                    {Lit("p", {Term::Var("X"), Term::Int(1)})});
+  EXPECT_EQ(r.ToString(), "q(X) :- p(X, 1).");
+}
+
+// Property sweep: naive and semi-naive agree on random chain+shortcut
+// graphs of varying size.
+class DatalogEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatalogEquivalence, NaiveEqualsSemiNaive) {
+  int n = GetParam();
+  Program p;
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(p.AddFact("edge", {Constant::Int(i),
+                                   Constant::Int(i + 1)}).ok());
+  }
+  // Shortcuts every third node.
+  for (int i = 0; i + 3 < n; i += 3) {
+    ASSERT_TRUE(p.AddFact("edge", {Constant::Int(i),
+                                   Constant::Int(i + 3)}).ok());
+  }
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("tc", {Term::Var("X"), Term::Var("Y")}),
+      {Lit("edge", {Term::Var("X"), Term::Var("Y")})})).ok());
+  ASSERT_TRUE(p.AddRule(MakeRule(
+      Lit("tc", {Term::Var("X"), Term::Var("Z")}),
+      {Lit("tc", {Term::Var("X"), Term::Var("Y")}),
+       Lit("edge", {Term::Var("Y"), Term::Var("Z")})})).ok());
+  auto naive = Evaluate(p, EvalStrategy::kNaive);
+  auto semi = Evaluate(p, EvalStrategy::kSemiNaive);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(*naive, *semi);
+  // Chain TC has n(n-1)/2 pairs at minimum.
+  EXPECT_GE(naive->at("tc").size(),
+            static_cast<size_t>(n * (n - 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DatalogEquivalence,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace logres::datalog

@@ -1,0 +1,322 @@
+// Property-based sweeps over semantic invariants:
+//   * determinacy up to oid renaming across generator offsets and input
+//     permutations (Appendix B);
+//   * inflationary monotonicity on positive programs (E ⊆ I);
+//   * powerset cardinality law |P(R)| = 2^|R| (Example 3.3);
+//   * three-engine agreement (direct evaluator, ALGRES backend, flat
+//     Datalog baseline) on flat recursive programs;
+//   * module-mode algebra: RADI then RDDI of the same module restores the
+//     rule set; RIDI never changes state.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/algres_backend.h"
+#include "core/database.h"
+#include "datalog/datalog.h"
+
+namespace logres {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Determinacy up to oid renaming.
+
+class DeterminacyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminacyProperty, GeneratorOffsetAndInputOrderIrrelevant) {
+  int seed = GetParam();
+  // Source facts derived from the seed.
+  std::vector<int64_t> xs;
+  for (int i = 0; i < 6; ++i) xs.push_back((seed * 7 + i * 13) % 10);
+
+  auto build = [&](int burn, bool reversed) -> Instance {
+    auto db_result = Database::Create(
+        "classes OBJ = (x: integer); LINK = (x: integer, prev: OBJ);"
+        "associations S = (x: integer);");
+    Database db = std::move(db_result).value();
+    for (int i = 0; i < burn; ++i) db.oid_generator()->Next();
+    std::vector<int64_t> input = xs;
+    if (reversed) std::reverse(input.begin(), input.end());
+    for (int64_t x : input) {
+      (void)db.InsertTuple("S", Value::MakeTuple({{"x", Value::Int(x)}}));
+    }
+    // Two levels of invention: objects from facts, links from objects.
+    EXPECT_TRUE(db.ApplySource(
+        "rules obj(self O, x: X) <- s(x: X)."
+        "      link(self L, x: X, prev: O) <- obj(self O, x: X).",
+        ApplicationMode::kRIDV).ok());
+    return db.edb();
+  };
+
+  Instance base = build(0, false);
+  Instance offset = build(seed % 20 + 1, false);
+  Instance reordered = build(0, true);
+  EXPECT_TRUE(base.IsomorphicTo(offset));
+  EXPECT_TRUE(base.IsomorphicTo(reordered));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminacyProperty,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Inflationary monotonicity: on positive programs every extensional fact
+// survives into the instance.
+
+class MonotonicityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityProperty, EdbContainedInInstance) {
+  int seed = GetParam();
+  auto db_result = Database::Create(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);");
+  Database db = std::move(db_result).value();
+  uint64_t x = static_cast<uint64_t>(seed) + 1;
+  for (int i = 0; i < 10; ++i) {
+    x = x * 48271 % 0x7fffffff;
+    (void)db.InsertTuple("E", Value::MakeTuple(
+        {{"a", Value::Int(static_cast<int64_t>(x % 6))},
+         {"b", Value::Int(static_cast<int64_t>((x >> 8) % 6))}}));
+  }
+  Instance before = db.edb();
+  ASSERT_TRUE(db.ApplySource(
+      "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).",
+      ApplicationMode::kRIDV).ok());
+  for (const auto& [assoc, tuples] : before.associations()) {
+    for (const Value& t : tuples) {
+      EXPECT_TRUE(db.edb().TuplesOf(assoc).count(t))
+          << assoc << " lost " << t.ToString();
+    }
+  }
+  // TC contains E.
+  for (const Value& t : db.edb().TuplesOf("E")) {
+    EXPECT_TRUE(db.edb().TuplesOf("TC").count(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityProperty,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Powerset cardinality (Example 3.3).
+
+class PowersetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowersetProperty, CardinalityIsTwoToTheN) {
+  int n = GetParam();
+  auto db_result = Database::Create(
+      "associations R = (d: integer); POWER = (set: {integer});");
+  Database db = std::move(db_result).value();
+  for (int i = 1; i <= n; ++i) {
+    (void)db.InsertTuple("R", Value::MakeTuple({{"d", Value::Int(i)}}));
+  }
+  ASSERT_TRUE(db.ApplySource(
+      "rules power(set: X) <- X = {}."
+      "      power(set: X) <- r(d: Y), append({}, Y, X)."
+      "      power(set: X) <- power(set: Y), power(set: Z), union(X, Y, Z).",
+      ApplicationMode::kRIDV).ok());
+  EXPECT_EQ(db.edb().TuplesOf("POWER").size(),
+            static_cast<size_t>(1) << n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PowersetProperty, ::testing::Range(0, 7));
+
+// ---------------------------------------------------------------------------
+// Three engines agree on flat transitive closure.
+
+class ThreeEngineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeEngineProperty, AllEnginesComputeTheSameClosure) {
+  int seed = GetParam();
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  uint64_t x = static_cast<uint64_t>(seed) * 9973 + 1;
+  for (int i = 0; i < 15; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    edges.emplace_back(static_cast<int64_t>((x >> 7) % 7),
+                       static_cast<int64_t>((x >> 23) % 7));
+  }
+
+  // Engine 1: the LOGRES evaluator.
+  auto db_result = Database::Create(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);");
+  Database db = std::move(db_result).value();
+  for (const auto& [a, b] : edges) {
+    (void)db.InsertTuple("E", Value::MakeTuple(
+        {{"a", Value::Int(a)}, {"b", Value::Int(b)}}));
+  }
+  auto unit = Parse(
+      "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).");
+  auto program = Typecheck(db.schema(), {}, unit->rules).value();
+  OidGenerator gen;
+  Evaluator evaluator(db.schema(), program, &gen);
+  Instance direct = evaluator.Run(db.edb()).value();
+
+  // Engine 2: the ALGRES-compiled backend.
+  auto backend = AlgresBackend::Compile(db.schema(), program).value();
+  Instance compiled = backend.Run(db.edb()).value();
+  EXPECT_EQ(direct.TuplesOf("TC"), compiled.TuplesOf("TC"));
+
+  // Engine 3: the flat Datalog baseline.
+  namespace dl = datalog;
+  dl::Program baseline;
+  for (const auto& [a, b] : edges) {
+    (void)baseline.AddFact("e", {dl::Constant::Int(a),
+                                 dl::Constant::Int(b)});
+  }
+  dl::Rule r1, r2;
+  r1.head = dl::Literal{"tc", {dl::Term::Var("X"), dl::Term::Var("Y")},
+                        false};
+  r1.body = {dl::Literal{"e", {dl::Term::Var("X"), dl::Term::Var("Y")},
+                         false}};
+  r2.head = dl::Literal{"tc", {dl::Term::Var("X"), dl::Term::Var("Z")},
+                        false};
+  r2.body = {dl::Literal{"tc", {dl::Term::Var("X"), dl::Term::Var("Y")},
+                         false},
+             dl::Literal{"e", {dl::Term::Var("Y"), dl::Term::Var("Z")},
+                         false}};
+  ASSERT_TRUE(baseline.AddRule(r1).ok());
+  ASSERT_TRUE(baseline.AddRule(r2).ok());
+  auto flat = dl::Evaluate(baseline).value();
+  std::set<std::pair<int64_t, int64_t>> flat_pairs;
+  for (const auto& fact : flat["tc"]) {
+    flat_pairs.emplace(fact[0].int_value(), fact[1].int_value());
+  }
+  std::set<std::pair<int64_t, int64_t>> logres_pairs;
+  for (const Value& t : direct.TuplesOf("TC")) {
+    logres_pairs.emplace(t.field("a").value().int_value(),
+                         t.field("b").value().int_value());
+  }
+  EXPECT_EQ(logres_pairs, flat_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeEngineProperty,
+                         ::testing::Range(0, 15));
+
+// ---------------------------------------------------------------------------
+// Module mode algebra.
+
+class ModuleAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModuleAlgebraProperty, RadiThenRddiRestoresRules) {
+  int seed = GetParam();
+  auto db_result = Database::Create(
+      "associations P = (x: integer); Q = (x: integer);");
+  Database db = std::move(db_result).value();
+  for (int i = 0; i <= seed % 4; ++i) {
+    (void)db.InsertTuple("P", Value::MakeTuple({{"x", Value::Int(i)}}));
+  }
+  std::string rule = "rules q(x: X) <- p(x: X), X >= " +
+                     std::to_string(seed % 3) + ".";
+  size_t rules_before = db.rules().size();
+  ASSERT_TRUE(db.ApplySource(rule, ApplicationMode::kRADI).ok());
+  ASSERT_TRUE(db.ApplySource(rule, ApplicationMode::kRDDI).ok());
+  EXPECT_EQ(db.rules().size(), rules_before);
+}
+
+TEST_P(ModuleAlgebraProperty, RidiNeverChangesState) {
+  int seed = GetParam();
+  auto db_result = Database::Create(
+      "associations P = (x: integer); Q = (x: integer);");
+  Database db = std::move(db_result).value();
+  for (int i = 0; i <= seed % 5; ++i) {
+    (void)db.InsertTuple("P", Value::MakeTuple({{"x", Value::Int(i)}}));
+  }
+  Instance edb_before = db.edb();
+  size_t rules_before = db.rules().size();
+  auto result = db.ApplySource(
+      "rules q(x: X) <- p(x: X). goal ? q(x: X).",
+      ApplicationMode::kRIDI);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(db.edb() == edb_before);
+  EXPECT_EQ(db.rules().size(), rules_before);
+  // But the query did see the derived facts.
+  EXPECT_EQ(result->goal_answer->size(),
+            static_cast<size_t>(seed % 5 + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModuleAlgebraProperty,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Deletion/addition commutation within one step: the net effect of a
+// module is order-independent of its rule listing.
+
+class RuleOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuleOrderProperty, RuleListingOrderIrrelevant) {
+  int seed = GetParam();
+  std::vector<std::string> rules = {
+      "q(x: X) <- p(x: X), even(X).",
+      "q(x: Y) <- p(x: X), Y = X + 10, odd(X).",
+      "r(x: X) <- q(x: X), X > 2.",
+  };
+  // A seed-dependent permutation.
+  std::vector<std::string> permuted = rules;
+  for (int i = 0; i < seed % 6; ++i) {
+    std::next_permutation(permuted.begin(), permuted.end());
+  }
+  auto run = [&](const std::vector<std::string>& ordering) -> Instance {
+    auto db_result = Database::Create(
+        "associations P = (x: integer); Q = (x: integer);"
+        "             R = (x: integer);");
+    Database db = std::move(db_result).value();
+    for (int i = 0; i < 6; ++i) {
+      (void)db.InsertTuple("P", Value::MakeTuple({{"x", Value::Int(i)}}));
+    }
+    std::string text = "rules ";
+    for (const std::string& r : ordering) text += r + " ";
+    EXPECT_TRUE(db.ApplySource(text, ApplicationMode::kRIDV).ok());
+    return db.edb();
+  };
+  EXPECT_TRUE(run(rules) == run(permuted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleOrderProperty, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// The join-index optimization never changes results.
+
+class IndexAblationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexAblationProperty, IndexedAndScannedRunsAgree) {
+  int seed = GetParam();
+  auto make_db = []() {
+    auto db_result = Database::Create(
+        "classes NODE = (id: integer);"
+        "associations E = (a: NODE, b: NODE);"
+        "             TC = (a: NODE, b: NODE);");
+    return std::move(db_result).value();
+  };
+  auto run = [&](bool use_indexes) -> Instance {
+    Database db = make_db();
+    std::vector<Oid> nodes;
+    for (int i = 0; i < 6; ++i) {
+      nodes.push_back(*db.InsertObject("NODE", Value::MakeTuple(
+          {{"id", Value::Int(i)}})));
+    }
+    uint64_t x = static_cast<uint64_t>(seed) * 31 + 7;
+    for (int i = 0; i < 10; ++i) {
+      x = x * 48271 % 0x7fffffff;
+      (void)db.InsertTuple("E", Value::MakeTuple(
+          {{"a", Value::MakeOid(nodes[x % 6])},
+           {"b", Value::MakeOid(nodes[(x >> 8) % 6])}}));
+    }
+    EvalOptions options;
+    options.use_indexes = use_indexes;
+    EXPECT_TRUE(db.ApplySource(
+        "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+        "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).",
+        ApplicationMode::kRIDV, options).ok());
+    return db.edb();
+  };
+  EXPECT_TRUE(run(true) == run(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexAblationProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace logres

@@ -1,0 +1,134 @@
+// Unit tests for the utility layer: Status, Result, string helpers.
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace logres {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::TypeError("bad type");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "bad type");
+  EXPECT_EQ(s.ToString(), "TypeError: bad type");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDivergence); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("x").WithContext("loading schema");
+  EXPECT_EQ(s.message(), "loading schema: x");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  // OK statuses pass through unchanged.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status a = Status::ParseError("oops");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "oops");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Doubles(Result<int> input) {
+  LOGRES_ASSIGN_OR_RETURN(int v, input);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubles(21).value(), 42);
+  EXPECT_EQ(Doubles(Status::TypeError("x")).status().code(),
+            StatusCode::kTypeError);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  LOGRES_RETURN_NOT_OK(FailsIfNegative(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_FALSE(Chained(-1).ok());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, "-"), "only");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_TRUE(Split("", ',').empty());
+}
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLower("PeRsOn"), "person");
+  EXPECT_EQ(ToUpper("PeRsOn"), "PERSON");
+  EXPECT_EQ(ToLower("already"), "already");
+  EXPECT_EQ(ToUpper("X_1$y"), "X_1$Y");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("$fn$desc", "$fn$"));
+  EXPECT_FALSE(StartsWith("fn", "$fn$"));
+}
+
+TEST(StringUtilTest, StrFormatAndStrCat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrCat("a", 1, "b"), "a1b");
+}
+
+TEST(StringUtilTest, HashCombineChangesSeed) {
+  size_t seed = 0;
+  HashCombine(&seed, 12345);
+  EXPECT_NE(seed, 0u);
+  size_t seed2 = 0;
+  HashCombine(&seed2, 54321);
+  EXPECT_NE(seed, seed2);
+}
+
+}  // namespace
+}  // namespace logres

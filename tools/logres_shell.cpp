@@ -1,0 +1,255 @@
+// logres_shell — an interactive driver for LOGRES databases.
+//
+// The paper's Section 5 envisions "a complete programming environment for
+// LOGRES, with tools supporting the design, debugging, and monitoring of
+// LOGRES databases and programs"; this shell is that environment's
+// command line. It reads commands from stdin (or a script file given as
+// argv[1]) and operates on one database.
+//
+// Commands:
+//   load <file>            create the database from a source file
+//   open <file>            restore a state saved with `save`
+//   save <file>            dump the current state
+//   apply <MODE> <<< ...   apply inline module text under a mode; the
+//                          module text follows until a line with only `;;`
+//   run <name>             apply a registered module by its name
+//   ? <goal>               answer a goal against the materialized instance
+//   schema | rules | edb   show the current state components
+//   explain                show the analyzed program (strata, schedules)
+//   dot                    print the predicate dependency graph (DOT)
+//   quit
+//
+// Example session:
+//   load examples/data/family.logres
+//   apply RIDV
+//   rules person(name: "zoe").
+//   ;;
+//   ? person(name: N).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+#include "core/dump.h"
+#include "core/explain.h"
+#include "util/string_util.h"
+
+namespace logres {
+namespace {
+
+std::string ReadFile(const std::string& path, Status* status) {
+  std::ifstream in(path);
+  if (!in) {
+    *status = Status::NotFound("cannot open file: " + path);
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *status = Status::OK();
+  return buffer.str();
+}
+
+class Shell {
+ public:
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    if (interactive) std::printf("logres> ");
+    while (std::getline(in, line)) {
+      if (!Dispatch(line, in)) break;
+      if (interactive) std::printf("logres> ");
+    }
+    return 0;
+  }
+
+ private:
+  // Returns false to quit.
+  bool Dispatch(const std::string& line, std::istream& in) {
+    std::istringstream words(line);
+    std::string command;
+    words >> command;
+    if (command.empty() || StartsWith(command, "--")) return true;
+
+    if (command == "quit" || command == "exit") return false;
+
+    if (command == "load") {
+      std::string path;
+      words >> path;
+      Status read_status;
+      std::string text = ReadFile(path, &read_status);
+      if (!read_status.ok()) {
+        Report(read_status);
+        return true;
+      }
+      auto db = Database::Create(text);
+      if (!db.ok()) {
+        Report(db.status());
+        return true;
+      }
+      db_ = std::move(db).value();
+      has_db_ = true;
+      std::printf("loaded %s (%zu modules registered)\n", path.c_str(),
+                  db_.registered_modules().size());
+      return true;
+    }
+    if (command == "open") {
+      std::string path;
+      words >> path;
+      Status read_status;
+      std::string text = ReadFile(path, &read_status);
+      if (!read_status.ok()) {
+        Report(read_status);
+        return true;
+      }
+      auto db = LoadDatabase(text);
+      if (!db.ok()) {
+        Report(db.status());
+        return true;
+      }
+      db_ = std::move(db).value();
+      has_db_ = true;
+      std::printf("opened %s (%zu facts)\n", path.c_str(),
+                  db_.edb().TotalFacts());
+      return true;
+    }
+    if (!has_db_ && command != "load" && command != "open") {
+      std::printf("no database loaded — use `load <file>` first\n");
+      return true;
+    }
+    if (command == "save") {
+      std::string path;
+      words >> path;
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("cannot write %s\n", path.c_str());
+        return true;
+      }
+      out << DumpDatabase(db_);
+      std::printf("saved %s\n", path.c_str());
+      return true;
+    }
+    if (command == "apply") {
+      std::string mode_text;
+      words >> mode_text;
+      auto mode = ParseApplicationMode(ToUpper(mode_text));
+      if (!mode.has_value()) {
+        std::printf("unknown mode '%s' (RIDI/RADI/RDDI/RIDV/RADV/RDDV)\n",
+                    mode_text.c_str());
+        return true;
+      }
+      std::string body, module_line;
+      while (std::getline(in, module_line) && module_line != ";;") {
+        body += module_line;
+        body += '\n';
+      }
+      Instance before = db_.edb();
+      auto result = db_.ApplySource(body, *mode);
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      std::printf("applied (%s)\n",
+                  ExplainStats(result->stats).c_str());
+      InstanceDiff diff = DiffInstances(before, db_.edb());
+      if (!diff.empty()) std::printf("%s", diff.ToString().c_str());
+      if (result->goal_answer.has_value()) {
+        PrintAnswer(*result->goal_answer);
+      }
+      return true;
+    }
+    if (command == "run") {
+      std::string name;
+      words >> name;
+      Instance before = db_.edb();
+      auto result = db_.ApplyByName(name);
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      std::printf("applied module '%s'\n", name.c_str());
+      InstanceDiff diff = DiffInstances(before, db_.edb());
+      if (!diff.empty()) std::printf("%s", diff.ToString().c_str());
+      if (result->goal_answer.has_value()) {
+        PrintAnswer(*result->goal_answer);
+      }
+      return true;
+    }
+    if (command == "?") {
+      std::string goal = line.substr(line.find('?'));
+      auto answer = db_.Query(goal);
+      if (!answer.ok()) {
+        Report(answer.status());
+        return true;
+      }
+      PrintAnswer(*answer);
+      return true;
+    }
+    if (command == "schema") {
+      std::printf("%s", SchemaToSource(db_.schema()).c_str());
+      return true;
+    }
+    if (command == "rules") {
+      for (const Rule& rule : db_.rules()) {
+        std::printf("  %s\n", rule.ToString().c_str());
+      }
+      std::printf("(%zu persistent rules)\n", db_.rules().size());
+      return true;
+    }
+    if (command == "edb") {
+      std::printf("%s", db_.edb().ToString().c_str());
+      return true;
+    }
+    if (command == "explain" || command == "dot") {
+      auto program = Typecheck(db_.schema(), db_.functions(), db_.rules());
+      if (!program.ok()) {
+        Report(program.status());
+        return true;
+      }
+      if (command == "explain") {
+        std::printf("%s", ExplainProgram(*program).c_str());
+      } else {
+        std::printf("%s", DependencyGraphDot(db_.schema(),
+                                             *program).c_str());
+      }
+      return true;
+    }
+    std::printf("unknown command '%s'\n", command.c_str());
+    return true;
+  }
+
+  void PrintAnswer(const std::vector<Bindings>& answer) {
+    for (const Bindings& binding : answer) {
+      std::string row;
+      for (const auto& [var, value] : binding) {
+        row += StrCat(var, " = ", value.ToString(), "  ");
+      }
+      std::printf("  %s\n", row.c_str());
+    }
+    std::printf("(%zu answers)\n", answer.size());
+  }
+
+  void Report(const Status& status) {
+    std::printf("error: %s\n", status.ToString().c_str());
+  }
+
+  Database db_;
+  bool has_db_ = false;
+};
+
+}  // namespace
+}  // namespace logres
+
+int main(int argc, char** argv) {
+  logres::Shell shell;
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      return 1;
+    }
+    return shell.Run(script, /*interactive=*/false);
+  }
+  return shell.Run(std::cin, /*interactive=*/true);
+}
