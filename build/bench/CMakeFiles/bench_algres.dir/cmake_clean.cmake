@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algres.dir/bench_algres.cpp.o"
+  "CMakeFiles/bench_algres.dir/bench_algres.cpp.o.d"
+  "bench_algres"
+  "bench_algres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dump.dir/bench_dump.cpp.o"
+  "CMakeFiles/bench_dump.dir/bench_dump.cpp.o.d"
+  "bench_dump"
+  "bench_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modules.dir/bench_modules.cpp.o"
+  "CMakeFiles/bench_modules.dir/bench_modules.cpp.o.d"
+  "bench_modules"
+  "bench_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oids.dir/bench_oids.cpp.o"
+  "CMakeFiles/bench_oids.dir/bench_oids.cpp.o.d"
+  "bench_oids"
+  "bench_oids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

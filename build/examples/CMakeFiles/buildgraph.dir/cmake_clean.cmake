@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buildgraph.dir/buildgraph.cpp.o"
+  "CMakeFiles/buildgraph.dir/buildgraph.cpp.o.d"
+  "buildgraph"
+  "buildgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buildgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/genealogy.cpp" "examples/CMakeFiles/genealogy.dir/genealogy.cpp.o" "gcc" "examples/CMakeFiles/genealogy.dir/genealogy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/logres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algres/CMakeFiles/logres_algres.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/logres_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerset.dir/powerset.cpp.o"
+  "CMakeFiles/powerset.dir/powerset.cpp.o.d"
+  "powerset"
+  "powerset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algres/algebra.cc" "src/algres/CMakeFiles/logres_algres.dir/algebra.cc.o" "gcc" "src/algres/CMakeFiles/logres_algres.dir/algebra.cc.o.d"
+  "/root/repo/src/algres/relation.cc" "src/algres/CMakeFiles/logres_algres.dir/relation.cc.o" "gcc" "src/algres/CMakeFiles/logres_algres.dir/relation.cc.o.d"
+  "/root/repo/src/algres/value.cc" "src/algres/CMakeFiles/logres_algres.dir/value.cc.o" "gcc" "src/algres/CMakeFiles/logres_algres.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logres_algres.dir/algebra.cc.o"
+  "CMakeFiles/logres_algres.dir/algebra.cc.o.d"
+  "CMakeFiles/logres_algres.dir/relation.cc.o"
+  "CMakeFiles/logres_algres.dir/relation.cc.o.d"
+  "CMakeFiles/logres_algres.dir/value.cc.o"
+  "CMakeFiles/logres_algres.dir/value.cc.o.d"
+  "liblogres_algres.a"
+  "liblogres_algres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logres_algres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for logres_algres.
+# This may be replaced when dependencies are built.

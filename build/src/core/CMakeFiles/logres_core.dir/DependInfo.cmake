@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algres_backend.cc" "src/core/CMakeFiles/logres_core.dir/algres_backend.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/algres_backend.cc.o.d"
+  "/root/repo/src/core/ast.cc" "src/core/CMakeFiles/logres_core.dir/ast.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/ast.cc.o.d"
+  "/root/repo/src/core/builtin.cc" "src/core/CMakeFiles/logres_core.dir/builtin.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/builtin.cc.o.d"
+  "/root/repo/src/core/constraint.cc" "src/core/CMakeFiles/logres_core.dir/constraint.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/constraint.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/logres_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/database.cc.o.d"
+  "/root/repo/src/core/dump.cc" "src/core/CMakeFiles/logres_core.dir/dump.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/dump.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/logres_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/logres_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/core/CMakeFiles/logres_core.dir/instance.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/instance.cc.o.d"
+  "/root/repo/src/core/lexer.cc" "src/core/CMakeFiles/logres_core.dir/lexer.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/lexer.cc.o.d"
+  "/root/repo/src/core/module.cc" "src/core/CMakeFiles/logres_core.dir/module.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/module.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/core/CMakeFiles/logres_core.dir/parser.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/parser.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/logres_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/schema.cc.o.d"
+  "/root/repo/src/core/type.cc" "src/core/CMakeFiles/logres_core.dir/type.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/type.cc.o.d"
+  "/root/repo/src/core/typecheck.cc" "src/core/CMakeFiles/logres_core.dir/typecheck.cc.o" "gcc" "src/core/CMakeFiles/logres_core.dir/typecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/algres/CMakeFiles/logres_algres.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

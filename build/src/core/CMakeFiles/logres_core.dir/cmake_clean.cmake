@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logres_core.dir/algres_backend.cc.o"
+  "CMakeFiles/logres_core.dir/algres_backend.cc.o.d"
+  "CMakeFiles/logres_core.dir/ast.cc.o"
+  "CMakeFiles/logres_core.dir/ast.cc.o.d"
+  "CMakeFiles/logres_core.dir/builtin.cc.o"
+  "CMakeFiles/logres_core.dir/builtin.cc.o.d"
+  "CMakeFiles/logres_core.dir/constraint.cc.o"
+  "CMakeFiles/logres_core.dir/constraint.cc.o.d"
+  "CMakeFiles/logres_core.dir/database.cc.o"
+  "CMakeFiles/logres_core.dir/database.cc.o.d"
+  "CMakeFiles/logres_core.dir/dump.cc.o"
+  "CMakeFiles/logres_core.dir/dump.cc.o.d"
+  "CMakeFiles/logres_core.dir/eval.cc.o"
+  "CMakeFiles/logres_core.dir/eval.cc.o.d"
+  "CMakeFiles/logres_core.dir/explain.cc.o"
+  "CMakeFiles/logres_core.dir/explain.cc.o.d"
+  "CMakeFiles/logres_core.dir/instance.cc.o"
+  "CMakeFiles/logres_core.dir/instance.cc.o.d"
+  "CMakeFiles/logres_core.dir/lexer.cc.o"
+  "CMakeFiles/logres_core.dir/lexer.cc.o.d"
+  "CMakeFiles/logres_core.dir/module.cc.o"
+  "CMakeFiles/logres_core.dir/module.cc.o.d"
+  "CMakeFiles/logres_core.dir/parser.cc.o"
+  "CMakeFiles/logres_core.dir/parser.cc.o.d"
+  "CMakeFiles/logres_core.dir/schema.cc.o"
+  "CMakeFiles/logres_core.dir/schema.cc.o.d"
+  "CMakeFiles/logres_core.dir/type.cc.o"
+  "CMakeFiles/logres_core.dir/type.cc.o.d"
+  "CMakeFiles/logres_core.dir/typecheck.cc.o"
+  "CMakeFiles/logres_core.dir/typecheck.cc.o.d"
+  "liblogres_core.a"
+  "liblogres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

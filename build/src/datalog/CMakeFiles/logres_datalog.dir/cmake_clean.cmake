@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logres_datalog.dir/datalog.cc.o"
+  "CMakeFiles/logres_datalog.dir/datalog.cc.o.d"
+  "liblogres_datalog.a"
+  "liblogres_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logres_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblogres_datalog.a"
+)

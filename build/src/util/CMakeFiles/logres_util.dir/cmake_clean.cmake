@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logres_util.dir/status.cc.o"
+  "CMakeFiles/logres_util.dir/status.cc.o.d"
+  "CMakeFiles/logres_util.dir/string_util.cc.o"
+  "CMakeFiles/logres_util.dir/string_util.cc.o.d"
+  "liblogres_util.a"
+  "liblogres_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logres_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

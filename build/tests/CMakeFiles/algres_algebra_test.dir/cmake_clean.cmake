@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algres_algebra_test.dir/algres_algebra_test.cc.o"
+  "CMakeFiles/algres_algebra_test.dir/algres_algebra_test.cc.o.d"
+  "algres_algebra_test"
+  "algres_algebra_test.pdb"
+  "algres_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algres_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algres_closure_property_test.dir/algres_closure_property_test.cc.o"
+  "CMakeFiles/algres_closure_property_test.dir/algres_closure_property_test.cc.o.d"
+  "algres_closure_property_test"
+  "algres_closure_property_test.pdb"
+  "algres_closure_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algres_closure_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for algres_closure_property_test.
+# This may be replaced when dependencies are built.

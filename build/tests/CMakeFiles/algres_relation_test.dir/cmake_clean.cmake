@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algres_relation_test.dir/algres_relation_test.cc.o"
+  "CMakeFiles/algres_relation_test.dir/algres_relation_test.cc.o.d"
+  "algres_relation_test"
+  "algres_relation_test.pdb"
+  "algres_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algres_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

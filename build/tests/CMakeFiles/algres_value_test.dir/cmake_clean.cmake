@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algres_value_test.dir/algres_value_test.cc.o"
+  "CMakeFiles/algres_value_test.dir/algres_value_test.cc.o.d"
+  "algres_value_test"
+  "algres_value_test.pdb"
+  "algres_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algres_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_backend_test.dir/core_backend_test.cc.o"
+  "CMakeFiles/core_backend_test.dir/core_backend_test.cc.o.d"
+  "core_backend_test"
+  "core_backend_test.pdb"
+  "core_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

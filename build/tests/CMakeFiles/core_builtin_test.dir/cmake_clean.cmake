@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_builtin_test.dir/core_builtin_test.cc.o"
+  "CMakeFiles/core_builtin_test.dir/core_builtin_test.cc.o.d"
+  "core_builtin_test"
+  "core_builtin_test.pdb"
+  "core_builtin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_builtin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_collections_test.dir/core_collections_test.cc.o"
+  "CMakeFiles/core_collections_test.dir/core_collections_test.cc.o.d"
+  "core_collections_test"
+  "core_collections_test.pdb"
+  "core_collections_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_collections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_constraint_test.dir/core_constraint_test.cc.o"
+  "CMakeFiles/core_constraint_test.dir/core_constraint_test.cc.o.d"
+  "core_constraint_test"
+  "core_constraint_test.pdb"
+  "core_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

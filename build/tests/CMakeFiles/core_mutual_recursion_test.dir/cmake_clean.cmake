@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mutual_recursion_test.dir/core_mutual_recursion_test.cc.o"
+  "CMakeFiles/core_mutual_recursion_test.dir/core_mutual_recursion_test.cc.o.d"
+  "core_mutual_recursion_test"
+  "core_mutual_recursion_test.pdb"
+  "core_mutual_recursion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mutual_recursion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_parser_test.dir/core_parser_test.cc.o"
+  "CMakeFiles/core_parser_test.dir/core_parser_test.cc.o.d"
+  "core_parser_test"
+  "core_parser_test.pdb"
+  "core_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_typecheck_test.dir/core_typecheck_test.cc.o"
+  "CMakeFiles/core_typecheck_test.dir/core_typecheck_test.cc.o.d"
+  "core_typecheck_test"
+  "core_typecheck_test.pdb"
+  "core_typecheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_typecheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logres_shell.dir/logres_shell.cpp.o"
+  "CMakeFiles/logres_shell.dir/logres_shell.cpp.o.d"
+  "logres_shell"
+  "logres_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logres_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
