@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "algres/relation.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace logres::algres {
@@ -128,7 +129,8 @@ enum class ClosureSemantics {
 struct ClosureOptions {
   ClosureSemantics semantics = ClosureSemantics::kInflationary;
   /// Abort with Status::Divergence after this many steps (0 = unbounded).
-  size_t max_steps = 100000;
+  /// Shares its default with every other fixpoint engine (governor.h).
+  size_t max_steps = kDefaultMaxSteps;
 };
 
 /// \brief One step of a closure: maps the current relation to new rows.

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/builtin.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace logres {
@@ -603,9 +604,19 @@ Result<Relation> AlgresBackend::EvalRule(const CompiledRule& rule,
 
 Result<bool> AlgresBackend::RunStratum(
     const std::vector<const CompiledRule*>& rules, RelationalDb* db,
-    AlgresStrategy strategy, size_t max_steps) const {
+    AlgresStrategy strategy, ResourceGovernor* governor) const {
+  auto total_rows = [&db]() {
+    size_t rows = 0;
+    for (const auto& [name, rel] : *db) {
+      (void)name;
+      rows += rel.size();
+    }
+    return rows;
+  };
   if (strategy == AlgresStrategy::kNaive) {
-    for (size_t step = 0; step < max_steps; ++step) {
+    for (;;) {
+      LOGRES_RETURN_NOT_OK(governor->CheckStep());
+      LOGRES_FAILPOINT("algres.step");
       bool changed = false;
       for (const CompiledRule* rule : rules) {
         LOGRES_ASSIGN_OR_RETURN(Relation derived,
@@ -617,13 +628,15 @@ Result<bool> AlgresBackend::RunStratum(
         }
       }
       if (!changed) return true;
+      LOGRES_RETURN_NOT_OK(governor->CheckFacts(total_rows()));
     }
-    return Status::Divergence("ALGRES naive fixpoint did not converge");
   }
 
   // Semi-naive: delta starts as the whole database.
   RelationalDb delta = *db;
-  for (size_t step = 0; step < max_steps; ++step) {
+  for (;;) {
+    LOGRES_RETURN_NOT_OK(governor->CheckStep());
+    LOGRES_FAILPOINT("algres.step");
     RelationalDb next_delta;
     for (const CompiledRule* rule : rules) {
       size_t nlits = std::max<size_t>(rule->literals.size(), 1);
@@ -653,28 +666,31 @@ Result<bool> AlgresBackend::RunStratum(
       }
     }
     if (!changed) return true;
+    LOGRES_RETURN_NOT_OK(governor->CheckFacts(total_rows()));
     delta = std::move(next_delta);
   }
-  return Status::Divergence("ALGRES semi-naive fixpoint did not converge");
 }
 
 Result<RelationalDb> AlgresBackend::RunRelational(RelationalDb db,
                                                   AlgresStrategy strategy,
-                                                  size_t max_steps) const {
+                                                  const Budget& budget) const {
   // Make sure every predicate has a relation.
   for (const auto& [name, columns] : pred_columns_) {
     if (!db.count(name)) db.emplace(name, Relation(columns));
   }
+  ResourceGovernor governor(budget);
   // Evaluate stratum by stratum so negated predicates are complete before
   // any rule reads them through an anti-join.
   for (int stratum = 0; stratum <= max_stratum_; ++stratum) {
+    LOGRES_RETURN_NOT_OK(governor.CheckInterrupt());
+    LOGRES_FAILPOINT("algres.stratum");
     std::vector<const CompiledRule*> stratum_rules;
     for (const CompiledRule& rule : rules_) {
       if (rule.stratum == stratum) stratum_rules.push_back(&rule);
     }
     if (stratum_rules.empty()) continue;
     LOGRES_ASSIGN_OR_RETURN(
-        bool done, RunStratum(stratum_rules, &db, strategy, max_steps));
+        bool done, RunStratum(stratum_rules, &db, strategy, &governor));
     (void)done;
   }
   return db;
@@ -682,11 +698,11 @@ Result<RelationalDb> AlgresBackend::RunRelational(RelationalDb db,
 
 Result<Instance> AlgresBackend::Run(const Instance& edb,
                                     AlgresStrategy strategy,
-                                    size_t max_steps) const {
+                                    const Budget& budget) const {
   LOGRES_ASSIGN_OR_RETURN(RelationalDb db,
                           InstanceToRelations(*schema_, edb));
   LOGRES_ASSIGN_OR_RETURN(db, RunRelational(std::move(db), strategy,
-                                            max_steps));
+                                            budget));
   return RelationsToInstance(*schema_, db);
 }
 

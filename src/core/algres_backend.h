@@ -39,6 +39,7 @@
 #include "core/instance.h"
 #include "core/schema.h"
 #include "core/typecheck.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace logres {
@@ -67,17 +68,19 @@ class AlgresBackend {
   static Result<AlgresBackend> Compile(const Schema& schema,
                                        const CheckedProgram& program);
 
-  /// \brief Computes the fixpoint over \p edb.
+  /// \brief Computes the fixpoint over \p edb. The budget shares its
+  /// defaults (and its divergence/cancellation semantics) with the direct
+  /// Evaluator's EvalOptions.
   Result<Instance> Run(const Instance& edb,
                        AlgresStrategy strategy = AlgresStrategy::kSemiNaive,
-                       size_t max_steps = 100000) const;
+                       const Budget& budget = {}) const;
 
   /// \brief Relational entry point (used by benchmarks to skip instance
   /// conversion).
   Result<RelationalDb> RunRelational(
       RelationalDb db,
       AlgresStrategy strategy = AlgresStrategy::kSemiNaive,
-      size_t max_steps = 100000) const;
+      const Budget& budget = {}) const;
 
  private:
   struct CompiledLiteral {
@@ -121,7 +124,7 @@ class AlgresBackend {
 
   Result<bool> RunStratum(const std::vector<const CompiledRule*>& rules,
                           RelationalDb* db, AlgresStrategy strategy,
-                          size_t max_steps) const;
+                          ResourceGovernor* governor) const;
 
   const Schema* schema_;
   std::vector<CompiledRule> rules_;

@@ -1,5 +1,6 @@
 #include "core/builtin.h"
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace logres {
@@ -79,6 +80,7 @@ Result<std::vector<Bindings>> SolveBuiltin(const Literal& lit,
                                            const Bindings& bindings,
                                            const TermEvalFn& eval_term,
                                            const TermMatchFn& match_term) {
+  LOGRES_FAILPOINT("eval.builtin");
   const std::string& name = lit.builtin;
   const auto& args = lit.builtin_args;
   std::vector<Bindings> out;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/typecheck.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace logres {
@@ -151,12 +152,39 @@ Result<ModuleResult> Database::ApplySource(const std::string& source,
   return Apply(module, mode, options);
 }
 
+Database::Snapshot Database::TakeSnapshot() const {
+  return Snapshot{schema_, rules_, functions_, edb_};
+}
+
+void Database::RestoreSnapshot(Snapshot snapshot) {
+  schema_ = std::move(snapshot.schema);
+  rules_ = std::move(snapshot.rules);
+  functions_ = std::move(snapshot.functions);
+  edb_ = std::move(snapshot.edb);
+}
+
 Result<ModuleResult> Database::Apply(const Module& module,
                                      ApplicationMode mode,
-                                     const EvalOptions& caller_options) {
+                                     const EvalOptions& options) {
+  // Module application is a transaction over the state triple: any
+  // failure anywhere in ApplyInPlace — including one injected by a
+  // failpoint at a step/stratum/builtin boundary — restores the
+  // pre-application snapshot before the error surfaces.
+  Snapshot snapshot = TakeSnapshot();
+  Result<ModuleResult> result = ApplyInPlace(module, mode, options);
+  if (!result.ok()) {
+    RestoreSnapshot(std::move(snapshot));
+    return result.status();
+  }
+  return result;
+}
+
+Result<ModuleResult> Database::ApplyInPlace(const Module& module,
+                                            ApplicationMode mode,
+                                            const EvalOptions& caller_options) {
   // Modules are parametric in their rule semantics (Section 1): a
   // declared `semantics` clause selects the evaluation mode; everything
-  // else (step budget, indexes, ...) stays with the caller.
+  // else (budget, indexes, ...) stays with the caller.
   EvalOptions options = caller_options;
   if (module.semantics.has_value()) options.mode = *module.semantics;
   if (module.goal.has_value() && !AllowsGoal(mode)) {
@@ -167,12 +195,6 @@ Result<ModuleResult> Database::Apply(const Module& module,
   }
 
   ModuleResult result;
-
-  // Candidate next state (committed only on success).
-  Schema next_schema = schema_;
-  std::vector<Rule> next_rules = rules_;
-  std::vector<FunctionDecl> next_functions = functions_;
-  Instance next_edb = edb_;
 
   switch (mode) {
     case ApplicationMode::kRIDI:
@@ -188,26 +210,26 @@ Result<ModuleResult> Database::Apply(const Module& module,
           result.instance,
           Evaluate(merged, fns, rules, edb_, options, &result.stats));
       if (mode == ApplicationMode::kRADI) {
-        next_schema = std::move(merged);
-        next_rules = std::move(rules);
-        next_functions = std::move(fns);
+        schema_ = std::move(merged);
+        rules_ = std::move(rules);
+        functions_ = std::move(fns);
       }
       break;
     }
     case ApplicationMode::kRDDI: {
-      next_rules = SubtractRules(rules_, module.rules);
+      rules_ = SubtractRules(rules_, module.rules);
       for (const std::string& name : module.schema.DomainNames()) {
-        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+        LOGRES_RETURN_NOT_OK(schema_.Undeclare(name));
       }
       for (const std::string& name : module.schema.ClassNames()) {
-        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+        LOGRES_RETURN_NOT_OK(schema_.Undeclare(name));
       }
       for (const std::string& name : module.schema.AssociationNames()) {
-        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+        LOGRES_RETURN_NOT_OK(schema_.Undeclare(name));
       }
       LOGRES_ASSIGN_OR_RETURN(
           result.instance,
-          Evaluate(next_schema, next_functions, next_rules, edb_, options,
+          Evaluate(schema_, functions_, rules_, edb_, options,
                    &result.stats));
       break;
     }
@@ -219,20 +241,19 @@ Result<ModuleResult> Database::Apply(const Module& module,
       std::vector<FunctionDecl> fns =
           MergeFunctions(functions_, module.functions);
       LOGRES_ASSIGN_OR_RETURN(
-          next_edb, Evaluate(merged, fns, module.rules, edb_, options,
-                             &result.stats));
-      next_schema = std::move(merged);
-      next_functions = std::move(fns);
+          edb_, Evaluate(merged, fns, module.rules, edb_, options,
+                         &result.stats));
+      schema_ = std::move(merged);
+      functions_ = std::move(fns);
       if (mode == ApplicationMode::kRADV) {
-        next_rules.insert(next_rules.end(), module.rules.begin(),
-                          module.rules.end());
+        rules_.insert(rules_.end(), module.rules.begin(),
+                      module.rules.end());
       }
       // I1 = R1 applied to E1 must be consistent.
       EvalStats stats2;
       LOGRES_ASSIGN_OR_RETURN(
           result.instance,
-          Evaluate(next_schema, next_functions, next_rules, next_edb,
-                   options, &stats2));
+          Evaluate(schema_, functions_, rules_, edb_, options, &stats2));
       result.stats.steps += stats2.steps;
       result.stats.rule_firings += stats2.rule_firings;
       result.stats.invented_oids += stats2.invented_oids;
@@ -248,46 +269,46 @@ Result<ModuleResult> Database::Apply(const Module& module,
           Instance em, Evaluate(schema_, functions_, module.rules, empty,
                                 options, &result.stats));
       for (const auto& [assoc, tuples] : em.associations()) {
-        for (const Value& t : tuples) next_edb.EraseTuple(assoc, t);
+        for (const Value& t : tuples) edb_.EraseTuple(assoc, t);
       }
       for (const auto& [cls, oids] : em.class_oids()) {
         for (Oid em_oid : oids) {
           auto em_value = em.OValue(em_oid);
           if (!em_value.ok()) continue;
           std::vector<Oid> to_remove;
-          for (Oid oid : next_edb.OidsOf(cls)) {
-            auto v = next_edb.OValue(oid);
+          for (Oid oid : edb_.OidsOf(cls)) {
+            auto v = edb_.OValue(oid);
             if (v.ok() && v.value() == em_value.value()) {
               to_remove.push_back(oid);
             }
           }
           for (Oid oid : to_remove) {
-            LOGRES_RETURN_NOT_OK(next_edb.RemoveObject(schema_, cls, oid));
+            LOGRES_RETURN_NOT_OK(edb_.RemoveObject(schema_, cls, oid));
           }
         }
       }
-      next_rules = SubtractRules(rules_, module.rules);
+      rules_ = SubtractRules(rules_, module.rules);
       for (const std::string& name : module.schema.DomainNames()) {
-        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+        LOGRES_RETURN_NOT_OK(schema_.Undeclare(name));
       }
       for (const std::string& name : module.schema.ClassNames()) {
-        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+        LOGRES_RETURN_NOT_OK(schema_.Undeclare(name));
       }
       for (const std::string& name : module.schema.AssociationNames()) {
-        LOGRES_RETURN_NOT_OK(next_schema.Undeclare(name));
+        LOGRES_RETURN_NOT_OK(schema_.Undeclare(name));
       }
       EvalStats stats2;
       LOGRES_ASSIGN_OR_RETURN(
           result.instance,
-          Evaluate(next_schema, next_functions, next_rules, next_edb,
-                   options, &stats2));
+          Evaluate(schema_, functions_, rules_, edb_, options, &stats2));
       result.stats.steps += stats2.steps;
       break;
     }
   }
 
   // Goal answering (modes *DI only; Evaluate already used the module's
-  // rules for RIDI/RADI).
+  // rules for RIDI/RADI). Note: for the *DI modes the state members
+  // still hold S0/R0 here, so the merge below reconstructs S0 ∪ SM.
   if (module.goal.has_value()) {
     Schema merged = schema_;
     LOGRES_RETURN_NOT_OK(merged.Merge(module.schema));
@@ -304,11 +325,9 @@ Result<ModuleResult> Database::Apply(const Module& module,
     result.goal_answer = std::move(answer);
   }
 
-  // Commit.
-  schema_ = std::move(next_schema);
-  rules_ = std::move(next_rules);
-  functions_ = std::move(next_functions);
-  edb_ = std::move(next_edb);
+  // The last injection site before the transaction commits: a fault here
+  // proves the rollback path restores a fully mutated state.
+  LOGRES_FAILPOINT("db.apply.commit");
   return result;
 }
 

@@ -64,6 +64,27 @@ class Database {
   /// \brief Modules registered at Create time, applicable by name.
   const std::vector<Module>& registered_modules() const { return modules_; }
 
+  // ---- Transactions ---------------------------------------------------------
+  /// \brief A saved copy of the state triple (E, R, S) plus declared
+  /// functions. The oid generator is deliberately excluded: a rejected
+  /// application may consume oids (they are never reused), but the state
+  /// itself must restore byte-identically.
+  struct Snapshot {
+    Schema schema;
+    std::vector<Rule> rules;
+    std::vector<FunctionDecl> functions;
+    Instance edb;
+  };
+
+  /// \brief Captures the current state for a later RestoreSnapshot.
+  Snapshot TakeSnapshot() const;
+
+  /// \brief Restores a snapshot, discarding every state change made since
+  /// it was taken. This is the rollback half of module application's
+  /// all-or-nothing contract (Section 4.1: "M is partial ... the state is
+  /// unchanged").
+  void RestoreSnapshot(Snapshot snapshot);
+
   // ---- Direct EDB construction (host-language API) --------------------------
   /// \brief Creates an object in \p cls with \p ovalue; returns its oid.
   Result<Oid> InsertObject(const std::string& cls, Value ovalue);
@@ -86,9 +107,10 @@ class Database {
 
   // ---- Module application ----------------------------------------------------
   /// \brief Applies \p module under \p mode. On success the state is
-  /// updated per the mode's definition (Section 4.1); on any failure —
-  /// including an inconsistent resulting instance — the state is
-  /// unchanged and the error is returned.
+  /// updated per the mode's definition (Section 4.1); on ANY failure —
+  /// divergence, budget exhaustion, cancellation, builtin error,
+  /// inconsistent resulting instance, injected fault — the state is
+  /// rolled back to its pre-application snapshot and the error returned.
   Result<ModuleResult> Apply(const Module& module, ApplicationMode mode,
                              const EvalOptions& options = {});
 
@@ -109,6 +131,12 @@ class Database {
   // Builds the working schema: S plus backing associations for functions.
   Result<Schema> EffectiveSchema(
       const Schema& base, const std::vector<FunctionDecl>& functions) const;
+
+  // Applies the module by mutating the state members directly; the public
+  // Apply wraps it in TakeSnapshot/RestoreSnapshot for atomicity.
+  Result<ModuleResult> ApplyInPlace(const Module& module,
+                                    ApplicationMode mode,
+                                    const EvalOptions& options);
 
   // Evaluates `rules` (plus functions) over `edb` under `schema`.
   Result<Instance> Evaluate(const Schema& schema,

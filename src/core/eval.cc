@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace logres {
@@ -1176,18 +1177,14 @@ bool StratumQualifiesForSemiNaive(
 
 Result<bool> Evaluator::RunStratum(
     const std::vector<const CheckedRule*>& rules, Instance* instance,
-    const EvalOptions& options, size_t* steps_left) {
+    const EvalOptions& options, ResourceGovernor* governor) {
   bool semi_naive =
       options.semi_naive && StratumQualifiesForSemiNaive(rules);
 
   std::optional<Instance> delta;  // semi-naive frontier
   for (;;) {
-    if (*steps_left == 0) {
-      return Status::Divergence(
-          StrCat("fixpoint did not converge within ", options.max_steps,
-                 " steps"));
-    }
-    (*steps_left)--;
+    LOGRES_RETURN_NOT_OK(governor->CheckStep());
+    LOGRES_FAILPOINT("eval.step");
     stats_.steps++;
 
     Delta step_delta;
@@ -1209,6 +1206,7 @@ Result<bool> Evaluator::RunStratum(
         Instance added, ApplyDelta(schema_, *instance, step_delta, &next));
     if (next == *instance) return true;
     *instance = std::move(next);
+    LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
     delta = std::move(added);
   }
 }
@@ -1218,16 +1216,13 @@ Result<Instance> Evaluator::Run(const Instance& edb,
   stats_ = EvalStats{};
   invention_memo_.clear();
   Instance instance = edb;
-  size_t steps_left = options.max_steps;
+  ResourceGovernor governor(options.budget);
 
   if (options.mode == EvalMode::kNonInflationary) {
     // Replacement semantics: F_{i+1} = E ⊕ Δ+(F_i) − Δ−(F_i).
     for (;;) {
-      if (steps_left-- == 0) {
-        return Status::Divergence(
-            StrCat("non-inflationary computation did not converge within ",
-                   options.max_steps, " steps"));
-      }
+      LOGRES_RETURN_NOT_OK(governor.CheckStep());
+      LOGRES_FAILPOINT("eval.step");
       stats_.steps++;
       Delta step_delta;
       HeadFirer firer(schema_, program_, instance, gen_, &invention_memo_,
@@ -1247,10 +1242,13 @@ Result<Instance> Evaluator::Run(const Instance& edb,
       (void)added;
       if (next == instance) break;
       instance = std::move(next);
+      LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
     }
   } else if (options.mode == EvalMode::kStratified &&
              program_.stratified) {
     for (int s = 0; s <= program_.max_stratum; ++s) {
+      LOGRES_RETURN_NOT_OK(governor.CheckInterrupt());
+      LOGRES_FAILPOINT("eval.stratum");
       std::vector<const CheckedRule*> stratum_rules;
       for (size_t i = 0; i < program_.rules.size(); ++i) {
         if (program_.rules[i].head.has_value() &&
@@ -1261,7 +1259,7 @@ Result<Instance> Evaluator::Run(const Instance& edb,
       if (stratum_rules.empty()) continue;
       LOGRES_ASSIGN_OR_RETURN(
           bool done,
-          RunStratum(stratum_rules, &instance, options, &steps_left));
+          RunStratum(stratum_rules, &instance, options, &governor));
       (void)done;
     }
   } else {
@@ -1272,7 +1270,7 @@ Result<Instance> Evaluator::Run(const Instance& edb,
       all.push_back(&rule);
     }
     LOGRES_ASSIGN_OR_RETURN(
-        bool done, RunStratum(all, &instance, options, &steps_left));
+        bool done, RunStratum(all, &instance, options, &governor));
     (void)done;
   }
 

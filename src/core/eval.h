@@ -54,14 +54,19 @@
 #include "core/modes.h"
 #include "core/schema.h"
 #include "core/typecheck.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace logres {
 
 struct EvalOptions {
   EvalMode mode = EvalMode::kStratified;
-  /// Abort with Status::Divergence after this many one-step applications.
-  size_t max_steps = 100000;
+  /// Resource limits and cancellation, shared with the ALGRES backend:
+  /// budget.max_steps bounds one-step applications (kDivergence),
+  /// budget.timeout / budget.max_facts bound wall-clock and state growth
+  /// (kResourceExhausted), budget.cancel is polled every step
+  /// (kCancelled).
+  Budget budget;
   /// Evaluate denial rules (passive constraints) after the fixpoint and
   /// fail with ConstraintViolation when one fires.
   bool check_denials = true;
@@ -113,7 +118,7 @@ class Evaluator {
 
   Result<bool> RunStratum(const std::vector<const CheckedRule*>& rules,
                           Instance* instance, const EvalOptions& options,
-                          size_t* steps_left);
+                          ResourceGovernor* governor);
   Status CheckDenials(const Instance& instance) const;
 };
 

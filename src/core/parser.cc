@@ -89,8 +89,28 @@ class Parser {
   Result<TermPtr> ParsePrimary();
   std::optional<CompareOp> PeekCompareOp() const;
 
+  // Recursion-depth ceiling for nested type and term expressions: deeply
+  // nested {{{...}}} inputs must come back as kParseError, not a stack
+  // overflow. Generous — legitimate programs nest a handful of levels.
+  static constexpr int kMaxNestingDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ > kMaxNestingDepth) {
+      return Error(StrCat("nesting exceeds the maximum depth of ",
+                          kMaxNestingDepth));
+    }
+    return Status::OK();
+  }
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 std::optional<CompareOp> Parser::PeekCompareOp() const {
@@ -106,6 +126,8 @@ std::optional<CompareOp> Parser::PeekCompareOp() const {
 }
 
 Result<Type> Parser::ParseTypeExpr() {
+  DepthGuard guard(&depth_);
+  LOGRES_RETURN_NOT_OK(CheckDepth());
   // Elementary types and named references.
   if (At(TokenKind::kIdent)) {
     std::string lower = ToLower(Peek().text);
@@ -285,6 +307,11 @@ Status Parser::ParseFunctionsSection(std::vector<FunctionDecl>* functions) {
 }
 
 Result<TermPtr> Parser::ParsePrimary() {
+  // Every recursive term production (collections, tuples, groupings,
+  // function arguments) funnels through here, so one guard bounds them
+  // all.
+  DepthGuard guard(&depth_);
+  LOGRES_RETURN_NOT_OK(CheckDepth());
   // Constants.
   if (At(TokenKind::kInt)) {
     return Term::Constant(Value::Int(Advance().int_value));

@@ -1,0 +1,75 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace logres {
+namespace failpoints {
+
+namespace {
+
+struct Entry {
+  Status status;
+  size_t skip_hits = 0;
+  size_t hits = 0;
+};
+
+std::atomic<int> g_armed_count{0};
+
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Entry>& Registry() {
+  static std::map<std::string, Entry> registry;
+  return registry;
+}
+
+}  // namespace
+
+bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+void Arm(const std::string& name, Status status, size_t skip_hits) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] =
+      Registry().insert_or_assign(name, Entry{std::move(status), skip_hits, 0});
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Registry().erase(name) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ClearAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  g_armed_count.fetch_sub(static_cast<int>(Registry().size()),
+                          std::memory_order_relaxed);
+  Registry().clear();
+}
+
+size_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+Status Check(const char* name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::OK();
+  Entry& entry = it->second;
+  entry.hits++;
+  if (entry.hits <= entry.skip_hits) return Status::OK();
+  return entry.status;
+}
+
+}  // namespace failpoints
+}  // namespace logres

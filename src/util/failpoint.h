@@ -1,0 +1,85 @@
+// Deterministic fault injection (failpoints).
+//
+// Tests arm a named failpoint with a Status and a hit pattern; code under
+// test declares injection sites with LOGRES_FAILPOINT("site.name"), which
+// propagates the armed Status exactly as if the surrounding operation had
+// failed there. This is how the transactional guarantee of module
+// application is proven: inject a failure at any step/stratum/builtin
+// boundary and assert the database state rolled back byte-identically.
+//
+// The facility is compiled in unconditionally but costs a single relaxed
+// atomic load per site when nothing is armed, so production paths pay
+// (essentially) nothing.
+//
+// Usage in a test:
+//   ScopedFailpoint fp("eval.step", Status::ExecutionError("boom"),
+//                      /*skip_hits=*/2);   // fail on the 3rd hit
+//   ... exercise ...                        // sees the injected error
+//
+// Usage at an injection site:
+//   LOGRES_FAILPOINT("eval.step");          // returns the armed Status
+
+#ifndef LOGRES_UTIL_FAILPOINT_H_
+#define LOGRES_UTIL_FAILPOINT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace logres {
+namespace failpoints {
+
+/// \brief True when at least one failpoint is armed anywhere (the fast
+/// path gate; relaxed atomic load).
+bool AnyArmed();
+
+/// \brief Arms \p name: the next Check(name) calls skip \p skip_hits
+/// occurrences, then return \p status (repeatedly, until disarmed).
+void Arm(const std::string& name, Status status, size_t skip_hits = 0);
+
+/// \brief Disarms \p name (no-op when not armed).
+void Disarm(const std::string& name);
+
+/// \brief Disarms everything.
+void ClearAll();
+
+/// \brief How many times Check(\p name) has been reached since it was
+/// last armed (0 when not armed) — lets tests assert a site was hit.
+size_t HitCount(const std::string& name);
+
+/// \brief Slow path: returns the armed status for \p name or OK.
+Status Check(const char* name);
+
+}  // namespace failpoints
+
+/// Declares an injection site. Expands to a Status-propagating check; use
+/// only in functions returning Status or Result<T>.
+#define LOGRES_FAILPOINT(name)                                  \
+  do {                                                          \
+    if (::logres::failpoints::AnyArmed()) {                     \
+      LOGRES_RETURN_NOT_OK(::logres::failpoints::Check(name));  \
+    }                                                           \
+  } while (0)
+
+/// \brief RAII arming for tests: disarms its failpoint on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, Status status, size_t skip_hits = 0)
+      : name_(std::move(name)) {
+    failpoints::Arm(name_, std::move(status), skip_hits);
+  }
+  ~ScopedFailpoint() { failpoints::Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  size_t hit_count() const { return failpoints::HitCount(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_UTIL_FAILPOINT_H_

@@ -1,0 +1,46 @@
+#include "util/governor.h"
+
+#include "util/string_util.h"
+
+namespace logres {
+
+ResourceGovernor::ResourceGovernor(const Budget& budget) : budget_(budget) {
+  if (budget_.timeout.has_value()) {
+    deadline_ = std::chrono::steady_clock::now() + *budget_.timeout;
+    has_deadline_ = true;
+  }
+}
+
+Status ResourceGovernor::CheckInterrupt() const {
+  if (budget_.cancel.cancelled()) {
+    return Status::Cancelled("evaluation cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::ResourceExhausted(
+        StrCat("evaluation exceeded its ", budget_.timeout->count(),
+               " ms deadline"));
+  }
+  return Status::OK();
+}
+
+Status ResourceGovernor::CheckStep() {
+  LOGRES_RETURN_NOT_OK(CheckInterrupt());
+  if (budget_.max_steps != 0 && steps_used_ >= budget_.max_steps) {
+    return Status::Divergence(
+        StrCat("fixpoint did not converge within ", budget_.max_steps,
+               " steps"));
+  }
+  steps_used_++;
+  return Status::OK();
+}
+
+Status ResourceGovernor::CheckFacts(size_t current_facts) const {
+  if (budget_.max_facts != 0 && current_facts > budget_.max_facts) {
+    return Status::ResourceExhausted(
+        StrCat("instance grew to ", current_facts,
+               " facts, exceeding the budget of ", budget_.max_facts));
+  }
+  return Status::OK();
+}
+
+}  // namespace logres

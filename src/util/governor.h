@@ -1,0 +1,125 @@
+// The execution governor: budgets and cooperative cancellation for every
+// evaluation path.
+//
+// The paper's module semantics (Section 5, Appendix B) define module
+// application as an all-or-nothing transition between database states,
+// but termination of the underlying fixpoint "is not guaranteed, and it
+// is not even decidable". Operationally that means every fixpoint must be
+// *bounded* (steps, wall-clock, derived facts) and *cancellable*, with a
+// well-defined Status when a bound is hit:
+//
+//   * step budget exhausted          -> kDivergence        (both engines)
+//   * deadline or fact budget breach -> kResourceExhausted
+//   * cancellation requested         -> kCancelled
+//
+// A Budget travels with EvalOptions (and the ALGRES backend entry points)
+// so the direct Evaluator and the compiled backend share one default
+// instead of divergent per-engine constants. A ResourceGovernor is
+// instantiated per evaluation from the Budget; its CheckStep() is called
+// once per fixpoint step, so a breached budget or a cancellation is
+// honored within one step.
+
+#ifndef LOGRES_UTIL_GOVERNOR_H_
+#define LOGRES_UTIL_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief The shared step-budget default for every fixpoint engine.
+inline constexpr size_t kDefaultMaxSteps = 100000;
+
+/// \brief Read side of a cancellation flag. Copyable; copies observe the
+/// same flag. A default-constructed token can never be cancelled.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief Write side: owns the flag, hands out tokens. Cancel() may be
+/// called from another thread or a signal handler (the store is atomic
+/// and lock-free).
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  void Reset() { flag_->store(false, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief Resource limits for one evaluation. Copyable and cheap; the
+/// cancellation token shares its flag across copies.
+struct Budget {
+  /// Fixpoint steps before kDivergence (0 = unlimited).
+  size_t max_steps = kDefaultMaxSteps;
+  /// Wall-clock allowance before kResourceExhausted (nullopt = unlimited).
+  /// A 0 ms timeout expires on the first step check.
+  std::optional<std::chrono::milliseconds> timeout;
+  /// Ceiling on total facts in the evolving instance before
+  /// kResourceExhausted (0 = unlimited) — the derived-tuple/memory budget.
+  size_t max_facts = 0;
+  /// Cooperative cancellation; checked at every step.
+  CancellationToken cancel;
+
+  static Budget Unlimited() {
+    Budget b;
+    b.max_steps = 0;
+    return b;
+  }
+};
+
+/// \brief Enforces a Budget over one evaluation. Construct when the
+/// evaluation starts (the deadline is anchored then); call CheckStep()
+/// once per fixpoint step and CheckFacts() after each state growth.
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(const Budget& budget);
+
+  /// \brief Cancellation, deadline, then step budget; call at the top of
+  /// every fixpoint step. Exhausting the step budget is kDivergence (the
+  /// engines' historical contract); deadline breach is kResourceExhausted.
+  Status CheckStep();
+
+  /// \brief Cancellation and deadline only — for per-stratum or
+  /// per-builtin boundaries that should not consume a step.
+  Status CheckInterrupt() const;
+
+  /// \brief kResourceExhausted when \p current_facts exceeds the fact
+  /// budget.
+  Status CheckFacts(size_t current_facts) const;
+
+  size_t steps_used() const { return steps_used_; }
+
+ private:
+  Budget budget_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
+  size_t steps_used_ = 0;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_UTIL_GOVERNOR_H_

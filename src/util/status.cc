@@ -17,6 +17,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotImplemented: return "NotImplemented";
     case StatusCode::kExecutionError: return "ExecutionError";
     case StatusCode::kDivergence: return "Divergence";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

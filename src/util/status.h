@@ -30,6 +30,8 @@ enum class StatusCode {
   kNotImplemented,
   kExecutionError,    // runtime evaluation failure
   kDivergence,        // fixpoint did not converge within the step budget
+  kResourceExhausted, // wall-clock deadline or memory/fact budget breached
+  kCancelled,         // cooperative cancellation was requested
 };
 
 /// \brief Human-readable name of a StatusCode ("TypeError", ...).
@@ -84,6 +86,12 @@ class Status {
   }
   static Status Divergence(std::string msg) {
     return Status(StatusCode::kDivergence, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -131,7 +131,7 @@ TEST(DatabaseTest, EvalOptionsArePropagated) {
   ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
       {{"x", Value::Int(0)}})).ok());
   EvalOptions tight;
-  tight.max_steps = 2;
+  tight.budget.max_steps = 2;
   auto result = db->ApplySource(
       "rules p(x: Y) <- p(x: X), Y = X + 1, X < 100.",
       ApplicationMode::kRIDV, tight);

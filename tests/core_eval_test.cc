@@ -260,7 +260,7 @@ TEST(EvalTest, NonInflationaryReplacementSemantics) {
 TEST(EvalTest, DivergenceGuard) {
   // A counter that never converges trips the step budget.
   EvalOptions options;
-  options.max_steps = 25;
+  options.budget.max_steps = 25;
   auto db = RunRules(
       "associations P = (x: integer);",
       "p(x: Y) <- p(x: X), Y = X + 1.",

@@ -93,7 +93,7 @@ TEST(ModuleSemanticsTest, CallerOptionsStillApply) {
   Database db = std::move(db_result).value();
   ASSERT_TRUE(db.InsertTuple("P", T1("x", 0)).ok());
   EvalOptions tight;
-  tight.max_steps = 5;
+  tight.budget.max_steps = 5;
   auto result = db.ApplyByName("diverge", tight);
   EXPECT_EQ(result.status().code(), StatusCode::kDivergence);
 }

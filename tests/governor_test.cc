@@ -1,0 +1,272 @@
+// Unit tests for the execution governor (util/governor.h) and the
+// failpoint facility (util/failpoint.h), plus the ALGRES backend's use of
+// the shared Budget.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/algres_backend.h"
+#include "core/database.h"
+#include "core/eval.h"
+#include "core/parser.h"
+#include "core/typecheck.h"
+#include "util/failpoint.h"
+#include "util/governor.h"
+
+namespace logres {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ResourceGovernor
+
+TEST(ResourceGovernorTest, StepBudgetReportsDivergence) {
+  Budget budget;
+  budget.max_steps = 3;
+  ResourceGovernor governor(budget);
+  EXPECT_TRUE(governor.CheckStep().ok());
+  EXPECT_TRUE(governor.CheckStep().ok());
+  EXPECT_TRUE(governor.CheckStep().ok());
+  Status st = governor.CheckStep();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDivergence);
+  EXPECT_EQ(governor.steps_used(), 3u);
+}
+
+TEST(ResourceGovernorTest, ZeroMaxStepsIsUnlimited) {
+  Budget budget;
+  budget.max_steps = 0;
+  ResourceGovernor governor(budget);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(governor.CheckStep().ok());
+  }
+}
+
+TEST(ResourceGovernorTest, ZeroTimeoutExpiresImmediately) {
+  Budget budget;
+  budget.timeout = std::chrono::milliseconds(0);
+  ResourceGovernor governor(budget);
+  Status st = governor.CheckStep();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.steps_used(), 0u);  // exhausted before any step
+}
+
+TEST(ResourceGovernorTest, DeadlineExpiresAfterElapsing) {
+  Budget budget;
+  budget.timeout = std::chrono::milliseconds(20);
+  ResourceGovernor governor(budget);
+  EXPECT_TRUE(governor.CheckStep().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(governor.CheckStep().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceGovernorTest, CancellationBeatsEverything) {
+  CancellationSource source;
+  Budget budget;
+  budget.timeout = std::chrono::milliseconds(0);  // also expired
+  budget.cancel = source.token();
+  source.Cancel();
+  ResourceGovernor governor(budget);
+  EXPECT_EQ(governor.CheckStep().code(), StatusCode::kCancelled);
+  EXPECT_EQ(governor.CheckInterrupt().code(), StatusCode::kCancelled);
+}
+
+TEST(ResourceGovernorTest, FactBudget) {
+  Budget budget;
+  budget.max_facts = 100;
+  ResourceGovernor governor(budget);
+  EXPECT_TRUE(governor.CheckFacts(100).ok());
+  EXPECT_EQ(governor.CheckFacts(101).code(),
+            StatusCode::kResourceExhausted);
+  // 0 = unlimited.
+  ResourceGovernor unlimited(Budget{});
+  EXPECT_TRUE(unlimited.CheckFacts(1u << 30).ok());
+}
+
+TEST(CancellationTest, TokenSharesFlagAcrossCopies) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = a;
+  EXPECT_FALSE(a.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  source.Reset();
+  EXPECT_FALSE(b.cancelled());
+  // A default token never cancels.
+  EXPECT_FALSE(CancellationToken{}.cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints
+
+TEST(FailpointTest, DisarmedIsFree) {
+  failpoints::ClearAll();
+  EXPECT_FALSE(failpoints::AnyArmed());
+  EXPECT_TRUE(failpoints::Check("nope").ok());
+  EXPECT_EQ(failpoints::HitCount("nope"), 0u);
+}
+
+TEST(FailpointTest, ArmCheckDisarm) {
+  failpoints::Arm("t.site", Status::ExecutionError("boom"));
+  EXPECT_TRUE(failpoints::AnyArmed());
+  EXPECT_EQ(failpoints::Check("t.site").code(),
+            StatusCode::kExecutionError);
+  EXPECT_EQ(failpoints::Check("other").code(), StatusCode::kOk);
+  EXPECT_EQ(failpoints::HitCount("t.site"), 1u);
+  failpoints::Disarm("t.site");
+  EXPECT_FALSE(failpoints::AnyArmed());
+  EXPECT_TRUE(failpoints::Check("t.site").ok());
+}
+
+TEST(FailpointTest, SkipHitsDelayTheFault) {
+  ScopedFailpoint fp("t.skip", Status::ExecutionError("boom"),
+                     /*skip_hits=*/2);
+  EXPECT_TRUE(failpoints::Check("t.skip").ok());
+  EXPECT_TRUE(failpoints::Check("t.skip").ok());
+  EXPECT_FALSE(failpoints::Check("t.skip").ok());
+  EXPECT_FALSE(failpoints::Check("t.skip").ok());  // and stays armed
+  EXPECT_EQ(fp.hit_count(), 4u);
+}
+
+TEST(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint fp("t.scoped", Status::ExecutionError("boom"));
+    EXPECT_TRUE(failpoints::AnyArmed());
+  }
+  EXPECT_FALSE(failpoints::AnyArmed());
+}
+
+// ---------------------------------------------------------------------------
+// The ALGRES backend honors the shared Budget.
+
+// Compiles a transitive-closure program whose fixpoint takes several
+// steps over a chain EDB.
+struct ChainSetup {
+  Database db;
+  CheckedProgram program;
+  Schema schema;
+};
+
+Result<ChainSetup> MakeChain(int n) {
+  auto db = Database::Create(R"(
+    associations
+      EDGE = (src: integer, dst: integer);
+      PATH = (src: integer, dst: integer);
+  )");
+  if (!db.ok()) return db.status();
+  for (int i = 0; i < n; ++i) {
+    LOGRES_RETURN_NOT_OK(db->InsertTuple(
+        "EDGE", Value::MakeTuple({{"src", Value::Int(i)},
+                                  {"dst", Value::Int(i + 1)}})));
+  }
+  LOGRES_ASSIGN_OR_RETURN(
+      ParsedUnit unit,
+      Parse("rules path(src: X, dst: Y) <- edge(src: X, dst: Y)."
+            "      path(src: X, dst: Z) <- path(src: X, dst: Y),"
+            "                              edge(src: Y, dst: Z)."));
+  LOGRES_ASSIGN_OR_RETURN(
+      CheckedProgram program,
+      Typecheck(db->schema(), {}, unit.rules));
+  Schema schema = db->schema();
+  return ChainSetup{std::move(db).value(), std::move(program),
+                    std::move(schema)};
+}
+
+TEST(AlgresBudgetTest, StepBudgetReportsDivergence) {
+  auto setup = MakeChain(30);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  auto backend = AlgresBackend::Compile(setup->schema, setup->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  Budget tight;
+  tight.max_steps = 2;
+  for (auto strategy :
+       {AlgresStrategy::kNaive, AlgresStrategy::kSemiNaive}) {
+    auto out = backend->Run(setup->db.edb(), strategy, tight);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kDivergence);
+  }
+  // The default budget converges.
+  EXPECT_TRUE(backend->Run(setup->db.edb()).ok());
+}
+
+TEST(AlgresBudgetTest, ZeroDeadlineAndCancellation) {
+  auto setup = MakeChain(10);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  auto backend = AlgresBackend::Compile(setup->schema, setup->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+
+  Budget deadline;
+  deadline.timeout = std::chrono::milliseconds(0);
+  auto timed_out = backend->Run(setup->db.edb(),
+                                AlgresStrategy::kSemiNaive, deadline);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kResourceExhausted);
+
+  CancellationSource source;
+  source.Cancel();
+  Budget cancelled;
+  cancelled.cancel = source.token();
+  auto stopped = backend->Run(setup->db.edb(),
+                              AlgresStrategy::kSemiNaive, cancelled);
+  ASSERT_FALSE(stopped.ok());
+  EXPECT_EQ(stopped.status().code(), StatusCode::kCancelled);
+}
+
+TEST(AlgresBudgetTest, FactBudgetBoundsGrowth) {
+  auto setup = MakeChain(40);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  auto backend = AlgresBackend::Compile(setup->schema, setup->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  Budget small;
+  small.max_facts = 60;  // closure of a 40-chain needs 820 path rows
+  auto out = backend->Run(setup->db.edb(), AlgresStrategy::kSemiNaive,
+                          small);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AlgresBudgetTest, StratumFailpointFires) {
+  auto setup = MakeChain(5);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  auto backend = AlgresBackend::Compile(setup->schema, setup->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  const Status boom = Status::ExecutionError("injected algres fault");
+  {
+    ScopedFailpoint fp("algres.step", boom, /*skip_hits=*/1);
+    auto out = backend->Run(setup->db.edb());
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status(), boom);
+  }
+  EXPECT_TRUE(backend->Run(setup->db.edb()).ok());
+}
+
+// Both engines report the same divergence code for the same program under
+// the same budget (the unified-default satellite).
+TEST(AlgresBudgetTest, EnginesAgreeOnDivergenceCode) {
+  auto setup = MakeChain(30);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  Budget tight;
+  tight.max_steps = 2;
+
+  auto backend = AlgresBackend::Compile(setup->schema, setup->program);
+  ASSERT_TRUE(backend.ok());
+  auto compiled = backend->Run(setup->db.edb(),
+                               AlgresStrategy::kSemiNaive, tight);
+
+  Evaluator evaluator(setup->schema, setup->program,
+                      setup->db.oid_generator());
+  EvalOptions options;
+  options.budget = tight;
+  auto direct = evaluator.Run(setup->db.edb(), options);
+
+  ASSERT_FALSE(compiled.ok());
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(compiled.status().code(), direct.status().code());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kDivergence);
+}
+
+}  // namespace
+}  // namespace logres

@@ -204,7 +204,7 @@ TEST(IntegrationTest, BillOfMaterials) {
   for (const Value& row : db.edb().TuplesOf("EXPLOSION")) {
     if (row.field("root").value() == Value::MakeOid(bike)) {
       found = true;
-      const Value& pieces = row.field("pieces").value();
+      Value pieces = row.field("pieces").value();
       EXPECT_EQ(pieces.size(), 3u);
       EXPECT_TRUE(pieces.Contains(Value::MakeOid(spoke)));
     }

@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "core/database.h"
 #include "core/dump.h"
 #include "core/parser.h"
+#include "util/failpoint.h"
+#include "util/governor.h"
 
 namespace logres {
 namespace {
@@ -182,7 +186,7 @@ TEST(RobustnessTest, ZeroAndTinyStepBudgets) {
   auto db = Database::Create("associations P = (x: integer);");
   ASSERT_TRUE(db.ok());
   EvalOptions options;
-  options.max_steps = 1;
+  options.budget.max_steps = 1;
   // One step suffices for a fact-only module.
   auto one = db->ApplySource("rules p(x: 1).", ApplicationMode::kRIDV,
                              options);
@@ -203,6 +207,239 @@ TEST(RobustnessTest, DeeplyNestedTypesParse) {
   for (int i = 0; i < 40; ++i) v = Value::MakeSet({v});
   EXPECT_EQ(v, v);
   EXPECT_NE(v.Hash(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Recursion-depth guards: pathological nesting is a clean kParseError,
+// never a stack overflow.
+
+TEST(RobustnessTest, AbsurdlyNestedTypeIsRejected) {
+  std::string type(100000, '{');
+  type += "integer";
+  type.append(100000, '}');
+  auto parsed = ParseType(type);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(RobustnessTest, AbsurdlyNestedTermIsRejected) {
+  // Nested set terms in a rule head: p(x: {{{...1...}}}).
+  std::string rule = "p(x: ";
+  rule.append(50000, '{');
+  rule += "1";
+  rule.append(50000, '}');
+  rule += ") <- q(y: Y).";
+  auto parsed = ParseRule(rule);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+
+  // Same through grouped expressions.
+  std::string grouped = "p(x: ";
+  grouped.append(50000, '(');
+  grouped += "1";
+  grouped.append(50000, ')');
+  grouped += ") <- q(y: Y).";
+  auto parsed2 = ParseRule(grouped);
+  ASSERT_FALSE(parsed2.ok());
+  EXPECT_EQ(parsed2.status().code(), StatusCode::kParseError);
+}
+
+TEST(RobustnessTest, ModeratelyNestedTermsStillParse) {
+  std::string rule = "p(x: ";
+  rule.append(30, '{');
+  rule += "1";
+  rule.append(30, '}');
+  rule += ") <- q(y: Y).";
+  EXPECT_TRUE(ParseRule(rule).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The execution governor: budgets and cancellation. A diverging counter
+// program gives every limit something to bite on.
+
+Result<Database> CounterDb() {
+  auto db = Database::Create("associations P = (x: integer);");
+  if (!db.ok()) return db.status();
+  LOGRES_RETURN_NOT_OK(db->InsertTuple(
+      "P", Value::MakeTuple({{"x", Value::Int(0)}})));
+  return db;
+}
+
+constexpr const char* kDivergingRules =
+    "rules p(x: Y) <- p(x: X), Y = X + 1.";
+
+TEST(GovernorTest, ZeroDeadlineExhaustsWithinOneStep) {
+  auto db = CounterDb();
+  ASSERT_TRUE(db.ok());
+  EvalOptions options;
+  options.budget.timeout = std::chrono::milliseconds(0);
+  std::string before = DumpDatabase(*db);
+  auto result = db->ApplySource(kDivergingRules, ApplicationMode::kRIDV,
+                                options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // Within one fixpoint step: no step ever ran, and the state is intact.
+  EXPECT_EQ(DumpDatabase(*db), before);
+}
+
+TEST(GovernorTest, FactBudgetExhausts) {
+  auto db = CounterDb();
+  ASSERT_TRUE(db.ok());
+  EvalOptions options;
+  options.budget.max_facts = 10;
+  std::string before = DumpDatabase(*db);
+  auto result = db->ApplySource(kDivergingRules, ApplicationMode::kRIDV,
+                                options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(DumpDatabase(*db), before);
+}
+
+TEST(GovernorTest, PreCancelledTokenStopsBeforeTheFirstStep) {
+  auto db = CounterDb();
+  ASSERT_TRUE(db.ok());
+  CancellationSource source;
+  source.Cancel();
+  EvalOptions options;
+  options.budget.cancel = source.token();
+  std::string before = DumpDatabase(*db);
+  auto result = db->ApplySource(kDivergingRules, ApplicationMode::kRIDV,
+                                options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(DumpDatabase(*db), before);
+}
+
+TEST(GovernorTest, CancellationMidFixpointRollsBack) {
+  auto db = CounterDb();
+  ASSERT_TRUE(db.ok());
+  CancellationSource source;
+  EvalOptions options;
+  options.budget.max_steps = 0;  // unlimited: only the token can stop it
+  options.budget.cancel = source.token();
+  std::string before = DumpDatabase(*db);
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    source.Cancel();
+  });
+  auto result = db->ApplySource(kDivergingRules, ApplicationMode::kRIDV,
+                                options);
+  canceller.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(DumpDatabase(*db), before);
+}
+
+// ---------------------------------------------------------------------------
+// Transactional module application: a fault injected at any evaluation
+// boundary must leave the state byte-identical to the pre-application
+// snapshot. DumpDatabase serializes the whole state, so string equality
+// is the byte-identity check.
+
+class FaultInjectionRollback
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultInjectionRollback, StateRestoredAfterInjectedFault) {
+  auto db_result = Database::Create(R"(
+    classes
+      PERSON = (name: string);
+    associations
+      KNOWS = (a: PERSON, b: PERSON);
+      CLIQUE = (a: PERSON, b: PERSON);
+  )");
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  auto alice = db.InsertObject(
+      "PERSON", Value::MakeTuple({{"name", Value::String("alice")}}));
+  auto bob = db.InsertObject(
+      "PERSON", Value::MakeTuple({{"name", Value::String("bob")}}));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+  ASSERT_TRUE(db.InsertTuple("KNOWS", Value::MakeTuple(
+      {{"a", Value::MakeOid(*alice)}, {"b", Value::MakeOid(*bob)}})).ok());
+
+  const std::string before = DumpDatabase(db);
+  const Status boom = Status::ExecutionError("injected fault");
+  {
+    // Step/stratum sites are reached repeatedly; skip the first hit so
+    // the application is genuinely mid-flight when the fault lands. The
+    // commit site is reached exactly once, so it must fire immediately.
+    size_t skip = std::string(GetParam()) == "db.apply.commit" ? 0 : 1;
+    ScopedFailpoint fp(GetParam(), boom, skip);
+    auto result = db.ApplySource(
+        "rules clique(a: X, b: Y) <- knows(a: X, b: Y)."
+        "      clique(a: Y, b: X) <- clique(a: X, b: Y).",
+        ApplicationMode::kRIDV);
+    ASSERT_FALSE(result.ok())
+        << "site " << GetParam() << " was never reached";
+    EXPECT_EQ(result.status(), boom);
+    EXPECT_GE(fp.hit_count(), skip + 1);
+  }
+  EXPECT_EQ(DumpDatabase(db), before)
+      << "state changed across a failed application (site " << GetParam()
+      << ")";
+
+  // The same application with nothing armed commits cleanly.
+  auto clean = db.ApplySource(
+      "rules clique(a: X, b: Y) <- knows(a: X, b: Y)."
+      "      clique(a: Y, b: X) <- clique(a: X, b: Y).",
+      ApplicationMode::kRIDV);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_NE(DumpDatabase(db), before);  // it really does change state
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, FaultInjectionRollback,
+                         ::testing::Values("eval.step", "eval.stratum",
+                                           "db.apply.commit"));
+
+TEST(FaultInjectionTest, BuiltinBoundaryFaultRollsBack) {
+  auto db_result = Database::Create(R"(
+    associations
+      BAG = (b: {integer});
+      SIZE = (n: integer);
+  )");
+  ASSERT_TRUE(db_result.ok());
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple("BAG", Value::MakeTuple(
+      {{"b", Value::MakeSet({Value::Int(1), Value::Int(2)})}})).ok());
+  const std::string before = DumpDatabase(db);
+  const Status boom = Status::ExecutionError("injected builtin fault");
+  {
+    ScopedFailpoint fp("eval.builtin", boom);
+    auto result = db.ApplySource(
+        "rules size(n: N) <- bag(b: B), count(B, N).",
+        ApplicationMode::kRIDV);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status(), boom);
+    EXPECT_GE(fp.hit_count(), 1u);
+  }
+  EXPECT_EQ(DumpDatabase(db), before);
+}
+
+TEST(FaultInjectionTest, RollbackRestoresRulesAndSchemaToo) {
+  // RADV both grows the schema/rules and rewrites the EDB; a commit-time
+  // fault must undo all three.
+  auto db_result = Database::Create(R"(
+    associations BASE = (x: integer);
+  )");
+  ASSERT_TRUE(db_result.ok());
+  Database db = std::move(db_result).value();
+  ASSERT_TRUE(db.InsertTuple(
+      "BASE", Value::MakeTuple({{"x", Value::Int(1)}})).ok());
+  const std::string before = DumpDatabase(db);
+  const size_t rules_before = db.rules().size();
+  {
+    ScopedFailpoint fp("db.apply.commit",
+                       Status::ExecutionError("injected commit fault"));
+    auto result = db.ApplySource(
+        "associations EXTRA = (y: integer);"
+        "rules extra(y: X) <- base(x: X).",
+        ApplicationMode::kRADV);
+    ASSERT_FALSE(result.ok());
+  }
+  EXPECT_EQ(DumpDatabase(db), before);
+  EXPECT_EQ(db.rules().size(), rules_before);
+  EXPECT_FALSE(db.schema().Has("EXTRA"));
 }
 
 }  // namespace

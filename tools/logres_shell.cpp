@@ -17,7 +17,14 @@
 //   schema | rules | edb   show the current state components
 //   explain                show the analyzed program (strata, schedules)
 //   dot                    print the predicate dependency graph (DOT)
+//   set                    show the evaluation limits
+//   set <limit> <n>        set timeout_ms / max_steps / max_facts
+//                          (0 = unlimited) for later apply/run/? commands
 //   quit
+//
+// Ctrl-C during an evaluation cancels it cooperatively (the fixpoint
+// notices within one step and the state rolls back); at the prompt it
+// just clears the line.
 //
 // Example session:
 //   load examples/data/family.logres
@@ -26,6 +33,7 @@
 //   ;;
 //   ? person(name: N).
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -35,10 +43,21 @@
 #include "core/database.h"
 #include "core/dump.h"
 #include "core/explain.h"
+#include "util/governor.h"
 #include "util/string_util.h"
 
 namespace logres {
 namespace {
+
+// SIGINT flips the shared cancellation flag; every evaluation launched by
+// the shell carries a token observing it, so a runaway fixpoint stops
+// within one step instead of requiring a kill.
+CancellationSource& InterruptSource() {
+  static CancellationSource source;
+  return source;
+}
+
+extern "C" void HandleSigint(int) { InterruptSource().Cancel(); }
 
 std::string ReadFile(const std::string& path, Status* status) {
   std::ifstream in(path);
@@ -57,7 +76,18 @@ class Shell {
   int Run(std::istream& in, bool interactive) {
     std::string line;
     if (interactive) std::printf("logres> ");
-    while (std::getline(in, line)) {
+    for (;;) {
+      if (!std::getline(in, line)) {
+        // A Ctrl-C at the prompt interrupts the read; clear and continue
+        // rather than exiting the session.
+        if (interactive && InterruptSource().cancelled()) {
+          InterruptSource().Reset();
+          std::cin.clear();
+          std::printf("\nlogres> ");
+          continue;
+        }
+        break;
+      }
       if (!Dispatch(line, in)) break;
       if (interactive) std::printf("logres> ");
     }
@@ -65,6 +95,24 @@ class Shell {
   }
 
  private:
+  /// The evaluation options for every command, wired to the interrupt
+  /// flag and the `set` limits.
+  EvalOptions Options() {
+    EvalOptions options;
+    options.budget = budget_;
+    options.budget.cancel = InterruptSource().token();
+    return options;
+  }
+
+  /// Reports an evaluation outcome, resetting the interrupt flag after a
+  /// cancellation so the next command starts clean.
+  void ReportEval(const Status& status) {
+    Report(status);
+    if (status.code() == StatusCode::kCancelled) {
+      InterruptSource().Reset();
+      std::printf("(state unchanged)\n");
+    }
+  }
   // Returns false to quit.
   bool Dispatch(const std::string& line, std::istream& in) {
     std::istringstream words(line);
@@ -145,9 +193,9 @@ class Shell {
         body += '\n';
       }
       Instance before = db_.edb();
-      auto result = db_.ApplySource(body, *mode);
+      auto result = db_.ApplySource(body, *mode, Options());
       if (!result.ok()) {
-        Report(result.status());
+        ReportEval(result.status());
         return true;
       }
       std::printf("applied (%s)\n",
@@ -163,9 +211,9 @@ class Shell {
       std::string name;
       words >> name;
       Instance before = db_.edb();
-      auto result = db_.ApplyByName(name);
+      auto result = db_.ApplyByName(name, Options());
       if (!result.ok()) {
-        Report(result.status());
+        ReportEval(result.status());
         return true;
       }
       std::printf("applied module '%s'\n", name.c_str());
@@ -178,12 +226,47 @@ class Shell {
     }
     if (command == "?") {
       std::string goal = line.substr(line.find('?'));
-      auto answer = db_.Query(goal);
+      auto answer = db_.Query(goal, Options());
       if (!answer.ok()) {
-        Report(answer.status());
+        ReportEval(answer.status());
         return true;
       }
       PrintAnswer(*answer);
+      return true;
+    }
+    if (command == "set") {
+      std::string key;
+      words >> key;
+      if (key.empty()) {
+        std::printf("timeout_ms = %lld\nmax_steps = %zu\nmax_facts = %zu\n",
+                    budget_.timeout.has_value()
+                        ? static_cast<long long>(budget_.timeout->count())
+                        : 0LL,
+                    budget_.max_steps, budget_.max_facts);
+        return true;
+      }
+      long long value = -1;
+      words >> value;
+      if (value < 0) {
+        std::printf("usage: set [timeout_ms|max_steps|max_facts] <n>\n");
+        return true;
+      }
+      if (key == "timeout_ms") {
+        if (value == 0) {
+          budget_.timeout.reset();
+        } else {
+          budget_.timeout = std::chrono::milliseconds(value);
+        }
+      } else if (key == "max_steps") {
+        budget_.max_steps = static_cast<size_t>(value);
+      } else if (key == "max_facts") {
+        budget_.max_facts = static_cast<size_t>(value);
+      } else {
+        std::printf("unknown limit '%s' (timeout_ms/max_steps/max_facts)\n",
+                    key.c_str());
+        return true;
+      }
+      std::printf("set %s = %lld\n", key.c_str(), value);
       return true;
     }
     if (command == "schema") {
@@ -236,12 +319,19 @@ class Shell {
 
   Database db_;
   bool has_db_ = false;
+  Budget budget_;  // adjusted with `set`; cancel token added per command
 };
 
 }  // namespace
 }  // namespace logres
 
 int main(int argc, char** argv) {
+  // No SA_RESTART: Ctrl-C must interrupt a blocking read at the prompt as
+  // well as flag a running evaluation.
+  struct sigaction action = {};
+  action.sa_handler = logres::HandleSigint;
+  sigaction(SIGINT, &action, nullptr);
+
   logres::Shell shell;
   if (argc > 1) {
     std::ifstream script(argv[1]);
