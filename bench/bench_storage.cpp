@@ -1,0 +1,122 @@
+// B11 — durability overhead: module application through the journaled
+// store (append + fdatasync per commit) against the plain in-memory
+// Database, plus checkpoint cost and recovery (replay) throughput as the
+// journal grows.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "core/database.h"
+#include "core/dump.h"
+#include "storage/journaled_database.h"
+
+namespace logres {
+namespace {
+
+const char* kSchema = R"(
+  classes OBJ = (x: integer);
+  associations S = (x: integer);
+)";
+
+std::string ApplyModule(int i) {
+  return "rules s(x: " + std::to_string(i) +
+         "). obj(self O, x: X) <- s(x: X).";
+}
+
+std::string FreshDir() {
+  std::string templ = "/tmp/logres_bench_storage_XXXXXX";
+  char* got = ::mkdtemp(templ.data());
+  return got != nullptr ? templ : std::string("/tmp");
+}
+
+// The plain in-memory baseline: what a commit costs with no durability.
+void BM_B11_ApplyPlain(benchmark::State& state) {
+  int i = 0;
+  auto db = Database::Create(kSchema);
+  for (auto _ : state) {
+    auto r = db->ApplySource(ApplyModule(i++), ApplicationMode::kRIDV);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->stats.facts);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_B11_ApplyPlain);
+
+// The same commits through the journal: the delta is the WAL append and
+// the fdatasync that acknowledges durability.
+void BM_B11_ApplyJournaled(benchmark::State& state) {
+  int i = 0;
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;  // measure pure append cost
+  auto store = JournaledDatabase::Create(FreshDir(), kSchema, opts);
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = store->ApplySource(ApplyModule(i++), ApplicationMode::kRIDV);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->stats.facts);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_B11_ApplyJournaled);
+
+// Checkpoint cost as the state grows: dump + synced write + rename.
+void BM_B11_Checkpoint(benchmark::State& state) {
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  auto store = JournaledDatabase::Create(FreshDir(), kSchema, opts);
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return;
+  }
+  for (int i = 0; i < state.range(0); ++i) {
+    auto r = store->ApplySource(ApplyModule(i), ApplicationMode::kRIDV);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  for (auto _ : state) {
+    Status st = store->Checkpoint();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+}
+BENCHMARK(BM_B11_Checkpoint)->Arg(16)->Arg(64)->Arg(256);
+
+// Recovery: reopen a store whose whole state lives in the journal (no
+// post-checkpoint commits are folded in), so Open replays N records.
+void BM_B11_RecoverReplay(benchmark::State& state) {
+  std::string dir = FreshDir();
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    if (!store.ok()) {
+      state.SkipWithError(store.status().ToString().c_str());
+      return;
+    }
+    for (int i = 0; i < state.range(0); ++i) {
+      auto r = store->ApplySource(ApplyModule(i), ApplicationMode::kRIDV);
+      if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    }
+  }
+  for (auto _ : state) {
+    auto reopened = JournaledDatabase::Open(dir, opts);
+    if (!reopened.ok()) {
+      state.SkipWithError(reopened.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(reopened->status().replayed_at_open);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_B11_RecoverReplay)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace logres
+
+BENCHMARK_MAIN();

@@ -49,6 +49,14 @@ class OidGenerator {
   Oid Next() { return Oid{++counter_}; }
   uint64_t issued() const { return counter_; }
 
+  /// \brief Advances the generator so that \p issued oids count as
+  /// consumed (no-op if it is already past). Used when restoring a dump
+  /// and when replaying a journal, where rejected applications may have
+  /// consumed oids that were never written down individually.
+  void FastForward(uint64_t issued) {
+    if (issued > counter_) counter_ = issued;
+  }
+
  private:
   uint64_t counter_ = 0;
 };

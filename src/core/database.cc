@@ -41,6 +41,17 @@ std::vector<FunctionDecl> MergeFunctions(
   return out;
 }
 
+// Folds the stats of a second evaluation phase into `into`: counters
+// accumulate, the fact count reflects the final (second) instance.
+void AccumulateStats(EvalStats* into, const EvalStats& second) {
+  into->steps += second.steps;
+  into->rule_firings += second.rule_firings;
+  into->invented_oids += second.invented_oids;
+  into->deletions += second.deletions;
+  into->facts = second.facts;
+  into->elapsed_micros += second.elapsed_micros;
+}
+
 }  // namespace
 
 Result<Database> Database::Create(const std::string& source) {
@@ -254,10 +265,7 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
       LOGRES_ASSIGN_OR_RETURN(
           result.instance,
           Evaluate(schema_, functions_, rules_, edb_, options, &stats2));
-      result.stats.steps += stats2.steps;
-      result.stats.rule_firings += stats2.rule_firings;
-      result.stats.invented_oids += stats2.invented_oids;
-      result.stats.deletions += stats2.deletions;
+      AccumulateStats(&result.stats, stats2);
       break;
     }
     case ApplicationMode::kRDDV: {
@@ -301,7 +309,7 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
       LOGRES_ASSIGN_OR_RETURN(
           result.instance,
           Evaluate(schema_, functions_, rules_, edb_, options, &stats2));
-      result.stats.steps += stats2.steps;
+      AccumulateStats(&result.stats, stats2);
       break;
     }
   }

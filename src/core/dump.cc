@@ -1,6 +1,7 @@
 #include "core/dump.h"
 
 #include <map>
+#include <set>
 
 #include "core/lexer.h"
 #include "util/string_util.h"
@@ -133,6 +134,22 @@ class ValueParser {
   bool AtEnd() const { return At(TokenKind::kEof); }
 
   Result<Value> ParseOne() {
+    // Hostile dumps may nest collections arbitrarily deep; bound the
+    // recursion like the main parser does (kMaxNestingDepth there) so a
+    // crafted file cannot overflow the stack.
+    static constexpr int kMaxValueNestingDepth = 200;
+    if (depth_ >= kMaxValueNestingDepth) {
+      return Status::ParseError(
+          StrCat("value nesting exceeds depth ", kMaxValueNestingDepth));
+    }
+    depth_++;
+    Result<Value> result = ParseOneInner();
+    depth_--;
+    return result;
+  }
+
+ private:
+  Result<Value> ParseOneInner() {
     if (At(TokenKind::kInt)) return Value::Int(Advance().int_value);
     if (At(TokenKind::kMinus) && Peek(1).kind == TokenKind::kInt) {
       Advance();
@@ -210,10 +227,36 @@ class ValueParser {
         StrCat("expected a value, found ", Peek().Describe()));
   }
 
- private:
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
+
+}  // namespace
+
+namespace {
+
+// Largest oid id mentioned anywhere in a value (0 when none).
+void MaxOidIn(const Value& value, uint64_t* max_id) {
+  switch (value.kind()) {
+    case ValueKind::kOid:
+      if (value.oid_value().id > *max_id) *max_id = value.oid_value().id;
+      break;
+    case ValueKind::kTuple:
+      for (const auto& [label, v] : value.tuple_fields()) {
+        (void)label;
+        MaxOidIn(v, max_id);
+      }
+      break;
+    case ValueKind::kSet:
+    case ValueKind::kMultiset:
+    case ValueKind::kSequence:
+      for (const Value& v : value.elements()) MaxOidIn(v, max_id);
+      break;
+    default:
+      break;
+  }
+}
 
 }  // namespace
 
@@ -318,6 +361,9 @@ Result<Database> LoadDatabase(const std::string& dump) {
   enum class Section { kNone, kObjects, kTuples };
   Section section = Section::kNone;
   uint64_t generator_floor = 0;
+  bool saw_generator = false;
+  uint64_t max_used_oid = 0;
+  std::set<uint64_t> valued_oids;  // oids given an explicit `=` value
   while (!parser.AtEnd()) {
     if (parser.At(TokenKind::kIdent)) {
       std::string word = ToLower(parser.Peek().text);
@@ -328,6 +374,7 @@ Result<Database> LoadDatabase(const std::string& dump) {
         }
         generator_floor =
             static_cast<uint64_t>(parser.Advance().int_value);
+        saw_generator = true;
         LOGRES_RETURN_NOT_OK(
             parser.Expect(TokenKind::kSemicolon, "';'"));
         continue;
@@ -350,6 +397,7 @@ Result<Database> LoadDatabase(const std::string& dump) {
               StrCat("expected an oid number after ", name));
         }
         Oid oid{static_cast<uint64_t>(parser.Advance().int_value)};
+        if (oid.id > max_used_oid) max_used_oid = oid.id;
         Value value = Value::Nil();
         bool has_value = false;
         if (parser.Accept(TokenKind::kEq)) {
@@ -358,6 +406,15 @@ Result<Database> LoadDatabase(const std::string& dump) {
         }
         LOGRES_RETURN_NOT_OK(parser.Expect(TokenKind::kSemicolon, "';'"));
         if (has_value) {
+          // A well-formed dump assigns each oid its o-value exactly once
+          // (further class memberships are bare `CLASS n;` lines); a
+          // second assignment is a corrupt or hostile dump, and silently
+          // letting the later one win would mask the corruption.
+          if (!valued_oids.insert(oid.id).second) {
+            return Status::ParseError(
+                StrCat("duplicate o-value assignment for oid ", oid.id));
+          }
+          MaxOidIn(value, &max_used_oid);
           LOGRES_RETURN_NOT_OK(db.mutable_edb()->AdoptObject(
               db.schema(), name, oid, std::move(value)));
         } else {
@@ -371,6 +428,7 @@ Result<Database> LoadDatabase(const std::string& dump) {
       if (section == Section::kTuples) {
         LOGRES_ASSIGN_OR_RETURN(Value tuple, parser.ParseOne());
         LOGRES_RETURN_NOT_OK(parser.Expect(TokenKind::kSemicolon, "';'"));
+        MaxOidIn(tuple, &max_used_oid);
         db.mutable_edb()->InsertTuple(name, std::move(tuple));
         continue;
       }
@@ -381,11 +439,20 @@ Result<Database> LoadDatabase(const std::string& dump) {
         StrCat("unexpected ", parser.Peek().Describe(), " in dump"));
   }
 
+  // A generator position below an oid the dump itself uses would hand
+  // out colliding oids later; reject it instead of silently corrupting
+  // the store. (An absent generator line with objects present is the
+  // degenerate case generator_floor = 0.)
+  if (max_used_oid > generator_floor) {
+    return Status::ParseError(
+        StrCat("generator position ", generator_floor,
+               saw_generator ? "" : " (no generator line)",
+               " is below the maximum oid used in the dump (",
+               max_used_oid, ")"));
+  }
   // Restore the oid generator position so future invented oids do not
   // collide with loaded ones.
-  while (db.oid_generator()->issued() < generator_floor) {
-    db.oid_generator()->Next();
-  }
+  db.oid_generator()->FastForward(generator_floor);
   return db;
 }
 

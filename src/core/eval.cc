@@ -1217,6 +1217,7 @@ Result<Instance> Evaluator::Run(const Instance& edb,
   invention_memo_.clear();
   Instance instance = edb;
   ResourceGovernor governor(options.budget);
+  auto started = std::chrono::steady_clock::now();
 
   if (options.mode == EvalMode::kNonInflationary) {
     // Replacement semantics: F_{i+1} = E ⊕ Δ+(F_i) − Δ−(F_i).
@@ -1277,6 +1278,14 @@ Result<Instance> Evaluator::Run(const Instance& edb,
   if (options.check_denials) {
     LOGRES_RETURN_NOT_OK(CheckDenials(instance));
   }
+  // Surface what the governor actually charged, plus the fact count and
+  // wall-clock time, so callers (module application, the journal) can
+  // report the resources a successful evaluation consumed.
+  stats_.steps = governor.steps_used();
+  stats_.facts = instance.TotalFacts();
+  stats_.elapsed_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
   return instance;
 }
 

@@ -78,10 +78,17 @@ struct EvalOptions {
 };
 
 struct EvalStats {
+  /// One-step applications consumed, as counted by the ResourceGovernor
+  /// (its steps_used(); the number the step budget is charged against).
   size_t steps = 0;
   size_t rule_firings = 0;
   size_t invented_oids = 0;
   size_t deletions = 0;
+  /// Facts in the evaluation's result instance (TotalFacts — what the
+  /// max_facts budget is compared to).
+  size_t facts = 0;
+  /// Wall-clock time the evaluation consumed, in microseconds.
+  int64_t elapsed_micros = 0;
 };
 
 /// \brief Evaluates analyzed programs over instances.

@@ -127,7 +127,8 @@ InstanceDiff DiffInstances(const Instance& before, const Instance& after) {
 std::string ExplainStats(const EvalStats& stats) {
   return StrCat("steps=", stats.steps, " firings=", stats.rule_firings,
                 " invented_oids=", stats.invented_oids,
-                " deletions=", stats.deletions);
+                " deletions=", stats.deletions, " facts=", stats.facts,
+                " elapsed_us=", stats.elapsed_micros);
 }
 
 }  // namespace logres

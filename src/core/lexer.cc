@@ -118,12 +118,21 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
       Token t;
       t.line = tline;
       t.column = tcol;
-      if (real) {
-        t.kind = TokenKind::kReal;
-        t.real_value = std::stod(digits);
-      } else {
-        t.kind = TokenKind::kInt;
-        t.int_value = std::stoll(digits);
+      // stoll/stod throw on out-of-range literals; hostile input (e.g. a
+      // corrupted dump) must yield a ParseError, not an uncaught
+      // exception.
+      try {
+        if (real) {
+          t.kind = TokenKind::kReal;
+          t.real_value = std::stod(digits);
+        } else {
+          t.kind = TokenKind::kInt;
+          t.int_value = std::stoll(digits);
+        }
+      } catch (const std::exception&) {
+        return Status::ParseError(StrCat("numeric literal '", digits,
+                                         "' out of range at line ", tline,
+                                         ":", tcol));
       }
       tokens.push_back(std::move(t));
       continue;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace logres::datalog {
@@ -264,6 +265,10 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
 
   Database db = program.edb();
   for (int s = 0; s <= max_stratum; ++s) {
+    // Injection sites matching the eval/algres naming (datalog.stratum at
+    // each stratum boundary, datalog.step at each fixpoint iteration), so
+    // fault-injection tests cover the baseline engine too.
+    LOGRES_FAILPOINT("datalog.stratum");
     std::vector<const Rule*> stratum_rules;
     for (const Rule& rule : program.rules()) {
       if (strata.at(rule.head.predicate) == s) stratum_rules.push_back(&rule);
@@ -272,6 +277,7 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
 
     if (strategy == EvalStrategy::kNaive) {
       for (;;) {
+        LOGRES_FAILPOINT("datalog.step");
         size_t before = TotalSize(db);
         for (const Rule* rule : stratum_rules) {
           std::set<Fact> produced;
@@ -286,6 +292,7 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
       // stratum, iterate with delta-restricted joins.
       Database delta = db;
       for (;;) {
+        LOGRES_FAILPOINT("datalog.step");
         Database next_delta;
         for (const Rule* rule : stratum_rules) {
           std::set<Fact> produced;

@@ -1,0 +1,342 @@
+#include "storage/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace logres {
+
+namespace {
+
+constexpr char kMagic[] = "LOGRESJ1";
+constexpr size_t kMagicSize = 8;
+constexpr size_t kFrameSize = 8;  // u32 length + u32 crc
+// A corrupt length field must not make recovery allocate gigabytes: no
+// legitimate record (a module source) approaches this.
+constexpr uint32_t kMaxPayloadSize = 64u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::ExecutionError(StrCat(what, ": ", std::strerror(errno)));
+}
+
+// fsync the directory containing `path` so a freshly created or renamed
+// entry survives a crash of the whole machine, not just the process.
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus(StrCat("open directory ", dir));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus(StrCat("fsync directory ", dir));
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write journal");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path, bool* exists) {
+  *exists = true;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      *exists = false;
+      return std::string();
+    }
+    return ErrnoStatus(StrCat("open ", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus(StrCat("read ", path));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+// Parses "key=<uint64>" from a whitespace-separated header field.
+Result<uint64_t> ParseField(const std::string& field, const char* key) {
+  std::string prefix = StrCat(key, "=");
+  if (!StartsWith(field, prefix)) {
+    return Status::ParseError(
+        StrCat("journal record header: expected ", key, "=..., found '",
+               field, "'"));
+  }
+  const std::string digits = field.substr(prefix.size());
+  if (digits.empty()) {
+    return Status::ParseError(StrCat("journal record header: empty ", key));
+  }
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError(
+          StrCat("journal record header: bad number in '", field, "'"));
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::ParseError(
+          StrCat("journal record header: overflow in '", field, "'"));
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  std::string payload =
+      StrCat("apply seq=", record.seq, " mode=",
+             ApplicationModeName(record.mode), " gen_before=",
+             record.gen_before, " gen_after=", record.gen_after, " steps=",
+             record.steps, " facts=", record.facts, "\n",
+             record.module_source);
+  std::string framed;
+  framed.reserve(kFrameSize + payload.size());
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  PutU32(&framed, Crc32(payload));
+  framed += payload;
+  return framed;
+}
+
+Result<JournalRecord> DecodeJournalPayload(const std::string& payload) {
+  size_t newline = payload.find('\n');
+  if (newline == std::string::npos) {
+    return Status::ParseError("journal record has no header line");
+  }
+  std::vector<std::string> fields = Split(payload.substr(0, newline), ' ');
+  if (fields.size() != 7 || fields[0] != "apply") {
+    return Status::ParseError("journal record header malformed");
+  }
+  JournalRecord record;
+  LOGRES_ASSIGN_OR_RETURN(record.seq, ParseField(fields[1], "seq"));
+  if (!StartsWith(fields[2], "mode=")) {
+    return Status::ParseError("journal record header: expected mode=...");
+  }
+  auto mode = ParseApplicationMode(fields[2].substr(5));
+  if (!mode.has_value()) {
+    return Status::ParseError(
+        StrCat("journal record header: unknown ", fields[2]));
+  }
+  record.mode = *mode;
+  LOGRES_ASSIGN_OR_RETURN(record.gen_before,
+                          ParseField(fields[3], "gen_before"));
+  LOGRES_ASSIGN_OR_RETURN(record.gen_after,
+                          ParseField(fields[4], "gen_after"));
+  LOGRES_ASSIGN_OR_RETURN(record.steps, ParseField(fields[5], "steps"));
+  LOGRES_ASSIGN_OR_RETURN(record.facts, ParseField(fields[6], "facts"));
+  record.module_source = payload.substr(newline + 1);
+  return record;
+}
+
+Result<JournalScan> ScanJournal(const std::string& path) {
+  JournalScan scan;
+  bool exists = false;
+  LOGRES_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path, &exists));
+  if (!exists || data.empty()) return scan;  // absent/empty: valid, empty
+
+  if (data.size() < kMagicSize ||
+      data.compare(0, kMagicSize, kMagic, kMagicSize) != 0) {
+    // The header itself is torn or foreign; nothing is trustworthy.
+    scan.torn_bytes = data.size();
+    scan.warnings.push_back(
+        StrCat("journal ", path, ": bad or truncated magic; discarding ",
+               data.size(), " byte(s)"));
+    return scan;
+  }
+  size_t offset = kMagicSize;
+  scan.valid_bytes = offset;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  while (offset < data.size()) {
+    if (data.size() - offset < kFrameSize) {
+      scan.warnings.push_back(
+          StrCat("journal ", path, ": torn frame header at offset ", offset,
+                 " (", data.size() - offset, " byte(s)); truncating"));
+      break;
+    }
+    uint32_t length = GetU32(bytes + offset);
+    uint32_t crc = GetU32(bytes + offset + 4);
+    if (length > kMaxPayloadSize) {
+      scan.warnings.push_back(
+          StrCat("journal ", path, ": implausible record length ", length,
+                 " at offset ", offset, "; truncating"));
+      break;
+    }
+    if (data.size() - offset - kFrameSize < length) {
+      scan.warnings.push_back(
+          StrCat("journal ", path, ": torn record at offset ", offset,
+                 " (payload ", length, ", only ",
+                 data.size() - offset - kFrameSize,
+                 " byte(s) present); truncating"));
+      break;
+    }
+    std::string payload = data.substr(offset + kFrameSize, length);
+    if (Crc32(payload) != crc) {
+      scan.warnings.push_back(
+          StrCat("journal ", path, ": CRC mismatch at offset ", offset,
+                 "; truncating"));
+      break;
+    }
+    auto record = DecodeJournalPayload(payload);
+    if (!record.ok()) {
+      // The frame checks out but the payload does not parse — treat it
+      // like corruption rather than replaying a half-understood commit.
+      scan.warnings.push_back(
+          StrCat("journal ", path, ": undecodable record at offset ", offset,
+                 " (", record.status().ToString(), "); truncating"));
+      break;
+    }
+    scan.records.push_back(std::move(record).value());
+    offset += kFrameSize + length;
+    scan.valid_bytes = offset;
+  }
+  scan.torn_bytes = data.size() - scan.valid_bytes;
+  return scan;
+}
+
+Result<Journal> Journal::Open(const std::string& path) {
+  LOGRES_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(path));
+
+  Journal journal;
+  journal.scan_ = std::move(scan);
+
+  bool fresh = journal.scan_.valid_bytes == 0;
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus(StrCat("open journal ", path));
+  journal.fd_ = fd;
+
+  if (fresh) {
+    // New (or wholly corrupt) journal: start from a clean header.
+    if (::ftruncate(fd, 0) != 0) return ErrnoStatus("truncate journal");
+    Status st = WriteFully(fd, kMagic, kMagicSize);
+    if (!st.ok()) return st;
+    if (::fsync(fd) != 0) return ErrnoStatus("fsync journal");
+    LOGRES_RETURN_NOT_OK(SyncParentDir(path));
+    journal.good_size_ = kMagicSize;
+  } else {
+    // Drop any torn suffix so appends land right after the last valid
+    // record. This is the "recover by truncation" half of the contract.
+    if (journal.scan_.torn_bytes > 0) {
+      if (::ftruncate(fd, static_cast<off_t>(journal.scan_.valid_bytes)) !=
+          0) {
+        return ErrnoStatus("truncate torn journal suffix");
+      }
+      if (::fsync(fd) != 0) return ErrnoStatus("fsync journal");
+    }
+    journal.good_size_ = journal.scan_.valid_bytes;
+    journal.live_records_ = journal.scan_.records.size();
+  }
+  if (::lseek(fd, static_cast<off_t>(journal.good_size_), SEEK_SET) < 0) {
+    return ErrnoStatus("seek journal");
+  }
+  return journal;
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(other.fd_),
+      good_size_(other.good_size_),
+      live_records_(other.live_records_),
+      scan_(std::move(other.scan_)) {
+  other.fd_ = -1;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    good_size_ = other.good_size_;
+    live_records_ = other.live_records_;
+    scan_ = std::move(other.scan_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Journal::Append(const JournalRecord& record) {
+  if (fd_ < 0) return Status::ExecutionError("journal is not open");
+  // Anything that fails from here on (injected or real) rolls the file
+  // back to good_size_, so the live journal never carries a partial frame.
+  auto fail = [&](Status st) {
+    (void)::ftruncate(fd_, static_cast<off_t>(good_size_));
+    (void)::lseek(fd_, static_cast<off_t>(good_size_), SEEK_SET);
+    return st;
+  };
+  Status armed = failpoints::AnyArmed()
+                     ? failpoints::Check("journal.append")
+                     : Status::OK();
+  if (!armed.ok()) return fail(armed);
+
+  std::string framed = EncodeJournalRecord(record);
+  Status write_st = WriteFully(fd_, framed.data(), framed.size());
+  if (!write_st.ok()) return fail(write_st);
+
+  // The record is written but not yet durable: a crash at this site may
+  // lose it (recovering the pre-commit state) or keep it (post-commit) —
+  // both are consistent, and the crash matrix asserts exactly that.
+  armed = failpoints::AnyArmed() ? failpoints::Check("journal.fsync")
+                                 : Status::OK();
+  if (!armed.ok()) return fail(armed);
+
+  if (::fdatasync(fd_) != 0) return fail(ErrnoStatus("fdatasync journal"));
+  good_size_ += framed.size();
+  live_records_++;
+  return Status::OK();
+}
+
+Status Journal::Reset() {
+  if (fd_ < 0) return Status::ExecutionError("journal is not open");
+  if (::ftruncate(fd_, static_cast<off_t>(kMagicSize)) != 0) {
+    return ErrnoStatus("truncate journal");
+  }
+  if (::lseek(fd_, static_cast<off_t>(kMagicSize), SEEK_SET) < 0) {
+    return ErrnoStatus("seek journal");
+  }
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync journal");
+  good_size_ = kMagicSize;
+  live_records_ = 0;
+  return Status::OK();
+}
+
+}  // namespace logres

@@ -1,0 +1,148 @@
+// The write-ahead journal: an append-only log of committed module
+// applications.
+//
+// ALGRES/LOGRES is a main-memory system; dumps are how a state survives a
+// process, and before this subsystem a crash between manual `save`s lost
+// every committed application. The journal closes that gap: each
+// *committed* application is appended and fsync'd before the commit is
+// acknowledged, so on reopen the state can be reconstructed by replaying
+// the journal over the last checkpoint (see journaled_database.h for the
+// recovery algorithm).
+//
+// File format (all integers little-endian):
+//
+//   "LOGRESJ1"                        -- 8-byte magic, format version 1
+//   record*                           -- zero or more records
+//
+//   record := u32 payload_len | u32 crc32(payload) | payload bytes
+//
+// The payload is line-oriented text: a header line
+//
+//   apply seq=<n> mode=<MODE> gen_before=<a> gen_after=<b>
+//         steps=<s> facts=<f>          (one line in the file)
+//
+// followed by the module source verbatim. `seq` is the global commit
+// sequence number (monotonic across checkpoints — checkpoints record the
+// seq they cover, so replay can skip records a checkpoint already
+// contains). `gen_before` is the oid-generator position the application
+// started from: rejected applications consume oids without being
+// journaled, so replay fast-forwards the generator to `gen_before` before
+// re-applying, making invented oids — and therefore the whole state —
+// byte-identical to the live run. `steps`/`facts` record the resources
+// the commit consumed (ModuleResult::stats), for `journal status` and
+// post-mortem analysis.
+//
+// Torn-write handling: a record is valid only if its full frame is
+// present and the CRC matches. Scanning stops at the first invalid
+// record; recovery *truncates* the file there (a torn final record is the
+// expected result of a crash mid-append, reported as a warning, never an
+// error) and every complete prefix record is replayed.
+//
+// Failpoint sites: `journal.append` (before any bytes are written) and
+// `journal.fsync` (after the frame is written, before fdatasync) — the
+// crash-injection tests kill the process at each and assert recovery
+// lands on exactly the pre- or post-commit state.
+
+#ifndef LOGRES_STORAGE_JOURNAL_H_
+#define LOGRES_STORAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/modes.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief One committed module application, as journaled.
+struct JournalRecord {
+  uint64_t seq = 0;
+  ApplicationMode mode = ApplicationMode::kRIDI;
+  /// Oid-generator position when the application started (replay
+  /// fast-forwards to here first; rejected applications in between
+  /// consumed the gap).
+  uint64_t gen_before = 0;
+  /// Oid-generator position after the commit (replay cross-checks this to
+  /// detect non-deterministic replay).
+  uint64_t gen_after = 0;
+  /// Resources the application consumed (ModuleResult::stats).
+  uint64_t steps = 0;
+  uint64_t facts = 0;
+  std::string module_source;
+};
+
+/// \brief Result of scanning a journal file.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  /// Offset of the first byte past the last valid record (recovery
+  /// truncates the file here).
+  uint64_t valid_bytes = 0;
+  /// Bytes discarded past valid_bytes (0 when the file was clean).
+  uint64_t torn_bytes = 0;
+  /// Human-readable descriptions of anything discarded or suspicious.
+  std::vector<std::string> warnings;
+};
+
+/// \brief Encodes \p record as a framed journal entry (frame + payload),
+/// ready to be appended. Exposed for tests.
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+/// \brief Parses one payload (no frame) back into a record.
+Result<JournalRecord> DecodeJournalPayload(const std::string& payload);
+
+/// \brief Reads and validates \p path. Missing file yields an empty scan;
+/// torn or corrupt suffixes are reported in warnings, not as errors.
+Result<JournalScan> ScanJournal(const std::string& path);
+
+/// \brief An open journal file, append side.
+///
+/// Move-only; owns the file descriptor. Appends are all-or-nothing from
+/// the journal's perspective: if anything fails mid-append (including an
+/// injected fault), the file is truncated back to its last known good
+/// size so a partial frame never lingers in a *live* journal (a crash can
+/// still leave one on disk — that is what scan-time truncation is for).
+class Journal {
+ public:
+  /// \brief Opens \p path for appending, creating it (with the format
+  /// magic, fsync'd, directory entry fsync'd) when missing. An existing
+  /// file is scanned first and truncated past its last valid record; the
+  /// scan (with any warnings) is available via recovered().
+  static Result<Journal> Open(const std::string& path);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// \brief Appends \p record and makes it durable (write + fdatasync)
+  /// before returning OK. Sites: journal.append, journal.fsync.
+  Status Append(const JournalRecord& record);
+
+  /// \brief Empties the journal (truncate to the magic header + fsync);
+  /// called after a checkpoint has made its records redundant.
+  Status Reset();
+
+  /// \brief What Open found in the pre-existing file.
+  const JournalScan& recovered() const { return scan_; }
+
+  /// \brief Current durable size of the file in bytes.
+  uint64_t size_bytes() const { return good_size_; }
+
+  /// \brief Valid records currently in the file (found at Open plus
+  /// appended since, minus any Reset).
+  uint64_t live_records() const { return live_records_; }
+
+ private:
+  Journal() = default;
+
+  int fd_ = -1;
+  uint64_t good_size_ = 0;
+  uint64_t live_records_ = 0;
+  JournalScan scan_;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_STORAGE_JOURNAL_H_

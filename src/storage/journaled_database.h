@@ -1,0 +1,149 @@
+// Durable LOGRES state: checkpoints + write-ahead journal + recovery.
+//
+// A JournaledDatabase wraps a Database with the on-disk layout
+//
+//   <dir>/CHECKPOINT       -- "-- logres checkpoint seq=<N>" + DumpDatabase
+//   <dir>/CHECKPOINT.tmp   -- transient; atomically renamed over CHECKPOINT
+//   <dir>/journal          -- append-only log of committed applications
+//
+// and gives module application the same all-or-nothing guarantee *across
+// process death* that Database::Apply already gives in process:
+//
+//   apply:      run the (in-process transactional) Apply; on success,
+//               append the record and fsync it BEFORE acknowledging the
+//               commit. If the append fails, the in-memory state is
+//               rolled back too, so memory never runs ahead of disk.
+//   checkpoint: write "-- logres checkpoint seq=N" + the dump to
+//               CHECKPOINT.tmp, fsync, atomically rename over CHECKPOINT,
+//               fsync the directory, then empty the journal. Taken
+//               automatically every StorageOptions::checkpoint_interval
+//               commits (0 disables) or on demand.
+//   recovery:   load the newest valid CHECKPOINT, truncate the journal at
+//               the first torn/corrupt record (warning, not error), and
+//               deterministically replay every record with seq >
+//               checkpoint seq — fast-forwarding the oid generator to
+//               each record's gen_before so invented oids come out
+//               byte-identical, and cross-checking gen_after. Records
+//               with seq <= checkpoint seq are skipped: they cover the
+//               window where a crash hit between the checkpoint rename
+//               and the journal reset.
+//
+// Deliberately NOT durable: modules registered at Create time (dumps do
+// not carry `module` blocks; journal `apply` records carry their own
+// source), the EvalOptions/Budget a commit ran under (replay uses an
+// unlimited budget — a commit that terminated once terminates again),
+// and oids consumed by *rejected* applications after the last commit
+// (the state triple is unaffected; gen_before fast-forwarding re-creates
+// the gaps that precede each commit).
+//
+// Failpoint sites, in write order: journal.append, journal.fsync,
+// checkpoint.write, checkpoint.rename, checkpoint.truncate. The
+// crash-injection matrix (tests/storage_crash_test.cc) kills the process
+// at each and asserts the reopened store equals exactly the pre- or
+// post-application dump, never a hybrid.
+
+#ifndef LOGRES_STORAGE_JOURNALED_DATABASE_H_
+#define LOGRES_STORAGE_JOURNALED_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dump.h"
+#include "storage/journal.h"
+#include "util/status.h"
+
+namespace logres {
+
+struct StorageOptions {
+  /// Auto-checkpoint after this many committed applications since the
+  /// last checkpoint (0 = only explicit Checkpoint() calls).
+  uint64_t checkpoint_interval = 64;
+};
+
+/// \brief Observable state of the store (`journal status` in the shell).
+struct StorageStatus {
+  uint64_t last_seq = 0;        // seq of the newest committed application
+  uint64_t checkpoint_seq = 0;  // seq the CHECKPOINT file covers
+  uint64_t journal_records = 0;  // live records in the journal file
+  uint64_t journal_bytes = 0;
+  uint64_t replayed_at_open = 0;
+  uint64_t truncated_bytes_at_open = 0;
+  /// Cumulative evaluator steps and last result-instance fact count over
+  /// the commits this process made (from ModuleResult::stats).
+  uint64_t steps_total = 0;
+  uint64_t facts_last = 0;
+  /// Recovery/auto-checkpoint warnings (torn records, skipped stale
+  /// records, failed background checkpoints).
+  std::vector<std::string> warnings;
+};
+
+/// \brief A Database whose committed module applications survive process
+/// death. Move-only (owns the journal file descriptor).
+class JournaledDatabase {
+ public:
+  /// \brief Initializes a new store at \p dir (created if missing) from
+  /// an in-memory database: writes the initial checkpoint (seq 0) and an
+  /// empty journal. Fails if \p dir already holds a store.
+  static Result<JournaledDatabase> Create(const std::string& dir,
+                                          Database db,
+                                          StorageOptions options = {});
+
+  /// \brief Convenience: Create from LOGRES source text.
+  static Result<JournaledDatabase> Create(const std::string& dir,
+                                          const std::string& source,
+                                          StorageOptions options = {});
+
+  /// \brief Opens an existing store, running recovery (checkpoint load +
+  /// journal truncation + deterministic replay).
+  static Result<JournaledDatabase> Open(const std::string& dir,
+                                        StorageOptions options = {});
+
+  JournaledDatabase(JournaledDatabase&&) = default;
+  JournaledDatabase& operator=(JournaledDatabase&&) = default;
+
+  /// \brief The wrapped database. Reads (Query/Materialize/...) go
+  /// straight through; direct mutation bypasses the journal and is NOT
+  /// durable — use ApplySource for anything that must survive.
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  /// \brief Applies a module durably: Database::ApplySource, then journal
+  /// append + fsync. Only acknowledged (OK) commits are durable.
+  Result<ModuleResult> ApplySource(const std::string& source,
+                                   ApplicationMode mode,
+                                   const EvalOptions& options = {});
+
+  /// \brief Writes a checkpoint covering every commit so far and empties
+  /// the journal.
+  Status Checkpoint();
+
+  const std::string& dir() const { return dir_; }
+  StorageStatus status() const;
+
+ private:
+  JournaledDatabase(std::string dir, Database db, Journal journal,
+                    StorageOptions options)
+      : dir_(std::move(dir)),
+        db_(std::move(db)),
+        journal_(std::move(journal)),
+        options_(options) {}
+
+  Status WriteCheckpoint();
+
+  std::string dir_;
+  Database db_;
+  Journal journal_;
+  StorageOptions options_;
+  uint64_t last_seq_ = 0;
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t replayed_at_open_ = 0;
+  uint64_t steps_total_ = 0;
+  uint64_t facts_last_ = 0;
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_STORAGE_JOURNALED_DATABASE_H_

@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over byte ranges.
+//
+// Used by the storage journal to checksum each record's payload so a torn
+// or bit-flipped record is detected at recovery and the journal is
+// truncated there instead of replaying garbage. Table-driven, no external
+// dependency.
+
+#ifndef LOGRES_UTIL_CRC32_H_
+#define LOGRES_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace logres {
+
+/// \brief CRC-32 of \p data, starting from \p seed (pass the previous
+/// result to checksum data in chunks; 0 for a fresh computation).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::string& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace logres
+
+#endif  // LOGRES_UTIL_CRC32_H_

@@ -1,6 +1,7 @@
 #include "util/failpoint.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 
@@ -13,6 +14,7 @@ struct Entry {
   Status status;
   size_t skip_hits = 0;
   size_t hits = 0;
+  bool crash = false;
 };
 
 std::atomic<int> g_armed_count{0};
@@ -35,8 +37,18 @@ bool AnyArmed() {
 
 void Arm(const std::string& name, Status status, size_t skip_hits) {
   std::lock_guard<std::mutex> lock(Mutex());
-  auto [it, inserted] =
-      Registry().insert_or_assign(name, Entry{std::move(status), skip_hits, 0});
+  auto [it, inserted] = Registry().insert_or_assign(
+      name, Entry{std::move(status), skip_hits, 0, false});
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ArmCrash(const std::string& name, size_t skip_hits) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Registry().insert_or_assign(
+      name,
+      Entry{Status::ExecutionError("crash-armed failpoint"), skip_hits, 0,
+            true});
   (void)it;
   if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
 }
@@ -68,6 +80,11 @@ Status Check(const char* name) {
   Entry& entry = it->second;
   entry.hits++;
   if (entry.hits <= entry.skip_hits) return Status::OK();
+  // A crash-armed site dies on the spot: no stream flushes, no atexit
+  // handlers, no destructors — pending unsynced writes are simply lost to
+  // this process (the page cache keeps what was already write()n, exactly
+  // like a real process crash).
+  if (entry.crash) std::_Exit(kCrashExitCode);
   return entry.status;
 }
 

@@ -38,6 +38,17 @@ bool AnyArmed();
 /// occurrences, then return \p status (repeatedly, until disarmed).
 void Arm(const std::string& name, Status status, size_t skip_hits = 0);
 
+/// \brief Exit code used by crash-armed failpoints (distinguishable from
+/// an assertion failure or a sanitizer abort in the parent's waitpid).
+inline constexpr int kCrashExitCode = 43;
+
+/// \brief Arms \p name to *kill the process* (immediate _Exit, no flushes,
+/// no destructors — the closest user-space stand-in for a crash) once the
+/// site is reached after \p skip_hits occurrences. Used by the
+/// crash-injection recovery tests, which fork a victim, arm a site, and
+/// assert the reopened store recovered to a consistent state.
+void ArmCrash(const std::string& name, size_t skip_hits = 0);
+
 /// \brief Disarms \p name (no-op when not armed).
 void Disarm(const std::string& name);
 

@@ -97,8 +97,11 @@ TEST(ExplainTest, StatsRendering) {
   stats.rule_firings = 17;
   stats.invented_oids = 2;
   stats.deletions = 1;
+  stats.facts = 40;
+  stats.elapsed_micros = 1250;
   EXPECT_EQ(ExplainStats(stats),
-            "steps=3 firings=17 invented_oids=2 deletions=1");
+            "steps=3 firings=17 invented_oids=2 deletions=1 facts=40 "
+            "elapsed_us=1250");
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "datalog/datalog.h"
+#include "util/failpoint.h"
 
 namespace logres::datalog {
 namespace {
@@ -243,6 +244,44 @@ TEST_P(DatalogEquivalence, NaiveEqualsSemiNaive) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, DatalogEquivalence,
                          ::testing::Values(2, 3, 5, 8, 13, 21));
+
+// ---------------------------------------------------------------------------
+// Fault injection: the baseline engine carries the same failpoint sites
+// (datalog.stratum per stratum, datalog.step per fixpoint iteration) the
+// LOGRES engines expose as eval.stratum / eval.step.
+
+TEST(DatalogFailpointTest, StratumSitePropagatesInjectedStatus) {
+  Program p = TransitiveClosure();
+  ScopedFailpoint fp("datalog.stratum",
+                     Status::ExecutionError("injected stratum fault"));
+  for (EvalStrategy strategy :
+       {EvalStrategy::kNaive, EvalStrategy::kSemiNaive}) {
+    auto result = Evaluate(p, strategy);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  }
+  EXPECT_GE(fp.hit_count(), 2u);
+}
+
+TEST(DatalogFailpointTest, StepSiteFailsMidFixpoint) {
+  Program p = TransitiveClosure();
+  // Let the first iteration through, fail on the second: the engine must
+  // surface the fault instead of returning a half-computed fixpoint.
+  ScopedFailpoint fp("datalog.step",
+                     Status::ExecutionError("injected step fault"),
+                     /*skip_hits=*/1);
+  auto result = Evaluate(p, EvalStrategy::kSemiNaive);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  EXPECT_EQ(fp.hit_count(), 2u);
+}
+
+TEST(DatalogFailpointTest, DisarmedSitesCostNothing) {
+  Program p = TransitiveClosure();
+  auto result = Evaluate(p, EvalStrategy::kSemiNaive);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(failpoints::HitCount("datalog.step"), 0u);
+}
 
 }  // namespace
 }  // namespace logres::datalog

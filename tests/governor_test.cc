@@ -268,5 +268,43 @@ TEST(AlgresBudgetTest, EnginesAgreeOnDivergenceCode) {
   EXPECT_EQ(compiled.status().code(), StatusCode::kDivergence);
 }
 
+// ---------------------------------------------------------------------------
+// Resource accounting surfaced through ModuleResult::stats
+
+TEST(EvalStatsTest, ApplySurfacesGovernorAccounting) {
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto result = db->ApplySource("rules p(x: 1). p(x: 2).",
+                                ApplicationMode::kRIDV);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // steps is the governor's steps_used() — the number charged against
+  // Budget::max_steps; facts is what max_facts compares to.
+  EXPECT_GE(result->stats.steps, 1u);
+  EXPECT_EQ(result->stats.facts, 2u);
+  EXPECT_GE(result->stats.elapsed_micros, 0);
+}
+
+TEST(EvalStatsTest, StepsMatchTheStepBudgetBoundary) {
+  // A run that succeeds under max_steps=N must report steps <= N, and the
+  // same run reported steps must be exactly what a budget of that size
+  // admits (the count and the charge agree).
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto free_run = db->ApplySource("rules p(x: 1).",
+                                  ApplicationMode::kRIDV);
+  ASSERT_TRUE(free_run.ok()) << free_run.status();
+  size_t used = free_run->stats.steps;
+  ASSERT_GE(used, 1u);
+
+  auto db2 = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db2.ok());
+  EvalOptions exact;
+  exact.budget.max_steps = used;
+  auto bounded = db2->ApplySource("rules p(x: 1).",
+                                  ApplicationMode::kRIDV, exact);
+  ASSERT_TRUE(bounded.ok()) << bounded.status();
+  EXPECT_EQ(bounded->stats.steps, used);
+}
+
 }  // namespace
 }  // namespace logres

@@ -1,0 +1,245 @@
+// Crash-injection matrix for the durable-state subsystem.
+//
+// Each case forks a victim process (this binary re-exec'd with
+// --crash-victim) that opens the store, arms a crash failpoint
+// (failpoints::ArmCrash — immediate _Exit at the site, no flushes, no
+// destructors), and applies a module. The parent asserts the victim died
+// at the site (exit code kCrashExitCode), reopens the store, and checks
+// the recovered state is byte-identical to either the pre-application or
+// the post-application dump — never a hybrid:
+//
+//   db.apply.commit     crash before anything reached the journal -> pre
+//   journal.append      crash before any journal bytes            -> pre
+//   journal.fsync       frame written, not yet fdatasync'd: the page
+//                       cache survives a *process* crash, so either
+//                       outcome is legal                           -> pre|post
+//   checkpoint.write    the commit is already journaled            -> post
+//   checkpoint.rename   tmp file written, rename not done          -> post
+//   checkpoint.truncate new CHECKPOINT + stale journal records     -> post
+//
+// Each site runs with and without a checkpoint between the setup
+// application and the crash, covering recovery both straight from a
+// checkpoint and through journal replay. On any failure the store
+// directory is copied to crash-artifacts/ for CI upload.
+//
+// This file has its own main() (linked against GTest::gtest, not
+// gtest_main) so the victim branch can run before gtest takes over.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "core/database.h"
+#include "core/dump.h"
+#include "storage/journaled_database.h"
+#include "util/failpoint.h"
+
+namespace logres::storage_crash {
+
+const char* kSchema = R"(
+  classes PERSON = (name: string);
+  associations
+    SEED = (name: string);
+    KNOWS = (a: string, b: string);
+)";
+
+const char* kSetupModule = R"(rules knows(a: "ann", b: "bob").)";
+
+// The application the victim is killed inside: invents an oid AND inserts
+// a tuple, so a hybrid recovery (one without the other) would be caught.
+const char* kVictimModule = R"(
+  rules
+    seed(name: "vic").
+    person(self P, name: N) <- seed(name: N).
+    knows(a: "vic", b: "ann").
+)";
+
+StorageOptions NoAutoCheckpoint() {
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  return opts;
+}
+
+// The --crash-victim branch: open, arm, die at the site.
+int RunVictim(const std::string& dir, const std::string& site,
+              const std::string& op) {
+  auto store = JournaledDatabase::Open(dir, NoAutoCheckpoint());
+  if (!store.ok()) return 11;
+  failpoints::ArmCrash(site);
+  if (op == "apply") {
+    (void)store->ApplySource(kVictimModule, ApplicationMode::kRIDV);
+  } else if (op == "checkpoint") {
+    auto r = store->ApplySource(kVictimModule, ApplicationMode::kRIDV);
+    if (!r.ok()) return 12;
+    (void)store->Checkpoint();
+  } else {
+    return 13;
+  }
+  return 10;  // reached only if the armed site was never hit
+}
+
+namespace {
+
+std::string MakeTempDir() {
+  std::string templ = ::testing::TempDir() + "logres_crash_XXXXXX";
+  char* got = ::mkdtemp(templ.data());
+  EXPECT_NE(got, nullptr);
+  return templ;
+}
+
+// Preserves a failing store directory for the CI artifact upload
+// (cwd is build/tests when run under ctest).
+void PreserveArtifacts(const std::string& dir, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("crash-artifacts", ec);
+  std::filesystem::copy(dir, "crash-artifacts/" + name,
+                        std::filesystem::copy_options::recursive |
+                            std::filesystem::copy_options::overwrite_existing,
+                        ec);
+  if (ec) {
+    ADD_FAILURE() << "could not preserve artifacts from " << dir << ": "
+                  << ec.message();
+  }
+}
+
+enum class Expect { kPre, kPost, kEither };
+
+struct CrashCase {
+  const char* site;
+  const char* op;  // victim operation: "apply" or "checkpoint"
+  Expect expect;
+};
+
+constexpr CrashCase kMatrix[] = {
+    {"db.apply.commit", "apply", Expect::kPre},
+    {"journal.append", "apply", Expect::kPre},
+    {"journal.fsync", "apply", Expect::kEither},
+    {"checkpoint.write", "checkpoint", Expect::kPost},
+    {"checkpoint.rename", "checkpoint", Expect::kPost},
+    {"checkpoint.truncate", "checkpoint", Expect::kPost},
+};
+
+void RunCase(const CrashCase& c, bool checkpoint_before) {
+  std::string label = std::string(c.site) +
+                      (checkpoint_before ? "+ckpt" : "-ckpt");
+  SCOPED_TRACE(label);
+  std::string dir = MakeTempDir();
+
+  // Set the store up and record the pre-application state.
+  std::string pre_dump;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema, NoAutoCheckpoint());
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kSetupModule, ApplicationMode::kRIDV).ok());
+    if (checkpoint_before) {
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
+    pre_dump = DumpDatabase(store->db());
+  }
+
+  // What the victim's commit produces, computed offline: replay is
+  // deterministic, so applying the same module to the same state gives
+  // the byte-identical post state.
+  std::string post_dump;
+  {
+    auto db = LoadDatabase(pre_dump);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(
+        db->ApplySource(kVictimModule, ApplicationMode::kRIDV).ok());
+    post_dump = DumpDatabase(*db);
+  }
+  ASSERT_NE(pre_dump, post_dump);
+
+  // Kill a writer at the site.
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execl("/proc/self/exe", "storage_crash_test", "--crash-victim",
+            dir.c_str(), c.site, c.op, static_cast<char*>(nullptr));
+    ::_Exit(127);  // exec failed
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus)) << label;
+  ASSERT_EQ(WEXITSTATUS(wstatus), failpoints::kCrashExitCode)
+      << label << ": victim did not die at the armed site";
+
+  // Recovery must land on exactly pre or post, never a hybrid.
+  auto reopened = JournaledDatabase::Open(dir, NoAutoCheckpoint());
+  if (!reopened.ok()) {
+    PreserveArtifacts(dir, label);
+    FAIL() << label << ": reopen failed: " << reopened.status();
+  }
+  std::string recovered = DumpDatabase(reopened->db());
+  bool acceptable =
+      c.expect == Expect::kPre    ? recovered == pre_dump
+      : c.expect == Expect::kPost ? recovered == post_dump
+                                  : (recovered == pre_dump ||
+                                     recovered == post_dump);
+  if (!acceptable) {
+    PreserveArtifacts(dir, label);
+    FAIL() << label << ": recovered state is neither pre nor post"
+           << "\n--- recovered ---\n" << recovered
+           << "\n--- pre ---\n" << pre_dump
+           << "\n--- post ---\n" << post_dump;
+  }
+
+  // The recovered store must accept new commits.
+  EXPECT_TRUE(
+      reopened->ApplySource(kSetupModule, ApplicationMode::kRIDV).ok())
+      << label;
+}
+
+TEST(StorageCrashTest, KillAtEverySiteRecoversToPreOrPost) {
+  for (bool checkpoint_before : {false, true}) {
+    for (const CrashCase& c : kMatrix) {
+      RunCase(c, checkpoint_before);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// A crash mid-append leaves a torn final record; reopening must truncate
+// it with a warning — never report an error, never surface a hybrid.
+TEST(StorageCrashTest, TornFinalRecordIsTruncatedOnRecovery) {
+  std::string dir = MakeTempDir();
+  std::string init_dump;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema, NoAutoCheckpoint());
+    ASSERT_TRUE(store.ok()) << store.status();
+    init_dump = DumpDatabase(store->db());
+    ASSERT_TRUE(
+        store->ApplySource(kSetupModule, ApplicationMode::kRIDV).ok());
+  }
+  // The journal.fsync crash leaves the most complete possible torn state
+  // (full frame, no fsync); shear it harder by chopping bytes off the
+  // tail so the final frame is structurally incomplete.
+  std::string path = dir + "/journal";
+  uint64_t size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+
+  auto reopened = JournaledDatabase::Open(dir, NoAutoCheckpoint());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_GT(reopened->status().truncated_bytes_at_open, 0u);
+  ASSERT_FALSE(reopened->status().warnings.empty());
+  // The sheared record is gone; what remains is exactly the state the
+  // checkpoint covers — not a hybrid.
+  EXPECT_EQ(DumpDatabase(reopened->db()), init_dump);
+}
+
+}  // namespace
+}  // namespace logres::storage_crash
+
+int main(int argc, char** argv) {
+  if (argc >= 5 && std::string_view(argv[1]) == "--crash-victim") {
+    return logres::storage_crash::RunVictim(argv[2], argv[3], argv[4]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

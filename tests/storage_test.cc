@@ -1,0 +1,455 @@
+// Unit and recovery tests for the durable-state subsystem
+// (src/storage/): journal framing and scanning, checkpointing, crash-free
+// recovery, replay determinism, and fault-injected append/checkpoint
+// failures. The process-kill matrix lives in storage_crash_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/database.h"
+#include "core/dump.h"
+#include "storage/journal.h"
+#include "storage/journaled_database.h"
+#include "util/failpoint.h"
+
+namespace logres {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+
+const char* kSchema = R"(
+  classes PERSON = (name: string);
+  associations
+    SEED = (name: string);
+    KNOWS = (a: string, b: string);
+)";
+
+// Commits a tuple insertion (no oids).
+const char* kTupleModule = R"(rules knows(a: "ann", b: "bob").)";
+
+// Invents one PERSON object (consumes an oid), seeded from within the
+// module so the whole change is journaled.
+const char* kInventModule = R"(
+  rules
+    seed(name: "zoe").
+    person(self P, name: N) <- seed(name: N).
+)";
+
+const char* kInventModule2 = R"(
+  rules
+    seed(name: "yan").
+    person(self P, name: N) <- seed(name: N).
+)";
+
+std::string MakeTempDir() {
+  std::string templ = ::testing::TempDir() + "logres_storage_XXXXXX";
+  char* got = ::mkdtemp(templ.data());
+  EXPECT_NE(got, nullptr);
+  return templ;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Drops the "generator N;" line: a failed journal append rolls back the
+// state triple but deliberately NOT the oid generator (consumed oids are
+// never reused), so rollback assertions compare everything but it.
+std::string StripGeneratorLine(const std::string& dump) {
+  size_t pos = dump.find("generator ");
+  if (pos == std::string::npos) return dump;
+  size_t eol = dump.find('\n', pos);
+  return dump.substr(0, pos) + dump.substr(eol + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Journal framing
+
+TEST(JournalFormatTest, EncodeDecodeRoundTrip) {
+  JournalRecord rec;
+  rec.seq = 42;
+  rec.mode = ApplicationMode::kRADV;
+  rec.gen_before = 7;
+  rec.gen_after = 9;
+  rec.steps = 13;
+  rec.facts = 101;
+  rec.module_source = "rules knows(a: \"x\", b: \"y\").\n-- trailing";
+
+  std::string frame = EncodeJournalRecord(rec);
+  ASSERT_GT(frame.size(), 8u);
+  // Strip the length+crc frame and decode the payload.
+  auto decoded = DecodeJournalPayload(frame.substr(8));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->mode, ApplicationMode::kRADV);
+  EXPECT_EQ(decoded->gen_before, 7u);
+  EXPECT_EQ(decoded->gen_after, 9u);
+  EXPECT_EQ(decoded->steps, 13u);
+  EXPECT_EQ(decoded->facts, 101u);
+  EXPECT_EQ(decoded->module_source, rec.module_source);
+}
+
+TEST(JournalFormatTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeJournalPayload("").ok());
+  EXPECT_FALSE(DecodeJournalPayload("not a header\nrules").ok());
+  EXPECT_FALSE(
+      DecodeJournalPayload("apply seq=x mode=RIDI gen_before=0 "
+                           "gen_after=0 steps=0 facts=0\n").ok());
+}
+
+TEST(JournalTest, OpenAppendScanRoundTrip) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/journal";
+  {
+    auto journal = Journal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    JournalRecord rec;
+    rec.seq = 1;
+    rec.mode = ApplicationMode::kRIDV;
+    rec.module_source = "rules knows(a: \"a\", b: \"b\").";
+    ASSERT_TRUE(journal->Append(rec).ok());
+    rec.seq = 2;
+    ASSERT_TRUE(journal->Append(rec).ok());
+    EXPECT_EQ(journal->live_records(), 2u);
+  }
+  auto scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].seq, 1u);
+  EXPECT_EQ(scan->records[1].seq, 2u);
+  EXPECT_EQ(scan->torn_bytes, 0u);
+  EXPECT_TRUE(scan->warnings.empty());
+
+  // Reopening picks the records back up.
+  auto reopened = Journal::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->live_records(), 2u);
+  EXPECT_EQ(reopened->recovered().records.size(), 2u);
+}
+
+TEST(JournalTest, TornSuffixIsTruncatedWithWarning) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/journal";
+  {
+    auto journal = Journal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    JournalRecord rec;
+    rec.seq = 1;
+    rec.module_source = "rules knows(a: \"a\", b: \"b\").";
+    ASSERT_TRUE(journal->Append(rec).ok());
+  }
+  // Simulate a crash mid-append: a partial frame at the tail (explicit
+  // length — the bytes contain NULs).
+  std::string bytes = ReadFile(path);
+  WriteFile(path, bytes + std::string("\x30\x00\x00\x00\xde\xad", 6));
+
+  auto scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->torn_bytes, 6u);
+  ASSERT_FALSE(scan->warnings.empty());
+
+  // Open truncates the tail; the next scan is clean.
+  auto reopened = Journal::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->live_records(), 1u);
+  auto rescan = ScanJournal(path);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->torn_bytes, 0u);
+  EXPECT_TRUE(rescan->warnings.empty());
+}
+
+TEST(JournalTest, CorruptCrcDropsRecordAndSuffix) {
+  std::string dir = MakeTempDir();
+  std::string path = dir + "/journal";
+  uint64_t first_end = 0;
+  {
+    auto journal = Journal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    JournalRecord rec;
+    rec.seq = 1;
+    rec.module_source = "rules knows(a: \"a\", b: \"b\").";
+    ASSERT_TRUE(journal->Append(rec).ok());
+    first_end = journal->size_bytes();
+    rec.seq = 2;
+    ASSERT_TRUE(journal->Append(rec).ok());
+  }
+  // Flip one payload byte inside the FIRST record: both it and the
+  // (intact) second record must be discarded — replay never jumps a gap.
+  std::string bytes = ReadFile(path);
+  bytes[first_end - 1] ^= 0x01;
+  WriteFile(path, bytes);
+
+  auto scan = ScanJournal(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->records.size(), 0u);
+  EXPECT_GT(scan->torn_bytes, 0u);
+  EXPECT_FALSE(scan->warnings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JournaledDatabase: lifecycle + recovery
+
+TEST(JournaledDatabaseTest, CreateOpenRoundTrip) {
+  std::string dir = MakeTempDir();
+  std::string live_dump;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema);
+    ASSERT_TRUE(store.ok()) << store.status();
+    auto r1 = store->ApplySource(kTupleModule, ApplicationMode::kRIDV);
+    ASSERT_TRUE(r1.ok()) << r1.status();
+    auto r2 = store->ApplySource(kInventModule, ApplicationMode::kRIDV);
+    ASSERT_TRUE(r2.ok()) << r2.status();
+    live_dump = DumpDatabase(store->db());
+    StorageStatus st = store->status();
+    EXPECT_EQ(st.last_seq, 2u);
+    EXPECT_EQ(st.checkpoint_seq, 0u);
+    EXPECT_EQ(st.journal_records, 2u);
+    EXPECT_GT(st.steps_total, 0u);
+    EXPECT_GT(st.facts_last, 0u);
+  }
+  auto reopened = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(DumpDatabase(reopened->db()), live_dump);
+  StorageStatus st = reopened->status();
+  EXPECT_EQ(st.last_seq, 2u);
+  EXPECT_EQ(st.replayed_at_open, 2u);
+  EXPECT_EQ(st.truncated_bytes_at_open, 0u);
+}
+
+TEST(JournaledDatabaseTest, CreateRefusesExistingStore) {
+  std::string dir = MakeTempDir();
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema);
+    ASSERT_TRUE(store.ok()) << store.status();
+  }
+  auto again = JournaledDatabase::Create(dir, kSchema);
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(JournaledDatabaseTest, OpenRefusesMissingStore) {
+  std::string dir = MakeTempDir();
+  auto store = JournaledDatabase::Open(dir + "/nothing_here");
+  EXPECT_FALSE(store.ok());
+}
+
+TEST(JournaledDatabaseTest, ReplayIsDeterministicAcrossRejectedApplies) {
+  // Rejected applications consume oids without being journaled; replay
+  // must still reproduce the exact invented oids (via gen_before
+  // fast-forwarding) and the exact final generator position.
+  std::string dir = MakeTempDir();
+  std::string live_dump;
+  uint64_t live_issued = 0;
+  {
+    StorageOptions opts;
+    opts.checkpoint_interval = 0;  // keep everything in the journal
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    {
+      // A failure after full evaluation: oids were consumed, nothing
+      // committed, nothing journaled.
+      ScopedFailpoint fp("db.apply.commit",
+                         Status::ExecutionError("injected"));
+      auto rejected =
+          store->ApplySource(kInventModule2, ApplicationMode::kRIDV);
+      ASSERT_FALSE(rejected.ok());
+    }
+    auto r = store->ApplySource(kInventModule2, ApplicationMode::kRIDV);
+    ASSERT_TRUE(r.ok()) << r.status();
+    live_dump = DumpDatabase(store->db());
+    live_issued = store->db().oids_issued();
+  }
+  auto reopened = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(DumpDatabase(reopened->db()), live_dump);
+  EXPECT_EQ(reopened->db().oids_issued(), live_issued);
+  EXPECT_TRUE(reopened->status().warnings.empty())
+      << reopened->status().warnings[0];
+}
+
+TEST(JournaledDatabaseTest, CheckpointEmptiesJournalAndRecovers) {
+  std::string dir = MakeTempDir();
+  std::string live_dump;
+  {
+    StorageOptions opts;
+    opts.checkpoint_interval = 0;
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    EXPECT_EQ(store->status().checkpoint_seq, 1u);
+    EXPECT_EQ(store->status().journal_records, 0u);
+    // One more commit after the checkpoint: replayed from the journal.
+    ASSERT_TRUE(
+        store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+    live_dump = DumpDatabase(store->db());
+  }
+  auto reopened = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(DumpDatabase(reopened->db()), live_dump);
+  EXPECT_EQ(reopened->status().replayed_at_open, 1u);
+  EXPECT_EQ(reopened->status().checkpoint_seq, 1u);
+}
+
+TEST(JournaledDatabaseTest, AutoCheckpointAtInterval) {
+  std::string dir = MakeTempDir();
+  StorageOptions opts;
+  opts.checkpoint_interval = 2;
+  auto store = JournaledDatabase::Create(dir, kSchema, opts);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(
+      store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+  EXPECT_EQ(store->status().checkpoint_seq, 0u);
+  ASSERT_TRUE(
+      store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+  EXPECT_EQ(store->status().checkpoint_seq, 2u);
+  EXPECT_EQ(store->status().journal_records, 0u);
+  ASSERT_TRUE(
+      store->ApplySource(kInventModule2, ApplicationMode::kRIDV).ok());
+  EXPECT_EQ(store->status().checkpoint_seq, 2u);
+  EXPECT_EQ(store->status().journal_records, 1u);
+}
+
+TEST(JournaledDatabaseTest, StaleJournalRecordsAreSkippedAfterCheckpointCrash) {
+  // The crash window between the checkpoint rename and the journal reset
+  // leaves a new CHECKPOINT alongside a journal that still holds the
+  // records it covers. Recovery must skip them (warning, not error).
+  std::string dir = MakeTempDir();
+  std::string live_dump;
+  {
+    StorageOptions opts;
+    opts.checkpoint_interval = 0;
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    {
+      ScopedFailpoint fp("checkpoint.truncate",
+                         Status::ExecutionError("injected"));
+      EXPECT_FALSE(store->Checkpoint().ok());
+    }
+    live_dump = DumpDatabase(store->db());
+  }
+  auto reopened = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(DumpDatabase(reopened->db()), live_dump);
+  EXPECT_EQ(reopened->status().checkpoint_seq, 1u);
+  EXPECT_EQ(reopened->status().replayed_at_open, 0u);
+  ASSERT_FALSE(reopened->status().warnings.empty());
+}
+
+TEST(JournaledDatabaseTest, TornFinalRecordRecoversByTruncation) {
+  std::string dir = MakeTempDir();
+  std::string live_dump;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    live_dump = DumpDatabase(store->db());
+  }
+  // A torn frame at the tail, as a crash mid-append would leave.
+  std::string path = dir + "/journal";
+  WriteFile(path,
+            ReadFile(path) + std::string("\xff\x00\x00\x00garbage", 11));
+
+  std::string dump2;
+  {
+    auto reopened = JournaledDatabase::Open(dir);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    EXPECT_EQ(DumpDatabase(reopened->db()), live_dump);
+    EXPECT_GT(reopened->status().truncated_bytes_at_open, 0u);
+    ASSERT_FALSE(reopened->status().warnings.empty());
+
+    // The store is fully usable after truncation: commit again, reopen.
+    ASSERT_TRUE(
+        reopened->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+    dump2 = DumpDatabase(reopened->db());
+  }
+  auto again = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(DumpDatabase(again->db()), dump2);
+  EXPECT_EQ(again->status().truncated_bytes_at_open, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected append failures: memory must never run ahead of disk.
+
+TEST(JournaledDatabaseTest, FailedAppendRollsBackMemoryAndDisk) {
+  for (const char* site : {"journal.append", "journal.fsync"}) {
+    std::string dir = MakeTempDir();
+    std::string pre_dump;
+    {
+      auto store = JournaledDatabase::Create(dir, kSchema);
+      ASSERT_TRUE(store.ok()) << store.status();
+      ASSERT_TRUE(
+          store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+      pre_dump = DumpDatabase(store->db());
+      uint64_t bytes_before = store->status().journal_bytes;
+      {
+        ScopedFailpoint fp(site, Status::ExecutionError("injected"));
+        auto result =
+            store->ApplySource(kInventModule, ApplicationMode::kRIDV);
+        ASSERT_FALSE(result.ok()) << site;
+        EXPECT_EQ(fp.hit_count(), 1u) << site;
+      }
+      // In-memory state rolled back (the generator stays forward: the
+      // evaluation consumed oids, and consumed oids are never reused)...
+      EXPECT_EQ(StripGeneratorLine(DumpDatabase(store->db())),
+                StripGeneratorLine(pre_dump))
+          << site;
+      EXPECT_GT(store->db().oids_issued(), 0u) << site;
+      EXPECT_EQ(store->status().last_seq, 1u) << site;
+      // ...and the journal file holds no partial frame.
+      EXPECT_EQ(store->status().journal_bytes, bytes_before) << site;
+      // The store keeps working after the fault.
+      ASSERT_TRUE(
+          store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok())
+          << site;
+    }
+    auto reopened = JournaledDatabase::Open(dir);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    EXPECT_EQ(reopened->status().last_seq, 2u) << site;
+  }
+}
+
+TEST(JournaledDatabaseTest, FailedAutoCheckpointIsAWarningNotAnError) {
+  std::string dir = MakeTempDir();
+  StorageOptions opts;
+  opts.checkpoint_interval = 1;  // checkpoint after every commit
+  auto store = JournaledDatabase::Create(dir, kSchema, opts);
+  ASSERT_TRUE(store.ok()) << store.status();
+  {
+    ScopedFailpoint fp("checkpoint.write",
+                       Status::ExecutionError("injected"));
+    // The commit itself must succeed; only the background checkpoint
+    // fails, surfaced as a warning.
+    auto result = store->ApplySource(kTupleModule, ApplicationMode::kRIDV);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  EXPECT_EQ(store->status().checkpoint_seq, 0u);
+  ASSERT_FALSE(store->status().warnings.empty());
+  EXPECT_NE(store->status().warnings.back().find("checkpoint"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace logres

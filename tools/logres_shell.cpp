@@ -9,7 +9,15 @@
 // Commands:
 //   load <file>            create the database from a source file
 //   open <file>            restore a state saved with `save`
+//   open -j <dir>          open a journaled store (checkpoint + WAL),
+//                          running crash recovery; later `apply`s are
+//                          durable (journaled + fsync'd before they are
+//                          acknowledged)
 //   save <file>            dump the current state
+//   save -j <dir>          initialize a journaled store at <dir> from the
+//                          current state and switch to it
+//   checkpoint             (journaled) write a checkpoint, empty the journal
+//   journal status         (journaled) seqs, journal size, recovery info
 //   apply <MODE> <<< ...   apply inline module text under a mode; the
 //                          module text follows until a line with only `;;`
 //   run <name>             apply a registered module by its name
@@ -37,12 +45,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/database.h"
 #include "core/dump.h"
 #include "core/explain.h"
+#include "storage/journaled_database.h"
 #include "util/governor.h"
 #include "util/string_util.h"
 
@@ -136,6 +146,7 @@ class Shell {
         Report(db.status());
         return true;
       }
+      jdb_.reset();
       db_ = std::move(db).value();
       has_db_ = true;
       std::printf("loaded %s (%zu modules registered)\n", path.c_str(),
@@ -145,6 +156,27 @@ class Shell {
     if (command == "open") {
       std::string path;
       words >> path;
+      if (path == "-j") {
+        words >> path;
+        auto store = JournaledDatabase::Open(path);
+        if (!store.ok()) {
+          Report(store.status());
+          return true;
+        }
+        jdb_ = std::move(store).value();
+        has_db_ = true;
+        StorageStatus status = jdb_->status();
+        std::printf(
+            "opened journaled store %s (%zu facts, seq %llu, replayed "
+            "%llu record(s))\n",
+            path.c_str(), Db().edb().TotalFacts(),
+            static_cast<unsigned long long>(status.last_seq),
+            static_cast<unsigned long long>(status.replayed_at_open));
+        for (const std::string& warning : status.warnings) {
+          std::printf("warning: %s\n", warning.c_str());
+        }
+        return true;
+      }
       Status read_status;
       std::string text = ReadFile(path, &read_status);
       if (!read_status.ok()) {
@@ -156,6 +188,7 @@ class Shell {
         Report(db.status());
         return true;
       }
+      jdb_.reset();
       db_ = std::move(db).value();
       has_db_ = true;
       std::printf("opened %s (%zu facts)\n", path.c_str(),
@@ -169,13 +202,76 @@ class Shell {
     if (command == "save") {
       std::string path;
       words >> path;
+      if (path == "-j") {
+        words >> path;
+        auto store = JournaledDatabase::Create(path, Db());
+        if (!store.ok()) {
+          Report(store.status());
+          return true;
+        }
+        jdb_ = std::move(store).value();
+        std::printf("initialized journaled store %s; applies are now "
+                    "durable\n", path.c_str());
+        return true;
+      }
       std::ofstream out(path);
       if (!out) {
         std::printf("cannot write %s\n", path.c_str());
         return true;
       }
-      out << DumpDatabase(db_);
+      out << DumpDatabase(Db());
       std::printf("saved %s\n", path.c_str());
+      return true;
+    }
+    if (command == "checkpoint") {
+      if (!jdb_.has_value()) {
+        std::printf("no journaled store open — use `open -j <dir>` or "
+                    "`save -j <dir>`\n");
+        return true;
+      }
+      Status st = jdb_->Checkpoint();
+      if (!st.ok()) {
+        Report(st);
+        return true;
+      }
+      StorageStatus status = jdb_->status();
+      std::printf("checkpointed at seq %llu\n",
+                  static_cast<unsigned long long>(status.checkpoint_seq));
+      return true;
+    }
+    if (command == "journal") {
+      std::string sub;
+      words >> sub;
+      if (sub != "status") {
+        std::printf("usage: journal status\n");
+        return true;
+      }
+      if (!jdb_.has_value()) {
+        std::printf("no journaled store open — use `open -j <dir>` or "
+                    "`save -j <dir>`\n");
+        return true;
+      }
+      StorageStatus s = jdb_->status();
+      std::printf(
+          "store         %s\n"
+          "last seq      %llu\n"
+          "checkpoint    seq %llu\n"
+          "journal       %llu record(s), %llu byte(s)\n"
+          "recovery      replayed %llu record(s), truncated %llu byte(s)\n"
+          "resources     %llu evaluator step(s) committed, last instance "
+          "%llu fact(s)\n",
+          jdb_->dir().c_str(),
+          static_cast<unsigned long long>(s.last_seq),
+          static_cast<unsigned long long>(s.checkpoint_seq),
+          static_cast<unsigned long long>(s.journal_records),
+          static_cast<unsigned long long>(s.journal_bytes),
+          static_cast<unsigned long long>(s.replayed_at_open),
+          static_cast<unsigned long long>(s.truncated_bytes_at_open),
+          static_cast<unsigned long long>(s.steps_total),
+          static_cast<unsigned long long>(s.facts_last));
+      for (const std::string& warning : s.warnings) {
+        std::printf("warning: %s\n", warning.c_str());
+      }
       return true;
     }
     if (command == "apply") {
@@ -192,15 +288,17 @@ class Shell {
         body += module_line;
         body += '\n';
       }
-      Instance before = db_.edb();
-      auto result = db_.ApplySource(body, *mode, Options());
+      Instance before = Db().edb();
+      auto result = jdb_.has_value()
+                        ? jdb_->ApplySource(body, *mode, Options())
+                        : db_.ApplySource(body, *mode, Options());
       if (!result.ok()) {
         ReportEval(result.status());
         return true;
       }
-      std::printf("applied (%s)\n",
+      std::printf("applied%s (%s)\n", jdb_.has_value() ? " [durable]" : "",
                   ExplainStats(result->stats).c_str());
-      InstanceDiff diff = DiffInstances(before, db_.edb());
+      InstanceDiff diff = DiffInstances(before, Db().edb());
       if (!diff.empty()) std::printf("%s", diff.ToString().c_str());
       if (result->goal_answer.has_value()) {
         PrintAnswer(*result->goal_answer);
@@ -208,6 +306,13 @@ class Shell {
       return true;
     }
     if (command == "run") {
+      if (jdb_.has_value()) {
+        // Registered modules are not part of the durable state (dumps do
+        // not carry module blocks), so a `run` could not be replayed.
+        std::printf("run is not durable in journaled mode — paste the "
+                    "module with `apply` instead\n");
+        return true;
+      }
       std::string name;
       words >> name;
       Instance before = db_.edb();
@@ -226,7 +331,7 @@ class Shell {
     }
     if (command == "?") {
       std::string goal = line.substr(line.find('?'));
-      auto answer = db_.Query(goal, Options());
+      auto answer = Db().Query(goal, Options());
       if (!answer.ok()) {
         ReportEval(answer.status());
         return true;
@@ -270,22 +375,23 @@ class Shell {
       return true;
     }
     if (command == "schema") {
-      std::printf("%s", SchemaToSource(db_.schema()).c_str());
+      std::printf("%s", SchemaToSource(Db().schema()).c_str());
       return true;
     }
     if (command == "rules") {
-      for (const Rule& rule : db_.rules()) {
+      for (const Rule& rule : Db().rules()) {
         std::printf("  %s\n", rule.ToString().c_str());
       }
-      std::printf("(%zu persistent rules)\n", db_.rules().size());
+      std::printf("(%zu persistent rules)\n", Db().rules().size());
       return true;
     }
     if (command == "edb") {
-      std::printf("%s", db_.edb().ToString().c_str());
+      std::printf("%s", Db().edb().ToString().c_str());
       return true;
     }
     if (command == "explain" || command == "dot") {
-      auto program = Typecheck(db_.schema(), db_.functions(), db_.rules());
+      auto program = Typecheck(Db().schema(), Db().functions(),
+                               Db().rules());
       if (!program.ok()) {
         Report(program.status());
         return true;
@@ -293,7 +399,7 @@ class Shell {
       if (command == "explain") {
         std::printf("%s", ExplainProgram(*program).c_str());
       } else {
-        std::printf("%s", DependencyGraphDot(db_.schema(),
+        std::printf("%s", DependencyGraphDot(Db().schema(),
                                              *program).c_str());
       }
       return true;
@@ -317,7 +423,12 @@ class Shell {
     std::printf("error: %s\n", status.ToString().c_str());
   }
 
+  /// The database commands operate on: the journaled store's when one is
+  /// open, the plain in-memory one otherwise.
+  Database& Db() { return jdb_.has_value() ? jdb_->db() : db_; }
+
   Database db_;
+  std::optional<JournaledDatabase> jdb_;
   bool has_db_ = false;
   Budget budget_;  // adjusted with `set`; cancel token added per command
 };
