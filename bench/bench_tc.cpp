@@ -42,7 +42,8 @@ void BM_LogresChainSemiNaive(benchmark::State& state) {
 void BM_LogresChainNaive(benchmark::State& state) {
   RunLogres(state, false, ChainEdges(state.range(0)));
 }
-BENCHMARK(BM_LogresChainSemiNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_LogresChainSemiNaive)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_LogresChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_LogresRandomSemiNaive(benchmark::State& state) {
@@ -75,7 +76,8 @@ void BM_AlgresChainSemiNaive(benchmark::State& state) {
 void BM_AlgresChainNaive(benchmark::State& state) {
   RunAlgres(state, AlgresStrategy::kNaive, ChainEdges(state.range(0)));
 }
-BENCHMARK(BM_AlgresChainSemiNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_AlgresChainSemiNaive)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
 BENCHMARK(BM_AlgresChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void RunDatalog(benchmark::State& state, datalog::EvalStrategy strategy,
@@ -112,7 +114,8 @@ void BM_DatalogChainNaive(benchmark::State& state) {
   RunDatalog(state, datalog::EvalStrategy::kNaive,
              ChainEdges(state.range(0)));
 }
-BENCHMARK(BM_DatalogChainSemiNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_DatalogChainSemiNaive)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
 BENCHMARK(BM_DatalogChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 }  // namespace

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Runs the access-path benchmarks (bench_tc: transitive closure across the
+# three engines; bench_engines: the B-workload suite) in Release mode and
+# distills the google-benchmark JSON into BENCH_tc.json — one record per
+# measurement: {workload, n, engine, strategy, wall_ms, rows}.
+#
+# Usage:
+#   scripts/run_benches.sh            # full sweep (minutes)
+#   scripts/run_benches.sh --smoke    # small-n subset for CI (seconds)
+#
+# BUILD_DIR overrides the build tree (default: <repo>/build).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_tc.json}"
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+  SMOKE=1
+fi
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target bench_tc bench_engines \
+  -j"$(nproc)" >/dev/null
+
+# A tiny min_time keeps the heavyweight closure points at ~1 iteration;
+# google-benchmark still reports stable real_time per iteration.
+COMMON_ARGS=(--benchmark_format=json --benchmark_min_time=0.001)
+TC_FILTER=()
+ENGINES_FILTER=()
+if [ "$SMOKE" = 1 ]; then
+  TC_FILTER=(--benchmark_filter='/(16|32)$')
+  ENGINES_FILTER=(--benchmark_filter='/(8|64)$')
+fi
+
+TC_JSON="$(mktemp)"
+ENGINES_JSON="$(mktemp)"
+trap 'rm -f "$TC_JSON" "$ENGINES_JSON"' EXIT
+
+"$BUILD/bench/bench_tc" "${COMMON_ARGS[@]}" "${TC_FILTER[@]}" \
+  >"$TC_JSON"
+"$BUILD/bench/bench_engines" "${COMMON_ARGS[@]}" "${ENGINES_FILTER[@]}" \
+  >"$ENGINES_JSON"
+
+python3 - "$TC_JSON" "$ENGINES_JSON" "$OUT" <<'EOF'
+import json
+import re
+import sys
+
+tc_path, engines_path, out_path = sys.argv[1:4]
+
+records = []
+
+def wall_ms(b):
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+    return round(b["real_time"] * scale, 3)
+
+# bench_tc names: BM_<Engine><Workload><Strategy>/<n>
+tc_name = re.compile(
+    r"BM_(Logres|Algres|Datalog)(Chain|Random|Forest)(SemiNaive|Naive)/(\d+)")
+for b in json.load(open(tc_path))["benchmarks"]:
+    m = tc_name.fullmatch(b["name"])
+    if not m:
+        continue
+    engine, workload, strategy, n = m.groups()
+    records.append({
+        "workload": workload.lower(),
+        "n": int(n),
+        "engine": engine.lower(),
+        "strategy": "semi_naive" if strategy == "SemiNaive" else "naive",
+        "wall_ms": wall_ms(b),
+        "rows": int(b.get("tc_tuples", 0)),
+    })
+
+# bench_engines names: BM_B<k>_<Variant>/<n>
+eng_name = re.compile(r"BM_(B\d+)_(\w+)/(\d+)")
+for b in json.load(open(engines_path))["benchmarks"]:
+    m = eng_name.fullmatch(b["name"])
+    if not m:
+        continue
+    workload, variant, n = m.groups()
+    records.append({
+        "workload": workload,
+        "n": int(n),
+        "engine": variant,
+        "strategy": "",
+        "wall_ms": wall_ms(b),
+        "rows": int(b.get("tc_tuples", b.get("facts", 0))),
+    })
+
+json.dump(records, open(out_path, "w"), indent=2)
+print(f"wrote {len(records)} records to {out_path}")
+EOF

@@ -115,26 +115,23 @@ Result<Relation> EquiJoin(
     columns.push_back(c);
     rkeep.push_back(i);
   }
-  // Hash the right side on its key.
-  std::map<Row, std::vector<const Row*>> index;
-  for (const Row& r : right) {
-    Row key;
-    key.reserve(rkey.size());
-    for (size_t i : rkey) key.push_back(r[i]);
-    index[std::move(key)].push_back(&r);
-  }
+  // Build/probe hash join: the right side's secondary index on the join
+  // key (cached on the relation, so repeated joins against an unchanged
+  // build side — e.g. the edge relation across closure rounds — reuse it).
+  const RelationIndex& index = right.IndexOn(rkey);
   Relation out(std::move(columns));
+  Status status = Status::OK();
+  Row key;
   for (const Row& l : left) {
-    Row key;
-    key.reserve(lkey.size());
+    key.clear();
     for (size_t i : lkey) key.push_back(l[i]);
-    auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (const Row* r : it->second) {
+    right.ForEachMatch(index, key, [&](const Row& r) {
+      if (!status.ok()) return;
       Row row = l;
-      for (size_t i : rkeep) row.push_back((*r)[i]);
-      LOGRES_RETURN_NOT_OK(out.Insert(std::move(row)).status());
-    }
+      for (size_t i : rkeep) row.push_back(r[i]);
+      status = out.Insert(std::move(row)).status();
+    });
+    LOGRES_RETURN_NOT_OK(status);
   }
   return out;
 }
@@ -165,19 +162,15 @@ Result<Relation> FilterByPartner(const Relation& left,
     if (right.empty() == keep_matched) return Relation(left.columns());
     return left;
   }
-  std::set<Row> right_keys;
-  for (const Row& r : right) {
-    Row key;
-    key.reserve(rkey.size());
-    for (size_t i : rkey) key.push_back(r[i]);
-    right_keys.insert(std::move(key));
-  }
+  const RelationIndex& index = right.IndexOn(rkey);
   Relation out(left.columns());
+  Row key;
   for (const Row& l : left) {
-    Row key;
-    key.reserve(lkey.size());
+    key.clear();
     for (size_t i : lkey) key.push_back(l[i]);
-    if ((right_keys.count(key) > 0) == keep_matched) {
+    bool matched = false;
+    right.ForEachMatch(index, key, [&](const Row&) { matched = true; });
+    if (matched == keep_matched) {
       LOGRES_RETURN_NOT_OK(out.Insert(l).status());
     }
   }
@@ -524,7 +517,10 @@ Result<Relation> SemiNaiveClosure(const Relation& seed,
         LOGRES_RETURN_NOT_OK(next_delta.Insert(row).status());
       }
     }
-    LOGRES_ASSIGN_OR_RETURN(total, Union(total, next_delta));
+    // Grow the accumulator in place — a Union would copy it every round.
+    for (const Row& row : next_delta) {
+      LOGRES_RETURN_NOT_OK(total.Insert(row).status());
+    }
     delta = std::move(next_delta);
   }
   return Status::Divergence(

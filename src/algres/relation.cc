@@ -1,5 +1,7 @@
 #include "algres/relation.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace logres::algres {
@@ -29,22 +31,101 @@ bool Relation::HasColumn(const std::string& name) const {
   return false;
 }
 
+uint32_t Relation::FindRow(size_t hash, const Row& row) const {
+  auto it = buckets_.find(hash);
+  if (it == buckets_.end()) return kNpos;
+  for (uint32_t id : it->second) {
+    if (rows_[id] == row) return id;
+  }
+  return kNpos;
+}
+
 Result<bool> Relation::Insert(Row row) {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
         StrCat("row arity ", row.size(), " != relation arity ",
                columns_.size()));
   }
-  return rows_.insert(std::move(row)).second;
+  size_t hash = RowHash{}(row);
+  if (FindRow(hash, row) != kNpos) return false;
+  buckets_[hash].push_back(static_cast<uint32_t>(rows_.size()));
+  rows_.push_back(std::move(row));
+  indexes_.clear();
+  return true;
 }
 
-bool Relation::Erase(const Row& row) { return rows_.erase(row) > 0; }
+bool Relation::Erase(const Row& row) {
+  uint32_t id = FindRow(RowHash{}(row), row);
+  if (id == kNpos) return false;
+  rows_.erase(rows_.begin() + id);
+  RebuildBuckets();
+  indexes_.clear();
+  return true;
+}
+
+void Relation::RebuildBuckets() {
+  buckets_.clear();
+  for (uint32_t id = 0; id < rows_.size(); ++id) {
+    buckets_[RowHash{}(rows_[id])].push_back(id);
+  }
+}
+
+bool Relation::Contains(const Row& row) const {
+  return FindRow(RowHash{}(row), row) != kNpos;
+}
+
+std::vector<const Row*> Relation::CanonicalRows() const {
+  std::vector<const Row*> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) out.push_back(&row);
+  std::sort(out.begin(), out.end(),
+            [](const Row* a, const Row* b) { return *a < *b; });
+  return out;
+}
+
+const RelationIndex& Relation::IndexOn(
+    const std::vector<size_t>& cols) const {
+  auto it = indexes_.find(cols);
+  if (it != indexes_.end()) return it->second;
+  RelationIndex index;
+  index.cols_ = cols;
+  Row key;
+  for (uint32_t id = 0; id < rows_.size(); ++id) {
+    key.clear();
+    for (size_t c : cols) key.push_back(rows_[id][c]);
+    index.buckets_[RowHash{}(key)].push_back(id);
+  }
+  return indexes_.emplace(cols, std::move(index)).first->second;
+}
+
+Result<const RelationIndex*> Relation::IndexOnColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> cols;
+  cols.reserve(names.size());
+  for (const std::string& name : names) {
+    LOGRES_ASSIGN_OR_RETURN(size_t i, ColumnIndex(name));
+    cols.push_back(i);
+  }
+  return &IndexOn(cols);
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (columns_ != other.columns_ || rows_.size() != other.rows_.size()) {
+    return false;
+  }
+  // Both sides are duplicate-free, so equal sizes + containment = equality.
+  for (const Row& row : rows_) {
+    if (!other.Contains(row)) return false;
+  }
+  return true;
+}
 
 std::string Relation::ToString() const {
   std::string out = StrCat("[", Join(columns_, ", "), "]\n");
-  for (const Row& row : rows_) {
+  for (const Row* row : CanonicalRows()) {
     out += "  (";
-    out += JoinMapped(row, ", ", [](const Value& v) { return v.ToString(); });
+    out += JoinMapped(*row, ", ",
+                      [](const Value& v) { return v.ToString(); });
     out += ")\n";
   }
   return out;

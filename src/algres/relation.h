@@ -5,13 +5,22 @@
 // [CCLLZ89]): non-first-normal-form, main-memory, duplicate-free by set
 // semantics. Multiset relations (needed for the multiset constructor and
 // for controlled duplicate handling) are provided by MultisetRelation.
+//
+// Storage is an insertion-stable row vector plus a hash bucket table over
+// the rows' memoized Value hashes: Insert/Contains are O(1) expected
+// instead of a deep tree comparison per level of a std::set. On-demand
+// secondary indexes over column subsets (IndexOn) give the algebra its
+// build/probe hash joins; every mutation invalidates them. Iteration
+// order is insertion order; canonical (sorted) order — the order dumps
+// and ToString() must keep byte-stable — is available via CanonicalRows().
 
 #ifndef LOGRES_ALGRES_RELATION_H_
 #define LOGRES_ALGRES_RELATION_H_
 
+#include <cstdint>
 #include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algres/value.h"
@@ -27,6 +36,40 @@ using logres::Value;
 /// the owning Relation.
 using Row = std::vector<Value>;
 
+/// \brief Order-dependent combination of the rows' memoized cell hashes.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (const Value& cell : row) {
+      h = (h ^ cell.Hash()) * 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+/// \brief A secondary access path: rows of the owning Relation bucketed by
+/// the hash of a column subset. Obtained from Relation::IndexOn and
+/// invalidated by any mutation of the relation (take it fresh per probe
+/// batch; do not hold one across Insert/Erase).
+class RelationIndex {
+ public:
+  /// \brief The indexed column positions, in key order.
+  const std::vector<size_t>& key_columns() const { return cols_; }
+
+  /// \brief Row ids whose key cells *hash* like \p key (callers verify
+  /// equality; Relation::ForEachMatch does so for you). Null when no row
+  /// matches.
+  const std::vector<uint32_t>* Probe(const Row& key) const {
+    auto it = buckets_.find(RowHash{}(key));
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  friend class Relation;
+  std::vector<size_t> cols_;
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets_;
+};
+
 /// \brief A duplicate-free NF² relation (set of rows over named columns).
 class Relation {
  public:
@@ -35,6 +78,24 @@ class Relation {
   /// \brief An empty relation with the given column names.
   explicit Relation(std::vector<std::string> columns)
       : columns_(std::move(columns)) {}
+
+  // Secondary indexes are rebuilt on demand, never copied: a copied
+  // relation starts with cold caches (the primary buckets do travel).
+  Relation(const Relation& other)
+      : columns_(other.columns_),
+        rows_(other.rows_),
+        buckets_(other.buckets_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      columns_ = other.columns_;
+      rows_ = other.rows_;
+      buckets_ = other.buckets_;
+      indexes_.clear();
+    }
+    return *this;
+  }
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   /// \brief Builds a relation and bulk-inserts \p rows (arity-checked).
   static Result<Relation> Make(std::vector<std::string> columns,
@@ -54,27 +115,72 @@ class Relation {
   /// mismatch.
   Result<bool> Insert(Row row);
 
-  /// \brief Removes a row; returns true if it was present.
+  /// \brief Removes a row; returns true if it was present. Later rows keep
+  /// their relative (insertion) order.
   bool Erase(const Row& row);
 
-  bool Contains(const Row& row) const { return rows_.count(row) > 0; }
+  bool Contains(const Row& row) const;
 
-  const std::set<Row>& rows() const { return rows_; }
+  /// \brief Rows in insertion order.
+  const std::vector<Row>& rows() const { return rows_; }
 
   auto begin() const { return rows_.begin(); }
   auto end() const { return rows_.end(); }
 
-  /// \brief True when columns and rows are identical.
-  bool operator==(const Relation& other) const {
-    return columns_ == other.columns_ && rows_ == other.rows_;
+  /// \brief Row pointers in canonical (sorted) order — the order the old
+  /// std::set storage iterated in, which ToString() and dumps pin.
+  std::vector<const Row*> CanonicalRows() const;
+
+  /// \brief The hash index over \p cols (column positions), built on first
+  /// use and cached until the next mutation. \p cols must be valid
+  /// positions.
+  const RelationIndex& IndexOn(const std::vector<size_t>& cols) const;
+
+  /// \brief Name-based convenience over IndexOn; error on unknown columns.
+  Result<const RelationIndex*> IndexOnColumns(
+      const std::vector<std::string>& names) const;
+
+  /// \brief Calls \p fn for every row whose \p index key columns equal
+  /// \p key (hash probe + equality verification).
+  template <typename Fn>
+  void ForEachMatch(const RelationIndex& index, const Row& key,
+                    Fn&& fn) const {
+    const std::vector<uint32_t>* ids = index.Probe(key);
+    if (ids == nullptr) return;
+    for (uint32_t id : *ids) {
+      const Row& row = rows_[id];
+      bool match = true;
+      for (size_t k = 0; k < index.cols_.size(); ++k) {
+        if (!(row[index.cols_[k]] == key[k])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) fn(row);
+    }
   }
 
-  /// \brief Rows rendered one per line, with a header.
+  /// \brief True when columns and row *sets* are identical (storage order
+  /// is irrelevant).
+  bool operator==(const Relation& other) const;
+
+  /// \brief Rows rendered one per line, canonical order, with a header.
   std::string ToString() const;
 
  private:
+  // Row ids in the primary bucket for `hash` whose row equals `row`, or
+  // npos. Deep-compares only on hash collision.
+  static constexpr uint32_t kNpos = static_cast<uint32_t>(-1);
+  uint32_t FindRow(size_t hash, const Row& row) const;
+  void RebuildBuckets();
+
   std::vector<std::string> columns_;
-  std::set<Row> rows_;
+  std::vector<Row> rows_;
+  // Primary access path: row hash -> ids of rows with that hash.
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets_;
+  // Secondary access paths, keyed by indexed column positions. Lazily
+  // built; cleared by Insert/Erase (and not copied — see the copy ctor).
+  mutable std::map<std::vector<size_t>, RelationIndex> indexes_;
 };
 
 /// \brief A relation with duplicate rows tracked by multiplicity.

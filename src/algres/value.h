@@ -190,18 +190,25 @@ class Value {
   /// \brief Total order: kind-major, then content. Returns <0, 0, >0.
   int Compare(const Value& other) const;
 
+  /// \brief Structural hash, memoized in the immutable rep at construction
+  /// — reading it never recomputes. Equal values hash equal, so a hash
+  /// mismatch proves inequality (the operator== fast path below).
   size_t Hash() const;
+
+  /// \brief True when both values share one physical rep (O(1)); shared
+  /// reps are structurally equal, but equal values need not share reps.
+  bool SameRep(const Value& other) const { return rep_ == other.rep_; }
 
   /// \brief Paper-style rendering: (l1: v1, ...), {..}, [..], <..>,
   /// strings quoted, oids as #n, nil as "nil".
   std::string ToString() const;
 
   friend bool operator==(const Value& a, const Value& b) {
+    if (a.rep_ == b.rep_) return true;
+    if (a.Hash() != b.Hash()) return false;
     return a.Compare(b) == 0;
   }
-  friend bool operator!=(const Value& a, const Value& b) {
-    return a.Compare(b) != 0;
-  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
   friend bool operator<(const Value& a, const Value& b) {
     return a.Compare(b) < 0;
   }

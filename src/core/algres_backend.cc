@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <set>
+#include <unordered_set>
 
 #include "core/builtin.h"
 #include "util/failpoint.h"
@@ -274,6 +275,22 @@ Result<Relation> AlgresBackend::EvalRule(const CompiledRule& rule,
                                          const RelationalDb& db,
                                          const RelationalDb* delta,
                                          size_t delta_index) const {
+  // Semi-naive early exit: when the delta literal's frontier relation is
+  // empty, the whole join is empty — skip the per-literal select/project
+  // pipeline over the full database (which dominates late fixpoint rounds,
+  // where most predicates' frontiers are empty).
+  if (delta != nullptr && delta_index < rule.literals.size()) {
+    auto dit = delta->find(rule.literals[delta_index].predicate);
+    if (dit == delta->end() || dit->second.size() == 0) {
+      auto cols_it = pred_columns_.find(rule.head_predicate);
+      if (cols_it == pred_columns_.end()) {
+        return Status::NotFound(
+            StrCat("no relation for head predicate ", rule.head_predicate));
+      }
+      return Relation(cols_it->second);
+    }
+  }
+
   // Build the binding relation: join of the compiled literals, columns
   // named after variables.
   std::optional<Relation> bindings;
@@ -393,7 +410,7 @@ Result<Relation> AlgresBackend::EvalRule(const CompiledRule& rule,
     static const Relation kNoRows;
     const Relation& source = it == db.end() ? kNoRows : it->second;
     // Build (variable-named) rows of the negated literal.
-    std::set<Row> neg_keys;
+    std::unordered_set<Row, algres::RowHash> neg_keys;
     std::vector<std::string> key_vars;
     {
       std::map<std::string, std::string> var_to_col;

@@ -344,15 +344,10 @@ class JoinContext {
   }
 
   /// The value a bound term probes an index with: whole-object bindings
-  /// reduce to their oid.
+  /// reduce to their oid (delegated to the instance, which owns the
+  /// access paths).
   static Value NormalizeForIndex(const Value& v) {
-    if (v.kind() == ValueKind::kTuple) {
-      std::optional<Value> self = v.FindField(kSelfLabel);
-      if (self.has_value() && self->kind() == ValueKind::kOid) {
-        return *self;
-      }
-    }
-    return v;
+    return Instance::NormalizeForIndex(v);
   }
 
   /// Positive predicate matching against `source`.
@@ -380,7 +375,7 @@ class JoinContext {
         std::optional<std::pair<std::string, Value>> probe =
             GroundProbe(rp, b);
         if (probe.has_value()) {
-          const auto& index = ClassIndex(rp.name, probe->first);
+          const auto& index = instance_.ClassIndex(rp.name, probe->first);
           auto range = index.equal_range(NormalizeForIndex(probe->second));
           for (auto it = range.first; it != range.second; ++it) {
             LOGRES_RETURN_NOT_OK(MatchClassObject(rp, b, it->second, cb));
@@ -429,7 +424,7 @@ class JoinContext {
       std::optional<std::pair<std::string, Value>> probe =
           GroundProbe(rp, b);
       if (probe.has_value()) {
-        const auto& index = AssocIndex(rp.name, probe->first);
+        const auto& index = instance_.AssocIndex(rp.name, probe->first);
         auto range = index.equal_range(NormalizeForIndex(probe->second));
         for (auto it = range.first; it != range.second; ++it) {
           LOGRES_RETURN_NOT_OK(MatchAssocTuple(rp, b, it->second, cb));
@@ -526,40 +521,6 @@ class JoinContext {
       }
     }
     return std::nullopt;
-  }
-
-  /// The lazily built index: normalized field value -> tuple.
-  const std::multimap<Value, Value>& AssocIndex(
-      const std::string& assoc, const std::string& label) const {
-    auto key = std::make_pair(assoc, label);
-    auto it = index_cache_.find(key);
-    if (it != index_cache_.end()) return it->second;
-    std::multimap<Value, Value> index;
-    for (const Value& tuple : instance_.TuplesOf(assoc)) {
-      std::optional<Value> fv = tuple.FindField(label);
-      index.emplace(NormalizeForIndex(fv.has_value() ? *fv : Value::Nil()),
-                    tuple);
-    }
-    return index_cache_.emplace(std::move(key), std::move(index))
-        .first->second;
-  }
-
-  /// The class counterpart: normalized o-value field -> oid.
-  const std::multimap<Value, Oid>& ClassIndex(
-      const std::string& cls, const std::string& label) const {
-    auto key = std::make_pair(cls, label);
-    auto it = class_index_cache_.find(key);
-    if (it != class_index_cache_.end()) return it->second;
-    std::multimap<Value, Oid> index;
-    for (Oid oid : instance_.OidsOf(cls)) {
-      auto ov = instance_.OValue(oid);
-      if (!ov.ok()) continue;
-      std::optional<Value> fv = ov.value().FindField(label);
-      index.emplace(NormalizeForIndex(fv.has_value() ? *fv : Value::Nil()),
-                    oid);
-    }
-    return class_index_cache_.emplace(std::move(key), std::move(index))
-        .first->second;
   }
 
   Status ForEachNegatedMatch(const CheckedLiteral& lit, const Bindings& b,
@@ -742,23 +703,137 @@ class JoinContext {
   const CheckedProgram& program_;
   const Instance& instance_;
   bool use_indexes_;
-  mutable std::map<std::pair<std::string, std::string>,
-                   std::multimap<Value, Value>>
-      index_cache_;
-  mutable std::map<std::pair<std::string, std::string>,
-                   std::multimap<Value, Oid>>
-      class_index_cache_;
 };
+
+// ---------------------------------------------------------------------------
+// Literal scheduling (sideways information passing)
+
+// Variables that must already be bound for `term` to be *evaluated* (as
+// opposed to pattern-matched): everything under a function application,
+// arithmetic, or constructed-collection subterm.
+void CollectEvalVars(const TermPtr& term, std::vector<std::string>* out) {
+  switch (term->kind()) {
+    case TermKind::kFunctionApp:
+    case TermKind::kArith:
+    case TermKind::kSetTerm:
+    case TermKind::kMultisetTerm:
+      term->CollectVariables(out);
+      return;
+    case TermKind::kTupleTerm:
+    case TermKind::kObjectPattern:
+      for (const Arg& a : term->args()) CollectEvalVars(a.term, out);
+      return;
+    case TermKind::kSequenceTerm:
+      for (const TermPtr& e : term->elements()) CollectEvalVars(e, out);
+      return;
+    default:
+      return;
+  }
+}
+
+void AddLiteralVars(const CheckedLiteral& lit, std::set<std::string>* bound) {
+  std::vector<std::string> vars;
+  lit.source.CollectVariables(&vars);
+  bound->insert(vars.begin(), vars.end());
+}
+
+// Bound-first execution order for a rule body: positive predicate
+// literals within a maximal run (no compare/builtin/negated literal in
+// between) are greedily reordered so the most-bound literal — and, under
+// semi-naive evaluation, the delta-restricted literal — runs first and
+// later literals become indexed probes. Non-positive literals are
+// *barriers* that keep their original positions: comparisons and builtins
+// can bind variables (so positives crossing them would see different
+// bindings), and a negated literal's unbound variables range over the
+// active domain — both observably depend on the set of bindings in force,
+// which barrier-local reordering provably preserves (every run completes
+// before the barrier either way). A positive literal carrying a term that
+// must be *evaluated* (arithmetic, function application, constructed
+// collection) is only eligible once those variables are bound, which the
+// original order always permits.
+std::vector<size_t> ScheduleBody(const CheckedRule& rule, size_t delta_pos) {
+  std::vector<size_t> order;
+  order.reserve(rule.body.size());
+  std::set<std::string> bound;
+  size_t i = 0;
+  while (i < rule.body.size()) {
+    const CheckedLiteral& lit = rule.body[i];
+    bool positive_pred =
+        lit.kind() == LiteralKind::kPredicate && !lit.negated();
+    if (!positive_pred) {
+      order.push_back(i);
+      AddLiteralVars(lit, &bound);
+      ++i;
+      continue;
+    }
+    std::vector<size_t> run;
+    while (i < rule.body.size() &&
+           rule.body[i].kind() == LiteralKind::kPredicate &&
+           !rule.body[i].negated()) {
+      run.push_back(i);
+      ++i;
+    }
+    while (!run.empty()) {
+      size_t best = run.size();
+      int best_score = -1;
+      for (size_t k = 0; k < run.size(); ++k) {
+        const ResolvedPredicate& rp = *rule.body[run[k]].pred;
+        std::vector<std::string> eval_vars;
+        bool eligible = true;
+        for (const auto& [label, term] : rp.fields) {
+          (void)label;
+          eval_vars.clear();
+          CollectEvalVars(term, &eval_vars);
+          for (const std::string& v : eval_vars) {
+            if (!bound.count(v)) {
+              eligible = false;
+              break;
+            }
+          }
+          if (!eligible) break;
+        }
+        if (!eligible) continue;
+        int score = 0;
+        if (rp.self_term && rp.self_term->kind() == TermKind::kVariable &&
+            bound.count(rp.self_term->name())) {
+          score += 2;  // a bound self pins the oid outright
+        }
+        for (const auto& [label, term] : rp.fields) {
+          (void)label;
+          if (term->kind() == TermKind::kConstant) {
+            score += 1;
+          } else if (term->kind() == TermKind::kVariable &&
+                     bound.count(term->name())) {
+            score += 1;
+          }
+        }
+        if (run[k] == delta_pos) score += 1000;  // small frontier first
+        if (score > best_score) {
+          best_score = score;
+          best = k;
+        }
+      }
+      // The earliest literal in original order is always eligible, so a
+      // pick exists.
+      if (best == run.size()) best = 0;
+      order.push_back(run[best]);
+      AddLiteralVars(rule.body[run[best]], &bound);
+      run.erase(run.begin() + best);
+    }
+  }
+  return order;
+}
 
 // ---------------------------------------------------------------------------
 // Rule firing
 
 // Enumerates all body valuations of `rule` against `instance`. With
 // `delta`, at least one positive predicate literal is drawn from `delta`
-// (semi-naive).
+// (semi-naive). With `reorder`, literals execute in the ScheduleBody
+// order instead of source order (results identical; see ScheduleBody).
 Status EnumerateBody(const JoinContext& ctx, const CheckedRule& rule,
                      const Instance* delta,
-                     const JoinContext::Callback& cb) {
+                     const JoinContext::Callback& cb, bool reorder = true) {
   std::vector<size_t> positive_preds;
   for (size_t i = 0; i < rule.body.size(); ++i) {
     if (rule.body[i].kind() == LiteralKind::kPredicate &&
@@ -767,25 +842,28 @@ Status EnumerateBody(const JoinContext& ctx, const CheckedRule& rule,
     }
   }
 
+  std::vector<size_t> order;
   std::function<Status(size_t, const Bindings&, size_t)> join =
-      [&](size_t idx, const Bindings& b, size_t delta_pos) -> Status {
-    if (idx == rule.body.size()) return cb(b);
+      [&](size_t k, const Bindings& b, size_t delta_pos) -> Status {
+    if (k == rule.body.size()) return cb(b);
+    size_t idx = order.empty() ? k : order[k];
     const CheckedLiteral& lit = rule.body[idx];
     const Instance* restrict_to =
         (delta != nullptr && idx == delta_pos) ? delta : nullptr;
     return ctx.ForEachMatch(lit, b, restrict_to, rule.var_types,
                             [&](const Bindings& b2) -> Status {
-                              return join(idx + 1, b2, delta_pos);
+                              return join(k + 1, b2, delta_pos);
                             });
   };
 
-  if (delta == nullptr) {
-    return join(0, Bindings{}, static_cast<size_t>(-1));
-  }
-  if (positive_preds.empty()) {
-    return join(0, Bindings{}, static_cast<size_t>(-1));
+  constexpr size_t kNoDelta = static_cast<size_t>(-1);
+  if (delta == nullptr || positive_preds.empty()) {
+    if (reorder) order = ScheduleBody(rule, kNoDelta);
+    return join(0, Bindings{}, kNoDelta);
   }
   for (size_t pos : positive_preds) {
+    order.clear();
+    if (reorder) order = ScheduleBody(rule, pos);
     LOGRES_RETURN_NOT_OK(join(0, Bindings{}, pos));
   }
   return Status::OK();
@@ -1197,9 +1275,11 @@ Result<bool> Evaluator::RunStratum(
       const Instance* restrict_to =
           (semi_naive && delta.has_value()) ? &*delta : nullptr;
       LOGRES_RETURN_NOT_OK(EnumerateBody(
-          ctx, *rule, restrict_to, [&](const Bindings& b) -> Status {
+          ctx, *rule, restrict_to,
+          [&](const Bindings& b) -> Status {
             return firer.Fire(*rule, b, &step_delta);
-          }));
+          },
+          options.reorder_literals));
     }
     Instance next;
     LOGRES_ASSIGN_OR_RETURN(
@@ -1218,6 +1298,9 @@ Result<Instance> Evaluator::Run(const Instance& edb,
   Instance instance = edb;
   ResourceGovernor governor(options.budget);
   auto started = std::chrono::steady_clock::now();
+  // Steps consumed by per-stratum sub-governors (stratum_fraction mode),
+  // which the shared governor never sees.
+  size_t substratum_steps = 0;
 
   if (options.mode == EvalMode::kNonInflationary) {
     // Replacement semantics: F_{i+1} = E ⊕ Δ+(F_i) − Δ−(F_i).
@@ -1233,9 +1316,11 @@ Result<Instance> Evaluator::Run(const Instance& edb,
       for (const CheckedRule& rule : program_.rules) {
         if (!rule.head.has_value()) continue;
         LOGRES_RETURN_NOT_OK(EnumerateBody(
-            ctx, rule, nullptr, [&](const Bindings& b) -> Status {
+            ctx, rule, nullptr,
+            [&](const Bindings& b) -> Status {
               return firer.Fire(rule, b, &step_delta);
-            }));
+            },
+            options.reorder_literals));
       }
       Instance next;
       LOGRES_ASSIGN_OR_RETURN(
@@ -1247,6 +1332,9 @@ Result<Instance> Evaluator::Run(const Instance& edb,
     }
   } else if (options.mode == EvalMode::kStratified &&
              program_.stratified) {
+    // With stratum_fraction set, each stratum runs under its own
+    // sub-governor carved from the shared budget, so one runaway stratum
+    // exhausts its slice instead of the budget later strata rely on.
     for (int s = 0; s <= program_.max_stratum; ++s) {
       LOGRES_RETURN_NOT_OK(governor.CheckInterrupt());
       LOGRES_FAILPOINT("eval.stratum");
@@ -1258,10 +1346,21 @@ Result<Instance> Evaluator::Run(const Instance& edb,
         }
       }
       if (stratum_rules.empty()) continue;
-      LOGRES_ASSIGN_OR_RETURN(
-          bool done,
-          RunStratum(stratum_rules, &instance, options, &governor));
-      (void)done;
+      if (options.stratum_fraction > 0) {
+        ResourceGovernor sub(
+            options.budget.Substratum(options.stratum_fraction));
+        Result<bool> done =
+            RunStratum(stratum_rules, &instance, options, &sub);
+        substratum_steps += sub.steps_used();
+        if (!done.ok()) {
+          return done.status().WithContext(StrCat("stratum ", s));
+        }
+      } else {
+        LOGRES_ASSIGN_OR_RETURN(
+            bool done,
+            RunStratum(stratum_rules, &instance, options, &governor));
+        (void)done;
+      }
     }
   } else {
     // Whole-program inflationary fixpoint (also the fallback for
@@ -1281,7 +1380,7 @@ Result<Instance> Evaluator::Run(const Instance& edb,
   // Surface what the governor actually charged, plus the fact count and
   // wall-clock time, so callers (module application, the journal) can
   // report the resources a successful evaluation consumed.
-  stats_.steps = governor.steps_used();
+  stats_.steps = governor.steps_used() + substratum_steps;
   stats_.facts = instance.TotalFacts();
   stats_.elapsed_micros = std::chrono::duration_cast<std::chrono::microseconds>(
                               std::chrono::steady_clock::now() - started)

@@ -75,6 +75,17 @@ struct EvalOptions {
   /// Probe lazily built per-step hash indexes on association fields and
   /// class oids instead of scanning (ablation flag; results identical).
   bool use_indexes = true;
+  /// Execute each rule body bound-first: positive predicate literals are
+  /// reordered (within barrier-delimited runs; see ScheduleBody in
+  /// eval.cc) so bound positions turn later literals into indexed probes
+  /// (ablation flag; results identical).
+  bool reorder_literals = true;
+  /// When > 0 and the program is stratified, each stratum evaluates under
+  /// its own Budget::Substratum(stratum_fraction) sub-budget instead of
+  /// drawing from the shared budget, so a runaway stratum exhausts its
+  /// slice (kDivergence, with the stratum in the error context) without
+  /// starving later strata. 0 keeps the single shared governor.
+  double stratum_fraction = 0;
 };
 
 struct EvalStats {
@@ -142,9 +153,9 @@ Result<bool> MatchTerm(const Schema& schema, const CheckedProgram& program,
                        const Instance& instance, const TermPtr& term,
                        const Value& value, Bindings* bindings);
 
-/// \brief The reserved tuple label carrying an object's oid when a tuple
-/// variable binds a whole object.
-inline const char* kSelfLabel = "self";
+// kSelfLabel (the reserved tuple label carrying an object's oid when a
+// tuple variable binds a whole object) lives in core/instance.h now, next
+// to the index normalization that depends on it.
 
 }  // namespace logres
 

@@ -32,6 +32,7 @@ Status Instance::AdoptObject(const Schema& schema, const std::string& cls,
   if (!oid.valid()) {
     return Status::InvalidArgument("cannot adopt the invalid oid 0");
   }
+  class_index_cache_.clear();
   class_oids_[cls].insert(oid);
   for (const std::string& super : schema.AllSuperclasses(cls)) {
     class_oids_[super].insert(oid);
@@ -45,6 +46,7 @@ Status Instance::RemoveObject(const Schema& schema, const std::string& cls,
   if (!schema.IsClass(cls)) {
     return Status::NotFound(StrCat("'", cls, "' is not a class"));
   }
+  class_index_cache_.clear();
   class_oids_[cls].erase(oid);
   for (const std::string& sub : schema.AllSubclasses(cls)) {
     class_oids_[sub].erase(oid);
@@ -83,18 +85,72 @@ Status Instance::SetOValue(Oid oid, Value ovalue) {
   if (it == ovalues_.end()) {
     return Status::NotFound(StrCat("oid #", oid.id, " is not live"));
   }
+  class_index_cache_.clear();
   it->second = std::move(ovalue);
   return Status::OK();
 }
 
 bool Instance::InsertTuple(const std::string& assoc, Value tuple) {
+  InvalidateAssocIndexes(assoc);
   return associations_[assoc].insert(std::move(tuple)).second;
 }
 
 bool Instance::EraseTuple(const std::string& assoc, const Value& tuple) {
   auto it = associations_.find(assoc);
   if (it == associations_.end()) return false;
+  InvalidateAssocIndexes(assoc);
   return it->second.erase(tuple) > 0;
+}
+
+void Instance::InvalidateAssocIndexes(const std::string& assoc) {
+  // Entries are keyed (association, label); the affected association's
+  // labels form a contiguous key range.
+  auto it = assoc_index_cache_.lower_bound({assoc, ""});
+  while (it != assoc_index_cache_.end() && it->first.first == assoc) {
+    it = assoc_index_cache_.erase(it);
+  }
+}
+
+Value Instance::NormalizeForIndex(const Value& v) {
+  if (v.kind() == ValueKind::kTuple) {
+    std::optional<Value> self = v.FindField(kSelfLabel);
+    if (self.has_value() && self->kind() == ValueKind::kOid) {
+      return *self;
+    }
+  }
+  return v;
+}
+
+const Instance::ValueIndex& Instance::AssocIndex(
+    const std::string& assoc, const std::string& label) const {
+  auto key = std::make_pair(assoc, label);
+  auto it = assoc_index_cache_.find(key);
+  if (it != assoc_index_cache_.end()) return it->second;
+  ValueIndex index;
+  for (const Value& tuple : TuplesOf(assoc)) {
+    std::optional<Value> fv = tuple.FindField(label);
+    index.emplace(NormalizeForIndex(fv.has_value() ? *fv : Value::Nil()),
+                  tuple);
+  }
+  return assoc_index_cache_.emplace(std::move(key), std::move(index))
+      .first->second;
+}
+
+const Instance::OidIndex& Instance::ClassIndex(
+    const std::string& cls, const std::string& label) const {
+  auto key = std::make_pair(cls, label);
+  auto it = class_index_cache_.find(key);
+  if (it != class_index_cache_.end()) return it->second;
+  OidIndex index;
+  for (Oid oid : OidsOf(cls)) {
+    auto ov = OValue(oid);
+    if (!ov.ok()) continue;
+    std::optional<Value> fv = ov.value().FindField(label);
+    index.emplace(NormalizeForIndex(fv.has_value() ? *fv : Value::Nil()),
+                  oid);
+  }
+  return class_index_cache_.emplace(std::move(key), std::move(index))
+      .first->second;
 }
 
 const std::set<Value>& Instance::TuplesOf(const std::string& assoc) const {

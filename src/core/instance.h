@@ -21,6 +21,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algres/value.h"
@@ -29,10 +31,34 @@
 
 namespace logres {
 
+/// \brief The reserved tuple label carrying an object's oid when a tuple
+/// variable binds a whole object.
+inline const char* kSelfLabel = "self";
+
 /// \brief A materialized instance (pi, nu, rho) of a schema.
 class Instance {
  public:
   Instance() = default;
+
+  // Index caches are rebuilt on demand and never copied: the evaluator
+  // copies the instance once per fixpoint step, and dragging cold caches
+  // along would double the copy for nothing.
+  Instance(const Instance& other)
+      : class_oids_(other.class_oids_),
+        ovalues_(other.ovalues_),
+        associations_(other.associations_) {}
+  Instance& operator=(const Instance& other) {
+    if (this != &other) {
+      class_oids_ = other.class_oids_;
+      ovalues_ = other.ovalues_;
+      associations_ = other.associations_;
+      assoc_index_cache_.clear();
+      class_index_cache_.clear();
+    }
+    return *this;
+  }
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
 
   // ---- Objects (pi, nu) ---------------------------------------------------
 
@@ -84,6 +110,32 @@ class Instance {
     return associations_;
   }
 
+  // ---- Indexed access paths -----------------------------------------------
+  //
+  // Lazily built hash indexes over association fields and class o-value
+  // fields: the literal matcher probes these instead of scanning when a
+  // predicate's bound positions are known. Any mutation of the underlying
+  // store invalidates the affected indexes (association mutators drop that
+  // association's entries; object mutators drop every class index).
+  // References returned here are valid until the next mutation.
+
+  /// \brief Hash multimap: normalized value of field \p label -> tuple,
+  /// over rho(assoc).
+  using ValueIndex = std::unordered_multimap<Value, Value, ValueHash>;
+  const ValueIndex& AssocIndex(const std::string& assoc,
+                               const std::string& label) const;
+
+  /// \brief Hash multimap: normalized o-value field \p label -> oid, over
+  /// pi(cls).
+  using OidIndex = std::unordered_multimap<Value, Oid, ValueHash>;
+  const OidIndex& ClassIndex(const std::string& cls,
+                             const std::string& label) const;
+
+  /// \brief The value a bound term probes an index with: whole-object
+  /// bindings (tuples carrying the reserved self field) reduce to their
+  /// oid.
+  static Value NormalizeForIndex(const Value& v);
+
   // ---- Whole-instance operations ------------------------------------------
 
   /// \brief Total number of objects plus association tuples.
@@ -112,9 +164,19 @@ class Instance {
                             const Type& type, bool allow_nil_refs,
                             const std::string& context) const;
 
+  void InvalidateAssocIndexes(const std::string& assoc);
+
   std::map<std::string, std::set<Oid>> class_oids_;
   std::map<Oid, Value> ovalues_;
   std::map<std::string, std::set<Value>> associations_;
+
+  // Access-path caches (see "Indexed access paths" above). Mutable: they
+  // are a view of the store, not part of instance identity — operator==
+  // and dumps ignore them.
+  mutable std::map<std::pair<std::string, std::string>, ValueIndex>
+      assoc_index_cache_;
+  mutable std::map<std::pair<std::string, std::string>, OidIndex>
+      class_index_cache_;
 };
 
 }  // namespace logres

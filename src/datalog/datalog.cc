@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
+#include <utility>
 
 #include "util/failpoint.h"
 #include "util/string_util.h"
@@ -143,27 +145,27 @@ namespace {
 using Bindings = std::map<std::string, Constant>;
 
 // Attempts to extend `bindings` so that `lit` (positive) matches `fact`.
-bool Match(const Literal& lit, const Fact& fact, Bindings* bindings) {
+// Names of newly bound variables are appended to `trail` on success, so
+// the caller undoes them after exploring the extension (no map copy); on
+// failure the bindings are rolled back here and the trail is untouched.
+bool Match(const Literal& lit, const Fact& fact, Bindings* bindings,
+           std::vector<std::string>* trail) {
   if (lit.terms.size() != fact.size()) return false;
-  std::vector<std::pair<std::string, Constant>> added;
+  size_t mark = trail->size();
   for (size_t i = 0; i < lit.terms.size(); ++i) {
     const Term& t = lit.terms[i];
+    bool ok;
     if (t.is_var()) {
-      auto it = bindings->find(t.var_name());
-      if (it == bindings->end()) {
-        bindings->emplace(t.var_name(), fact[i]);
-        added.emplace_back(t.var_name(), fact[i]);
-      } else if (!(it->second == fact[i])) {
-        for (auto& [name, c] : added) {
-          (void)c;
-          bindings->erase(name);
-        }
-        return false;
-      }
-    } else if (!(t.constant() == fact[i])) {
-      for (auto& [name, c] : added) {
-        (void)c;
-        bindings->erase(name);
+      auto [it, inserted] = bindings->emplace(t.var_name(), fact[i]);
+      if (inserted) trail->push_back(t.var_name());
+      ok = inserted || it->second == fact[i];
+    } else {
+      ok = t.constant() == fact[i];
+    }
+    if (!ok) {
+      while (trail->size() > mark) {
+        bindings->erase(trail->back());
+        trail->pop_back();
       }
       return false;
     }
@@ -190,54 +192,175 @@ const std::set<Fact>& FactsOf(const Database& db, const std::string& pred) {
   return it == db.end() ? kEmpty : it->second;
 }
 
+// Lazily built hash indexes over `db`: (predicate, argument position) ->
+// multimap from the constant at that position to the fact. Fact pointers
+// stay valid under db insertion (std::set nodes are stable), but a stale
+// index misses new facts — the evaluation loop invalidates a predicate's
+// indexes whenever it inserts into that predicate.
+class IndexCache {
+ public:
+  explicit IndexCache(const Database& db) : db_(db) {}
+
+  using PositionIndex =
+      std::unordered_multimap<Constant, const Fact*, ConstantHash>;
+
+  const PositionIndex& At(const std::string& pred, size_t pos) {
+    auto key = std::make_pair(pred, pos);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    PositionIndex index;
+    for (const Fact& f : FactsOf(db_, pred)) {
+      if (pos < f.size()) index.emplace(f[pos], &f);
+    }
+    return cache_.emplace(std::move(key), std::move(index)).first->second;
+  }
+
+  void Invalidate(const std::string& pred) {
+    auto it = cache_.lower_bound({pred, 0});
+    while (it != cache_.end() && it->first.first == pred) {
+      it = cache_.erase(it);
+    }
+  }
+
+ private:
+  const Database& db_;
+  std::map<std::pair<std::string, size_t>, PositionIndex> cache_;
+};
+
+// Bound-first execution order for a rule body: negated literals run as
+// soon as they are ground (each is then a single lookup that prunes the
+// join early — rule safety makes them ground at the latest once every
+// positive literal has run), and positive literals go most-bound-first
+// with the delta literal always in front. Order cannot change the result:
+// every literal still sees the same database, matching is exact constant
+// equality, and all satisfying valuations are enumerated either way.
+std::vector<size_t> ScheduleLiterals(const Rule& rule, size_t delta_pos) {
+  const size_t n = rule.body.size();
+  std::vector<bool> done(n, false);
+  std::set<std::string> bound;
+  std::vector<size_t> order;
+  order.reserve(n);
+  auto is_ground = [&](const Literal& lit) {
+    for (const Term& t : lit.terms) {
+      if (t.is_var() && !bound.count(t.var_name())) return false;
+    }
+    return true;
+  };
+  while (order.size() < n) {
+    bool scheduled = false;
+    for (size_t i = 0; i < n && !scheduled; ++i) {
+      if (!done[i] && rule.body[i].negated && is_ground(rule.body[i])) {
+        order.push_back(i);
+        done[i] = true;
+        scheduled = true;
+      }
+    }
+    if (scheduled) continue;
+    size_t best = n;
+    int best_score = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i] || rule.body[i].negated) continue;
+      int score = (i == delta_pos) ? 1000 : 0;  // small frontier first
+      for (const Term& t : rule.body[i].terms) {
+        if (!t.is_var() || bound.count(t.var_name())) ++score;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == n) break;  // unreachable for safe rules
+    order.push_back(best);
+    done[best] = true;
+    for (const Term& t : rule.body[best].terms) {
+      if (t.is_var()) bound.insert(t.var_name());
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!done[i]) order.push_back(i);
+  }
+  return order;
+}
+
 // Evaluates one rule against `db`; for semi-naive evaluation, at least one
-// positive body literal must match within `delta` (pass nullptr for naive).
+// positive body literal must match within `delta` (pass nullptr for
+// naive). Positive literals with a bound position probe `indexes` instead
+// of scanning their whole relation.
 void FireRule(const Rule& rule, const Database& db, const Database* delta,
-              std::set<Fact>* out) {
+              IndexCache* indexes, std::set<Fact>* out) {
   // Choose which positive literal is forced into the delta (all choices).
   std::vector<size_t> positive_positions;
   for (size_t i = 0; i < rule.body.size(); ++i) {
     if (!rule.body[i].negated) positive_positions.push_back(i);
   }
 
-  // Recursive join over body literals.
-  auto join = [&](auto&& self, size_t idx, Bindings& bindings,
+  // Recursive join over body literals, in schedule order.
+  std::vector<size_t> order;
+  std::vector<std::string> trail;
+  auto join = [&](auto&& self, size_t k, Bindings& bindings,
                   size_t delta_pos) -> void {
-    if (idx == rule.body.size()) {
+    if (k == order.size()) {
       out->insert(Instantiate(rule.head, bindings));
       return;
     }
+    size_t idx = order[k];
     const Literal& lit = rule.body[idx];
     if (lit.negated) {
       Fact probe = Instantiate(lit, bindings);
       if (!FactsOf(db, lit.predicate).count(probe)) {
-        self(self, idx + 1, bindings, delta_pos);
+        self(self, k + 1, bindings, delta_pos);
       }
       return;
     }
-    const std::set<Fact>& source =
-        (delta != nullptr && idx == delta_pos)
-            ? FactsOf(*delta, lit.predicate)
-            : FactsOf(db, lit.predicate);
-    for (const Fact& fact : source) {
-      Bindings saved = bindings;
-      if (Match(lit, fact, &bindings)) {
-        self(self, idx + 1, bindings, delta_pos);
+    bool from_delta = delta != nullptr && idx == delta_pos;
+    auto try_fact = [&](const Fact& fact) {
+      size_t mark = trail.size();
+      if (Match(lit, fact, &bindings, &trail)) {
+        self(self, k + 1, bindings, delta_pos);
       }
-      bindings = std::move(saved);
+      while (trail.size() > mark) {
+        bindings.erase(trail.back());
+        trail.pop_back();
+      }
+    };
+    if (!from_delta && indexes != nullptr) {
+      // Probe the index of the first bound position, if any.
+      for (size_t i = 0; i < lit.terms.size(); ++i) {
+        const Term& t = lit.terms[i];
+        const Constant* key = nullptr;
+        if (!t.is_var()) {
+          key = &t.constant();
+        } else if (auto it = bindings.find(t.var_name());
+                   it != bindings.end()) {
+          key = &it->second;
+        }
+        if (key == nullptr) continue;
+        auto [lo, hi] = indexes->At(lit.predicate, i).equal_range(*key);
+        for (auto it = lo; it != hi; ++it) try_fact(*it->second);
+        return;
+      }
     }
+    const std::set<Fact>& source = from_delta
+                                       ? FactsOf(*delta, lit.predicate)
+                                       : FactsOf(db, lit.predicate);
+    for (const Fact& fact : source) try_fact(fact);
   };
 
   if (delta == nullptr) {
+    order = ScheduleLiterals(rule, static_cast<size_t>(-1));
     Bindings bindings;
     join(join, 0, bindings, static_cast<size_t>(-1));
   } else {
-    // Semi-naive: union over choices of the delta literal.
+    // Semi-naive: union over choices of the delta literal, skipping
+    // choices whose frontier relation is empty (the join is empty then).
     for (size_t pos : positive_positions) {
+      if (FactsOf(*delta, rule.body[pos].predicate).empty()) continue;
+      order = ScheduleLiterals(rule, pos);
       Bindings bindings;
       join(join, 0, bindings, pos);
     }
     if (positive_positions.empty()) {
+      order = ScheduleLiterals(rule, static_cast<size_t>(-1));
       Bindings bindings;
       join(join, 0, bindings, static_cast<size_t>(-1));
     }
@@ -264,6 +387,7 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
   }
 
   Database db = program.edb();
+  IndexCache indexes(db);
   for (int s = 0; s <= max_stratum; ++s) {
     // Injection sites matching the eval/algres naming (datalog.stratum at
     // each stratum boundary, datalog.step at each fixpoint iteration), so
@@ -281,9 +405,11 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
         size_t before = TotalSize(db);
         for (const Rule* rule : stratum_rules) {
           std::set<Fact> produced;
-          FireRule(*rule, db, nullptr, &produced);
+          FireRule(*rule, db, nullptr, &indexes, &produced);
           auto& target = db[rule->head.predicate];
+          size_t had = target.size();
           target.insert(produced.begin(), produced.end());
+          if (target.size() != had) indexes.Invalidate(rule->head.predicate);
         }
         if (TotalSize(db) == before) break;
       }
@@ -296,7 +422,7 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
         Database next_delta;
         for (const Rule* rule : stratum_rules) {
           std::set<Fact> produced;
-          FireRule(*rule, db, &delta, &produced);
+          FireRule(*rule, db, &delta, &indexes, &produced);
           for (const Fact& f : produced) {
             if (!db[rule->head.predicate].count(f)) {
               next_delta[rule->head.predicate].insert(f);
@@ -306,6 +432,7 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
         if (TotalSize(next_delta) == 0) break;
         for (auto& [p, facts] : next_delta) {
           db[p].insert(facts.begin(), facts.end());
+          indexes.Invalidate(p);
         }
         delta = std::move(next_delta);
       }
@@ -319,9 +446,11 @@ Result<std::set<Fact>> Query(const Database& db, const Literal& query) {
     return Status::InvalidArgument("cannot query a negated literal");
   }
   std::set<Fact> out;
+  std::vector<std::string> trail;
   for (const Fact& fact : FactsOf(db, query.predicate)) {
     Bindings bindings;
-    if (Match(query, fact, &bindings)) out.insert(fact);
+    trail.clear();
+    if (Match(query, fact, &bindings, &trail)) out.insert(fact);
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #define LOGRES_DATALOG_DATALOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -53,6 +54,17 @@ class Constant {
   using rep_type = std::variant<int64_t, std::string>;
   explicit Constant(rep_type rep) : rep_(std::move(rep)) {}
   rep_type rep_;
+};
+
+/// \brief Hash functor for Constant, for the engine's hash-indexed access
+/// paths (ints and symbols hash into one key space).
+struct ConstantHash {
+  size_t operator()(const Constant& c) const {
+    if (c.is_int()) {
+      return std::hash<int64_t>()(c.int_value()) ^ 0x9e3779b97f4a7c15ull;
+    }
+    return std::hash<std::string>()(c.sym_value());
+  }
 };
 
 /// \brief A term: a constant or a variable (identified by name).

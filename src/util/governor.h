@@ -89,6 +89,29 @@ struct Budget {
     b.max_steps = 0;
     return b;
   }
+
+  /// \brief A sub-budget carving out \p fraction of this budget for one
+  /// stratum (or any sub-evaluation): max_steps and timeout scale by the
+  /// fraction (never below one step / one millisecond, so a tiny fraction
+  /// still makes progress); the fact ceiling and the cancellation token
+  /// are shared unscaled — facts are a property of the whole instance and
+  /// cancellation must reach every stratum. Giving each stratum its own
+  /// slice keeps one runaway stratum from draining the budget the later
+  /// strata were counting on.
+  Budget Substratum(double fraction) const {
+    Budget sub = *this;
+    if (max_steps > 0) {
+      auto scaled = static_cast<size_t>(static_cast<double>(max_steps) *
+                                        fraction);
+      sub.max_steps = scaled > 0 ? scaled : 1;
+    }
+    if (timeout.has_value()) {
+      auto scaled = static_cast<int64_t>(
+          static_cast<double>(timeout->count()) * fraction);
+      sub.timeout = std::chrono::milliseconds(scaled > 0 ? scaled : 1);
+    }
+    return sub;
+  }
 };
 
 /// \brief Enforces a Budget over one evaluation. Construct when the

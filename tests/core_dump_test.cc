@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "algres/relation.h"
 #include "core/dump.h"
 #include "core/parser.h"
 
@@ -109,6 +110,41 @@ TEST(DumpTest, FullRoundTrip) {
   EXPECT_EQ(loaded->functions().size(), db.functions().size());
   EXPECT_EQ(loaded->oids_issued(), db.oids_issued());
   EXPECT_EQ(SchemaToSource(loaded->schema()), SchemaToSource(db.schema()));
+}
+
+TEST(DumpTest, DumpIsCanonicalUnderInsertionOrder) {
+  // Relation/instance storage is insertion-ordered with hash buckets, but
+  // every dump surface iterates in canonical sorted order — the same data
+  // inserted in any order must produce byte-identical text.
+  auto make = [](bool reversed) {
+    auto db_result = Database::Create(
+        "associations E = (a: integer, b: integer);");
+    Database db = std::move(db_result).value();
+    for (int i = 0; i < 12; ++i) {
+      int v = reversed ? 11 - i : i;
+      db.mutable_edb()->InsertTuple(
+          "E", Value::MakeTuple({{"a", Value::Int(v % 5)},
+                                 {"b", Value::Int(v)}}));
+    }
+    return db;
+  };
+  Database forward = make(false);
+  Database backward = make(true);
+  EXPECT_EQ(DumpDatabase(forward), DumpDatabase(backward));
+  EXPECT_EQ(forward.edb().ToString(), backward.edb().ToString());
+
+  // The same canonical-order contract holds for algres relations: rows
+  // come back sorted no matter how they went in.
+  algres::Relation fwd({"a"}), bwd({"a"});
+  for (int i = 0; i < 10; ++i) {
+    (void)fwd.Insert({Value::Int(i)});
+    (void)bwd.Insert({Value::Int(9 - i)});
+  }
+  EXPECT_EQ(fwd.ToString(), bwd.ToString());
+  auto canon = fwd.CanonicalRows();
+  for (size_t i = 1; i < canon.size(); ++i) {
+    EXPECT_TRUE(*canon[i - 1] < *canon[i]);
+  }
 }
 
 TEST(DumpTest, LoadedDatabaseEvaluates) {

@@ -306,5 +306,122 @@ TEST(EvalStatsTest, StepsMatchTheStepBudgetBoundary) {
   EXPECT_EQ(bounded->stats.steps, used);
 }
 
+// ---------------------------------------------------------------------------
+// Per-stratum sub-budgets (Budget::Substratum + EvalOptions::stratum_fraction)
+
+TEST(StratumBudgetTest, SubstratumScalesStepsAndTimeout) {
+  Budget b;
+  b.max_steps = 100;
+  b.timeout = std::chrono::milliseconds(1000);
+  b.max_facts = 7;
+  Budget sub = b.Substratum(0.25);
+  EXPECT_EQ(sub.max_steps, 25u);
+  ASSERT_TRUE(sub.timeout.has_value());
+  EXPECT_EQ(sub.timeout->count(), 250);
+  EXPECT_EQ(sub.max_facts, 7u);  // the fact ceiling is shared, not sliced
+
+  Budget tiny = b.Substratum(0.0001);
+  EXPECT_EQ(tiny.max_steps, 1u);  // never rounds down to zero-as-unlimited
+  EXPECT_EQ(tiny.timeout->count(), 1);
+
+  Budget unlimited = Budget::Unlimited().Substratum(0.5);
+  EXPECT_EQ(unlimited.max_steps, 0u);  // unlimited stays unlimited
+}
+
+// A two-stratum program where each stratum needs ~n fixpoint steps: PATH
+// is the closure of a forward chain; PATH2 recomputes it in a higher
+// stratum (its seed rule negates on PATH, and the chain has no backward
+// paths, so the negation always holds).
+struct TwoStrataSetup {
+  Database db;
+  CheckedProgram program;
+  Schema schema;
+};
+
+Result<TwoStrataSetup> MakeTwoStrata(int n) {
+  auto db = Database::Create(R"(
+    associations
+      EDGE  = (src: integer, dst: integer);
+      PATH  = (src: integer, dst: integer);
+      PATH2 = (src: integer, dst: integer);
+  )");
+  if (!db.ok()) return db.status();
+  for (int i = 0; i < n; ++i) {
+    LOGRES_RETURN_NOT_OK(db->InsertTuple(
+        "EDGE", Value::MakeTuple({{"src", Value::Int(i)},
+                                  {"dst", Value::Int(i + 1)}})));
+  }
+  LOGRES_ASSIGN_OR_RETURN(
+      ParsedUnit unit,
+      Parse("rules path(src: X, dst: Y) <- edge(src: X, dst: Y)."
+            "      path(src: X, dst: Z) <- path(src: X, dst: Y),"
+            "                              edge(src: Y, dst: Z)."
+            "      path2(src: X, dst: Y) <- edge(src: X, dst: Y),"
+            "                               not path(src: Y, dst: X)."
+            "      path2(src: X, dst: Z) <- path2(src: X, dst: Y),"
+            "                               edge(src: Y, dst: Z)."));
+  LOGRES_ASSIGN_OR_RETURN(CheckedProgram program,
+                          Typecheck(db->schema(), {}, unit.rules));
+  if (!program.stratified) {
+    return Status::ExecutionError("expected a stratified program");
+  }
+  Schema schema = db->schema();
+  return TwoStrataSetup{std::move(db).value(), std::move(program),
+                        std::move(schema)};
+}
+
+// Under one shared step budget, the first stratum drains what the second
+// stratum needed, and the run dies in stratum 1 through no fault of its
+// own. Per-stratum sub-budgets give every stratum its own slice of the
+// same budget, and the identical program converges.
+TEST(StratumBudgetTest, SubBudgetsPreventCrossStratumStarvation) {
+  auto setup = MakeTwoStrata(30);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  Evaluator evaluator(setup->schema, setup->program,
+                      setup->db.oid_generator());
+
+  // Reference result under no budget pressure.
+  EvalOptions unlimited;
+  unlimited.budget = Budget::Unlimited();
+  auto reference = evaluator.Run(setup->db.edb(), unlimited);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  size_t total_steps = evaluator.stats().steps;
+  // Each of the two strata needs roughly half the total.
+  ASSERT_GT(total_steps, 50u);
+
+  // A budget big enough for either stratum alone but not for both in
+  // sequence: shared, the run is starved partway through stratum 1.
+  EvalOptions shared;
+  shared.budget.max_steps = total_steps - 10;
+  auto starved = evaluator.Run(setup->db.edb(), shared);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kDivergence);
+
+  // The same budget, sliced per stratum: each stratum's slice covers its
+  // own work, so the run converges to the reference result.
+  EvalOptions sliced = shared;
+  sliced.stratum_fraction = 0.9;
+  auto out = evaluator.Run(setup->db.edb(), sliced);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(*out == *reference);
+}
+
+// A runaway stratum exhausts its own slice and the error names it, instead
+// of silently draining the budget later strata were counting on.
+TEST(StratumBudgetTest, RunawayStratumFailsInsideItsOwnSlice) {
+  auto setup = MakeTwoStrata(30);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  Evaluator evaluator(setup->schema, setup->program,
+                      setup->db.oid_generator());
+  EvalOptions sliced;
+  sliced.budget.max_steps = 40;
+  sliced.stratum_fraction = 0.2;  // 8 steps per stratum: too few for PATH
+  auto out = evaluator.Run(setup->db.edb(), sliced);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDivergence);
+  EXPECT_NE(out.status().message().find("stratum 0"), std::string::npos)
+      << out.status();
+}
+
 }  // namespace
 }  // namespace logres

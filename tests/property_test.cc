@@ -11,10 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 
+#include "algres/algebra.h"
 #include "core/algres_backend.h"
 #include "core/database.h"
 #include "datalog/datalog.h"
+#include "util/string_util.h"
 
 namespace logres {
 namespace {
@@ -290,7 +293,7 @@ TEST_P(IndexAblationProperty, IndexedAndScannedRunsAgree) {
         "             TC = (a: NODE, b: NODE);");
     return std::move(db_result).value();
   };
-  auto run = [&](bool use_indexes) -> Instance {
+  auto run = [&](bool use_indexes, bool reorder_literals) -> Instance {
     Database db = make_db();
     std::vector<Oid> nodes;
     for (int i = 0; i < 6; ++i) {
@@ -306,17 +309,198 @@ TEST_P(IndexAblationProperty, IndexedAndScannedRunsAgree) {
     }
     EvalOptions options;
     options.use_indexes = use_indexes;
+    options.reorder_literals = reorder_literals;
     EXPECT_TRUE(db.ApplySource(
         "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
         "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).",
         ApplicationMode::kRIDV, options).ok());
     return db.edb();
   };
-  EXPECT_TRUE(run(true) == run(false));
+  Instance reference = run(true, true);
+  EXPECT_TRUE(reference == run(false, true));
+  EXPECT_TRUE(reference == run(true, false));
+  EXPECT_TRUE(reference == run(false, false));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexAblationProperty,
                          ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// The hash-join operators agree with naive scan references on random NF²
+// relations (nil, oid, and nested-set cells; empty relations; disjoint
+// headers). References compare cells with deep Compare, so a defective
+// memoized hash or bucket layout shows up as a disagreement here.
+
+namespace hashjoin {
+
+using algres::Relation;
+using algres::Row;
+
+// Small value domain so joins actually match and hashes actually collide
+// across kinds.
+Value RandomCell(uint64_t* state) {
+  auto next = [&] { return *state = *state * 6364136223846793005ull + 1442695040888963407ull; };
+  switch (next() >> 33 & 7) {
+    case 0: return Value::Nil();
+    case 1: return Value::Int(static_cast<int64_t>(next() >> 40 & 3));
+    case 2: return Value::String(StrCat("s", next() >> 40 & 1));
+    case 3: return Value::MakeOid(Oid{(next() >> 40 & 3) + 1});
+    case 4: {
+      std::vector<Value> elems;
+      for (uint64_t i = 0, n = next() >> 40 & 3; i < n; ++i) {
+        elems.push_back(Value::Int(static_cast<int64_t>(next() >> 40 & 2)));
+      }
+      return Value::MakeSet(std::move(elems));
+    }
+    default: return Value::Int(static_cast<int64_t>(next() >> 40 & 7));
+  }
+}
+
+Relation RandomRelation(const std::vector<std::string>& columns, size_t rows,
+                        uint64_t* state) {
+  Relation rel(columns);
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      row.push_back(RandomCell(state));
+    }
+    (void)rel.Insert(std::move(row));
+  }
+  return rel;
+}
+
+bool DeepEq(const Value& a, const Value& b) { return a.Compare(b) == 0; }
+
+// Scan reference for EquiJoin: nested loops, deep comparison, right key
+// columns dropped.
+Result<Relation> ScanEquiJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& on) {
+  std::vector<size_t> lkey, rkey, rkeep;
+  for (const auto& [l, r] : on) {
+    LOGRES_ASSIGN_OR_RETURN(size_t li, left.ColumnIndex(l));
+    LOGRES_ASSIGN_OR_RETURN(size_t ri, right.ColumnIndex(r));
+    lkey.push_back(li);
+    rkey.push_back(ri);
+  }
+  std::vector<std::string> columns = left.columns();
+  for (size_t i = 0; i < right.columns().size(); ++i) {
+    if (std::find(rkey.begin(), rkey.end(), i) == rkey.end()) {
+      rkeep.push_back(i);
+      columns.push_back(right.columns()[i]);
+    }
+  }
+  Relation out(std::move(columns));
+  for (const Row& l : left) {
+    for (const Row& r : right) {
+      bool match = true;
+      for (size_t k = 0; k < lkey.size(); ++k) {
+        if (!DeepEq(l[lkey[k]], r[rkey[k]])) { match = false; break; }
+      }
+      if (!match) continue;
+      Row row = l;
+      for (size_t i : rkeep) row.push_back(r[i]);
+      LOGRES_RETURN_NOT_OK(out.Insert(std::move(row)).status());
+    }
+  }
+  return out;
+}
+
+// Scan reference for SemiJoin: left rows with a partner under the natural
+// join on shared column names (disjoint headers: any partner works).
+Result<Relation> ScanSemiJoin(const Relation& left, const Relation& right) {
+  std::vector<std::pair<size_t, size_t>> shared;
+  for (size_t i = 0; i < left.columns().size(); ++i) {
+    for (size_t j = 0; j < right.columns().size(); ++j) {
+      if (left.columns()[i] == right.columns()[j]) shared.emplace_back(i, j);
+    }
+  }
+  Relation out(left.columns());
+  for (const Row& l : left) {
+    bool matched = false;
+    for (const Row& r : right) {
+      bool match = true;
+      for (const auto& [li, ri] : shared) {
+        if (!DeepEq(l[li], r[ri])) { match = false; break; }
+      }
+      if (match) { matched = true; break; }
+    }
+    if (matched) LOGRES_RETURN_NOT_OK(out.Insert(l).status());
+  }
+  return out;
+}
+
+Result<Relation> ScanDifference(const Relation& left, const Relation& right) {
+  Relation out(left.columns());
+  for (const Row& l : left) {
+    bool present = false;
+    for (const Row& r : right) {
+      bool eq = l.size() == r.size();
+      for (size_t i = 0; eq && i < l.size(); ++i) eq = DeepEq(l[i], r[i]);
+      if (eq) { present = true; break; }
+    }
+    if (!present) LOGRES_RETURN_NOT_OK(out.Insert(l).status());
+  }
+  return out;
+}
+
+}  // namespace hashjoin
+
+TEST(HashJoinProperty, IndexedOperatorsAgreeWithScanReferences) {
+  using algres::Relation;
+  using algres::Row;
+  for (int round = 0; round < 200; ++round) {
+    uint64_t state = static_cast<uint64_t>(round) * 2654435761u + 17;
+    // Sizes include 0 so empty inputs are exercised regularly.
+    size_t lrows = round % 9;
+    size_t rrows = (round / 3) % 9;
+
+    // EquiJoin over disjoint headers joined on explicit pairs.
+    Relation ej_left =
+        hashjoin::RandomRelation({"a", "b"}, lrows, &state);
+    Relation ej_right =
+        hashjoin::RandomRelation({"x", "y"}, rrows, &state);
+    std::vector<std::pair<std::string, std::string>> on = {{"a", "x"}};
+    if (round % 4 == 0) on.push_back({"b", "y"});
+    auto indexed = algres::EquiJoin(ej_left, ej_right, on);
+    auto scanned = hashjoin::ScanEquiJoin(ej_left, ej_right, on);
+    ASSERT_TRUE(indexed.ok()) << indexed.status();
+    ASSERT_TRUE(scanned.ok()) << scanned.status();
+    EXPECT_EQ(indexed->ToString(), scanned->ToString()) << "round " << round;
+
+    // SemiJoin with overlapping headers — or, every third round, fully
+    // disjoint headers (the degenerate product case).
+    Relation sj_left = hashjoin::RandomRelation({"a", "b"}, lrows, &state);
+    Relation sj_right = (round % 3 == 0)
+                            ? hashjoin::RandomRelation({"u", "v"}, rrows,
+                                                       &state)
+                            : hashjoin::RandomRelation({"b", "c"}, rrows,
+                                                       &state);
+    auto semi = algres::SemiJoin(sj_left, sj_right);
+    auto semi_ref = hashjoin::ScanSemiJoin(sj_left, sj_right);
+    ASSERT_TRUE(semi.ok()) << semi.status();
+    ASSERT_TRUE(semi_ref.ok()) << semi_ref.status();
+    EXPECT_EQ(semi->ToString(), semi_ref->ToString()) << "round " << round;
+
+    // Difference over identical headers, with the right side seeded from
+    // left rows so subtraction actually happens.
+    Relation df_left = hashjoin::RandomRelation({"a", "b"}, lrows, &state);
+    Relation df_right(df_left.columns());
+    size_t taken = 0;
+    for (const Row& row : df_left) {
+      if (taken++ % 2 == 0) (void)df_right.Insert(row);
+    }
+    for (const Row& row :
+         hashjoin::RandomRelation({"a", "b"}, rrows / 2, &state)) {
+      (void)df_right.Insert(row);
+    }
+    auto diff = algres::Difference(df_left, df_right);
+    auto diff_ref = hashjoin::ScanDifference(df_left, df_right);
+    ASSERT_TRUE(diff.ok()) << diff.status();
+    ASSERT_TRUE(diff_ref.ok()) << diff_ref.status();
+    EXPECT_EQ(diff->ToString(), diff_ref->ToString()) << "round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace logres
