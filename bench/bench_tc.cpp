@@ -6,6 +6,10 @@
 // n grows; the flat baseline beats the typed object engine by a constant
 // factor on this flat workload; the ALGRES-compiled backend sits between
 // them.
+//
+// The *ChainThreads benchmarks sweep the worker count at fixed n — the
+// parallel-scaling dimension. Speedup requires physical cores; on a
+// single-core host the extra threads only add partitioning overhead.
 
 #include <benchmark/benchmark.h>
 
@@ -21,10 +25,12 @@ using bench::EdgeDatabase;
 using bench::RandomEdges;
 
 void RunLogres(benchmark::State& state, bool semi_naive,
-               std::vector<std::pair<int64_t, int64_t>> edges) {
+               std::vector<std::pair<int64_t, int64_t>> edges,
+               size_t threads = 1) {
   Database db = EdgeDatabase(edges);
   EvalOptions options;
   options.semi_naive = semi_naive;
+  options.num_threads = threads;
   size_t result_size = 0;
   for (auto _ : state) {
     Database fresh = EdgeDatabase(edges);
@@ -51,8 +57,19 @@ void BM_LogresRandomSemiNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_LogresRandomSemiNaive)->Arg(16)->Arg(32)->Arg(64);
 
+// Parallel scaling: chain TC at fixed n across worker counts. Args are
+// {n, threads}. Results are byte-identical to the 1-thread run (see
+// tests/parallel_test.cc); only the wall clock may move.
+void BM_LogresChainThreads(benchmark::State& state) {
+  RunLogres(state, true, ChainEdges(state.range(0)),
+            static_cast<size_t>(state.range(1)));
+}
+BENCHMARK(BM_LogresChainThreads)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+
 void RunAlgres(benchmark::State& state, AlgresStrategy strategy,
-               std::vector<std::pair<int64_t, int64_t>> edges) {
+               std::vector<std::pair<int64_t, int64_t>> edges,
+               size_t threads = 1) {
   Database db = EdgeDatabase(edges);
   auto unit = Parse(bench::kTcRules);
   auto program = Typecheck(db.schema(), {}, unit->rules);
@@ -63,7 +80,7 @@ void RunAlgres(benchmark::State& state, AlgresStrategy strategy,
   }
   size_t result_size = 0;
   for (auto _ : state) {
-    auto out = backend->Run(db.edb(), strategy);
+    auto out = backend->Run(db.edb(), strategy, Budget{}, threads);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     result_size = out->TuplesOf("TC").size();
   }
@@ -80,8 +97,16 @@ BENCHMARK(BM_AlgresChainSemiNaive)
     ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
 BENCHMARK(BM_AlgresChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_AlgresChainThreads(benchmark::State& state) {
+  RunAlgres(state, AlgresStrategy::kSemiNaive, ChainEdges(state.range(0)),
+            static_cast<size_t>(state.range(1)));
+}
+BENCHMARK(BM_AlgresChainThreads)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+
 void RunDatalog(benchmark::State& state, datalog::EvalStrategy strategy,
-                std::vector<std::pair<int64_t, int64_t>> edges) {
+                std::vector<std::pair<int64_t, int64_t>> edges,
+                size_t threads = 1) {
   namespace dl = datalog;
   dl::Program p;
   for (const auto& [a, b] : edges) {
@@ -97,9 +122,12 @@ void RunDatalog(benchmark::State& state, datalog::EvalStrategy strategy,
              dl::Literal{"edge", {var("Y"), var("Z")}, false}};
   (void)p.AddRule(r1);
   (void)p.AddRule(r2);
+  dl::EvalOptions options;
+  options.strategy = strategy;
+  options.num_threads = threads;
   size_t result_size = 0;
   for (auto _ : state) {
-    auto db = Evaluate(p, strategy);
+    auto db = Evaluate(p, options);
     if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
     result_size = db->at("tc").size();
   }
@@ -117,6 +145,14 @@ void BM_DatalogChainNaive(benchmark::State& state) {
 BENCHMARK(BM_DatalogChainSemiNaive)
     ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
 BENCHMARK(BM_DatalogChainNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DatalogChainThreads(benchmark::State& state) {
+  RunDatalog(state, datalog::EvalStrategy::kSemiNaive,
+             ChainEdges(state.range(0)),
+             static_cast<size_t>(state.range(1)));
+}
+BENCHMARK(BM_DatalogChainThreads)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
 
 }  // namespace
 }  // namespace logres

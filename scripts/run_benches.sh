@@ -2,7 +2,9 @@
 # Runs the access-path benchmarks (bench_tc: transitive closure across the
 # three engines; bench_engines: the B-workload suite) in Release mode and
 # distills the google-benchmark JSON into BENCH_tc.json — one record per
-# measurement: {workload, n, engine, strategy, wall_ms, rows}.
+# measurement: {workload, n, engine, strategy, threads, wall_ms, rows}.
+# The *ChainThreads benchmarks add a worker-count sweep at fixed n; the
+# smoke subset stays single-threaded (its name filter excludes them).
 #
 # Usage:
 #   scripts/run_benches.sh            # full sweep (minutes)
@@ -60,16 +62,33 @@ def wall_ms(b):
 # bench_tc names: BM_<Engine><Workload><Strategy>/<n>
 tc_name = re.compile(
     r"BM_(Logres|Algres|Datalog)(Chain|Random|Forest)(SemiNaive|Naive)/(\d+)")
+# Parallel sweep: BM_<Engine>ChainThreads/<n>/<threads> (always semi-naive).
+tc_threads = re.compile(
+    r"BM_(Logres|Algres|Datalog)ChainThreads/(\d+)/(\d+)")
 for b in json.load(open(tc_path))["benchmarks"]:
     m = tc_name.fullmatch(b["name"])
+    if m:
+        engine, workload, strategy, n = m.groups()
+        records.append({
+            "workload": workload.lower(),
+            "n": int(n),
+            "engine": engine.lower(),
+            "strategy": "semi_naive" if strategy == "SemiNaive" else "naive",
+            "threads": 1,
+            "wall_ms": wall_ms(b),
+            "rows": int(b.get("tc_tuples", 0)),
+        })
+        continue
+    m = tc_threads.fullmatch(b["name"])
     if not m:
         continue
-    engine, workload, strategy, n = m.groups()
+    engine, n, threads = m.groups()
     records.append({
-        "workload": workload.lower(),
+        "workload": "chain",
         "n": int(n),
         "engine": engine.lower(),
-        "strategy": "semi_naive" if strategy == "SemiNaive" else "naive",
+        "strategy": "semi_naive",
+        "threads": int(threads),
         "wall_ms": wall_ms(b),
         "rows": int(b.get("tc_tuples", 0)),
     })
@@ -86,6 +105,7 @@ for b in json.load(open(engines_path))["benchmarks"]:
         "n": int(n),
         "engine": variant,
         "strategy": "",
+        "threads": 1,
         "wall_ms": wall_ms(b),
         "rows": int(b.get("tc_tuples", b.get("facts", 0))),
     })

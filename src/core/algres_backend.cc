@@ -8,6 +8,7 @@
 #include "core/builtin.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace logres {
 
@@ -274,7 +275,8 @@ Result<AlgresBackend> AlgresBackend::Compile(const Schema& schema,
 Result<Relation> AlgresBackend::EvalRule(const CompiledRule& rule,
                                          const RelationalDb& db,
                                          const RelationalDb* delta,
-                                         size_t delta_index) const {
+                                         size_t delta_index,
+                                         ThreadPool* pool) const {
   // Semi-naive early exit: when the delta literal's frontier relation is
   // empty, the whole join is empty — skip the per-literal select/project
   // pipeline over the full database (which dominates late fixpoint rounds,
@@ -392,7 +394,7 @@ Result<Relation> AlgresBackend::EvalRule(const CompiledRule& rule,
       bindings = std::move(current);
     } else {
       LOGRES_ASSIGN_OR_RETURN(bindings,
-                              algres::NaturalJoin(*bindings, current));
+                              algres::NaturalJoin(*bindings, current, pool));
     }
   }
   if (!bindings.has_value()) {
@@ -621,7 +623,8 @@ Result<Relation> AlgresBackend::EvalRule(const CompiledRule& rule,
 
 Result<bool> AlgresBackend::RunStratum(
     const std::vector<const CompiledRule*>& rules, RelationalDb* db,
-    AlgresStrategy strategy, ResourceGovernor* governor) const {
+    AlgresStrategy strategy, ResourceGovernor* governor,
+    ThreadPool* pool) const {
   auto total_rows = [&db]() {
     size_t rows = 0;
     for (const auto& [name, rel] : *db) {
@@ -637,7 +640,7 @@ Result<bool> AlgresBackend::RunStratum(
       bool changed = false;
       for (const CompiledRule* rule : rules) {
         LOGRES_ASSIGN_OR_RETURN(Relation derived,
-                                EvalRule(*rule, *db, nullptr, 0));
+                                EvalRule(*rule, *db, nullptr, 0, pool));
         Relation& target = db->at(rule->head_predicate);
         for (const Row& row : derived) {
           LOGRES_ASSIGN_OR_RETURN(bool inserted, target.Insert(row));
@@ -661,7 +664,7 @@ Result<bool> AlgresBackend::RunStratum(
         LOGRES_ASSIGN_OR_RETURN(
             Relation derived,
             EvalRule(*rule, *db, rule->literals.empty() ? nullptr : &delta,
-                     pos));
+                     pos, pool));
         const Relation& target = db->at(rule->head_predicate);
         for (const Row& row : derived) {
           if (!target.Contains(row)) {
@@ -690,12 +693,20 @@ Result<bool> AlgresBackend::RunStratum(
 
 Result<RelationalDb> AlgresBackend::RunRelational(RelationalDb db,
                                                   AlgresStrategy strategy,
-                                                  const Budget& budget) const {
+                                                  const Budget& budget,
+                                                  size_t num_threads) const {
   // Make sure every predicate has a relation.
   for (const auto& [name, columns] : pred_columns_) {
     if (!db.count(name)) db.emplace(name, Relation(columns));
   }
   ResourceGovernor governor(budget);
+  size_t threads = ThreadPool::Resolve(num_threads);
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    pool = &*pool_storage;
+  }
   // Evaluate stratum by stratum so negated predicates are complete before
   // any rule reads them through an anti-join.
   for (int stratum = 0; stratum <= max_stratum_; ++stratum) {
@@ -707,7 +718,8 @@ Result<RelationalDb> AlgresBackend::RunRelational(RelationalDb db,
     }
     if (stratum_rules.empty()) continue;
     LOGRES_ASSIGN_OR_RETURN(
-        bool done, RunStratum(stratum_rules, &db, strategy, &governor));
+        bool done,
+        RunStratum(stratum_rules, &db, strategy, &governor, pool));
     (void)done;
   }
   return db;
@@ -715,11 +727,12 @@ Result<RelationalDb> AlgresBackend::RunRelational(RelationalDb db,
 
 Result<Instance> AlgresBackend::Run(const Instance& edb,
                                     AlgresStrategy strategy,
-                                    const Budget& budget) const {
+                                    const Budget& budget,
+                                    size_t num_threads) const {
   LOGRES_ASSIGN_OR_RETURN(RelationalDb db,
                           InstanceToRelations(*schema_, edb));
   LOGRES_ASSIGN_OR_RETURN(db, RunRelational(std::move(db), strategy,
-                                            budget));
+                                            budget, num_threads));
   return RelationsToInstance(*schema_, db);
 }
 

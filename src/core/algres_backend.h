@@ -70,17 +70,20 @@ class AlgresBackend {
 
   /// \brief Computes the fixpoint over \p edb. The budget shares its
   /// defaults (and its divergence/cancellation semantics) with the direct
-  /// Evaluator's EvalOptions.
+  /// Evaluator's EvalOptions. \p num_threads partitions the compiled
+  /// joins' probe phases (1 = serial, 0 = one per hardware thread); the
+  /// result is identical for every thread count.
   Result<Instance> Run(const Instance& edb,
                        AlgresStrategy strategy = AlgresStrategy::kSemiNaive,
-                       const Budget& budget = {}) const;
+                       const Budget& budget = {},
+                       size_t num_threads = 1) const;
 
   /// \brief Relational entry point (used by benchmarks to skip instance
   /// conversion).
   Result<RelationalDb> RunRelational(
       RelationalDb db,
       AlgresStrategy strategy = AlgresStrategy::kSemiNaive,
-      const Budget& budget = {}) const;
+      const Budget& budget = {}, size_t num_threads = 1) const;
 
  private:
   struct CompiledLiteral {
@@ -120,11 +123,13 @@ class AlgresBackend {
   Result<algres::Relation> EvalRule(const CompiledRule& rule,
                                     const RelationalDb& db,
                                     const RelationalDb* delta,
-                                    size_t delta_index) const;
+                                    size_t delta_index,
+                                    ThreadPool* pool) const;
 
   Result<bool> RunStratum(const std::vector<const CompiledRule*>& rules,
                           RelationalDb* db, AlgresStrategy strategy,
-                          ResourceGovernor* governor) const;
+                          ResourceGovernor* governor,
+                          ThreadPool* pool) const;
 
   const Schema* schema_;
   std::vector<CompiledRule> rules_;

@@ -59,6 +59,8 @@
 
 namespace logres {
 
+class ThreadPool;
+
 struct EvalOptions {
   EvalMode mode = EvalMode::kStratified;
   /// Resource limits and cancellation, shared with the ALGRES backend:
@@ -86,6 +88,14 @@ struct EvalOptions {
   /// slice (kDivergence, with the stratum in the error context) without
   /// starving later strata. 0 keeps the single shared governor.
   double stratum_fraction = 0;
+  /// Worker threads for the per-step valuation (1 = today's serial path,
+  /// 0 = one per hardware thread). The per-step work is partitioned by
+  /// rule — and, under semi-naive evaluation, by contiguous shards of the
+  /// delta frontier — with results merged single-threaded in
+  /// rule-then-valuation order, so the fixpoint (including invented oids
+  /// and the non-commutative ⊕ composition) is byte-identical for every
+  /// thread count. See DESIGN.md §9.
+  size_t num_threads = 1;
 };
 
 struct EvalStats {
@@ -100,6 +110,14 @@ struct EvalStats {
   size_t facts = 0;
   /// Wall-clock time the evaluation consumed, in microseconds.
   int64_t elapsed_micros = 0;
+  /// Threads the evaluation ran with (EvalOptions::num_threads resolved;
+  /// 1 = serial).
+  size_t threads = 1;
+  /// Time spent enumerating/firing each rule, in microseconds, indexed by
+  /// the rule's position in the analyzed program. Under parallel
+  /// evaluation this sums the per-worker time of the rule's tasks, so it
+  /// reads as CPU time rather than wall time.
+  std::vector<int64_t> rule_micros;
 };
 
 /// \brief Evaluates analyzed programs over instances.
@@ -136,7 +154,7 @@ class Evaluator {
 
   Result<bool> RunStratum(const std::vector<const CheckedRule*>& rules,
                           Instance* instance, const EvalOptions& options,
-                          ResourceGovernor* governor);
+                          ResourceGovernor* governor, ThreadPool* pool);
   Status CheckDenials(const Instance& instance) const;
 };
 

@@ -128,7 +128,8 @@ std::string ExplainStats(const EvalStats& stats) {
   return StrCat("steps=", stats.steps, " firings=", stats.rule_firings,
                 " invented_oids=", stats.invented_oids,
                 " deletions=", stats.deletions, " facts=", stats.facts,
-                " elapsed_us=", stats.elapsed_micros);
+                " elapsed_us=", stats.elapsed_micros,
+                " threads=", stats.threads);
 }
 
 }  // namespace logres

@@ -1,6 +1,7 @@
 #include "core/instance.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/string_util.h"
 
@@ -124,7 +125,13 @@ Value Instance::NormalizeForIndex(const Value& v) {
 const Instance::ValueIndex& Instance::AssocIndex(
     const std::string& assoc, const std::string& label) const {
   auto key = std::make_pair(assoc, label);
-  auto it = assoc_index_cache_.find(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = assoc_index_cache_.find(key);
+    if (it != assoc_index_cache_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  auto it = assoc_index_cache_.find(key);  // raced build by another worker
   if (it != assoc_index_cache_.end()) return it->second;
   ValueIndex index;
   for (const Value& tuple : TuplesOf(assoc)) {
@@ -139,7 +146,13 @@ const Instance::ValueIndex& Instance::AssocIndex(
 const Instance::OidIndex& Instance::ClassIndex(
     const std::string& cls, const std::string& label) const {
   auto key = std::make_pair(cls, label);
-  auto it = class_index_cache_.find(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = class_index_cache_.find(key);
+    if (it != class_index_cache_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  auto it = class_index_cache_.find(key);  // raced build by another worker
   if (it != class_index_cache_.end()) return it->second;
   OidIndex index;
   for (Oid oid : OidsOf(cls)) {

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -57,8 +58,25 @@ class Instance {
     }
     return *this;
   }
-  Instance(Instance&&) = default;
-  Instance& operator=(Instance&&) = default;
+  // Moves are hand-written because the index-cache mutex is not movable.
+  // They are only ever called from single-threaded contexts (the parallel
+  // step merge runs on the coordinator), so the caches move unlocked.
+  Instance(Instance&& other) noexcept
+      : class_oids_(std::move(other.class_oids_)),
+        ovalues_(std::move(other.ovalues_)),
+        associations_(std::move(other.associations_)),
+        assoc_index_cache_(std::move(other.assoc_index_cache_)),
+        class_index_cache_(std::move(other.class_index_cache_)) {}
+  Instance& operator=(Instance&& other) noexcept {
+    if (this != &other) {
+      class_oids_ = std::move(other.class_oids_);
+      ovalues_ = std::move(other.ovalues_);
+      associations_ = std::move(other.associations_);
+      assoc_index_cache_ = std::move(other.assoc_index_cache_);
+      class_index_cache_ = std::move(other.class_index_cache_);
+    }
+    return *this;
+  }
 
   // ---- Objects (pi, nu) ---------------------------------------------------
 
@@ -172,7 +190,12 @@ class Instance {
 
   // Access-path caches (see "Indexed access paths" above). Mutable: they
   // are a view of the store, not part of instance identity — operator==
-  // and dumps ignore them.
+  // and dumps ignore them. Lazy builds are serialized by index_mu_ so the
+  // parallel evaluator's workers can probe one shared instance; std::map
+  // node stability keeps the returned references valid while other keys
+  // are built. Mutators run single-threaded (coordinator only) and skip
+  // the lock.
+  mutable std::shared_mutex index_mu_;
   mutable std::map<std::pair<std::string, std::string>, ValueIndex>
       assoc_index_cache_;
   mutable std::map<std::pair<std::string, std::string>, OidIndex>

@@ -1,12 +1,16 @@
 #include "datalog/datalog.h"
 
 #include <algorithm>
+#include <mutex>
+#include <optional>
 #include <queue>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "util/failpoint.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace logres::datalog {
 
@@ -196,7 +200,11 @@ const std::set<Fact>& FactsOf(const Database& db, const std::string& pred) {
 // multimap from the constant at that position to the fact. Fact pointers
 // stay valid under db insertion (std::set nodes are stable), but a stale
 // index misses new facts — the evaluation loop invalidates a predicate's
-// indexes whenever it inserts into that predicate.
+// indexes whenever it inserts into that predicate. Lazy builds are
+// serialized by a shared mutex so parallel delta tasks can probe one
+// shared cache; std::map node stability keeps the returned references
+// valid while other keys are built. Invalidate runs coordinator-only,
+// between rounds.
 class IndexCache {
  public:
   explicit IndexCache(const Database& db) : db_(db) {}
@@ -206,8 +214,14 @@ class IndexCache {
 
   const PositionIndex& At(const std::string& pred, size_t pos) {
     auto key = std::make_pair(pred, pos);
+    {
+      std::shared_lock lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    std::unique_lock lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) return it->second;  // raced build by a peer
     PositionIndex index;
     for (const Fact& f : FactsOf(db_, pred)) {
       if (pos < f.size()) index.emplace(f[pos], &f);
@@ -216,6 +230,7 @@ class IndexCache {
   }
 
   void Invalidate(const std::string& pred) {
+    std::unique_lock lock(mu_);
     auto it = cache_.lower_bound({pred, 0});
     while (it != cache_.end() && it->first.first == pred) {
       it = cache_.erase(it);
@@ -224,6 +239,7 @@ class IndexCache {
 
  private:
   const Database& db_;
+  std::shared_mutex mu_;
   std::map<std::pair<std::string, size_t>, PositionIndex> cache_;
 };
 
@@ -282,12 +298,25 @@ std::vector<size_t> ScheduleLiterals(const Rule& rule, size_t delta_pos) {
   return order;
 }
 
+constexpr size_t kAllChoices = static_cast<size_t>(-1);
+
 // Evaluates one rule against `db`; for semi-naive evaluation, at least one
 // positive body literal must match within `delta` (pass nullptr for
 // naive). Positive literals with a bound position probe `indexes` instead
 // of scanning their whole relation.
+//
+// `only_pos` / `delta_chunk` let the parallel evaluator split one rule's
+// semi-naive work into tasks: only_pos fires a single delta-literal choice
+// (instead of the union over all of them), and delta_chunk restricts the
+// delta literal's scan to the facts with ordinal in [first, second). Each
+// body valuation consumes exactly one delta fact at the chosen position,
+// so partitioning the delta facts partitions the valuations — the union of
+// the chunks' outputs equals the unchunked output, whatever depth the
+// schedule places the delta literal at.
 void FireRule(const Rule& rule, const Database& db, const Database* delta,
-              IndexCache* indexes, std::set<Fact>* out) {
+              IndexCache* indexes, std::set<Fact>* out,
+              size_t only_pos = kAllChoices,
+              const std::pair<size_t, size_t>* delta_chunk = nullptr) {
   // Choose which positive literal is forced into the delta (all choices).
   std::vector<size_t> positive_positions;
   for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -343,13 +372,26 @@ void FireRule(const Rule& rule, const Database& db, const Database* delta,
     const std::set<Fact>& source = from_delta
                                        ? FactsOf(*delta, lit.predicate)
                                        : FactsOf(db, lit.predicate);
-    for (const Fact& fact : source) try_fact(fact);
+    size_t ordinal = 0;
+    for (const Fact& fact : source) {
+      if (from_delta && delta_chunk != nullptr) {
+        size_t i = ordinal++;
+        if (i < delta_chunk->first) continue;
+        if (i >= delta_chunk->second) break;
+      }
+      try_fact(fact);
+    }
   };
 
   if (delta == nullptr) {
     order = ScheduleLiterals(rule, static_cast<size_t>(-1));
     Bindings bindings;
     join(join, 0, bindings, static_cast<size_t>(-1));
+  } else if (only_pos != kAllChoices) {
+    // One task of a parallel round: a single delta-literal choice.
+    order = ScheduleLiterals(rule, only_pos);
+    Bindings bindings;
+    join(join, 0, bindings, only_pos);
   } else {
     // Semi-naive: union over choices of the delta literal, skipping
     // choices whose frontier relation is empty (the join is empty then).
@@ -378,7 +420,7 @@ size_t TotalSize(const Database& db) {
 
 }  // namespace
 
-Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
+Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
   LOGRES_ASSIGN_OR_RETURN(auto strata, Stratify(program));
   int max_stratum = 0;
   for (const auto& [p, s] : strata) {
@@ -386,9 +428,25 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
     max_stratum = std::max(max_stratum, s);
   }
 
+  ResourceGovernor governor(options.budget);
+  // Naive evaluation stays serial even when threads were requested: its
+  // rounds apply rules cumulatively in order (rule 2 sees rule 1's facts
+  // from the same round), so per-rule parallel tasks would change the
+  // round structure — and with it the step count the budget is charged.
+  size_t threads = options.strategy == EvalStrategy::kSemiNaive
+                       ? ThreadPool::Resolve(options.num_threads)
+                       : 1;
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    pool = &*pool_storage;
+  }
+
   Database db = program.edb();
   IndexCache indexes(db);
   for (int s = 0; s <= max_stratum; ++s) {
+    LOGRES_RETURN_NOT_OK(governor.CheckInterrupt());
     // Injection sites matching the eval/algres naming (datalog.stratum at
     // each stratum boundary, datalog.step at each fixpoint iteration), so
     // fault-injection tests cover the baseline engine too.
@@ -399,8 +457,9 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
     }
     if (stratum_rules.empty()) continue;
 
-    if (strategy == EvalStrategy::kNaive) {
+    if (options.strategy == EvalStrategy::kNaive) {
       for (;;) {
+        LOGRES_RETURN_NOT_OK(governor.CheckStep());
         LOGRES_FAILPOINT("datalog.step");
         size_t before = TotalSize(db);
         for (const Rule* rule : stratum_rules) {
@@ -412,20 +471,88 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
           if (target.size() != had) indexes.Invalidate(rule->head.predicate);
         }
         if (TotalSize(db) == before) break;
+        LOGRES_RETURN_NOT_OK(governor.CheckFacts(TotalSize(db)));
       }
     } else {
       // Semi-naive: seed delta with everything currently visible to the
       // stratum, iterate with delta-restricted joins.
       Database delta = db;
       for (;;) {
+        LOGRES_RETURN_NOT_OK(governor.CheckStep());
         LOGRES_FAILPOINT("datalog.step");
         Database next_delta;
-        for (const Rule* rule : stratum_rules) {
-          std::set<Fact> produced;
-          FireRule(*rule, db, &delta, &indexes, &produced);
-          for (const Fact& f : produced) {
-            if (!db[rule->head.predicate].count(f)) {
-              next_delta[rule->head.predicate].insert(f);
+        if (pool == nullptr) {
+          for (const Rule* rule : stratum_rules) {
+            std::set<Fact> produced;
+            FireRule(*rule, db, &delta, &indexes, &produced);
+            for (const Fact& f : produced) {
+              if (!db[rule->head.predicate].count(f)) {
+                next_delta[rule->head.predicate].insert(f);
+              }
+            }
+          }
+        } else {
+          // One task per (rule, delta-literal choice, contiguous chunk of
+          // that choice's frontier). Outputs are sets, so the merge below
+          // is order-insensitive; iterating specs in build order merely
+          // keeps the pass deterministic to read. Rules without positive
+          // literals run their (delta-independent) full join as one task.
+          struct RoundTask {
+            const Rule* rule = nullptr;
+            size_t only_pos = kAllChoices;
+            std::pair<size_t, size_t> chunk{0, 0};
+            bool chunked = false;
+          };
+          std::vector<RoundTask> specs;
+          for (const Rule* rule : stratum_rules) {
+            std::vector<size_t> positive_positions;
+            for (size_t i = 0; i < rule->body.size(); ++i) {
+              if (!rule->body[i].negated) positive_positions.push_back(i);
+            }
+            if (positive_positions.empty()) {
+              specs.push_back(RoundTask{rule});
+              continue;
+            }
+            for (size_t pos : positive_positions) {
+              size_t frontier =
+                  FactsOf(delta, rule->body[pos].predicate).size();
+              if (frontier == 0) continue;
+              constexpr size_t kMinChunkFacts = 4;
+              size_t chunks =
+                  std::min(pool->num_threads() * 2,
+                           std::max<size_t>(1, frontier / kMinChunkFacts));
+              size_t base = frontier / chunks;
+              size_t extra = frontier % chunks;
+              size_t lo = 0;
+              for (size_t c = 0; c < chunks; ++c) {
+                size_t len = base + (c < extra ? 1 : 0);
+                specs.push_back(
+                    RoundTask{rule, pos, {lo, lo + len}, true});
+                lo += len;
+              }
+            }
+          }
+          std::vector<std::set<Fact>> produced(specs.size());
+          std::vector<ThreadPool::Task> tasks;
+          tasks.reserve(specs.size());
+          for (size_t i = 0; i < specs.size(); ++i) {
+            tasks.push_back([&, i]() -> Status {
+              const RoundTask& spec = specs[i];
+              if (spec.only_pos == kAllChoices && !spec.chunked) {
+                FireRule(*spec.rule, db, nullptr, &indexes, &produced[i]);
+              } else {
+                FireRule(*spec.rule, db, &delta, &indexes, &produced[i],
+                         spec.only_pos, spec.chunked ? &spec.chunk : nullptr);
+              }
+              return Status::OK();
+            });
+          }
+          LOGRES_RETURN_NOT_OK(
+              pool->Run(std::move(tasks), options.budget.cancel));
+          for (size_t i = 0; i < specs.size(); ++i) {
+            const std::string& head = specs[i].rule->head.predicate;
+            for (const Fact& f : produced[i]) {
+              if (!FactsOf(db, head).count(f)) next_delta[head].insert(f);
             }
           }
         }
@@ -434,11 +561,18 @@ Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
           db[p].insert(facts.begin(), facts.end());
           indexes.Invalidate(p);
         }
+        LOGRES_RETURN_NOT_OK(governor.CheckFacts(TotalSize(db)));
         delta = std::move(next_delta);
       }
     }
   }
   return db;
+}
+
+Result<Database> Evaluate(const Program& program, EvalStrategy strategy) {
+  EvalOptions options;
+  options.strategy = strategy;
+  return Evaluate(program, options);
 }
 
 Result<std::set<Fact>> Query(const Database& db, const Literal& query) {

@@ -26,10 +26,12 @@
 #include <variant>
 #include <vector>
 
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace logres::datalog {
 
+using logres::Budget;
 using logres::Result;
 using logres::Status;
 
@@ -138,11 +140,31 @@ using Database = std::map<std::string, std::set<Fact>>;
 
 enum class EvalStrategy { kNaive, kSemiNaive };
 
+/// \brief Evaluation controls for the flat engine, mirroring the direct
+/// evaluator's contract.
+struct EvalOptions {
+  EvalStrategy strategy = EvalStrategy::kSemiNaive;
+  /// Worker threads for the semi-naive delta joins (1 = serial, 0 = one
+  /// per hardware thread). The delta relation is partitioned into
+  /// contiguous chunks per (rule, delta position); produced facts are
+  /// sets, so the merged fixpoint — and the per-round frontier, hence the
+  /// step count — is identical for every thread count. Naive evaluation
+  /// stays serial (its rounds apply rules cumulatively in order).
+  size_t num_threads = 1;
+  /// Shared budget semantics with the other engines: step exhaustion is
+  /// kDivergence (one step = one fixpoint round), deadline or fact-count
+  /// breach is kResourceExhausted, cancellation is kCancelled.
+  Budget budget;
+};
+
 /// \brief Computes the minimal model (perfect model when negation occurs).
 ///
 /// Negation requires the program to be stratified; otherwise an
 /// Inconsistent status is returned. Strata are evaluated bottom-up, each
 /// with the requested strategy.
+Result<Database> Evaluate(const Program& program, const EvalOptions& options);
+
+/// \brief Back-compat entry point: strategy only, default budget, serial.
 Result<Database> Evaluate(const Program& program,
                           EvalStrategy strategy = EvalStrategy::kSemiNaive);
 

@@ -1,0 +1,127 @@
+#include "util/thread_pool.h"
+
+namespace logres {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t spawn = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (size_t i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::Resolve(size_t requested) {
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+  return requested;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    // Hold the batch via shared_ptr so a worker that wakes late (or claims
+    // an out-of-range index just as the coordinator finishes) never touches
+    // a destroyed batch.
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (batch_ != nullptr && seen_generation != generation_);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    Drain(batch.get());
+  }
+}
+
+void ThreadPool::Drain(Batch* batch) {
+  size_t total = batch->tasks->size();
+  for (;;) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total) return;
+    if (batch->cancel.cancelled()) {
+      (*batch->statuses)[i] =
+          Status::Cancelled("cancelled before the task started");
+    } else {
+      try {
+        (*batch->statuses)[i] = (*batch->tasks)[i]();
+      } catch (...) {
+        (*batch->exceptions)[i] = std::current_exception();
+      }
+    }
+    if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task in the batch: wake the coordinator. Taking the lock
+      // orders this notify after the coordinator enters its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::Run(std::vector<Task> tasks,
+                       const CancellationToken& cancel) {
+  if (tasks.empty()) return Status::OK();
+  std::vector<Status> statuses(tasks.size());
+  std::vector<std::exception_ptr> exceptions(tasks.size());
+
+  if (workers_.empty()) {
+    // Serial lane: run in index order on the caller, same contract.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (cancel.cancelled()) {
+        statuses[i] = Status::Cancelled("cancelled before the task started");
+        continue;
+      }
+      try {
+        statuses[i] = tasks[i]();
+      } catch (...) {
+        exceptions[i] = std::current_exception();
+      }
+    }
+  } else {
+    auto batch = std::make_shared<Batch>();
+    batch->tasks = &tasks;
+    batch->statuses = &statuses;
+    batch->exceptions = &exceptions;
+    batch->remaining.store(tasks.size(), std::memory_order_relaxed);
+    batch->cancel = cancel;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_ = batch;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    // The coordinator is one of the lanes.
+    Drain(batch.get());
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return batch->remaining.load(std::memory_order_acquire) == 0;
+      });
+      batch_ = nullptr;
+    }
+  }
+
+  for (const std::exception_ptr& e : exceptions) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace logres

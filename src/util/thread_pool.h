@@ -1,0 +1,90 @@
+// A fixed-size worker pool for the parallel fixpoint engines.
+//
+// Design constraints (DESIGN.md §9):
+//  * Deterministic: tasks are claimed off a shared atomic counter in index
+//    order — no work stealing, no reordering. Callers build the task list
+//    in the serial evaluation order and merge results by task index, so
+//    the parallel composition is byte-identical to the serial one.
+//  * Status/exception propagation: every task returns a Status; the batch
+//    result is the status of the *lowest-indexed* failing task (so the
+//    reported error does not depend on scheduling). Exceptions are
+//    captured per task and rethrown on the calling thread, lowest index
+//    first.
+//  * Cooperative cancellation: an optional CancellationToken is consulted
+//    before each task claim; once it fires, unclaimed tasks are skipped
+//    with kCancelled. (In-flight tasks are expected to poll the shared
+//    ResourceGovernor themselves — Run never preempts.)
+//  * The calling thread participates: a pool of size N spawns N-1 workers
+//    and drains the batch alongside them, so size 1 is exactly the serial
+//    code path with no thread handoff at all.
+//
+// The pool is reusable across batches (one batch per fixpoint step); Run
+// is not itself thread-safe — one coordinator drives the pool.
+
+#ifndef LOGRES_UTIL_THREAD_POOL_H_
+#define LOGRES_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/governor.h"
+#include "util/status.h"
+
+namespace logres {
+
+class ThreadPool {
+ public:
+  using Task = std::function<Status()>;
+
+  /// \brief Spawns `num_threads - 1` workers (the caller is the last
+  /// lane). `num_threads <= 1` spawns none.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Total parallelism including the calling thread.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// \brief Runs every task and blocks until all have finished. See the
+  /// header comment for the determinism / propagation contract.
+  Status Run(std::vector<Task> tasks, const CancellationToken& cancel = {});
+
+  /// \brief Maps an EvalOptions-style request to an actual thread count:
+  /// 0 means "all hardware threads", anything else is taken literally
+  /// (minimum 1).
+  static size_t Resolve(size_t requested);
+
+ private:
+  struct Batch {
+    std::vector<Task>* tasks = nullptr;
+    std::vector<Status>* statuses = nullptr;
+    std::vector<std::exception_ptr>* exceptions = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> remaining{0};
+    CancellationToken cancel;
+  };
+
+  void WorkerLoop();
+  void Drain(Batch* batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // the coordinator waits for drain
+  std::shared_ptr<Batch> batch_;      // guarded by mu_
+  uint64_t generation_ = 0;           // guarded by mu_
+  bool shutdown_ = false;             // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_UTIL_THREAD_POOL_H_

@@ -1,0 +1,336 @@
+// Parallel fixpoint determinism and thread-aware governor behavior.
+//
+// The parallel evaluators promise byte-identical results for every thread
+// count: the per-step work is partitioned into tasks built in the serial
+// evaluation order and merged single-threaded in that same order, so the
+// fixpoint — including invented oids, the non-commutative o-value
+// composition, and head deletions — cannot depend on scheduling. These
+// tests pin that promise with canonical dumps across num_threads
+// {1, 2, 4, 8} on every fixture class that exercises a distinct engine
+// path, and check the governor's transactional guarantee under threads:
+// cancellation (from a second thread, mid-run) and budget exhaustion roll
+// the database back with no partial delta.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/algres_backend.h"
+#include "core/database.h"
+#include "core/dump.h"
+#include "datalog/datalog.h"
+#include "util/thread_pool.h"
+
+namespace logres {
+namespace {
+
+Value T2(int64_t a, int64_t b) {
+  return Value::MakeTuple({{"a", Value::Int(a)}, {"b", Value::Int(b)}});
+}
+
+// Applies `module` with `threads` workers on a fresh database built from
+// `schema` + `populate`, expecting success, and returns the canonical
+// dump.
+std::string RunAndDump(const std::string& schema,
+                       const std::function<void(Database*)>& populate,
+                       const std::string& module, size_t threads,
+                       EvalMode mode = EvalMode::kStratified) {
+  auto db_result = Database::Create(schema);
+  EXPECT_TRUE(db_result.ok()) << db_result.status();
+  if (!db_result.ok()) return {};
+  Database db = std::move(db_result).value();
+  populate(&db);
+  EvalOptions options;
+  options.num_threads = threads;
+  options.mode = mode;
+  auto apply = db.ApplySource(module, ApplicationMode::kRIDV, options);
+  EXPECT_TRUE(apply.ok()) << apply.status() << " (threads=" << threads
+                          << ")";
+  if (apply.ok()) {
+    EXPECT_EQ(apply->stats.threads, threads);
+  }
+  return DumpDatabase(db);
+}
+
+// Asserts the dump is byte-identical across the thread sweep.
+void ExpectDeterministicSweep(const std::string& schema,
+                              const std::function<void(Database*)>& populate,
+                              const std::string& module,
+                              EvalMode mode = EvalMode::kStratified) {
+  std::string serial = RunAndDump(schema, populate, module, 1, mode);
+  ASSERT_FALSE(serial.empty());
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    EXPECT_EQ(serial, RunAndDump(schema, populate, module, threads, mode))
+        << "threads=" << threads;
+  }
+}
+
+void PopulateChain(Database* db, int n) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(db->InsertTuple("E", T2(i, i + 1)).ok());
+  }
+}
+
+TEST(ParallelDeterminism, ChainTransitiveClosure) {
+  ExpectDeterministicSweep(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);",
+      [](Database* db) { PopulateChain(db, 24); },
+      "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).");
+}
+
+TEST(ParallelDeterminism, InventedOidsAcrossSteps) {
+  // Oid invention is the hardest case: workers defer invention requests
+  // and the coordinator resolves them in serial firing order, so the oid
+  // *numbers* in the dump must match the serial run exactly. The counter
+  // rule invents a fresh object per step; the per-fact rule invents many
+  // within one step.
+  ExpectDeterministicSweep(
+      "classes OBJ = (x: integer); NODE = (x: integer);"
+      "associations S = (x: integer);",
+      [](Database* db) {
+        for (int i = 0; i < 12; ++i) {
+          ASSERT_TRUE(
+              db->InsertTuple("S", Value::MakeTuple({{"x", Value::Int(i)}}))
+                  .ok());
+        }
+      },
+      "rules obj(self O, x: X) <- s(x: X)."
+      "      node(self N, x: 0) <- s(x: 0)."
+      "      node(self N, x: Y) <- node(self M, x: X), Y = X + 1, X < 8.");
+}
+
+TEST(ParallelDeterminism, HeadDeletionsAndOValueRewrites) {
+  // Head negation produces Delta-minus facts and o-value rewrites ride on
+  // the non-commutative composition; both must merge in serial order.
+  ExpectDeterministicSweep(
+      "associations P = (x: integer); S = (x: integer);",
+      [](Database* db) {
+        for (int i = 0; i < 6; ++i) {
+          ASSERT_TRUE(
+              db->InsertTuple("S", Value::MakeTuple({{"x", Value::Int(i)}}))
+                  .ok());
+          ASSERT_TRUE(
+              db->InsertTuple("P", Value::MakeTuple({{"x", Value::Int(i)}}))
+                  .ok());
+        }
+      },
+      "rules p(x: Y) <- s(x: X), Y = X + 10."
+      "      not p(x: X) <- s(x: X), X > 2.");
+}
+
+TEST(ParallelDeterminism, StratifiedNegation) {
+  ExpectDeterministicSweep(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);"
+      "             GAP = (a: integer, b: integer);",
+      [](Database* db) { PopulateChain(db, 12); },
+      "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z)."
+      "      gap(a: X, b: Y) <- e(a: X, b: X1), e(a: Y1, b: Y),"
+      "                         not tc(a: X, b: Y).");
+}
+
+TEST(ParallelDeterminism, NonInflationaryMode) {
+  ExpectDeterministicSweep(
+      "associations P = (x: integer); Q = (x: integer);",
+      [](Database* db) {
+        for (int i = 0; i < 8; ++i) {
+          ASSERT_TRUE(
+              db->InsertTuple("P", Value::MakeTuple({{"x", Value::Int(i)}}))
+                  .ok());
+        }
+      },
+      "rules q(x: Y) <- p(x: X), Y = X * 2.", EvalMode::kNonInflationary);
+}
+
+TEST(ParallelDeterminism, DatalogEngineSweep) {
+  datalog::Program program;
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_TRUE(program
+                    .AddFact("e", {datalog::Constant::Int(i),
+                                   datalog::Constant::Int(i + 1)})
+                    .ok());
+  }
+  using datalog::Literal;
+  using datalog::Term;
+  ASSERT_TRUE(program
+                  .AddRule(datalog::Rule{
+                      Literal{"tc", {Term::Var("X"), Term::Var("Y")}, false},
+                      {Literal{"e", {Term::Var("X"), Term::Var("Y")},
+                               false}}})
+                  .ok());
+  ASSERT_TRUE(
+      program
+          .AddRule(datalog::Rule{
+              Literal{"tc", {Term::Var("X"), Term::Var("Z")}, false},
+              {Literal{"tc", {Term::Var("X"), Term::Var("Y")}, false},
+               Literal{"e", {Term::Var("Y"), Term::Var("Z")}, false}}})
+          .ok());
+  auto serial = datalog::Evaluate(program);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    datalog::EvalOptions options;
+    options.num_threads = threads;
+    auto parallel = datalog::Evaluate(program, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(*serial, *parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, AlgresBackendSweep) {
+  auto db_result = Database::Create(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);");
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  PopulateChain(&db, 40);
+  auto unit = Parse(
+      "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto program = Typecheck(db.schema(), {}, unit->rules);
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto backend = AlgresBackend::Compile(db.schema(), *program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto serial = backend->Run(db.edb());
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    auto parallel =
+        backend->Run(db.edb(), AlgresStrategy::kSemiNaive, Budget{}, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_TRUE(*serial == *parallel) << "threads=" << threads;
+    EXPECT_EQ(serial->ToString(), parallel->ToString())
+        << "threads=" << threads;
+  }
+}
+
+// ---- Thread-aware governor: transactional rollback ------------------------
+
+constexpr const char* kChainSchema =
+    "associations E = (a: integer, b: integer);"
+    "             TC = (a: integer, b: integer);";
+constexpr const char* kChainRules =
+    "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+    "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).";
+
+TEST(ParallelGovernor, SecondThreadCancellationRollsBack) {
+  // The canceller races the fixpoint, so a fast machine could complete
+  // the apply before Cancel() lands. Escalate the workload until the
+  // cancellation wins; each attempt is a valid transactional-rollback
+  // check on its own.
+  for (int n : {600, 2400, 9600}) {
+    auto db_result = Database::Create(kChainSchema);
+    ASSERT_TRUE(db_result.ok()) << db_result.status();
+    Database db = std::move(db_result).value();
+    PopulateChain(&db, n);
+    std::string before = DumpDatabase(db);
+
+    CancellationSource source;
+    EvalOptions options;
+    options.num_threads = 4;
+    options.budget.cancel = source.token();
+    std::thread canceller([&source]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      source.Cancel();
+    });
+    auto apply = db.ApplySource(kChainRules, ApplicationMode::kRIDV, options);
+    canceller.join();
+    if (apply.ok()) continue;  // fixpoint beat the canceller; go bigger
+    EXPECT_EQ(apply.status().code(), StatusCode::kCancelled)
+        << apply.status();
+    // Transactional: no partial delta survives the cancellation.
+    EXPECT_EQ(before, DumpDatabase(db));
+    return;
+  }
+  FAIL() << "fixpoint completed before cancellation at every size";
+}
+
+TEST(ParallelGovernor, StepExhaustionUnderThreadsRollsBack) {
+  auto db_result = Database::Create(kChainSchema);
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  PopulateChain(&db, 30);
+  std::string before = DumpDatabase(db);
+  EvalOptions options;
+  options.num_threads = 4;
+  options.budget.max_steps = 3;
+  auto apply = db.ApplySource(kChainRules, ApplicationMode::kRIDV, options);
+  ASSERT_FALSE(apply.ok());
+  EXPECT_EQ(apply.status().code(), StatusCode::kDivergence) << apply.status();
+  EXPECT_EQ(before, DumpDatabase(db));
+}
+
+TEST(ParallelGovernor, TimeoutUnderThreadsRollsBack) {
+  auto db_result = Database::Create(kChainSchema);
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  PopulateChain(&db, 30);
+  std::string before = DumpDatabase(db);
+  EvalOptions options;
+  options.num_threads = 4;
+  options.budget.timeout = std::chrono::milliseconds(0);
+  auto apply = db.ApplySource(kChainRules, ApplicationMode::kRIDV, options);
+  ASSERT_FALSE(apply.ok());
+  EXPECT_EQ(apply.status().code(), StatusCode::kResourceExhausted)
+      << apply.status();
+  EXPECT_EQ(before, DumpDatabase(db));
+}
+
+TEST(ParallelGovernor, SuccessfulParallelApplyReportsThreads) {
+  auto db_result = Database::Create(kChainSchema);
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  PopulateChain(&db, 20);
+  EvalOptions options;
+  options.num_threads = 4;
+  auto apply = db.ApplySource(kChainRules, ApplicationMode::kRIDV, options);
+  ASSERT_TRUE(apply.ok()) << apply.status();
+  EXPECT_EQ(apply->stats.threads, 4u);
+  EXPECT_EQ(apply->stats.rule_micros.size(), 2u);
+  EXPECT_EQ(db.edb().TuplesOf("TC").size(), 20u * 21u / 2u);
+}
+
+// ThreadPool unit coverage: status propagation picks the lowest-indexed
+// failure regardless of scheduling, and a pre-cancelled token skips
+// unclaimed tasks with kCancelled.
+TEST(ThreadPoolTest, LowestIndexedFailureWins) {
+  ThreadPool pool(4);
+  std::vector<ThreadPool::Task> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([i]() -> Status {
+      if (i == 7) return Status::ExecutionError("seven");
+      if (i == 21) return Status::ExecutionError("twenty-one");
+      return Status::OK();
+    });
+  }
+  Status status = pool.Run(std::move(tasks));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("seven"), std::string::npos) << status;
+}
+
+TEST(ThreadPoolTest, CancelledTokenShortCircuits) {
+  ThreadPool pool(4);
+  CancellationSource source;
+  source.Cancel();
+  std::vector<ThreadPool::Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([]() -> Status { return Status::OK(); });
+  }
+  Status status = pool.Run(std::move(tasks), source.token());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  std::vector<ThreadPool::Task> tasks;
+  tasks.push_back([]() -> Status { return Status::OK(); });
+  tasks.push_back([]() -> Status { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Run(std::move(tasks)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace logres

@@ -1,15 +1,19 @@
 // Differential testing: randomly generated stratified flat programs are
-// evaluated by the LOGRES engine and by the independent flat Datalog
-// baseline; both must derive exactly the same facts. This cross-checks
-// the whole pipeline (parser, type checker, scheduler, fixpoint,
-// negation, semi-naive optimization) against a second implementation
-// with a completely different architecture.
+// evaluated by the LOGRES engine, by the ALGRES-compiled backend, and by
+// the independent flat Datalog baseline; all three must derive exactly
+// the same facts — serially and with a worker pool. This cross-checks the
+// whole pipeline (parser, type checker, scheduler, fixpoint, negation,
+// semi-naive optimization, parallel partitioning) against implementations
+// with completely different architectures. A second suite checks that the
+// three engines also *fail* identically: the same budget produces the
+// same kDivergence / kResourceExhausted classification everywhere.
 
 #include <gtest/gtest.h>
 
 #include <random>
 #include <set>
 
+#include "core/algres_backend.h"
 #include "core/database.h"
 #include "datalog/datalog.h"
 
@@ -141,7 +145,7 @@ FactSet BaselineFacts(const datalog::Database& db) {
 
 class DifferentialProperty : public ::testing::TestWithParam<unsigned> {};
 
-TEST_P(DifferentialProperty, LogresAgreesWithBaseline) {
+TEST_P(DifferentialProperty, ThreeEnginesAgree) {
   GeneratedProgram gen = Generate(GetParam());
 
   // LOGRES side.
@@ -157,19 +161,163 @@ TEST_P(DifferentialProperty, LogresAgreesWithBaseline) {
         Value::MakeTuple({{"f1", Value::Int(fact[1])},
                           {"f2", Value::Int(fact[2])}})).ok());
   }
+
+  // Engines 1b/2: direct evaluator with 4 workers and the ALGRES-compiled
+  // backend run against the pre-application state.
+  auto unit = Parse(gen.logres_rules);
+  ASSERT_TRUE(unit.ok()) << unit.status() << "\n" << gen.logres_rules;
+  auto program = Typecheck(db.schema(), {}, unit->rules);
+  ASSERT_TRUE(program.ok()) << program.status();
+  Instance edb = db.edb();
+
+  OidGenerator gen_parallel;
+  Evaluator parallel_eval(db.schema(), *program, &gen_parallel);
+  EvalOptions four_threads;
+  four_threads.num_threads = 4;
+  auto direct_parallel = parallel_eval.Run(edb, four_threads);
+  ASSERT_TRUE(direct_parallel.ok()) << direct_parallel.status();
+  EXPECT_EQ(parallel_eval.stats().threads, 4u);
+
+  auto backend = AlgresBackend::Compile(db.schema(), *program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  auto compiled = backend->Run(edb);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  auto compiled_parallel =
+      backend->Run(edb, AlgresStrategy::kSemiNaive, Budget{}, 4);
+  ASSERT_TRUE(compiled_parallel.ok()) << compiled_parallel.status();
+
+  // Engine 1: direct evaluator (serial) through the full Apply pipeline.
   auto apply = db.ApplySource(gen.logres_rules, ApplicationMode::kRIDV);
   ASSERT_TRUE(apply.ok()) << apply.status() << "\n" << gen.logres_rules;
 
-  // Baseline side.
+  // Engine 3: the flat Datalog baseline, serial and with 4 workers.
   auto baseline = datalog::Evaluate(gen.baseline);
   ASSERT_TRUE(baseline.ok()) << baseline.status();
+  datalog::EvalOptions dl_parallel;
+  dl_parallel.num_threads = 4;
+  auto baseline_parallel = datalog::Evaluate(gen.baseline, dl_parallel);
+  ASSERT_TRUE(baseline_parallel.ok()) << baseline_parallel.status();
 
-  EXPECT_EQ(LogresFacts(db.edb()), BaselineFacts(*baseline))
-      << gen.logres_rules;
+  FactSet expected = LogresFacts(db.edb());
+  EXPECT_EQ(expected, BaselineFacts(*baseline)) << gen.logres_rules;
+  EXPECT_EQ(expected, BaselineFacts(*baseline_parallel)) << gen.logres_rules;
+  EXPECT_EQ(expected, LogresFacts(*direct_parallel)) << gen.logres_rules;
+  EXPECT_EQ(expected, LogresFacts(*compiled)) << gen.logres_rules;
+  EXPECT_EQ(expected, LogresFacts(*compiled_parallel)) << gen.logres_rules;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialProperty,
                          ::testing::Range(0u, 40u));
+
+// ---- Budget classification parity -----------------------------------------
+//
+// The three engines share the governor contract: step exhaustion is
+// kDivergence, deadline or fact-ceiling breach is kResourceExhausted —
+// whatever the engine and whatever the thread count.
+
+struct ChainEngines {
+  Database db;
+  CheckedProgram program;
+  Schema schema;
+  datalog::Program baseline;
+};
+
+Result<ChainEngines> MakeChainEngines(int n) {
+  LOGRES_ASSIGN_OR_RETURN(
+      Database db,
+      Database::Create("associations E = (a: integer, b: integer);"
+                       "             TC = (a: integer, b: integer);"));
+  datalog::Program baseline;
+  for (int i = 0; i < n; ++i) {
+    if (!db.InsertTuple(
+                "E", Value::MakeTuple({{"a", Value::Int(i)},
+                                       {"b", Value::Int(i + 1)}}))
+             .ok()) {
+      return Status::ExecutionError("insert failed");
+    }
+    LOGRES_RETURN_NOT_OK(baseline.AddFact(
+        "e", {datalog::Constant::Int(i), datalog::Constant::Int(i + 1)}));
+  }
+  LOGRES_ASSIGN_OR_RETURN(
+      auto unit, Parse("rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+                       "      tc(a: X, b: Z) <- tc(a: X, b: Y),"
+                       "                        e(a: Y, b: Z)."));
+  LOGRES_ASSIGN_OR_RETURN(auto program,
+                          Typecheck(db.schema(), {}, unit.rules));
+  auto add_rule = [&](datalog::Rule rule) {
+    return baseline.AddRule(std::move(rule));
+  };
+  using datalog::Literal;
+  using datalog::Term;
+  LOGRES_RETURN_NOT_OK(add_rule(datalog::Rule{
+      Literal{"tc", {Term::Var("X"), Term::Var("Y")}, false},
+      {Literal{"e", {Term::Var("X"), Term::Var("Y")}, false}}}));
+  LOGRES_RETURN_NOT_OK(add_rule(datalog::Rule{
+      Literal{"tc", {Term::Var("X"), Term::Var("Z")}, false},
+      {Literal{"tc", {Term::Var("X"), Term::Var("Y")}, false},
+       Literal{"e", {Term::Var("Y"), Term::Var("Z")}, false}}}));
+  Schema schema = db.schema();
+  return ChainEngines{std::move(db), std::move(program), std::move(schema),
+                      std::move(baseline)};
+}
+
+// Runs all three engines (direct at 1 and 4 threads, compiled backend,
+// Datalog at 1 and 4 threads) under `budget` and checks every one fails
+// with `expected`.
+void ExpectClassification(const ChainEngines& engines, const Budget& budget,
+                          StatusCode expected) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    OidGenerator gen;
+    Evaluator evaluator(engines.schema, engines.program, &gen);
+    EvalOptions options;
+    options.budget = budget;
+    options.num_threads = threads;
+    auto direct = evaluator.Run(engines.db.edb(), options);
+    ASSERT_FALSE(direct.ok()) << "direct, threads=" << threads;
+    EXPECT_EQ(direct.status().code(), expected)
+        << "direct, threads=" << threads << ": " << direct.status();
+
+    datalog::EvalOptions dl;
+    dl.budget = budget;
+    dl.num_threads = threads;
+    auto baseline = datalog::Evaluate(engines.baseline, dl);
+    ASSERT_FALSE(baseline.ok()) << "datalog, threads=" << threads;
+    EXPECT_EQ(baseline.status().code(), expected)
+        << "datalog, threads=" << threads << ": " << baseline.status();
+
+    auto backend = AlgresBackend::Compile(engines.schema, engines.program);
+    ASSERT_TRUE(backend.ok()) << backend.status();
+    auto compiled = backend->Run(engines.db.edb(),
+                                 AlgresStrategy::kSemiNaive, budget, threads);
+    ASSERT_FALSE(compiled.ok()) << "algres, threads=" << threads;
+    EXPECT_EQ(compiled.status().code(), expected)
+        << "algres, threads=" << threads << ": " << compiled.status();
+  }
+}
+
+TEST(ClassificationParity, StepExhaustionIsDivergenceEverywhere) {
+  auto engines = MakeChainEngines(24);
+  ASSERT_TRUE(engines.ok()) << engines.status();
+  Budget tight;
+  tight.max_steps = 2;
+  ExpectClassification(*engines, tight, StatusCode::kDivergence);
+}
+
+TEST(ClassificationParity, ZeroDeadlineIsResourceExhaustedEverywhere) {
+  auto engines = MakeChainEngines(24);
+  ASSERT_TRUE(engines.ok()) << engines.status();
+  Budget expired;
+  expired.timeout = std::chrono::milliseconds(0);
+  ExpectClassification(*engines, expired, StatusCode::kResourceExhausted);
+}
+
+TEST(ClassificationParity, FactCeilingIsResourceExhaustedEverywhere) {
+  auto engines = MakeChainEngines(24);
+  ASSERT_TRUE(engines.ok()) << engines.status();
+  Budget cramped;
+  cramped.max_facts = 25;  // the 24 EDB tuples + first derived round breach
+  ExpectClassification(*engines, cramped, StatusCode::kResourceExhausted);
+}
 
 }  // namespace
 }  // namespace logres

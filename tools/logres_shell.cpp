@@ -26,7 +26,8 @@
 //   explain                show the analyzed program (strata, schedules)
 //   dot                    print the predicate dependency graph (DOT)
 //   set                    show the evaluation limits
-//   set <limit> <n>        set timeout_ms / max_steps / max_facts
+//   set <limit> <n>        set timeout_ms / max_steps / max_facts /
+//                          threads (0 = one per hardware thread)
 //                          (0 = unlimited) for later apply/run/? commands
 //   quit
 //
@@ -111,6 +112,7 @@ class Shell {
     EvalOptions options;
     options.budget = budget_;
     options.budget.cancel = InterruptSource().token();
+    options.num_threads = threads_;
     return options;
   }
 
@@ -343,17 +345,20 @@ class Shell {
       std::string key;
       words >> key;
       if (key.empty()) {
-        std::printf("timeout_ms = %lld\nmax_steps = %zu\nmax_facts = %zu\n",
-                    budget_.timeout.has_value()
-                        ? static_cast<long long>(budget_.timeout->count())
-                        : 0LL,
-                    budget_.max_steps, budget_.max_facts);
+        std::printf(
+            "timeout_ms = %lld\nmax_steps = %zu\nmax_facts = %zu\n"
+            "threads = %zu\n",
+            budget_.timeout.has_value()
+                ? static_cast<long long>(budget_.timeout->count())
+                : 0LL,
+            budget_.max_steps, budget_.max_facts, threads_);
         return true;
       }
       long long value = -1;
       words >> value;
       if (value < 0) {
-        std::printf("usage: set [timeout_ms|max_steps|max_facts] <n>\n");
+        std::printf(
+            "usage: set [timeout_ms|max_steps|max_facts|threads] <n>\n");
         return true;
       }
       if (key == "timeout_ms") {
@@ -366,9 +371,14 @@ class Shell {
         budget_.max_steps = static_cast<size_t>(value);
       } else if (key == "max_facts") {
         budget_.max_facts = static_cast<size_t>(value);
+      } else if (key == "threads") {
+        // 0 = one per hardware thread; results are identical either way.
+        threads_ = static_cast<size_t>(value);
       } else {
-        std::printf("unknown limit '%s' (timeout_ms/max_steps/max_facts)\n",
-                    key.c_str());
+        std::printf(
+            "unknown limit '%s' "
+            "(timeout_ms/max_steps/max_facts/threads)\n",
+            key.c_str());
         return true;
       }
       std::printf("set %s = %lld\n", key.c_str(), value);
@@ -431,6 +441,7 @@ class Shell {
   std::optional<JournaledDatabase> jdb_;
   bool has_db_ = false;
   Budget budget_;  // adjusted with `set`; cancel token added per command
+  size_t threads_ = 1;  // `set threads`; 0 = one per hardware thread
 };
 
 }  // namespace
