@@ -26,11 +26,14 @@ using bench::RandomEdges;
 
 void RunLogres(benchmark::State& state, bool semi_naive,
                std::vector<std::pair<int64_t, int64_t>> edges,
-               size_t threads = 1) {
+               size_t threads = 1, bool snapshot_steps = false,
+               EvalMode mode = EvalMode::kStratified) {
   Database db = EdgeDatabase(edges);
   EvalOptions options;
   options.semi_naive = semi_naive;
   options.num_threads = threads;
+  options.use_snapshot_steps = snapshot_steps;
+  options.mode = mode;
   size_t result_size = 0;
   for (auto _ : state) {
     Database fresh = EdgeDatabase(edges);
@@ -66,6 +69,71 @@ void BM_LogresChainThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_LogresChainThreads)
     ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+
+// Step-application path ablation at fixed n: the undo-log default
+// (arg 0) vs the historical copy-per-step reference behind
+// EvalOptions::use_snapshot_steps (arg 1). Results are byte-identical
+// (tests/parallel_test.cc proves it); only the per-step O(|instance|)
+// copy + compare cost separates them.
+void BM_LogresChainStepPath(benchmark::State& state) {
+  RunLogres(state, true, ChainEdges(state.range(0)), 1,
+            state.range(1) != 0);
+}
+BENCHMARK(BM_LogresChainStepPath)
+    ->Args({256, 0})->Args({256, 1})
+    ->Args({1024, 0})->Args({1024, 1});
+
+// Same ablation under non-inflationary (replacement) semantics — the loop
+// where the reference path genuinely rebuilds a fresh E ⊕ Δ instance and
+// whole-compares it against the previous state every step. The undo path
+// rolls the live instance back to E by reverse replay instead, so only
+// there does the per-step O(|instance|) copy + compare actually
+// disappear. Chain TC is monotone, so replacement semantics converge to
+// the same closure.
+void BM_LogresChainStepPathNoninf(benchmark::State& state) {
+  RunLogres(state, false, ChainEdges(state.range(0)), 1,
+            state.range(1) != 0, EvalMode::kNonInflationary);
+}
+BENCHMARK(BM_LogresChainStepPathNoninf)
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({128, 0})->Args({128, 1});
+
+// The regime the in-place step is built for: a big EDB with a small
+// derived relation under replacement semantics. Bounded reachability over
+// an n-edge chain converges in ~33 steps with |REACH| <= 33, so the
+// reference path's per-step cost is the E ⊕ Δ rebuild plus the
+// whole-instance comparison — both O(n) — while the undo path rolls back
+// and re-derives only the ~33 net facts: O(|Δ|) per step regardless of n.
+void BM_LogresReachStepPathNoninf(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  EvalOptions options;
+  options.use_snapshot_steps = state.range(1) != 0;
+  options.mode = EvalMode::kNonInflationary;
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto db = Database::Create(
+        "associations E = (a: integer, b: integer);"
+        "             SEED = (n: integer);"
+        "             REACH = (n: integer);");
+    for (const auto& [a, b] : ChainEdges(n)) {
+      (void)db->InsertTuple("E", Value::MakeTuple(
+          {{"a", Value::Int(a)}, {"b", Value::Int(b)}}));
+    }
+    (void)db->InsertTuple("SEED",
+                          Value::MakeTuple({{"n", Value::Int(0)}}));
+    auto apply = db->ApplySource(
+        "rules "
+        "reach(n: X) <- seed(n: X)."
+        "reach(n: Y) <- reach(n: X), e(a: X, b: Y), Y <= 32.",
+        ApplicationMode::kRIDV, options);
+    if (!apply.ok()) state.SkipWithError(apply.status().ToString().c_str());
+    result_size = db->edb().TuplesOf("REACH").size();
+  }
+  state.counters["tc_tuples"] = static_cast<double>(result_size);
+}
+BENCHMARK(BM_LogresReachStepPathNoninf)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({4096, 0})->Args({4096, 1});
 
 void RunAlgres(benchmark::State& state, AlgresStrategy strategy,
                std::vector<std::pair<int64_t, int64_t>> edges,

@@ -65,6 +65,9 @@ tc_name = re.compile(
 # Parallel sweep: BM_<Engine>ChainThreads/<n>/<threads> (always semi-naive).
 tc_threads = re.compile(
     r"BM_(Logres|Algres|Datalog)ChainThreads/(\d+)/(\d+)")
+# Step-application ablation: BM_Logres<Wl>StepPath[Noninf]/<n>/<snapshot>.
+tc_steppath = re.compile(
+    r"BM_Logres(Chain|Reach)StepPath(Noninf)?/(\d+)/([01])")
 for b in json.load(open(tc_path))["benchmarks"]:
     m = tc_name.fullmatch(b["name"])
     if m:
@@ -74,6 +77,22 @@ for b in json.load(open(tc_path))["benchmarks"]:
             "n": int(n),
             "engine": engine.lower(),
             "strategy": "semi_naive" if strategy == "SemiNaive" else "naive",
+            "threads": 1,
+            "wall_ms": wall_ms(b),
+            "rows": int(b.get("tc_tuples", 0)),
+        })
+        continue
+    m = tc_steppath.fullmatch(b["name"])
+    if m:
+        workload, noninf, n, snapshot = m.groups()
+        strategy = "snapshot_steps" if snapshot == "1" else "undo_steps"
+        if noninf:
+            strategy += "_noninf"
+        records.append({
+            "workload": workload.lower(),
+            "n": int(n),
+            "engine": "logres",
+            "strategy": strategy,
             "threads": 1,
             "wall_ms": wall_ms(b),
             "rows": int(b.get("tc_tuples", 0)),

@@ -92,7 +92,8 @@ Result<Oid> Database::InsertObject(const std::string& cls, Value ovalue) {
   if (!schema_.IsClass(name)) {
     return Status::NotFound(StrCat("'", cls, "' is not a class"));
   }
-  return edb_.CreateObject(schema_, name, std::move(ovalue), &gen_);
+  return edb_.CreateObject(schema_, name, std::move(ovalue), &gen_,
+                           ActiveUndo());
 }
 
 Status Database::InsertTuple(const std::string& assoc, Value tuple) {
@@ -100,7 +101,7 @@ Status Database::InsertTuple(const std::string& assoc, Value tuple) {
   if (!schema_.IsAssociation(name)) {
     return Status::NotFound(StrCat("'", assoc, "' is not an association"));
   }
-  edb_.InsertTuple(name, std::move(tuple));
+  edb_.InsertTuple(name, std::move(tuple), ActiveUndo());
   return Status::OK();
 }
 
@@ -163,15 +164,93 @@ Result<ModuleResult> Database::ApplySource(const std::string& source,
   return Apply(module, mode, options);
 }
 
+Database::Snapshot::Snapshot(Snapshot&& other) noexcept
+    : db_(other.db_),
+      undo_base_(other.undo_base_),
+      schema_(std::move(other.schema_)),
+      rules_(std::move(other.rules_)),
+      functions_(std::move(other.functions_)) {
+  other.db_ = nullptr;
+}
+
+Database::Snapshot& Database::Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    db_ = other.db_;
+    undo_base_ = other.undo_base_;
+    schema_ = std::move(other.schema_);
+    rules_ = std::move(other.rules_);
+    functions_ = std::move(other.functions_);
+    other.db_ = nullptr;
+  }
+  return *this;
+}
+
+Database::Snapshot::~Snapshot() { Release(); }
+
+void Database::Snapshot::Release() {
+  if (db_ == nullptr) return;
+  db_->ReleaseSnapshotMark(undo_base_);
+  db_ = nullptr;
+}
+
+Database::Database(const Database& other)
+    : schema_(other.schema_),
+      rules_(other.rules_),
+      functions_(other.functions_),
+      edb_(other.edb_),
+      modules_(other.modules_),
+      gen_(other.gen_) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  rules_ = other.rules_;
+  functions_ = other.functions_;
+  edb_ = other.edb_;
+  modules_ = other.modules_;
+  gen_ = other.gen_;
+  edb_undo_.Clear();
+  snapshot_bases_.clear();
+  return *this;
+}
+
 Database::Snapshot Database::TakeSnapshot() const {
-  return Snapshot{schema_, rules_, functions_, edb_};
+  Snapshot snapshot;
+  snapshot.db_ = this;
+  snapshot.undo_base_ = edb_undo_.size();
+  snapshot.schema_ = schema_;
+  snapshot.rules_ = rules_;
+  snapshot.functions_ = functions_;
+  snapshot_bases_.push_back(snapshot.undo_base_);
+  return snapshot;
+}
+
+void Database::ReleaseSnapshotMark(size_t base) const {
+  for (auto it = snapshot_bases_.rbegin(); it != snapshot_bases_.rend();
+       ++it) {
+    if (*it == base) {
+      snapshot_bases_.erase(std::next(it).base());
+      break;
+    }
+  }
+  if (snapshot_bases_.empty()) edb_undo_.Clear();
 }
 
 void Database::RestoreSnapshot(Snapshot snapshot) {
-  schema_ = std::move(snapshot.schema);
-  rules_ = std::move(snapshot.rules);
-  functions_ = std::move(snapshot.functions);
-  edb_ = std::move(snapshot.edb);
+  edb_.RollbackTo(&edb_undo_, snapshot.undo_base_);
+  schema_ = std::move(snapshot.schema_);
+  rules_ = std::move(snapshot.rules_);
+  functions_ = std::move(snapshot.functions_);
+  // `snapshot` goes out of scope here and releases its mark.
+}
+
+void Database::ReplaceEdb(Instance next) {
+  if (UndoLog* undo = ActiveUndo()) {
+    undo->InstanceReplaced(
+        std::make_unique<Instance>(std::move(edb_)));
+  }
+  edb_ = std::move(next);
 }
 
 Result<ModuleResult> Database::Apply(const Module& module,
@@ -252,8 +331,9 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
       std::vector<FunctionDecl> fns =
           MergeFunctions(functions_, module.functions);
       LOGRES_ASSIGN_OR_RETURN(
-          edb_, Evaluate(merged, fns, module.rules, edb_, options,
-                         &result.stats));
+          Instance e1, Evaluate(merged, fns, module.rules, edb_, options,
+                                &result.stats));
+      ReplaceEdb(std::move(e1));
       schema_ = std::move(merged);
       functions_ = std::move(fns);
       if (mode == ApplicationMode::kRADV) {
@@ -277,7 +357,9 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
           Instance em, Evaluate(schema_, functions_, module.rules, empty,
                                 options, &result.stats));
       for (const auto& [assoc, tuples] : em.associations()) {
-        for (const Value& t : tuples) edb_.EraseTuple(assoc, t);
+        for (const Value& t : tuples) {
+          edb_.EraseTuple(assoc, t, ActiveUndo());
+        }
       }
       for (const auto& [cls, oids] : em.class_oids()) {
         for (Oid em_oid : oids) {
@@ -291,7 +373,8 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
             }
           }
           for (Oid oid : to_remove) {
-            LOGRES_RETURN_NOT_OK(edb_.RemoveObject(schema_, cls, oid));
+            LOGRES_RETURN_NOT_OK(
+                edb_.RemoveObject(schema_, cls, oid, ActiveUndo()));
           }
         }
       }

@@ -26,6 +26,7 @@
 #include "core/instance.h"
 #include "core/module.h"
 #include "core/schema.h"
+#include "core/undo_log.h"
 #include "util/status.h"
 
 namespace logres {
@@ -44,6 +45,16 @@ struct ModuleResult {
 class Database {
  public:
   Database() = default;
+
+  // Copies duplicate the state (E, R, S), modules, and the generator, but
+  // never the rollback machinery: snapshots are bound to the object they
+  // were taken from, so a copy starts with no outstanding snapshot marks
+  // and an empty undo log. Copying (or assigning over) a database while
+  // one of its own snapshots is outstanding is not supported.
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
 
   /// \brief Creates a database from source text: schema sections define
   /// S0, rules sections define R0, and any `module` blocks are registered
@@ -65,15 +76,38 @@ class Database {
   const std::vector<Module>& registered_modules() const { return modules_; }
 
   // ---- Transactions ---------------------------------------------------------
-  /// \brief A saved copy of the state triple (E, R, S) plus declared
-  /// functions. The oid generator is deliberately excluded: a rejected
+  /// \brief A rollback point over the state triple (E, R, S) plus declared
+  /// functions. Schema, rules, and functions are saved by (small) copy;
+  /// the EDB is *not* copied — while any snapshot is outstanding, every
+  /// EDB mutation is recorded in the database's undo log, and restoring
+  /// replays the log in reverse from the snapshot's mark (DESIGN.md §10).
+  /// The restored state is byte-identical, exactly as the old deep-copy
+  /// snapshot was. The oid generator is deliberately excluded: a rejected
   /// application may consume oids (they are never reused), but the state
   /// itself must restore byte-identically.
-  struct Snapshot {
-    Schema schema;
-    std::vector<Rule> rules;
-    std::vector<FunctionDecl> functions;
-    Instance edb;
+  ///
+  /// Snapshots are move-only and release their log mark on destruction
+  /// (the commit path). Nesting is supported (the journaled store wraps
+  /// Apply's internal snapshot); windows must close LIFO. Writes through
+  /// mutable_edb() while a snapshot is outstanding bypass the log and are
+  /// therefore not rolled back — no in-tree caller does that. A Database
+  /// must not be moved while one of its snapshots is outstanding.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(Snapshot&& other) noexcept;
+    Snapshot& operator=(Snapshot&& other) noexcept;
+    ~Snapshot();
+
+   private:
+    friend class Database;
+    void Release();
+
+    const Database* db_ = nullptr;  // non-null while the mark is held
+    size_t undo_base_ = 0;
+    Schema schema_;
+    std::vector<Rule> rules_;
+    std::vector<FunctionDecl> functions_;
   };
 
   /// \brief Captures the current state for a later RestoreSnapshot.
@@ -145,6 +179,21 @@ class Database {
                             const Instance& edb, const EvalOptions& options,
                             EvalStats* stats) const;
 
+  // The EDB undo log to record mutations into while at least one snapshot
+  // window is open; nullptr (don't record) otherwise, so the log never
+  // grows without a rollback point to serve.
+  UndoLog* ActiveUndo() const {
+    return snapshot_bases_.empty() ? nullptr : &edb_undo_;
+  }
+
+  // Removes one outstanding mark at `base`; clears the log when the last
+  // mark goes (nothing can roll back past a closed window).
+  void ReleaseSnapshotMark(size_t base) const;
+
+  // Replaces the whole EDB (the *DV modes), logging the old instance as a
+  // single O(1) undo record when a snapshot is outstanding.
+  void ReplaceEdb(Instance next);
+
   Schema schema_;
   std::vector<Rule> rules_;
   std::vector<FunctionDecl> functions_;
@@ -152,6 +201,10 @@ class Database {
   std::vector<Module> modules_;
   // Mutable: module application consumes oids even when rejected.
   mutable OidGenerator gen_;
+  // Mutable like the generator: TakeSnapshot() is conceptually const (the
+  // state is unchanged) but registers its rollback mark here.
+  mutable UndoLog edb_undo_;
+  mutable std::vector<size_t> snapshot_bases_;
 };
 
 }  // namespace logres

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 
+#include "core/undo_log.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -1293,9 +1294,15 @@ Result<Instance> ApplyDelta(const Schema& schema, const Instance& F,
 // *net* effect instead of a full-instance comparison. `changed` mirrors
 // ApplyDelta's `next == F` test exactly: class membership can only grow,
 // and an o-value rewritten and then restored within one step is not a
-// change. Returns the newly-added sub-instance for semi-naive.
+// change. Returns the newly-added sub-instance for semi-naive. When
+// `undo` is non-null every mutation is recorded for rollback; the
+// net-change test itself needs no PreImageTracker because without
+// deletions the pre-step queries reduce to the first-touch state read
+// here directly, so the undo path shares this branch at the same cost
+// as the historical one plus the record appends.
 Result<Instance> ApplyDeltaInPlace(const Schema& schema, Instance* F,
-                                   const Delta& delta, bool* changed) {
+                                   const Delta& delta, bool* changed,
+                                   UndoLog* undo = nullptr) {
   Instance added;
   // Pre-step o-values of every touched oid, for net-change detection.
   std::map<Oid, std::optional<Value>> first_seen;
@@ -1308,7 +1315,7 @@ Result<Instance> ApplyDeltaInPlace(const Schema& schema, Instance* F,
                            ? std::optional<Value>(old_value.value())
                            : std::nullopt);
     LOGRES_RETURN_NOT_OK(
-        F->AdoptObject(schema, fact.cls, fact.oid, fact.ovalue));
+        F->AdoptObject(schema, fact.cls, fact.oid, fact.ovalue, undo));
     if (!was_present ||
         (old_value.ok() && !(old_value.value() == fact.ovalue))) {
       LOGRES_RETURN_NOT_OK(
@@ -1327,11 +1334,84 @@ Result<Instance> ApplyDeltaInPlace(const Schema& schema, Instance* F,
     }
   }
   for (const AssocFact& fact : delta.add_tuples) {
-    if (F->InsertTuple(fact.assoc, fact.tuple)) {
+    if (F->InsertTuple(fact.assoc, fact.tuple, undo)) {
       added.InsertTuple(fact.assoc, fact.tuple);
       *changed = true;
     }
   }
+  return added;
+}
+
+// In-place VAR' = ((F ⊕ Δ+) − Δ−) ⊕ (F ∩ Δ+ ∩ Δ−): mutates F directly,
+// recording every elementary change into `undo`, instead of copying the
+// whole instance like ApplyDelta. The queries the algebra asks of the
+// *pre-step* F — was the object present, what was its o-value, is the
+// deleted fact in F ∩ Δ+ (the both-added-and-deleted carve-out) — are
+// answered by a PreImageTracker over the records appended so far, so the
+// result is byte-for-byte the ApplyDelta result (the differential suites
+// compare the two paths across engines and thread counts). On return
+// `*diff` holds the canonical net difference vs the pre-apply state:
+// empty exactly when ApplyDelta's `next == F` fixpoint test would hold.
+// Returns the newly-added sub-instance for semi-naive, assembled under
+// the same conditions as ApplyDelta. Applying on the coordinator after
+// the parallel merge keeps undo records in the serial task order, so
+// rollback and dumps stay byte-identical across thread counts.
+Result<Instance> ApplyDeltaUndo(const Schema& schema, Instance* F,
+                                const Delta& delta, UndoLog* undo,
+                                NetDiff* diff) {
+  Instance added;  // facts new relative to the pre-apply state
+  PreImageTracker pre(undo, undo->size());
+
+  // F ⊕ Δ+ : additions; later o-values supersede earlier ones.
+  for (const ClassFact& fact : delta.add_objects) {
+    bool was_present = pre.Member(*F, fact.cls, fact.oid);
+    std::optional<Value> old_value = pre.OValue(*F, fact.oid);
+    LOGRES_RETURN_NOT_OK(
+        F->AdoptObject(schema, fact.cls, fact.oid, fact.ovalue, undo));
+    if (!was_present ||
+        (old_value.has_value() && !(*old_value == fact.ovalue))) {
+      LOGRES_RETURN_NOT_OK(
+          added.AdoptObject(schema, fact.cls, fact.oid, fact.ovalue));
+    }
+  }
+  for (const AssocFact& fact : delta.add_tuples) {
+    if (F->InsertTuple(fact.assoc, fact.tuple, undo)) {
+      added.InsertTuple(fact.assoc, fact.tuple);
+    }
+  }
+
+  // − Δ−, except facts in F ∩ Δ+ ∩ Δ− which are re-added by the trailing
+  // ⊕ (the paper's both-added-and-deleted carve-out). Membership in F is
+  // the *pre-step* membership, per the tracker.
+  auto in_add_objects = [&](const ClassFact& fact) {
+    for (const ClassFact& a : delta.add_objects) {
+      if (a.cls == fact.cls && a.oid == fact.oid &&
+          a.ovalue == fact.ovalue) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const ClassFact& fact : delta.del_objects) {
+    bool keep = pre.Member(*F, fact.cls, fact.oid) && in_add_objects(fact);
+    if (keep) continue;
+    LOGRES_RETURN_NOT_OK(F->RemoveObject(schema, fact.cls, fact.oid, undo));
+  }
+  auto in_add_tuples = [&](const AssocFact& fact) {
+    for (const AssocFact& a : delta.add_tuples) {
+      if (a.assoc == fact.assoc && a.tuple == fact.tuple) return true;
+    }
+    return false;
+  };
+  for (const AssocFact& fact : delta.del_tuples) {
+    bool keep = pre.Tuple(*F, fact.assoc, fact.tuple) &&
+                in_add_tuples(fact);
+    if (keep) continue;
+    F->EraseTuple(fact.assoc, fact.tuple, undo);
+    added.EraseTuple(fact.assoc, fact.tuple);
+  }
+
+  *diff = pre.Diff(*F);
   return added;
 }
 
@@ -1583,6 +1663,7 @@ Result<bool> Evaluator::RunStratum(
       options.semi_naive && StratumQualifiesForSemiNaive(rules);
 
   std::optional<Instance> delta;  // semi-naive frontier
+  UndoLog undo;                   // per-step log of the in-place path
   for (;;) {
     LOGRES_RETURN_NOT_OK(governor->CheckStep());
     LOGRES_FAILPOINT("eval.step");
@@ -1594,6 +1675,42 @@ Result<bool> Evaluator::RunStratum(
     LOGRES_RETURN_NOT_OK(EvaluateStep(
         schema_, program_, rules, *instance, restrict_to, options, pool,
         governor, gen_, &invention_memo_, &stats_, &step_delta));
+
+    if (!options.use_snapshot_steps) {
+      // Default path: mutate the one live instance under a per-step undo
+      // log; no whole-instance copy, no whole-instance comparison. The
+      // net diff being empty is exactly the old `next == F` test, and at
+      // that point the instance holds F unchanged — nothing to roll back.
+      undo.Clear();
+      LOGRES_FAILPOINT("eval.undo.apply");
+      if (step_delta.del_objects.empty() && step_delta.del_tuples.empty()) {
+        // Deletion-free step: the pre-image queries a deleting delta
+        // would need collapse into ApplyDeltaInPlace's first-touch
+        // reads, so the undo records are the only cost over the
+        // historical fast path.
+        bool changed = false;
+        LOGRES_ASSIGN_OR_RETURN(
+            Instance added,
+            ApplyDeltaInPlace(schema_, instance, step_delta, &changed,
+                              &undo));
+        if (!changed) return true;
+        LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
+        delta = std::move(added);
+        continue;
+      }
+      NetDiff net;
+      LOGRES_ASSIGN_OR_RETURN(
+          Instance added,
+          ApplyDeltaUndo(schema_, instance, step_delta, &undo, &net));
+      if (net.Empty()) return true;
+      LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
+      delta = std::move(added);
+      continue;
+    }
+
+    // Reference path (EvalOptions::use_snapshot_steps): the historical
+    // copy-based step, retained for the differential suites to compare
+    // the undo path against.
     if (step_delta.del_objects.empty() && step_delta.del_tuples.empty()) {
       // Deletion-free step: apply in place, skipping the full-instance
       // copy and comparison of the general path.
@@ -1643,22 +1760,58 @@ Result<Instance> Evaluator::Run(const Instance& edb,
     for (const CheckedRule& rule : program_.rules) {
       all.push_back(&rule);
     }
-    for (;;) {
-      LOGRES_RETURN_NOT_OK(governor.CheckStep());
-      LOGRES_FAILPOINT("eval.step");
-      stats_.steps++;
-      Delta step_delta;
-      LOGRES_RETURN_NOT_OK(EvaluateStep(
-          schema_, program_, all, instance, /*restrict_to=*/nullptr,
-          options, pool, &governor, gen_, &invention_memo_, &stats_,
-          &step_delta));
-      Instance next;
-      LOGRES_ASSIGN_OR_RETURN(
-          Instance added, ApplyDelta(schema_, edb, step_delta, &next));
-      (void)added;
-      if (next == instance) break;
-      instance = std::move(next);
-      LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
+    if (!options.use_snapshot_steps) {
+      // Default path: instead of rebuilding a fresh copy of E per step,
+      // the live instance is *rolled back* to E by reverse-replaying the
+      // step's undo log (the non-inflationary retraction), then the new
+      // delta is applied in place. Termination: F_i and F_{i+1} are both
+      // E plus their logs' net diffs, and two instances grown from the
+      // same base are equal iff their canonical diffs are equal — so
+      // comparing diffs reproduces the old `next == F_i` test without
+      // retaining F_i.
+      UndoLog undo;
+      NetDiff prev;  // F_0 = E: the empty diff
+      for (;;) {
+        LOGRES_RETURN_NOT_OK(governor.CheckStep());
+        LOGRES_FAILPOINT("eval.step");
+        stats_.steps++;
+        Delta step_delta;
+        LOGRES_RETURN_NOT_OK(EvaluateStep(
+            schema_, program_, all, instance, /*restrict_to=*/nullptr,
+            options, pool, &governor, gen_, &invention_memo_, &stats_,
+            &step_delta));
+        LOGRES_FAILPOINT("eval.undo.rollback");
+        instance.RollbackTo(&undo, 0);  // F_i -> E
+        LOGRES_FAILPOINT("eval.undo.apply");
+        NetDiff net;
+        LOGRES_ASSIGN_OR_RETURN(
+            Instance added,
+            ApplyDeltaUndo(schema_, &instance, step_delta, &undo, &net));
+        (void)added;
+        if (net == prev) break;
+        prev = std::move(net);
+        LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
+      }
+    } else {
+      // Reference path: rebuild from a copy of E each step and compare
+      // whole instances (see EvalOptions::use_snapshot_steps).
+      for (;;) {
+        LOGRES_RETURN_NOT_OK(governor.CheckStep());
+        LOGRES_FAILPOINT("eval.step");
+        stats_.steps++;
+        Delta step_delta;
+        LOGRES_RETURN_NOT_OK(EvaluateStep(
+            schema_, program_, all, instance, /*restrict_to=*/nullptr,
+            options, pool, &governor, gen_, &invention_memo_, &stats_,
+            &step_delta));
+        Instance next;
+        LOGRES_ASSIGN_OR_RETURN(
+            Instance added, ApplyDelta(schema_, edb, step_delta, &next));
+        (void)added;
+        if (next == instance) break;
+        instance = std::move(next);
+        LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
+      }
     }
   } else if (options.mode == EvalMode::kStratified &&
              program_.stratified) {

@@ -88,6 +88,12 @@ struct EvalOptions {
   /// slice (kDivergence, with the stratum in the error context) without
   /// starving later strata. 0 keeps the single shared governor.
   double stratum_fraction = 0;
+  /// Reference/ablation flag: apply each fixpoint step the historical way
+  /// — copy the whole instance, apply the delta to the copy, compare the
+  /// copies — instead of mutating one instance under an undo log. Results
+  /// are byte-identical either way (the differential suites prove it);
+  /// the copy path costs O(|instance|) per step.
+  bool use_snapshot_steps = false;
   /// Worker threads for the per-step valuation (1 = today's serial path,
   /// 0 = one per hardware thread). The per-step work is partitioned by
   /// rule — and, under semi-naive evaluation, by contiguous shards of the

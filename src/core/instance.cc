@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "core/undo_log.h"
 #include "util/string_util.h"
 
 namespace logres {
@@ -16,17 +17,38 @@ const std::set<Value> kNoTuples;
 
 Result<Oid> Instance::CreateObject(const Schema& schema,
                                    const std::string& cls, Value ovalue,
-                                   OidGenerator* gen) {
+                                   OidGenerator* gen, UndoLog* undo) {
   if (!schema.IsClass(cls)) {
     return Status::NotFound(StrCat("'", cls, "' is not a class"));
   }
+  // The generator is not covered by the log: rolled-back applications
+  // consume oids (never reused), only the state restores.
   Oid oid = gen->Next();
-  LOGRES_RETURN_NOT_OK(AdoptObject(schema, cls, oid, std::move(ovalue)));
+  LOGRES_RETURN_NOT_OK(AdoptObject(schema, cls, oid, std::move(ovalue), undo));
   return oid;
 }
 
+void Instance::InsertMember(const std::string& cls, Oid oid, UndoLog* undo) {
+  auto [it, key_created] = class_oids_.try_emplace(cls);
+  if (key_created && undo != nullptr) undo->ClassKeyCreated(cls);
+  if (it->second.insert(oid).second && undo != nullptr) {
+    undo->OidInserted(cls, oid);
+  }
+}
+
+void Instance::EraseMember(const std::string& cls, Oid oid, UndoLog* undo) {
+  // Historically `class_oids_[cls].erase(oid)`: the operator[] creates an
+  // empty entry when the class has none, and operator== sees that entry —
+  // so the creation is deliberately kept and recorded.
+  auto [it, key_created] = class_oids_.try_emplace(cls);
+  if (key_created && undo != nullptr) undo->ClassKeyCreated(cls);
+  if (it->second.erase(oid) > 0 && undo != nullptr) {
+    undo->OidErased(cls, oid);
+  }
+}
+
 Status Instance::AdoptObject(const Schema& schema, const std::string& cls,
-                             Oid oid, Value ovalue) {
+                             Oid oid, Value ovalue, UndoLog* undo) {
   if (!schema.IsClass(cls)) {
     return Status::NotFound(StrCat("'", cls, "' is not a class"));
   }
@@ -34,23 +56,31 @@ Status Instance::AdoptObject(const Schema& schema, const std::string& cls,
     return Status::InvalidArgument("cannot adopt the invalid oid 0");
   }
   class_index_cache_.clear();
-  class_oids_[cls].insert(oid);
+  InsertMember(cls, oid, undo);
   for (const std::string& super : schema.AllSuperclasses(cls)) {
-    class_oids_[super].insert(oid);
+    InsertMember(super, oid, undo);
   }
-  ovalues_[oid] = std::move(ovalue);
+  auto [it, created] = ovalues_.try_emplace(oid);
+  if (undo != nullptr) {
+    if (created) {
+      undo->OValueCreated(oid);
+    } else {
+      undo->OValueSet(oid, std::move(it->second));
+    }
+  }
+  it->second = std::move(ovalue);
   return Status::OK();
 }
 
 Status Instance::RemoveObject(const Schema& schema, const std::string& cls,
-                              Oid oid) {
+                              Oid oid, UndoLog* undo) {
   if (!schema.IsClass(cls)) {
     return Status::NotFound(StrCat("'", cls, "' is not a class"));
   }
   class_index_cache_.clear();
-  class_oids_[cls].erase(oid);
+  EraseMember(cls, oid, undo);
   for (const std::string& sub : schema.AllSubclasses(cls)) {
-    class_oids_[sub].erase(oid);
+    EraseMember(sub, oid, undo);
   }
   bool live = false;
   for (const auto& [c, oids] : class_oids_) {
@@ -60,7 +90,13 @@ Status Instance::RemoveObject(const Schema& schema, const std::string& cls,
       break;
     }
   }
-  if (!live) ovalues_.erase(oid);
+  if (!live) {
+    auto it = ovalues_.find(oid);
+    if (it != ovalues_.end()) {
+      if (undo != nullptr) undo->OValueErased(oid, std::move(it->second));
+      ovalues_.erase(it);
+    }
+  }
   return Status::OK();
 }
 
@@ -81,26 +117,88 @@ Result<Value> Instance::OValue(Oid oid) const {
   return it->second;
 }
 
-Status Instance::SetOValue(Oid oid, Value ovalue) {
+Status Instance::SetOValue(Oid oid, Value ovalue, UndoLog* undo) {
   auto it = ovalues_.find(oid);
   if (it == ovalues_.end()) {
     return Status::NotFound(StrCat("oid #", oid.id, " is not live"));
   }
   class_index_cache_.clear();
+  if (undo != nullptr) undo->OValueSet(oid, std::move(it->second));
   it->second = std::move(ovalue);
   return Status::OK();
 }
 
-bool Instance::InsertTuple(const std::string& assoc, Value tuple) {
+bool Instance::InsertTuple(const std::string& assoc, Value tuple,
+                           UndoLog* undo) {
   InvalidateAssocIndexes(assoc);
-  return associations_[assoc].insert(std::move(tuple)).second;
+  auto [it, key_created] = associations_.try_emplace(assoc);
+  if (key_created && undo != nullptr) undo->AssocKeyCreated(assoc);
+  auto [pos, inserted] = it->second.insert(std::move(tuple));
+  if (inserted && undo != nullptr) undo->TupleInserted(assoc, *pos);
+  return inserted;
 }
 
-bool Instance::EraseTuple(const std::string& assoc, const Value& tuple) {
+bool Instance::EraseTuple(const std::string& assoc, const Value& tuple,
+                          UndoLog* undo) {
   auto it = associations_.find(assoc);
   if (it == associations_.end()) return false;
   InvalidateAssocIndexes(assoc);
-  return it->second.erase(tuple) > 0;
+  auto node = it->second.extract(tuple);
+  if (node.empty()) return false;
+  if (undo != nullptr) undo->TupleErased(assoc, std::move(node.value()));
+  return true;
+}
+
+void Instance::RollbackTo(UndoLog* log, size_t base) {
+  for (size_t i = log->size(); i-- > base;) {
+    UndoRecord& rec = (*log)[i];
+    switch (rec.kind) {
+      case UndoRecord::Kind::kClassKeyCreated:
+        // Reverse replay has already undone every later insertion into
+        // this entry, so it is empty again — exactly what the creation
+        // produced.
+        class_index_cache_.clear();
+        class_oids_.erase(rec.name);
+        break;
+      case UndoRecord::Kind::kOidInserted: {
+        class_index_cache_.clear();
+        auto it = class_oids_.find(rec.name);
+        if (it != class_oids_.end()) it->second.erase(rec.oid);
+        break;
+      }
+      case UndoRecord::Kind::kOidErased:
+        class_index_cache_.clear();
+        class_oids_[rec.name].insert(rec.oid);
+        break;
+      case UndoRecord::Kind::kOValueCreated:
+        class_index_cache_.clear();
+        ovalues_.erase(rec.oid);
+        break;
+      case UndoRecord::Kind::kOValueSet:
+      case UndoRecord::Kind::kOValueErased:
+        class_index_cache_.clear();
+        ovalues_[rec.oid] = std::move(rec.value);
+        break;
+      case UndoRecord::Kind::kAssocKeyCreated:
+        InvalidateAssocIndexes(rec.name);
+        associations_.erase(rec.name);
+        break;
+      case UndoRecord::Kind::kTupleInserted: {
+        InvalidateAssocIndexes(rec.name);
+        auto it = associations_.find(rec.name);
+        if (it != associations_.end()) it->second.erase(rec.value);
+        break;
+      }
+      case UndoRecord::Kind::kTupleErased:
+        InvalidateAssocIndexes(rec.name);
+        associations_[rec.name].insert(std::move(rec.value));
+        break;
+      case UndoRecord::Kind::kInstanceReplaced:
+        *this = std::move(*rec.replaced);
+        break;
+    }
+  }
+  log->Truncate(base);
 }
 
 void Instance::InvalidateAssocIndexes(const std::string& assoc) {

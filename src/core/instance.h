@@ -32,6 +32,8 @@
 
 namespace logres {
 
+class UndoLog;
+
 /// \brief The reserved tuple label carrying an object's oid when a tuple
 /// variable binds a whole object.
 inline const char* kSelfLabel = "self";
@@ -41,9 +43,12 @@ class Instance {
  public:
   Instance() = default;
 
-  // Index caches are rebuilt on demand and never copied: the evaluator
-  // copies the instance once per fixpoint step, and dragging cold caches
-  // along would double the copy for nothing.
+  // Index caches are rebuilt on demand and never copied: copies are for
+  // retained reference states (snapshot-step mode, test baselines), and
+  // dragging cold caches along would double the copy for nothing. The
+  // fixpoint loop itself no longer copies per step — it mutates one
+  // instance under an UndoLog, so caches survive across steps and are
+  // invalidated per delta.
   Instance(const Instance& other)
       : class_oids_(other.class_oids_),
         ovalues_(other.ovalues_),
@@ -79,23 +84,30 @@ class Instance {
   }
 
   // ---- Objects (pi, nu) ---------------------------------------------------
+  //
+  // Every mutator optionally appends the elementary changes it performs to
+  // \p undo, so RollbackTo can restore the pre-mutation state exactly —
+  // including the empty pi/rho map entries the historical operator[] code
+  // paths create, which Instance::operator== observes.
 
   /// \brief Creates a fresh object in class \p cls (and, per Def. 4a, in
   /// all its superclasses) with the given o-value. The oid comes from
   /// \p gen. No conformance check here (CheckConsistent validates states).
   Result<Oid> CreateObject(const Schema& schema, const std::string& cls,
-                           Value ovalue, OidGenerator* gen);
+                           Value ovalue, OidGenerator* gen,
+                           UndoLog* undo = nullptr);
 
   /// \brief Adds an existing oid to class \p cls and its superclasses,
   /// overwriting the o-value (used by generalization-hierarchy rules where
   /// sub- and superclass share the oid).
   Status AdoptObject(const Schema& schema, const std::string& cls, Oid oid,
-                     Value ovalue);
+                     Value ovalue, UndoLog* undo = nullptr);
 
   /// \brief Removes \p oid from \p cls and all its *subclasses* (an object
   /// leaving a superclass cannot stay in a subclass). The o-value is kept
   /// while the oid is still a member of some class, dropped otherwise.
-  Status RemoveObject(const Schema& schema, const std::string& cls, Oid oid);
+  Status RemoveObject(const Schema& schema, const std::string& cls, Oid oid,
+                      UndoLog* undo = nullptr);
 
   /// \brief Oids of class \p cls (pi(C)).
   const std::set<Oid>& OidsOf(const std::string& cls) const;
@@ -106,7 +118,7 @@ class Instance {
   Result<Value> OValue(Oid oid) const;
 
   /// \brief Replaces nu(oid). Error if the oid is not live.
-  Status SetOValue(Oid oid, Value ovalue);
+  Status SetOValue(Oid oid, Value ovalue, UndoLog* undo = nullptr);
 
   const std::map<std::string, std::set<Oid>>& class_oids() const {
     return class_oids_;
@@ -116,10 +128,12 @@ class Instance {
   // ---- Associations (rho) -------------------------------------------------
 
   /// \brief Inserts a tuple into association \p assoc; true if new.
-  bool InsertTuple(const std::string& assoc, Value tuple);
+  bool InsertTuple(const std::string& assoc, Value tuple,
+                   UndoLog* undo = nullptr);
 
   /// \brief Removes a tuple; true if it was present.
-  bool EraseTuple(const std::string& assoc, const Value& tuple);
+  bool EraseTuple(const std::string& assoc, const Value& tuple,
+                  UndoLog* undo = nullptr);
 
   /// \brief rho(assoc): the tuples of an association.
   const std::set<Value>& TuplesOf(const std::string& assoc) const;
@@ -156,6 +170,14 @@ class Instance {
 
   // ---- Whole-instance operations ------------------------------------------
 
+  /// \brief Replays \p log's records at index >= \p base in reverse,
+  /// restoring the state this instance had when the log held \p base
+  /// records, then truncates the log to \p base. Affected index caches are
+  /// invalidated (object records drop the class caches, association
+  /// records drop that association's entries), so cached access paths stay
+  /// valid for the restored state.
+  void RollbackTo(UndoLog* log, size_t base);
+
   /// \brief Total number of objects plus association tuples.
   size_t TotalFacts() const;
 
@@ -183,6 +205,11 @@ class Instance {
                             const std::string& context) const;
 
   void InvalidateAssocIndexes(const std::string& assoc);
+
+  // pi membership updates shared by AdoptObject/RemoveObject, preserving
+  // the operator[] key-creation behavior and recording what changed.
+  void InsertMember(const std::string& cls, Oid oid, UndoLog* undo);
+  void EraseMember(const std::string& cls, Oid oid, UndoLog* undo);
 
   std::map<std::string, std::set<Oid>> class_oids_;
   std::map<Oid, Value> ovalues_;

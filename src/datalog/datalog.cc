@@ -474,9 +474,13 @@ Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
         LOGRES_RETURN_NOT_OK(governor.CheckFacts(TotalSize(db)));
       }
     } else {
-      // Semi-naive: seed delta with everything currently visible to the
-      // stratum, iterate with delta-restricted joins.
-      Database delta = db;
+      // Semi-naive: the first round's frontier is everything currently
+      // visible to the stratum — read straight from `db` instead of
+      // copying the whole database; later rounds restrict joins to the
+      // previous round's (small) delta. FireRule only reads the frontier,
+      // so results and round counts are identical to the copying seed.
+      Database delta;
+      const Database* frontier = &db;
       for (;;) {
         LOGRES_RETURN_NOT_OK(governor.CheckStep());
         LOGRES_FAILPOINT("datalog.step");
@@ -484,7 +488,7 @@ Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
         if (pool == nullptr) {
           for (const Rule* rule : stratum_rules) {
             std::set<Fact> produced;
-            FireRule(*rule, db, &delta, &indexes, &produced);
+            FireRule(*rule, db, frontier, &indexes, &produced);
             for (const Fact& f : produced) {
               if (!db[rule->head.predicate].count(f)) {
                 next_delta[rule->head.predicate].insert(f);
@@ -514,15 +518,15 @@ Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
               continue;
             }
             for (size_t pos : positive_positions) {
-              size_t frontier =
-                  FactsOf(delta, rule->body[pos].predicate).size();
-              if (frontier == 0) continue;
+              size_t frontier_size =
+                  FactsOf(*frontier, rule->body[pos].predicate).size();
+              if (frontier_size == 0) continue;
               constexpr size_t kMinChunkFacts = 4;
-              size_t chunks =
-                  std::min(pool->num_threads() * 2,
-                           std::max<size_t>(1, frontier / kMinChunkFacts));
-              size_t base = frontier / chunks;
-              size_t extra = frontier % chunks;
+              size_t chunks = std::min(
+                  pool->num_threads() * 2,
+                  std::max<size_t>(1, frontier_size / kMinChunkFacts));
+              size_t base = frontier_size / chunks;
+              size_t extra = frontier_size % chunks;
               size_t lo = 0;
               for (size_t c = 0; c < chunks; ++c) {
                 size_t len = base + (c < extra ? 1 : 0);
@@ -541,7 +545,7 @@ Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
               if (spec.only_pos == kAllChoices && !spec.chunked) {
                 FireRule(*spec.rule, db, nullptr, &indexes, &produced[i]);
               } else {
-                FireRule(*spec.rule, db, &delta, &indexes, &produced[i],
+                FireRule(*spec.rule, db, frontier, &indexes, &produced[i],
                          spec.only_pos, spec.chunked ? &spec.chunk : nullptr);
               }
               return Status::OK();
@@ -563,6 +567,7 @@ Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
         }
         LOGRES_RETURN_NOT_OK(governor.CheckFacts(TotalSize(db)));
         delta = std::move(next_delta);
+        frontier = &delta;
       }
     }
   }

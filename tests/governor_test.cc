@@ -9,6 +9,7 @@
 
 #include "core/algres_backend.h"
 #include "core/database.h"
+#include "core/dump.h"
 #include "core/eval.h"
 #include "core/parser.h"
 #include "core/typecheck.h"
@@ -421,6 +422,75 @@ TEST(StratumBudgetTest, RunawayStratumFailsInsideItsOwnSlice) {
   EXPECT_EQ(out.status().code(), StatusCode::kDivergence);
   EXPECT_NE(out.status().message().find("stratum 0"), std::string::npos)
       << out.status();
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustion rollback leaves cached access paths valid
+//
+// The undo-log rollback invalidates index caches per record instead of
+// rebuilding them per step, so after a rejected application the EDB's
+// warmed indexes must answer for the *restored* state — never for the
+// aborted application's intermediate instance.
+
+TEST(ExhaustionRollbackTest, BudgetExhaustionKeepsIndexesValid) {
+  auto setup = MakeChain(12);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  Database& db = setup->db;
+
+  // Warm the access paths and record what they answer pre-application.
+  ASSERT_EQ(db.edb().AssocIndex("EDGE", "src").size(), 12u);
+  ASSERT_EQ(db.edb().AssocIndex("PATH", "src").size(), 0u);
+  auto pre_query = db.Query("? edge(src: 3, dst: X).");
+  ASSERT_TRUE(pre_query.ok());
+  const std::string before = DumpDatabase(db);
+
+  EvalOptions tight;
+  tight.budget.max_steps = 2;
+  auto result = db.ApplySource(
+      "rules path(src: X, dst: Y) <- edge(src: X, dst: Y)."
+      "      path(src: X, dst: Z) <- path(src: X, dst: Y),"
+      "                              edge(src: Y, dst: Z).",
+      ApplicationMode::kRIDV, tight);
+  ASSERT_EQ(result.status().code(), StatusCode::kDivergence);
+
+  // State rolled back, and the cached indexes answer for it.
+  EXPECT_EQ(DumpDatabase(db), before);
+  EXPECT_EQ(db.edb().AssocIndex("EDGE", "src").size(), 12u);
+  EXPECT_EQ(db.edb().AssocIndex("PATH", "src").size(), 0u);
+  auto post_query = db.Query("? edge(src: 3, dst: X).");
+  ASSERT_TRUE(post_query.ok());
+  EXPECT_EQ(pre_query->size(), post_query->size());
+}
+
+TEST(ExhaustionRollbackTest, InjectedCommitFailureRollsBackReplacedEdb) {
+  // The hardest rollback: under RIDV the application has already swapped
+  // in the evaluated instance (a single kInstanceReplaced undo record)
+  // when the commit-boundary failpoint fires. Warmed indexes must answer
+  // for the restored pre-application EDB.
+  auto setup = MakeChain(6);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  Database& db = setup->db;
+  ASSERT_EQ(db.edb().AssocIndex("EDGE", "src").size(), 6u);
+  const std::string before = DumpDatabase(db);
+
+  {
+    ScopedFailpoint fp("db.apply.commit", Status::ExecutionError("boom"));
+    auto result = db.ApplySource(
+        "rules path(src: X, dst: Y) <- edge(src: X, dst: Y).",
+        ApplicationMode::kRIDV);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(fp.hit_count(), 1u);
+  }
+
+  EXPECT_EQ(DumpDatabase(db), before);
+  EXPECT_EQ(db.edb().AssocIndex("EDGE", "src").size(), 6u);
+  EXPECT_EQ(db.edb().AssocIndex("PATH", "src").size(), 0u);
+  // And the rolled-back database still evaluates and commits normally.
+  auto ok = db.ApplySource(
+      "rules path(src: X, dst: Y) <- edge(src: X, dst: Y).",
+      ApplicationMode::kRIDV);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(db.edb().TuplesOf("PATH").size(), 6u);
 }
 
 }  // namespace

@@ -36,7 +36,8 @@ Value T2(int64_t a, int64_t b) {
 std::string RunAndDump(const std::string& schema,
                        const std::function<void(Database*)>& populate,
                        const std::string& module, size_t threads,
-                       EvalMode mode = EvalMode::kStratified) {
+                       EvalMode mode = EvalMode::kStratified,
+                       bool snapshot_steps = false) {
   auto db_result = Database::Create(schema);
   EXPECT_TRUE(db_result.ok()) << db_result.status();
   if (!db_result.ok()) return {};
@@ -45,6 +46,7 @@ std::string RunAndDump(const std::string& schema,
   EvalOptions options;
   options.num_threads = threads;
   options.mode = mode;
+  options.use_snapshot_steps = snapshot_steps;
   auto apply = db.ApplySource(module, ApplicationMode::kRIDV, options);
   EXPECT_TRUE(apply.ok()) << apply.status() << " (threads=" << threads
                           << ")";
@@ -54,16 +56,22 @@ std::string RunAndDump(const std::string& schema,
   return DumpDatabase(db);
 }
 
-// Asserts the dump is byte-identical across the thread sweep.
+// Asserts the dump is byte-identical across the thread sweep — for both
+// step-application paths (the undo-log default and the copy-per-step
+// reference), which must also agree with each other.
 void ExpectDeterministicSweep(const std::string& schema,
                               const std::function<void(Database*)>& populate,
                               const std::string& module,
                               EvalMode mode = EvalMode::kStratified) {
   std::string serial = RunAndDump(schema, populate, module, 1, mode);
   ASSERT_FALSE(serial.empty());
-  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
-    EXPECT_EQ(serial, RunAndDump(schema, populate, module, threads, mode))
-        << "threads=" << threads;
+  for (bool snapshot_steps : {false, true}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      if (!snapshot_steps && threads == 1) continue;  // the reference run
+      EXPECT_EQ(serial, RunAndDump(schema, populate, module, threads, mode,
+                                   snapshot_steps))
+          << "threads=" << threads << " snapshot_steps=" << snapshot_steps;
+    }
   }
 }
 

@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "core/algres_backend.h"
 #include "core/database.h"
@@ -178,6 +181,30 @@ TEST_P(DifferentialProperty, ThreeEnginesAgree) {
   ASSERT_TRUE(direct_parallel.ok()) << direct_parallel.status();
   EXPECT_EQ(parallel_eval.stats().threads, 4u);
 
+  // Engine 1c: the retained copy-per-step reference path
+  // (use_snapshot_steps) must produce a byte-identical instance to the
+  // default undo-log path, serial and at 4 threads.
+  std::map<std::pair<bool, size_t>, std::string> direct_dumps;
+  direct_dumps[{false, 4}] = direct_parallel->ToString();
+  for (bool snapshot_steps : {false, true}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      if (!snapshot_steps && threads == 4) continue;  // ran above
+      OidGenerator g;
+      Evaluator e(db.schema(), *program, &g);
+      EvalOptions o;
+      o.use_snapshot_steps = snapshot_steps;
+      o.num_threads = threads;
+      auto run = e.Run(edb, o);
+      ASSERT_TRUE(run.ok()) << run.status() << "\n" << gen.logres_rules;
+      direct_dumps[{snapshot_steps, threads}] = run->ToString();
+    }
+  }
+  for (const auto& [key, dump] : direct_dumps) {
+    EXPECT_EQ(dump, direct_dumps.begin()->second)
+        << "snapshot_steps=" << key.first << " threads=" << key.second
+        << "\n" << gen.logres_rules;
+  }
+
   auto backend = AlgresBackend::Compile(db.schema(), *program);
   ASSERT_TRUE(backend.ok()) << backend.status();
   auto compiled = backend->Run(edb);
@@ -267,15 +294,22 @@ Result<ChainEngines> MakeChainEngines(int n) {
 void ExpectClassification(const ChainEngines& engines, const Budget& budget,
                           StatusCode expected) {
   for (size_t threads : {size_t{1}, size_t{4}}) {
-    OidGenerator gen;
-    Evaluator evaluator(engines.schema, engines.program, &gen);
-    EvalOptions options;
-    options.budget = budget;
-    options.num_threads = threads;
-    auto direct = evaluator.Run(engines.db.edb(), options);
-    ASSERT_FALSE(direct.ok()) << "direct, threads=" << threads;
-    EXPECT_EQ(direct.status().code(), expected)
-        << "direct, threads=" << threads << ": " << direct.status();
+    // Both step-application paths classify identically: the undo-log
+    // default and the copy-per-step reference.
+    for (bool snapshot_steps : {false, true}) {
+      OidGenerator gen;
+      Evaluator evaluator(engines.schema, engines.program, &gen);
+      EvalOptions options;
+      options.budget = budget;
+      options.num_threads = threads;
+      options.use_snapshot_steps = snapshot_steps;
+      auto direct = evaluator.Run(engines.db.edb(), options);
+      ASSERT_FALSE(direct.ok()) << "direct, threads=" << threads
+                                << ", snapshot=" << snapshot_steps;
+      EXPECT_EQ(direct.status().code(), expected)
+          << "direct, threads=" << threads
+          << ", snapshot=" << snapshot_steps << ": " << direct.status();
+    }
 
     datalog::EvalOptions dl;
     dl.budget = budget;

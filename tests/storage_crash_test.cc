@@ -59,6 +59,19 @@ const char* kVictimModule = R"(
     knows(a: "vic", b: "ann").
 )";
 
+// A two-association update under replacement semantics, so the victim's
+// evaluation runs the non-inflationary loop — the only path that fires
+// eval.undo.rollback (it rolls the live instance back to E every step).
+// No invention: oid invention does not converge under replacement
+// semantics (each step re-invents), on either step-application path.
+const char* kVictimNoninfModule = R"(
+  module vic options RIDV semantics noninflationary
+    rules
+      seed(name: "vic").
+      knows(a: "vic", b: "ann").
+  end
+)";
+
 StorageOptions NoAutoCheckpoint() {
   StorageOptions opts;
   opts.checkpoint_interval = 0;
@@ -73,6 +86,8 @@ int RunVictim(const std::string& dir, const std::string& site,
   failpoints::ArmCrash(site);
   if (op == "apply") {
     (void)store->ApplySource(kVictimModule, ApplicationMode::kRIDV);
+  } else if (op == "apply-noninf") {
+    (void)store->ApplySource(kVictimNoninfModule, ApplicationMode::kRIDV);
   } else if (op == "checkpoint") {
     auto r = store->ApplySource(kVictimModule, ApplicationMode::kRIDV);
     if (!r.ok()) return 12;
@@ -117,6 +132,14 @@ struct CrashCase {
 
 constexpr CrashCase kMatrix[] = {
     {"db.apply.commit", "apply", Expect::kPre},
+    // Death inside the fixpoint loop itself — mid delta application or
+    // right before a non-inflationary rollback — happens long before any
+    // journal byte, so recovery must land exactly on pre (the in-memory
+    // undo log dies with the process; durability never sees the torn
+    // intermediate instance).
+    {"eval.undo.apply", "apply", Expect::kPre},
+    {"eval.undo.apply", "apply-noninf", Expect::kPre},
+    {"eval.undo.rollback", "apply-noninf", Expect::kPre},
     {"journal.append", "apply", Expect::kPre},
     {"journal.fsync", "apply", Expect::kEither},
     {"checkpoint.write", "checkpoint", Expect::kPost},
@@ -146,12 +169,15 @@ void RunCase(const CrashCase& c, bool checkpoint_before) {
   // What the victim's commit produces, computed offline: replay is
   // deterministic, so applying the same module to the same state gives
   // the byte-identical post state.
+  const char* victim_module = std::string_view(c.op) == "apply-noninf"
+                                  ? kVictimNoninfModule
+                                  : kVictimModule;
   std::string post_dump;
   {
     auto db = LoadDatabase(pre_dump);
     ASSERT_TRUE(db.ok()) << db.status();
     ASSERT_TRUE(
-        db->ApplySource(kVictimModule, ApplicationMode::kRIDV).ok());
+        db->ApplySource(victim_module, ApplicationMode::kRIDV).ok());
     post_dump = DumpDatabase(*db);
   }
   ASSERT_NE(pre_dump, post_dump);

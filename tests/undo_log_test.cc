@@ -1,0 +1,404 @@
+// Property battery for the undo log (DESIGN.md §10): random mutation
+// sequences applied to an Instance under an UndoLog, then rolled back,
+// must leave the instance byte-identical to its pre-apply dump — the
+// contract the fixpoint loop and Database::Apply rely on now that
+// neither copies the instance per step. "Byte-identical" is checked
+// three ways: structural operator== (which observes the empty pi/rho
+// map keys the historical operator[] paths create), ToString(), and —
+// at the Database level — DumpDatabase round-trips. The battery also
+// pins the two deliberate asymmetries: the oid generator is never
+// rewound, and index caches are invalidated (not restored) so cached
+// access paths answer for the restored state.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dump.h"
+#include "core/instance.h"
+#include "core/undo_log.h"
+
+namespace logres {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  EXPECT_TRUE(s.DeclareClass("PERSON",
+      Type::Tuple({{"name", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareClass("STUDENT",
+      Type::Tuple({{"name", Type::String()},
+                   {"school", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareIsa("STUDENT", "PERSON").ok());
+  EXPECT_TRUE(s.DeclareAssociation("LIKES",
+      Type::Tuple({{"who", Type::Named("PERSON")},
+                   {"what", Type::String()}})).ok());
+  EXPECT_TRUE(s.DeclareAssociation("EDGE",
+      Type::Tuple({{"a", Type::Int()},
+                   {"b", Type::Int()}})).ok());
+  EXPECT_TRUE(s.Validate().ok());
+  return s;
+}
+
+Value PersonValue(int tag) {
+  return Value::MakeTuple({{"name", Value::String("p" + std::to_string(tag))}});
+}
+
+Value StudentValue(int tag) {
+  return Value::MakeTuple(
+      {{"name", Value::String("s" + std::to_string(tag))},
+       {"school", Value::String("school" + std::to_string(tag % 3))}});
+}
+
+Value EdgeValue(int a, int b) {
+  return Value::MakeTuple({{"a", Value::Int(a)}, {"b", Value::Int(b)}});
+}
+
+// One random elementary mutation against `inst`, recorded in `undo`.
+// Draws oids from `pool` (live and dead mixed, so removes/adopts hit
+// both present and absent targets — the interesting undo records).
+void RandomOp(std::mt19937* rng, const Schema& schema, Instance* inst,
+              OidGenerator* gen, std::vector<Oid>* pool, UndoLog* undo) {
+  std::uniform_int_distribution<int> pick(0, 6);
+  std::uniform_int_distribution<int> tag(0, 9);
+  auto pool_oid = [&]() -> Oid {
+    if (pool->empty()) return Oid{9999};
+    std::uniform_int_distribution<size_t> at(0, pool->size() - 1);
+    return (*pool)[at(*rng)];
+  };
+  switch (pick(*rng)) {
+    case 0: {
+      const char* cls = tag(*rng) < 5 ? "PERSON" : "STUDENT";
+      Value v = cls[0] == 'P' ? PersonValue(tag(*rng))
+                              : StudentValue(tag(*rng));
+      auto oid = inst->CreateObject(schema, cls, std::move(v), gen, undo);
+      ASSERT_TRUE(oid.ok());
+      pool->push_back(*oid);
+      break;
+    }
+    case 1: {
+      // Adopt may re-adopt a live oid (pure o-value overwrite) or
+      // resurrect a dead one.
+      const char* cls = tag(*rng) < 5 ? "PERSON" : "STUDENT";
+      Value v = cls[0] == 'P' ? PersonValue(tag(*rng))
+                              : StudentValue(tag(*rng));
+      ASSERT_TRUE(
+          inst->AdoptObject(schema, cls, pool_oid(), std::move(v), undo)
+              .ok());
+      break;
+    }
+    case 2:
+      ASSERT_TRUE(
+          inst->RemoveObject(schema, tag(*rng) < 5 ? "PERSON" : "STUDENT",
+                             pool_oid(), undo)
+              .ok());
+      break;
+    case 3: {
+      Oid oid = pool_oid();
+      // SetOValue errors on dead oids; that is fine — an op that fails
+      // must record nothing, which the rollback equality also checks.
+      (void)inst->SetOValue(oid, PersonValue(tag(*rng)), undo);
+      break;
+    }
+    case 4:
+      inst->InsertTuple("EDGE", EdgeValue(tag(*rng), tag(*rng)), undo);
+      break;
+    case 5:
+      inst->EraseTuple("EDGE", EdgeValue(tag(*rng), tag(*rng)), undo);
+      break;
+    case 6:
+      inst->InsertTuple(
+          "LIKES",
+          Value::MakeTuple({{"who", Value::MakeOid(pool_oid())},
+                            {"what", Value::String("x")}}),
+          undo);
+      break;
+  }
+}
+
+class UndoRollbackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UndoRollbackProperty, ApplyThenRollbackRestoresDump) {
+  std::mt19937 rng(GetParam());
+  Schema schema = TestSchema();
+  Instance inst;
+  OidGenerator gen;
+  std::vector<Oid> pool;
+
+  // A random base state, built without recording.
+  for (int i = 0; i < 12; ++i) {
+    RandomOp(&rng, schema, &inst, &gen, &pool, nullptr);
+  }
+
+  const Instance base_copy = inst;  // structural reference
+  const std::string base_dump = inst.ToString();
+  const uint64_t oids_before = gen.issued();
+
+  // Warm index caches so rollback's invalidation is exercised, not
+  // bypassed.
+  (void)inst.AssocIndex("EDGE", "a");
+  (void)inst.ClassIndex("PERSON", "name");
+
+  UndoLog undo;
+  for (int i = 0; i < 40; ++i) {
+    RandomOp(&rng, schema, &inst, &gen, &pool, &undo);
+    if (i == 19) {
+      // Mid-sequence: probe indexes so later records must re-invalidate.
+      (void)inst.AssocIndex("EDGE", "b");
+      (void)inst.ClassIndex("STUDENT", "name");
+    }
+  }
+
+  inst.RollbackTo(&undo, 0);
+
+  EXPECT_TRUE(inst == base_copy) << "seed " << GetParam();
+  EXPECT_EQ(inst.ToString(), base_dump) << "seed " << GetParam();
+  EXPECT_EQ(undo.size(), 0u);
+
+  // The oid generator is deliberately NOT rewound (consumed oids are
+  // never reused), and post-rollback creation still works and yields a
+  // fresh oid beyond everything the rolled-back ops consumed.
+  EXPECT_GE(gen.issued(), oids_before);
+  auto fresh = inst.CreateObject(schema, "PERSON", PersonValue(0), &gen);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->id, 0u);
+  for (Oid o : pool) EXPECT_NE(fresh->id, o.id);
+
+  // Index caches answer for the restored state: probe results must
+  // match a cold instance with identical contents.
+  Instance cold = base_copy;
+  (void)cold.CreateObject(schema, "PERSON", PersonValue(0), &gen).value();
+  for (const char* label : {"a", "b"}) {
+    EXPECT_EQ(inst.AssocIndex("EDGE", label).size(),
+              cold.AssocIndex("EDGE", label).size());
+  }
+  for (const char* cls : {"PERSON", "STUDENT"}) {
+    EXPECT_EQ(inst.ClassIndex(cls, "name").size(),
+              cold.ClassIndex(cls, "name").size());
+  }
+}
+
+TEST_P(UndoRollbackProperty, PartialRollbackRestoresMidState) {
+  std::mt19937 rng(GetParam() + 1000);
+  Schema schema = TestSchema();
+  Instance inst;
+  OidGenerator gen;
+  std::vector<Oid> pool;
+  UndoLog undo;
+
+  for (int i = 0; i < 15; ++i) {
+    RandomOp(&rng, schema, &inst, &gen, &pool, &undo);
+  }
+  const size_t mark = undo.size();
+  const Instance mid_copy = inst;
+  const std::string mid_dump = inst.ToString();
+
+  for (int i = 0; i < 25; ++i) {
+    RandomOp(&rng, schema, &inst, &gen, &pool, &undo);
+  }
+
+  // Rolling back to the mark restores the mid state and keeps the
+  // prefix of the log intact (a nested window can still roll it back).
+  inst.RollbackTo(&undo, mark);
+  EXPECT_TRUE(inst == mid_copy) << "seed " << GetParam();
+  EXPECT_EQ(inst.ToString(), mid_dump);
+  EXPECT_EQ(undo.size(), mark);
+
+  inst.RollbackTo(&undo, 0);
+  EXPECT_EQ(inst.ToString(), Instance().ToString());
+  EXPECT_TRUE(inst == Instance() ||
+              !inst.class_oids().empty() ||  // pre-existing empty keys
+              !inst.associations().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UndoRollbackProperty,
+                         ::testing::Range(0, 24));
+
+TEST(UndoLogTest, EmptyKeyCreationIsUndone) {
+  // The historical operator[] quirk: removing an absent object still
+  // creates the empty pi keys for the class and all its subclasses, and
+  // operator== observes them. Insert-then-erase likewise leaves an
+  // empty rho key behind. The undo log must reproduce — and undo —
+  // exactly that.
+  Schema schema = TestSchema();
+  Instance inst;
+  const Instance empty_copy = inst;
+  UndoLog undo;
+
+  ASSERT_TRUE(inst.RemoveObject(schema, "PERSON", Oid{7}, &undo).ok());
+  EXPECT_TRUE(inst.InsertTuple("EDGE", EdgeValue(1, 2), &undo));
+  EXPECT_TRUE(inst.EraseTuple("EDGE", EdgeValue(1, 2), &undo));
+  // All created empty keys; the instance is no longer structurally
+  // equal to the pristine one.
+  EXPECT_FALSE(inst == empty_copy);
+  EXPECT_EQ(inst.class_oids().count("PERSON"), 1u);
+  EXPECT_EQ(inst.class_oids().count("STUDENT"), 1u);
+  EXPECT_EQ(inst.associations().count("EDGE"), 1u);
+  EXPECT_TRUE(inst.TuplesOf("EDGE").empty());
+
+  inst.RollbackTo(&undo, 0);
+  EXPECT_TRUE(inst == empty_copy);
+  EXPECT_EQ(inst.class_oids().count("PERSON"), 0u);
+  EXPECT_EQ(inst.class_oids().count("STUDENT"), 0u);
+  EXPECT_EQ(inst.associations().count("EDGE"), 0u);
+}
+
+TEST(UndoLogTest, PreImageTrackerAnswersPreStepQueries) {
+  Schema schema = TestSchema();
+  Instance inst;
+  OidGenerator gen;
+  Oid ann = inst.CreateObject(schema, "PERSON", PersonValue(1), &gen).value();
+  inst.InsertTuple("EDGE", EdgeValue(1, 2));
+
+  UndoLog undo;
+  PreImageTracker pre(&undo, 0);
+
+  // Mutate: overwrite ann's value, remove ann, insert a tuple, erase the
+  // pre-existing one.
+  ASSERT_TRUE(inst.SetOValue(ann, PersonValue(9), &undo).ok());
+  ASSERT_TRUE(inst.RemoveObject(schema, "PERSON", ann, &undo).ok());
+  inst.InsertTuple("EDGE", EdgeValue(3, 4), &undo);
+  inst.EraseTuple("EDGE", EdgeValue(1, 2), &undo);
+
+  // The tracker answers against the pre-step state...
+  EXPECT_TRUE(pre.Member(inst, "PERSON", ann));
+  ASSERT_TRUE(pre.OValue(inst, ann).has_value());
+  EXPECT_TRUE(*pre.OValue(inst, ann) == PersonValue(1));
+  EXPECT_TRUE(pre.Tuple(inst, "EDGE", EdgeValue(1, 2)));
+  EXPECT_FALSE(pre.Tuple(inst, "EDGE", EdgeValue(3, 4)));
+  // ...and falls through to the live instance for untouched items.
+  EXPECT_FALSE(pre.Member(inst, "STUDENT", ann));
+
+  // The canonical diff captures exactly the net change.
+  NetDiff diff = pre.Diff(inst);
+  EXPECT_FALSE(diff.Empty());
+  EXPECT_EQ(diff.members.at({"PERSON", ann}), false);
+  EXPECT_EQ(diff.tuples.at({"EDGE", EdgeValue(3, 4)}), true);
+  EXPECT_EQ(diff.tuples.at({"EDGE", EdgeValue(1, 2)}), false);
+}
+
+TEST(UndoLogTest, NetDiffIsEmptyWhenOpsCancel) {
+  Schema schema = TestSchema();
+  Instance inst;
+  inst.InsertTuple("EDGE", EdgeValue(0, 0));  // EDGE key pre-exists
+
+  UndoLog undo;
+  PreImageTracker pre(&undo, 0);
+  inst.InsertTuple("EDGE", EdgeValue(5, 6), &undo);
+  inst.EraseTuple("EDGE", EdgeValue(5, 6), &undo);
+  EXPECT_TRUE(pre.Diff(inst).Empty());
+  EXPECT_FALSE(pre.Changed(inst));
+
+  // But a step that only creates empty pi keys (RemoveObject of an
+  // absent oid) is a net change — the old copy-and-compare loop saw
+  // `next != F` for it too.
+  UndoLog undo2;
+  PreImageTracker pre2(&undo2, 0);
+  ASSERT_TRUE(inst.RemoveObject(schema, "PERSON", Oid{42}, &undo2).ok());
+  EXPECT_FALSE(pre2.Diff(inst).Empty());
+}
+
+TEST(UndoLogTest, DatabaseRejectedApplyRestoresDumpExactly) {
+  auto db = Database::Create(R"(
+    classes PERSON = (name: string);
+    associations SEED = (n: integer); KNOWS = (a: integer, b: integer);
+  )");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertTuple("SEED", Value::MakeTuple(
+      {{"n", Value::Int(0)}})).ok());
+  ASSERT_TRUE(db->InsertObject("PERSON", Value::MakeTuple(
+      {{"name", Value::String("ann")}})).ok());
+  const std::string before = DumpDatabase(*db);
+  const uint64_t oids_before = db->oids_issued();
+
+  // A diverging module: budget exhaustion forces the rollback path.
+  EvalOptions tight;
+  tight.budget.max_steps = 3;
+  auto result = db->ApplySource(
+      "rules seed(n: M) <- seed(n: N), M = N + 1.",
+      ApplicationMode::kRIDV, tight);
+  EXPECT_EQ(result.status().code(), StatusCode::kDivergence);
+
+  // The dump — schema, rules, EDB, and generator position — must be
+  // byte-identical; the rejected application consumed no oids here (the
+  // module invents none), so even the generator line matches.
+  EXPECT_EQ(DumpDatabase(*db), before);
+  EXPECT_EQ(db->oids_issued(), oids_before);
+
+  // An inventing module that fails AFTER inventing: state restores
+  // byte-identically except the generator line, exactly as the old
+  // deep-copy snapshot behaved.
+  auto result2 = db->ApplySource(R"(
+    rules
+      person(self X, name: "ghost") <- seed(n: 0).
+      knows(a: M, b: M) <- knows(a: N, b: N), M = N + 1.
+      knows(a: 0, b: 0) <- seed(n: 0).
+  )", ApplicationMode::kRIDV, tight);
+  EXPECT_EQ(result2.status().code(), StatusCode::kDivergence);
+  EXPECT_GT(db->oids_issued(), oids_before);
+  // Everything but the generator position restored.
+  Database fresh = std::move(LoadDatabase(before)).value();
+  EXPECT_TRUE(db->edb() == fresh.edb());
+
+  // And the database still accepts a commit after rolling back.
+  auto ok = db->ApplySource("rules seed(n: 1) <- seed(n: 0).",
+                            ApplicationMode::kRIDV);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(db->edb().TuplesOf("SEED").count(
+      Value::MakeTuple({{"n", Value::Int(1)}})) > 0);
+}
+
+TEST(UndoLogTest, NestedSnapshotWindowsRestoreLifo) {
+  // The journaled store wraps Apply's internal snapshot in its own, so
+  // two windows can be open at once; inner restores must not disturb
+  // the outer window's rollback point.
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok());
+  const std::string state0 = DumpDatabase(*db);
+
+  Database::Snapshot outer = db->TakeSnapshot();
+  ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
+      {{"x", Value::Int(1)}})).ok());
+  const std::string state1 = DumpDatabase(*db);
+
+  {
+    Database::Snapshot inner = db->TakeSnapshot();
+    ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
+        {{"x", Value::Int(2)}})).ok());
+    db->RestoreSnapshot(std::move(inner));
+    EXPECT_EQ(DumpDatabase(*db), state1);
+  }
+
+  // A released (committed) inner window keeps later writes.
+  {
+    Database::Snapshot inner = db->TakeSnapshot();
+    ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
+        {{"x", Value::Int(3)}})).ok());
+  }
+  EXPECT_NE(DumpDatabase(*db), state1);
+
+  db->RestoreSnapshot(std::move(outer));
+  EXPECT_EQ(DumpDatabase(*db), state0);
+}
+
+TEST(UndoLogTest, DatabaseCopyStartsWithEmptyRollbackMachinery) {
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok());
+  Database::Snapshot snap = db->TakeSnapshot();
+  ASSERT_TRUE(db->InsertTuple("P", Value::MakeTuple(
+      {{"x", Value::Int(1)}})).ok());
+
+  // Copying mid-window captures the live state; the copy has no
+  // outstanding marks, and restoring the original does not affect it.
+  Database copy = *db;
+  const std::string copied = DumpDatabase(copy);
+  db->RestoreSnapshot(std::move(snap));
+  EXPECT_EQ(DumpDatabase(copy), copied);
+  EXPECT_NE(DumpDatabase(*db), copied);
+}
+
+}  // namespace
+}  // namespace logres
