@@ -382,6 +382,19 @@ int Value::Compare(const Value& other) const {
 
 size_t Value::Hash() const { return rep_->hash; }
 
+size_t Value::ApproxBytes() const {
+  size_t bytes = sizeof(Rep);
+  bytes += rep_->s.capacity();
+  for (const auto& [label, child] : rep_->fields) {
+    bytes += label.capacity() + sizeof(std::pair<std::string, Value>);
+    bytes += child.ApproxBytes();
+  }
+  for (const Value& child : rep_->elems) {
+    bytes += sizeof(Value) + child.ApproxBytes();
+  }
+  return bytes;
+}
+
 std::string Value::ToString() const {
   switch (kind()) {
     case ValueKind::kNil:

@@ -199,6 +199,12 @@ class Value {
   /// reps are structurally equal, but equal values need not share reps.
   bool SameRep(const Value& other) const { return rep_ == other.rep_; }
 
+  /// \brief Approximate heap footprint in bytes: the rep, string payload,
+  /// and children, recursively. Structurally shared subtrees are counted
+  /// at every occurrence (an upper bound — the byte *budget* wants the
+  /// logical size, not the deduplicated one). O(size of the value).
+  size_t ApproxBytes() const;
+
   /// \brief Paper-style rendering: (l1: v1, ...), {..}, [..], <..>,
   /// strings quoted, oids as #n, nil as "nil".
   std::string ToString() const;

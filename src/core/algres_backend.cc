@@ -633,6 +633,21 @@ Result<bool> AlgresBackend::RunStratum(
     }
     return rows;
   };
+  auto check_growth = [&db, &total_rows, governor]() -> Status {
+    LOGRES_RETURN_NOT_OK(governor->CheckFacts(total_rows()));
+    if (governor->wants_bytes()) {
+      size_t bytes = 0;
+      for (const auto& [name, rel] : *db) {
+        bytes += name.capacity();
+        for (const Row& row : rel) {
+          bytes += 32 + row.capacity() * sizeof(Value);
+          for (const Value& v : row) bytes += v.ApproxBytes();
+        }
+      }
+      LOGRES_RETURN_NOT_OK(governor->CheckBytes(bytes));
+    }
+    return Status::OK();
+  };
   if (strategy == AlgresStrategy::kNaive) {
     for (;;) {
       LOGRES_RETURN_NOT_OK(governor->CheckStep());
@@ -648,7 +663,7 @@ Result<bool> AlgresBackend::RunStratum(
         }
       }
       if (!changed) return true;
-      LOGRES_RETURN_NOT_OK(governor->CheckFacts(total_rows()));
+      LOGRES_RETURN_NOT_OK(check_growth());
     }
   }
 
@@ -686,7 +701,7 @@ Result<bool> AlgresBackend::RunStratum(
       }
     }
     if (!changed) return true;
-    LOGRES_RETURN_NOT_OK(governor->CheckFacts(total_rows()));
+    LOGRES_RETURN_NOT_OK(check_growth());
     delta = std::move(next_delta);
   }
 }

@@ -270,8 +270,39 @@ Result<Value> ParseValue(const std::string& source) {
   return v;
 }
 
+std::string ModuleToSource(const Module& module) {
+  std::string out = StrCat("module ", module.name);
+  if (module.default_mode.has_value()) {
+    out += StrCat(" options ", ApplicationModeName(*module.default_mode));
+  }
+  if (module.semantics.has_value()) {
+    out += StrCat(" semantics ", EvalModeName(*module.semantics));
+  }
+  out += "\n";
+  out += SchemaToSource(module.schema);
+  if (!module.functions.empty()) {
+    out += "functions\n";
+    for (const FunctionDecl& fn : module.functions) {
+      out += StrCat("  ", fn.ToString(), ";\n");
+    }
+  }
+  if (!module.rules.empty()) {
+    out += "rules\n";
+    for (const Rule& rule : module.rules) {
+      out += StrCat("  ", rule.ToString(), "\n");
+    }
+  }
+  if (module.goal.has_value()) {
+    out += StrCat("goal\n  ", module.goal->ToString(), ".\n");
+  }
+  out += "end\n";
+  return out;
+}
+
 std::string DumpDatabase(const Database& db) {
-  std::string out = "-- logres dump\n";
+  // v2 adds `module` blocks (between rules and objects). The header is a
+  // lexer comment, so v1 readers and writers interoperate either way.
+  std::string out = "-- logres dump v2\n";
   out += StrCat("generator ", db.oids_issued(), ";\n");
   out += SchemaToSource(db.schema());
   if (!db.functions().empty()) {
@@ -285,6 +316,9 @@ std::string DumpDatabase(const Database& db) {
     for (const Rule& rule : db.rules()) {
       out += StrCat("  ", rule.ToString(), "\n");
     }
+  }
+  for (const Module& module : db.registered_modules()) {
+    out += ModuleToSource(module);
   }
   const Instance& edb = db.edb();
   if (!edb.class_oids().empty()) {
@@ -341,7 +375,8 @@ Result<Database> LoadDatabase(const std::string& dump) {
     if (in_data &&
         (trimmed == "domains" || trimmed == "classes" ||
          trimmed == "associations" || trimmed == "functions" ||
-         trimmed == "rules")) {
+         trimmed == "rules" || StartsWith(trimmed, "module ") ||
+         trimmed == "end")) {
       in_data = false;
     }
     if (in_data) {

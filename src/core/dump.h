@@ -34,7 +34,14 @@ namespace logres {
 /// associations of data functions are omitted (they are regenerated).
 std::string SchemaToSource(const Schema& schema);
 
-/// \brief Serializes the full database state.
+/// \brief Renders a registered module back to a parseable
+/// `module <name> [options MODE] [semantics NAME] ... end` block.
+/// Round-trips through Module::Parse; the journal uses it to make
+/// ApplyByName commits self-contained.
+std::string ModuleToSource(const Module& module);
+
+/// \brief Serializes the full database state, including registered
+/// module blocks (format v2; v1 dumps without modules still load).
 std::string DumpDatabase(const Database& db);
 
 /// \brief Reconstructs a database from DumpDatabase output.

@@ -1695,6 +1695,9 @@ Result<bool> Evaluator::RunStratum(
                               &undo));
         if (!changed) return true;
         LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
+        if (governor->wants_bytes()) {
+          LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
+        }
         delta = std::move(added);
         continue;
       }
@@ -1704,6 +1707,9 @@ Result<bool> Evaluator::RunStratum(
           ApplyDeltaUndo(schema_, instance, step_delta, &undo, &net));
       if (net.Empty()) return true;
       LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
+      if (governor->wants_bytes()) {
+        LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
+      }
       delta = std::move(added);
       continue;
     }
@@ -1720,6 +1726,9 @@ Result<bool> Evaluator::RunStratum(
           ApplyDeltaInPlace(schema_, instance, step_delta, &changed));
       if (!changed) return true;
       LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
+      if (governor->wants_bytes()) {
+        LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
+      }
       delta = std::move(added);
       continue;
     }
@@ -1729,6 +1738,9 @@ Result<bool> Evaluator::RunStratum(
     if (next == *instance) return true;
     *instance = std::move(next);
     LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
+    if (governor->wants_bytes()) {
+      LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
+    }
     delta = std::move(added);
   }
 }
@@ -1791,6 +1803,9 @@ Result<Instance> Evaluator::Run(const Instance& edb,
         if (net == prev) break;
         prev = std::move(net);
         LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
+        if (governor.wants_bytes()) {
+          LOGRES_RETURN_NOT_OK(governor.CheckBytes(instance.ApproxBytes()));
+        }
       }
     } else {
       // Reference path: rebuild from a copy of E each step and compare
@@ -1811,6 +1826,9 @@ Result<Instance> Evaluator::Run(const Instance& edb,
         if (next == instance) break;
         instance = std::move(next);
         LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
+        if (governor.wants_bytes()) {
+          LOGRES_RETURN_NOT_OK(governor.CheckBytes(instance.ApproxBytes()));
+        }
       }
     }
   } else if (options.mode == EvalMode::kStratified &&
@@ -1866,6 +1884,7 @@ Result<Instance> Evaluator::Run(const Instance& edb,
   // report the resources a successful evaluation consumed.
   stats_.steps = governor.steps_used() + substratum_steps;
   stats_.facts = instance.TotalFacts();
+  if (governor.wants_bytes()) stats_.bytes = instance.ApproxBytes();
   stats_.elapsed_micros = std::chrono::duration_cast<std::chrono::microseconds>(
                               std::chrono::steady_clock::now() - started)
                               .count();

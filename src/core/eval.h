@@ -114,6 +114,10 @@ struct EvalStats {
   /// Facts in the evaluation's result instance (TotalFacts — what the
   /// max_facts budget is compared to).
   size_t facts = 0;
+  /// Approximate byte footprint of the result instance (what the
+  /// max_bytes budget is compared to). Computed only when a byte budget
+  /// is set; 0 otherwise.
+  size_t bytes = 0;
   /// Wall-clock time the evaluation consumed, in microseconds.
   int64_t elapsed_micros = 0;
   /// Threads the evaluation ran with (EvalOptions::num_threads resolved;

@@ -128,6 +128,7 @@ std::string ExplainStats(const EvalStats& stats) {
   return StrCat("steps=", stats.steps, " firings=", stats.rule_firings,
                 " invented_oids=", stats.invented_oids,
                 " deletions=", stats.deletions, " facts=", stats.facts,
+                stats.bytes != 0 ? StrCat(" bytes=", stats.bytes) : "",
                 " elapsed_us=", stats.elapsed_micros,
                 " threads=", stats.threads);
 }

@@ -269,6 +269,24 @@ const std::set<Value>& Instance::TuplesOf(const std::string& assoc) const {
   return it == associations_.end() ? kNoTuples : it->second;
 }
 
+size_t Instance::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [cls, oids] : class_oids_) {
+    bytes += cls.capacity() + oids.size() * (sizeof(Oid) + 32);
+  }
+  for (const auto& [oid, value] : ovalues_) {
+    (void)oid;
+    bytes += sizeof(Oid) + 32 + value.ApproxBytes();
+  }
+  for (const auto& [assoc, tuples] : associations_) {
+    bytes += assoc.capacity();
+    for (const Value& tuple : tuples) {
+      bytes += 32 + tuple.ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
 size_t Instance::TotalFacts() const {
   size_t n = 0;
   for (const auto& [cls, oids] : class_oids_) {

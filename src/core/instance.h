@@ -181,6 +181,11 @@ class Instance {
   /// \brief Total number of objects plus association tuples.
   size_t TotalFacts() const;
 
+  /// \brief Approximate byte footprint of (pi, nu, rho): o-values and
+  /// association tuples via Value::ApproxBytes plus container overhead.
+  /// O(instance); callers gate on ResourceGovernor::wants_bytes().
+  size_t ApproxBytes() const;
+
   /// \brief Definition 4 consistency: oid-set containment along isa,
   /// disjointness across hierarchies, o-value conformance, referential
   /// integrity of class components (nil allowed inside class values only).

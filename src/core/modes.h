@@ -65,6 +65,15 @@ enum class EvalMode {
   kNonInflationary,    // replacement semantics
 };
 
+inline const char* EvalModeName(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kStratified: return "stratified";
+    case EvalMode::kWholeInflationary: return "inflationary";
+    case EvalMode::kNonInflationary: return "noninflationary";
+  }
+  return "?";
+}
+
 inline std::optional<EvalMode> ParseEvalModeName(const std::string& text) {
   if (text == "stratified") return EvalMode::kStratified;
   if (text == "inflationary") return EvalMode::kWholeInflationary;

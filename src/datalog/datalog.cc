@@ -418,6 +418,33 @@ size_t TotalSize(const Database& db) {
   return n;
 }
 
+namespace {
+
+// Approximate payload footprint; only computed when a byte budget is set.
+size_t ApproxBytesOf(const Database& db) {
+  size_t bytes = 0;
+  for (const auto& [p, facts] : db) {
+    bytes += p.capacity();
+    for (const Fact& fact : facts) {
+      bytes += 32 + fact.capacity() * sizeof(Constant);
+      for (const Constant& c : fact) {
+        if (!c.is_int()) bytes += c.sym_value().capacity();
+      }
+    }
+  }
+  return bytes;
+}
+
+Status CheckGrowth(const ResourceGovernor& governor, const Database& db) {
+  LOGRES_RETURN_NOT_OK(governor.CheckFacts(TotalSize(db)));
+  if (governor.wants_bytes()) {
+    LOGRES_RETURN_NOT_OK(governor.CheckBytes(ApproxBytesOf(db)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 }  // namespace
 
 Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
@@ -471,7 +498,7 @@ Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
           if (target.size() != had) indexes.Invalidate(rule->head.predicate);
         }
         if (TotalSize(db) == before) break;
-        LOGRES_RETURN_NOT_OK(governor.CheckFacts(TotalSize(db)));
+        LOGRES_RETURN_NOT_OK(CheckGrowth(governor, db));
       }
     } else {
       // Semi-naive: the first round's frontier is everything currently
@@ -565,7 +592,7 @@ Result<Database> Evaluate(const Program& program, const EvalOptions& options) {
           db[p].insert(facts.begin(), facts.end());
           indexes.Invalidate(p);
         }
-        LOGRES_RETURN_NOT_OK(governor.CheckFacts(TotalSize(db)));
+        LOGRES_RETURN_NOT_OK(CheckGrowth(governor, db));
         delta = std::move(next_delta);
         frontier = &delta;
       }

@@ -1,10 +1,8 @@
 #include "storage/journal.h"
 
 #include <fcntl.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstring>
 
 #include "util/crc32.h"
@@ -35,61 +33,35 @@ uint32_t GetU32(const unsigned char* p) {
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
-Status ErrnoStatus(const std::string& what) {
-  return Status::ExecutionError(StrCat(what, ": ", std::strerror(errno)));
-}
-
 // fsync the directory containing `path` so a freshly created or renamed
 // entry survives a crash of the whole machine, not just the process.
-Status SyncParentDir(const std::string& path) {
+Status SyncParentDir(Io& io, const std::string& path) {
   size_t slash = path.find_last_of('/');
   std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   if (dir.empty()) dir = "/";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return ErrnoStatus(StrCat("open directory ", dir));
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return ErrnoStatus(StrCat("fsync directory ", dir));
-  return Status::OK();
+  IoResult fd = io.Open(dir, O_RDONLY | O_DIRECTORY, 0);
+  if (!fd.ok()) return IoErrorStatus(fd, StrCat("open directory ", dir));
+  Status st = SyncRetry(io, static_cast<int>(fd.value),
+                        StrCat("fsync directory ", dir),
+                        /*data_only=*/false);
+  (void)io.Close(static_cast<int>(fd.value));
+  return st;
 }
 
-Status WriteFully(int fd, const char* data, size_t size) {
-  size_t written = 0;
-  while (written < size) {
-    ssize_t n = ::write(fd, data + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write journal");
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-Result<std::string> ReadWholeFile(const std::string& path, bool* exists) {
+Result<std::string> ReadWholeFile(Io& io, const std::string& path,
+                                  bool* exists) {
   *exists = true;
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) {
+  IoResult fd = io.Open(path, O_RDONLY, 0);
+  if (!fd.ok()) {
+    if (fd.err == ENOENT) {
       *exists = false;
       return std::string();
     }
-    return ErrnoStatus(StrCat("open ", path));
+    return IoErrorStatus(fd, StrCat("open ", path));
   }
-  std::string out;
-  char buf[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return ErrnoStatus(StrCat("read ", path));
-    }
-    if (n == 0) break;
-    out.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return out;
+  auto data = ReadAll(io, static_cast<int>(fd.value), StrCat("read ", path));
+  (void)io.Close(static_cast<int>(fd.value));
+  return data;
 }
 
 // Parses "key=<uint64>" from a whitespace-separated header field.
@@ -167,10 +139,12 @@ Result<JournalRecord> DecodeJournalPayload(const std::string& payload) {
   return record;
 }
 
-Result<JournalScan> ScanJournal(const std::string& path) {
+Result<JournalScan> ScanJournal(const std::string& path, Io* io) {
+  Io& the_io = io != nullptr ? *io : PosixIo();
   JournalScan scan;
   bool exists = false;
-  LOGRES_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path, &exists));
+  LOGRES_ASSIGN_OR_RETURN(std::string data,
+                          ReadWholeFile(the_io, path, &exists));
   if (!exists || data.empty()) return scan;  // absent/empty: valid, empty
 
   if (data.size() < kMagicSize ||
@@ -232,58 +206,69 @@ Result<JournalScan> ScanJournal(const std::string& path) {
   return scan;
 }
 
-Result<Journal> Journal::Open(const std::string& path) {
-  LOGRES_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(path));
+Result<Journal> Journal::Open(const std::string& path, Io* io) {
+  Io& the_io = io != nullptr ? *io : PosixIo();
+  LOGRES_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(path, &the_io));
 
   Journal journal;
+  journal.io_ = &the_io;
   journal.scan_ = std::move(scan);
 
   bool fresh = journal.scan_.valid_bytes == 0;
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
-  if (fd < 0) return ErrnoStatus(StrCat("open journal ", path));
-  journal.fd_ = fd;
+  IoResult fd = the_io.Open(path, O_WRONLY | O_CREAT, 0644);
+  if (!fd.ok()) return IoErrorStatus(fd, StrCat("open journal ", path));
+  journal.fd_ = static_cast<int>(fd.value);
 
   if (fresh) {
     // New (or wholly corrupt) journal: start from a clean header.
-    if (::ftruncate(fd, 0) != 0) return ErrnoStatus("truncate journal");
-    Status st = WriteFully(fd, kMagic, kMagicSize);
-    if (!st.ok()) return st;
-    if (::fsync(fd) != 0) return ErrnoStatus("fsync journal");
-    LOGRES_RETURN_NOT_OK(SyncParentDir(path));
+    IoResult tr = the_io.Ftruncate(journal.fd_, 0);
+    if (!tr.ok()) return IoErrorStatus(tr, "truncate journal");
+    LOGRES_RETURN_NOT_OK(
+        WriteAll(the_io, journal.fd_, kMagic, kMagicSize, "write journal"));
+    LOGRES_RETURN_NOT_OK(
+        SyncRetry(the_io, journal.fd_, "fsync journal", /*data_only=*/false));
+    LOGRES_RETURN_NOT_OK(SyncParentDir(the_io, path));
     journal.good_size_ = kMagicSize;
   } else {
     // Drop any torn suffix so appends land right after the last valid
     // record. This is the "recover by truncation" half of the contract.
     if (journal.scan_.torn_bytes > 0) {
-      if (::ftruncate(fd, static_cast<off_t>(journal.scan_.valid_bytes)) !=
-          0) {
-        return ErrnoStatus("truncate torn journal suffix");
+      IoResult tr =
+          the_io.Ftruncate(journal.fd_, journal.scan_.valid_bytes);
+      if (!tr.ok()) {
+        return IoErrorStatus(tr, "truncate torn journal suffix");
       }
-      if (::fsync(fd) != 0) return ErrnoStatus("fsync journal");
+      LOGRES_RETURN_NOT_OK(SyncRetry(the_io, journal.fd_, "fsync journal",
+                                     /*data_only=*/false));
     }
     journal.good_size_ = journal.scan_.valid_bytes;
     journal.live_records_ = journal.scan_.records.size();
   }
-  if (::lseek(fd, static_cast<off_t>(journal.good_size_), SEEK_SET) < 0) {
-    return ErrnoStatus("seek journal");
-  }
+  IoResult seek = the_io.Lseek(journal.fd_,
+                               static_cast<int64_t>(journal.good_size_),
+                               SEEK_SET);
+  if (!seek.ok()) return IoErrorStatus(seek, "seek journal");
   return journal;
 }
 
 Journal::Journal(Journal&& other) noexcept
-    : fd_(other.fd_),
+    : io_(other.io_),
+      fd_(other.fd_),
       good_size_(other.good_size_),
       live_records_(other.live_records_),
+      tail_suspect_(other.tail_suspect_),
       scan_(std::move(other.scan_)) {
   other.fd_ = -1;
 }
 
 Journal& Journal::operator=(Journal&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
+    if (fd_ >= 0) (void)io_->Close(fd_);
+    io_ = other.io_;
     fd_ = other.fd_;
     good_size_ = other.good_size_;
     live_records_ = other.live_records_;
+    tail_suspect_ = other.tail_suspect_;
     scan_ = std::move(other.scan_);
     other.fd_ = -1;
   }
@@ -291,16 +276,25 @@ Journal& Journal::operator=(Journal&& other) noexcept {
 }
 
 Journal::~Journal() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) (void)io_->Close(fd_);
 }
 
 Status Journal::Append(const JournalRecord& record) {
   if (fd_ < 0) return Status::ExecutionError("journal is not open");
+  if (tail_suspect_) {
+    // The fsync-failure rule: after a failed fdatasync the page cache may
+    // hold pages the disk never got (and the kernel may have dropped the
+    // error), so nothing written through this fd is trustworthy until the
+    // file is re-opened and its tail re-verified from a fresh read.
+    return Status::Unavailable(
+        "journal tail is unverified after an fsync failure; reopen the "
+        "store to re-verify and resume");
+  }
   // Anything that fails from here on (injected or real) rolls the file
   // back to good_size_, so the live journal never carries a partial frame.
   auto fail = [&](Status st) {
-    (void)::ftruncate(fd_, static_cast<off_t>(good_size_));
-    (void)::lseek(fd_, static_cast<off_t>(good_size_), SEEK_SET);
+    (void)io_->Ftruncate(fd_, good_size_);
+    (void)io_->Lseek(fd_, static_cast<int64_t>(good_size_), SEEK_SET);
     return st;
   };
   Status armed = failpoints::AnyArmed()
@@ -309,7 +303,8 @@ Status Journal::Append(const JournalRecord& record) {
   if (!armed.ok()) return fail(armed);
 
   std::string framed = EncodeJournalRecord(record);
-  Status write_st = WriteFully(fd_, framed.data(), framed.size());
+  Status write_st =
+      WriteAll(*io_, fd_, framed.data(), framed.size(), "write journal");
   if (!write_st.ok()) return fail(write_st);
 
   // The record is written but not yet durable: a crash at this site may
@@ -319,7 +314,12 @@ Status Journal::Append(const JournalRecord& record) {
                                  : Status::OK();
   if (!armed.ok()) return fail(armed);
 
-  if (::fdatasync(fd_) != 0) return fail(ErrnoStatus("fdatasync journal"));
+  Status sync_st = SyncRetry(*io_, fd_, "fdatasync journal");
+  if (!sync_st.ok()) {
+    tail_suspect_ = true;
+    return fail(sync_st.WithContext(
+        "journal tail now unverified (fsync-failure rule)"));
+  }
   good_size_ += framed.size();
   live_records_++;
   return Status::OK();
@@ -327,13 +327,21 @@ Status Journal::Append(const JournalRecord& record) {
 
 Status Journal::Reset() {
   if (fd_ < 0) return Status::ExecutionError("journal is not open");
-  if (::ftruncate(fd_, static_cast<off_t>(kMagicSize)) != 0) {
-    return ErrnoStatus("truncate journal");
+  if (tail_suspect_) {
+    return Status::Unavailable(
+        "journal tail is unverified after an fsync failure; reopen the "
+        "store to re-verify and resume");
   }
-  if (::lseek(fd_, static_cast<off_t>(kMagicSize), SEEK_SET) < 0) {
-    return ErrnoStatus("seek journal");
+  IoResult tr = io_->Ftruncate(fd_, kMagicSize);
+  if (!tr.ok()) return IoErrorStatus(tr, "truncate journal");
+  IoResult seek = io_->Lseek(fd_, kMagicSize, SEEK_SET);
+  if (!seek.ok()) return IoErrorStatus(seek, "seek journal");
+  Status sync_st =
+      SyncRetry(*io_, fd_, "fsync journal", /*data_only=*/false);
+  if (!sync_st.ok()) {
+    tail_suspect_ = true;
+    return sync_st;
   }
-  if (::fsync(fd_) != 0) return ErrnoStatus("fsync journal");
   good_size_ = kMagicSize;
   live_records_ = 0;
   return Status::OK();

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "core/modes.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace logres {
@@ -91,9 +92,10 @@ std::string EncodeJournalRecord(const JournalRecord& record);
 /// \brief Parses one payload (no frame) back into a record.
 Result<JournalRecord> DecodeJournalPayload(const std::string& payload);
 
-/// \brief Reads and validates \p path. Missing file yields an empty scan;
-/// torn or corrupt suffixes are reported in warnings, not as errors.
-Result<JournalScan> ScanJournal(const std::string& path);
+/// \brief Reads and validates \p path through \p io (PosixIo when null).
+/// Missing file yields an empty scan; torn or corrupt suffixes are
+/// reported in warnings, not as errors.
+Result<JournalScan> ScanJournal(const std::string& path, Io* io = nullptr);
 
 /// \brief An open journal file, append side.
 ///
@@ -107,8 +109,9 @@ class Journal {
   /// \brief Opens \p path for appending, creating it (with the format
   /// magic, fsync'd, directory entry fsync'd) when missing. An existing
   /// file is scanned first and truncated past its last valid record; the
-  /// scan (with any warnings) is available via recovered().
-  static Result<Journal> Open(const std::string& path);
+  /// scan (with any warnings) is available via recovered(). All file
+  /// operations go through \p io (PosixIo when null).
+  static Result<Journal> Open(const std::string& path, Io* io = nullptr);
 
   Journal(Journal&& other) noexcept;
   Journal& operator=(Journal&& other) noexcept;
@@ -117,12 +120,27 @@ class Journal {
   ~Journal();
 
   /// \brief Appends \p record and makes it durable (write + fdatasync)
-  /// before returning OK. Sites: journal.append, journal.fsync.
+  /// before returning OK. Transient faults (EINTR, short writes) are
+  /// retried in place with bounded backoff; a persistent fault returns
+  /// kUnavailable with the file rolled back to its last good size.
+  /// Sites: journal.append, journal.fsync.
+  ///
+  /// A persistent *fdatasync* failure additionally poisons the journal
+  /// (tail_suspect()): per the fsync-failure rule, the kernel may have
+  /// dropped the dirty pages and cleared the error, so neither the fd nor
+  /// the page cache can be trusted afterwards. Every later Append is
+  /// refused with kUnavailable until the file is re-opened and its tail
+  /// re-verified by a fresh scan (JournaledDatabase::Reopen).
   Status Append(const JournalRecord& record);
 
   /// \brief Empties the journal (truncate to the magic header + fsync);
-  /// called after a checkpoint has made its records redundant.
+  /// called after a checkpoint has made its records redundant and the
+  /// rotation keep-count is zero.
   Status Reset();
+
+  /// \brief True after a persistent fsync failure: the on-disk tail can
+  /// no longer be trusted and appends are refused until re-verified.
+  bool tail_suspect() const { return tail_suspect_; }
 
   /// \brief What Open found in the pre-existing file.
   const JournalScan& recovered() const { return scan_; }
@@ -137,9 +155,11 @@ class Journal {
  private:
   Journal() = default;
 
+  Io* io_ = nullptr;  // never null once Open succeeds
   int fd_ = -1;
   uint64_t good_size_ = 0;
   uint64_t live_records_ = 0;
+  bool tail_suspect_ = false;
   JournalScan scan_;
 };
 

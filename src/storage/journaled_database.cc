@@ -1,10 +1,8 @@
 #include "storage/journaled_database.h"
 
 #include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
 
-#include <cerrno>
+#include <algorithm>
 #include <cstring>
 
 #include "util/failpoint.h"
@@ -17,65 +15,84 @@ namespace {
 constexpr char kCheckpointName[] = "CHECKPOINT";
 constexpr char kCheckpointTmpName[] = "CHECKPOINT.tmp";
 constexpr char kJournalName[] = "journal";
+constexpr char kRotatedSuffix[] = ".old";
 constexpr char kCheckpointHeaderPrefix[] = "-- logres checkpoint seq=";
 
-Status ErrnoStatus(const std::string& what) {
-  return Status::ExecutionError(StrCat(what, ": ", std::strerror(errno)));
+Status SyncDir(Io& io, const std::string& dir) {
+  IoResult fd = io.Open(dir, O_RDONLY | O_DIRECTORY, 0);
+  if (!fd.ok()) return IoErrorStatus(fd, StrCat("open directory ", dir));
+  Status st = SyncRetry(io, static_cast<int>(fd.value),
+                        StrCat("fsync directory ", dir),
+                        /*data_only=*/false);
+  (void)io.Close(static_cast<int>(fd.value));
+  return st;
 }
 
-Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return ErrnoStatus(StrCat("open directory ", dir));
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return ErrnoStatus(StrCat("fsync directory ", dir));
-  return Status::OK();
+Result<bool> FileExists(Io& io, const std::string& path) {
+  IoResult r = io.Exists(path);
+  if (!r.ok()) return IoErrorStatus(r, StrCat("stat ", path));
+  return r.value != 0;
 }
 
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
-}
-
-Result<std::string> ReadFileOrError(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return ErrnoStatus(StrCat("open ", path));
-  std::string out;
-  char buf[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return ErrnoStatus(StrCat("read ", path));
-    }
-    if (n == 0) break;
-    out.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return out;
+Result<std::string> ReadFileOrError(Io& io, const std::string& path) {
+  IoResult fd = io.Open(path, O_RDONLY, 0);
+  if (!fd.ok()) return IoErrorStatus(fd, StrCat("open ", path));
+  auto data = ReadAll(io, static_cast<int>(fd.value), StrCat("read ", path));
+  (void)io.Close(static_cast<int>(fd.value));
+  return data;
 }
 
 // Writes `text` to `path` (truncating) and fsyncs it. The caller renames.
-Status WriteFileSynced(const std::string& path, const std::string& text) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoStatus(StrCat("open ", path));
-  size_t written = 0;
-  while (written < text.size()) {
-    ssize_t n = ::write(fd, text.data() + written, text.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return ErrnoStatus(StrCat("write ", path));
-    }
-    written += static_cast<size_t>(n);
+Status WriteFileSynced(Io& io, const std::string& path,
+                       const std::string& text) {
+  IoResult fd = io.Open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (!fd.ok()) return IoErrorStatus(fd, StrCat("open ", path));
+  Status st = WriteAll(io, static_cast<int>(fd.value), text.data(),
+                       text.size(), StrCat("write ", path));
+  if (st.ok()) {
+    st = SyncRetry(io, static_cast<int>(fd.value), StrCat("fsync ", path),
+                   /*data_only=*/false);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return ErrnoStatus(StrCat("fsync ", path));
+  IoResult closed = io.Close(static_cast<int>(fd.value));
+  if (st.ok() && !closed.ok()) {
+    st = IoErrorStatus(closed, StrCat("close ", path));
   }
-  if (::close(fd) != 0) return ErrnoStatus(StrCat("close ", path));
-  return Status::OK();
+  return st;
+}
+
+// Parses the <seq> out of "journal.<seq>.old"; false for anything else.
+bool ParseRotatedName(const std::string& name, uint64_t* seq) {
+  std::string prefix = StrCat(kJournalName, ".");
+  if (!StartsWith(name, prefix) || !EndsWith(name, kRotatedSuffix)) {
+    return false;
+  }
+  size_t begin = prefix.size();
+  size_t end = name.size() - std::strlen(kRotatedSuffix);
+  if (end <= begin) return false;
+  uint64_t value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *seq = value;
+  return true;
+}
+
+// Rotated journal seqs currently on disk, oldest first. I/O failures
+// yield an empty list (pruning is best-effort).
+std::vector<uint64_t> ListRotatedJournals(Io& io, const std::string& dir) {
+  std::vector<std::string> names;
+  std::vector<uint64_t> seqs;
+  if (!io.ListDir(dir, &names).ok()) return seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseRotatedName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
 }
 
 }  // namespace
@@ -83,17 +100,21 @@ Status WriteFileSynced(const std::string& path, const std::string& text) {
 Result<JournaledDatabase> JournaledDatabase::Create(const std::string& dir,
                                                     Database db,
                                                     StorageOptions options) {
-  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return ErrnoStatus(StrCat("mkdir ", dir));
+  Io& io = options.io != nullptr ? *options.io : PosixIo();
+  IoResult made = io.Mkdir(dir, 0755);
+  if (!made.ok() && made.err != EEXIST) {
+    return IoErrorStatus(made, StrCat("mkdir ", dir));
   }
   std::string checkpoint_path = StrCat(dir, "/", kCheckpointName);
-  if (FileExists(checkpoint_path)) {
+  LOGRES_ASSIGN_OR_RETURN(bool exists, FileExists(io, checkpoint_path));
+  if (exists) {
     return Status::AlreadyExists(
         StrCat(dir, " already holds a journaled store (use Open)"));
   }
   LOGRES_ASSIGN_OR_RETURN(Journal journal,
-                          Journal::Open(StrCat(dir, "/", kJournalName)));
-  JournaledDatabase store(dir, std::move(db), std::move(journal), options);
+                          Journal::Open(StrCat(dir, "/", kJournalName), &io));
+  JournaledDatabase store(dir, std::move(db), std::move(journal), options,
+                          &io);
   // The initial checkpoint IS the store's base state: recovery always has
   // something to load, so an empty journal is a complete store.
   LOGRES_RETURN_NOT_OK(store.WriteCheckpoint());
@@ -109,8 +130,10 @@ Result<JournaledDatabase> JournaledDatabase::Create(const std::string& dir,
 
 Result<JournaledDatabase> JournaledDatabase::Open(const std::string& dir,
                                                   StorageOptions options) {
+  Io& io = options.io != nullptr ? *options.io : PosixIo();
   std::string checkpoint_path = StrCat(dir, "/", kCheckpointName);
-  if (!FileExists(checkpoint_path)) {
+  LOGRES_ASSIGN_OR_RETURN(bool exists, FileExists(io, checkpoint_path));
+  if (!exists) {
     return Status::NotFound(
         StrCat(dir, " is not a journaled store (no CHECKPOINT)"));
   }
@@ -119,7 +142,7 @@ Result<JournaledDatabase> JournaledDatabase::Open(const std::string& dir,
   //    the rest is a plain DumpDatabase dump (the "--" header line is a
   //    lexer comment, so LoadDatabase can swallow the whole file).
   LOGRES_ASSIGN_OR_RETURN(std::string text,
-                          ReadFileOrError(checkpoint_path));
+                          ReadFileOrError(io, checkpoint_path));
   if (!StartsWith(text, kCheckpointHeaderPrefix)) {
     return Status::ParseError(
         StrCat(checkpoint_path, ": missing checkpoint header"));
@@ -152,23 +175,25 @@ Result<JournaledDatabase> JournaledDatabase::Open(const std::string& dir,
   // A leftover CHECKPOINT.tmp means a crash hit mid-checkpoint before the
   // rename; the real CHECKPOINT is still the authority. Clear the debris.
   std::string tmp_path = StrCat(dir, "/", kCheckpointTmpName);
-  if (FileExists(tmp_path)) (void)::unlink(tmp_path.c_str());
+  LOGRES_ASSIGN_OR_RETURN(bool tmp_exists, FileExists(io, tmp_path));
+  if (tmp_exists) (void)io.Unlink(tmp_path);
 
   // 2. Open the journal; this truncates any torn suffix (with warnings).
   LOGRES_ASSIGN_OR_RETURN(Journal journal,
-                          Journal::Open(StrCat(dir, "/", kJournalName)));
+                          Journal::Open(StrCat(dir, "/", kJournalName), &io));
 
   JournaledDatabase store(dir, std::move(loaded).value(),
-                          std::move(journal), options);
+                          std::move(journal), options, &io);
   store.checkpoint_seq_ = checkpoint_seq;
   store.last_seq_ = checkpoint_seq;
+  store.rotated_journals_ = ListRotatedJournals(io, dir).size();
   store.warnings_ = store.journal_.recovered().warnings;
 
   // 3. Deterministic replay of the journal suffix.
   for (const JournalRecord& record : store.journal_.recovered().records) {
     if (record.seq <= checkpoint_seq) {
       // Already folded into the checkpoint (crash between the checkpoint
-      // rename and the journal reset). Skip, but note it: the next
+      // rename and the journal rotation). Skip, but note it: the next
       // checkpoint will clear these out.
       store.warnings_.push_back(
           StrCat("journal record seq=", record.seq,
@@ -211,9 +236,26 @@ Result<JournaledDatabase> JournaledDatabase::Open(const std::string& dir,
   return store;
 }
 
+Status JournaledDatabase::NoteFailure(Status failure) {
+  if (failure.code() == StatusCode::kUnavailable && !degraded_) {
+    degraded_ = true;
+    degraded_reason_ = failure;
+    warnings_.push_back(
+        StrCat("entering read-only degraded mode: ", failure.ToString()));
+  }
+  return failure;
+}
+
 Result<ModuleResult> JournaledDatabase::ApplySource(
     const std::string& source, ApplicationMode mode,
     const EvalOptions& options) {
+  if (degraded_) {
+    // Refuse up front: the state (and the oid generator) is untouched, so
+    // a recovered store continues exactly where the last ack left off.
+    return Status::Unavailable(
+        StrCat("store is in read-only degraded mode (reopen to recover); "
+               "cause: ", degraded_reason_.ToString()));
+  }
   // Apply() is transactional in process; we snapshot anyway so a failed
   // journal append can undo an otherwise-successful application — memory
   // must never acknowledge a commit the disk does not have.
@@ -234,10 +276,12 @@ Result<ModuleResult> JournaledDatabase::ApplySource(
   Status appended = journal_.Append(record);
   if (!appended.ok()) {
     // The oid generator stays where it is, matching the rejected-apply
-    // policy: consumed oids are never reused.
+    // policy: consumed oids are never reused. A persistent I/O fault
+    // (kUnavailable) additionally degrades the store; an injected
+    // failpoint (ExecutionError) does not — the disk is fine.
     db_.RestoreSnapshot(std::move(snapshot));
-    return appended.WithContext(
-        "journal append failed; application rolled back");
+    return NoteFailure(appended.WithContext(
+        "journal append failed; application rolled back"));
   }
   last_seq_ = record.seq;
   steps_total_ += result.stats.steps;
@@ -257,29 +301,159 @@ Result<ModuleResult> JournaledDatabase::ApplySource(
   return result;
 }
 
+Result<ModuleResult> JournaledDatabase::ApplyByName(
+    const std::string& name, const EvalOptions& options) {
+  const Module* found = nullptr;
+  for (const Module& module : db_.registered_modules()) {
+    if (module.name == name) {
+      found = &module;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound(StrCat("no registered module named '", name,
+                                   "'"));
+  }
+  // Journal the module's own serialized source so the record is
+  // self-contained: replay re-parses it and never consults the registry.
+  std::string source = ModuleToSource(*found);
+  ApplicationMode mode =
+      found->default_mode.value_or(ApplicationMode::kRIDI);
+  return ApplySource(source, mode, options);
+}
+
 Status JournaledDatabase::WriteCheckpoint() {
   LOGRES_FAILPOINT("checkpoint.write");
   std::string text = StrCat(kCheckpointHeaderPrefix, last_seq_, "\n",
                             DumpDatabase(db_));
   std::string tmp_path = StrCat(dir_, "/", kCheckpointTmpName);
   std::string checkpoint_path = StrCat(dir_, "/", kCheckpointName);
-  LOGRES_RETURN_NOT_OK(WriteFileSynced(tmp_path, text));
+  LOGRES_RETURN_NOT_OK(WriteFileSynced(*io_, tmp_path, text));
   LOGRES_FAILPOINT("checkpoint.rename");
-  if (::rename(tmp_path.c_str(), checkpoint_path.c_str()) != 0) {
-    return ErrnoStatus(StrCat("rename ", tmp_path));
+  IoResult renamed = io_->Rename(tmp_path, checkpoint_path);
+  if (!renamed.ok()) {
+    return IoErrorStatus(renamed, StrCat("rename ", tmp_path));
   }
-  LOGRES_RETURN_NOT_OK(SyncDir(dir_));
+  LOGRES_RETURN_NOT_OK(SyncDir(*io_, dir_));
   checkpoint_seq_ = last_seq_;
   return Status::OK();
 }
 
+Status JournaledDatabase::RotateJournal() {
+  std::string path = StrCat(dir_, "/", kJournalName);
+  std::string rotated =
+      StrCat(path, ".", checkpoint_seq_, kRotatedSuffix);
+  IoResult renamed = io_->Rename(path, rotated);
+  if (!renamed.ok()) {
+    // Nothing moved: the live journal is untouched and still appendable
+    // (its records are merely redundant with the checkpoint).
+    return IoErrorStatus(renamed, StrCat("rotate journal to ", rotated));
+  }
+  // A crash here is benign: Open() creates a fresh journal when the file
+  // is missing, and every record in the rotated file is covered by the
+  // checkpoint. Journal::Open fsyncs the new file and the directory,
+  // making the rename and the creation durable together.
+  auto fresh = Journal::Open(path, io_);
+  if (!fresh.ok()) {
+    // Put the live journal back under its canonical name so appends
+    // through the still-open fd stay reachable by recovery.
+    IoResult back = io_->Rename(rotated, path);
+    if (!back.ok()) {
+      // The open fd now writes to a file recovery will never read; no
+      // append can be allowed until a Reopen re-establishes the layout.
+      return NoteFailure(Status::Unavailable(
+          StrCat("journal rotation failed (", fresh.status().ToString(),
+                 ") and the live journal could not be moved back (",
+                 std::strerror(back.err),
+                 "); reopen the store to recover")));
+    }
+    return fresh.status().WithContext("journal rotation aborted");
+  }
+  journal_ = std::move(fresh).value();
+  rotated_journals_++;
+  PruneRotatedJournals();
+  return Status::OK();
+}
+
+void JournaledDatabase::PruneRotatedJournals() {
+  std::vector<uint64_t> seqs = ListRotatedJournals(*io_, dir_);
+  rotated_journals_ = seqs.size();
+  if (seqs.size() <= options_.rotated_journals_keep) return;
+  size_t drop = seqs.size() - options_.rotated_journals_keep;
+  for (size_t i = 0; i < drop; ++i) {
+    std::string victim = StrCat(dir_, "/", kJournalName, ".", seqs[i],
+                                kRotatedSuffix);
+    IoResult gone = io_->Unlink(victim);
+    if (gone.ok()) {
+      rotated_journals_--;
+    } else {
+      warnings_.push_back(StrCat("pruning rotated journal ", victim,
+                                 " failed: ", std::strerror(gone.err)));
+    }
+  }
+}
+
 Status JournaledDatabase::Checkpoint() {
+  if (degraded_) {
+    return Status::Unavailable(
+        StrCat("store is in read-only degraded mode (reopen to recover); "
+               "cause: ", degraded_reason_.ToString()));
+  }
   LOGRES_RETURN_NOT_OK(WriteCheckpoint());
-  // A crash (or injected fault) between the rename above and the reset
-  // below leaves stale records in the journal; recovery skips them by
-  // seq, so this window is benign.
+  // A crash (or injected fault) between the rename above and the
+  // rotation/reset below leaves stale records in the journal; recovery
+  // skips them by seq, so this window is benign.
   LOGRES_FAILPOINT("checkpoint.truncate");
-  return journal_.Reset();
+  Status st = options_.rotated_journals_keep == 0 ? journal_.Reset()
+                                                  : RotateJournal();
+  if (!st.ok() && journal_.tail_suspect()) {
+    // The journal refuses appends until re-verified; surface that as
+    // degradation now rather than on the next apply.
+    return NoteFailure(
+        st.code() == StatusCode::kUnavailable
+            ? st
+            : Status::Unavailable(st.ToString()));
+  }
+  return st;
+}
+
+Status JournaledDatabase::Reopen() {
+  uint64_t acked_seq = last_seq_;
+  uint64_t steps_total = steps_total_;
+  uint64_t facts_last = facts_last_;
+  std::vector<std::string> warnings = warnings_;
+
+  auto reopened = Open(dir_, options_);
+  if (!reopened.ok()) {
+    Status st = reopened.status().WithContext(
+        degraded_ ? "reopen failed; store remains degraded"
+                  : "reopen failed");
+    warnings_.push_back(st.ToString());
+    return st;
+  }
+  if (reopened->last_seq_ < acked_seq) {
+    // The disk lost acknowledged commits (the fsync-failure scenario this
+    // exists to catch). Resuming would silently fork history; stay
+    // read-only and report the gap.
+    degraded_ = true;
+    degraded_reason_ = Status::Inconsistent(
+        StrCat("reopen recovered seq ", reopened->last_seq_,
+               " but seq ", acked_seq,
+               " was acknowledged; durability gap — store remains "
+               "read-only"));
+    warnings_.push_back(degraded_reason_.ToString());
+    return degraded_reason_;
+  }
+
+  *this = std::move(reopened).value();
+  steps_total_ = steps_total;
+  facts_last_ = facts_last;
+  warnings.push_back(
+      StrCat("reopen: recovery re-verified the journal through seq ",
+             last_seq_, "; store resumed"));
+  warnings.insert(warnings.end(), warnings_.begin(), warnings_.end());
+  warnings_ = std::move(warnings);
+  return Status::OK();
 }
 
 StorageStatus JournaledDatabase::status() const {
@@ -290,8 +464,11 @@ StorageStatus JournaledDatabase::status() const {
   s.journal_bytes = journal_.size_bytes();
   s.replayed_at_open = replayed_at_open_;
   s.truncated_bytes_at_open = journal_.recovered().torn_bytes;
+  s.rotated_journals = rotated_journals_;
   s.steps_total = steps_total_;
   s.facts_last = facts_last_;
+  s.degraded = degraded_;
+  if (degraded_) s.degraded_reason = degraded_reason_.ToString();
   s.warnings = warnings_;
   return s;
 }

@@ -2,9 +2,11 @@
 //
 // A JournaledDatabase wraps a Database with the on-disk layout
 //
-//   <dir>/CHECKPOINT       -- "-- logres checkpoint seq=<N>" + DumpDatabase
-//   <dir>/CHECKPOINT.tmp   -- transient; atomically renamed over CHECKPOINT
-//   <dir>/journal          -- append-only log of committed applications
+//   <dir>/CHECKPOINT         -- "-- logres checkpoint seq=<N>" + DumpDatabase
+//   <dir>/CHECKPOINT.tmp     -- transient; atomically renamed over CHECKPOINT
+//   <dir>/journal            -- append-only log of committed applications
+//   <dir>/journal.<N>.old    -- rotated journals (records covered by the
+//                               checkpoint with seq N); bounded keep-count
 //
 // and gives module application the same all-or-nothing guarantee *across
 // process death* that Database::Apply already gives in process:
@@ -15,7 +17,8 @@
 //               rolled back too, so memory never runs ahead of disk.
 //   checkpoint: write "-- logres checkpoint seq=N" + the dump to
 //               CHECKPOINT.tmp, fsync, atomically rename over CHECKPOINT,
-//               fsync the directory, then empty the journal. Taken
+//               fsync the directory, then rotate the journal aside (or
+//               empty it when rotated_journals_keep is 0). Taken
 //               automatically every StorageOptions::checkpoint_interval
 //               commits (0 disables) or on demand.
 //   recovery:   load the newest valid CHECKPOINT, truncate the journal at
@@ -26,15 +29,34 @@
 //               byte-identical, and cross-checking gen_after. Records
 //               with seq <= checkpoint seq are skipped: they cover the
 //               window where a crash hit between the checkpoint rename
-//               and the journal reset.
+//               and the journal rotation.
 //
-// Deliberately NOT durable: modules registered at Create time (dumps do
-// not carry `module` blocks; journal `apply` records carry their own
-// source), the EvalOptions/Budget a commit ran under (replay uses an
-// unlimited budget — a commit that terminated once terminates again),
-// and oids consumed by *rejected* applications after the last commit
-// (the state triple is unaffected; gen_before fast-forwarding re-creates
-// the gaps that precede each commit).
+// Every file operation goes through the Io seam (util/io.h):
+// StorageOptions::io injects a FaultyIo for testing; production uses
+// PosixIo. On top of the seam sits the graceful-degradation contract:
+//
+//   * Transient faults (EINTR, short writes) are retried in place with
+//     bounded backoff inside WriteAll/ReadAll/SyncRetry — invisible here.
+//   * A persistent fault on the journal append/fsync path (kUnavailable)
+//     rolls the application back and flips the store into read-only
+//     DEGRADED mode: queries keep working against the in-memory state,
+//     every later ApplySource/Checkpoint is refused with kUnavailable
+//     carrying the root cause, and `journal status` reports DEGRADED.
+//   * Reopen() attempts recovery-and-resume: it re-runs full Open()
+//     recovery (re-reading the on-disk tail — after an fsync failure the
+//     page cache must not be trusted, so re-verification is a fresh scan)
+//     and resumes only if the recovered state covers every acknowledged
+//     commit; otherwise the store stays degraded with the durability gap
+//     reported. The journal itself enforces the same rule locally via
+//     Journal::tail_suspect().
+//
+// Deliberately NOT durable: the EvalOptions/Budget a commit ran under
+// (replay uses an unlimited budget — a commit that terminated once
+// terminates again), and oids consumed by *rejected* applications after
+// the last commit (the state triple is unaffected; gen_before
+// fast-forwarding re-creates the gaps that precede each commit). Modules
+// registered at Create time ARE durable: dumps carry `module` blocks
+// (dump format v2), so ApplyByName keeps working after recovery.
 //
 // Failpoint sites, in write order: journal.append, journal.fsync,
 // checkpoint.write, checkpoint.rename, checkpoint.truncate. The
@@ -52,6 +74,7 @@
 #include "core/database.h"
 #include "core/dump.h"
 #include "storage/journal.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace logres {
@@ -60,6 +83,13 @@ struct StorageOptions {
   /// Auto-checkpoint after this many committed applications since the
   /// last checkpoint (0 = only explicit Checkpoint() calls).
   uint64_t checkpoint_interval = 64;
+  /// Rotated journals to keep (journal.<seq>.old); 0 = no rotation, the
+  /// journal is emptied in place after a checkpoint (the pre-rotation
+  /// behaviour).
+  uint64_t rotated_journals_keep = 3;
+  /// File operations go through this (PosixIo when null). The pointer is
+  /// borrowed; it must outlive the store. Tests inject a FaultyIo here.
+  Io* io = nullptr;
 };
 
 /// \brief Observable state of the store (`journal status` in the shell).
@@ -70,12 +100,18 @@ struct StorageStatus {
   uint64_t journal_bytes = 0;
   uint64_t replayed_at_open = 0;
   uint64_t truncated_bytes_at_open = 0;
+  /// Rotated journal files currently kept on disk.
+  uint64_t rotated_journals = 0;
   /// Cumulative evaluator steps and last result-instance fact count over
   /// the commits this process made (from ModuleResult::stats).
   uint64_t steps_total = 0;
   uint64_t facts_last = 0;
+  /// Read-only degraded mode: writes are refused (kUnavailable, carrying
+  /// degraded_reason), reads keep working. Reopen() to recover.
+  bool degraded = false;
+  std::string degraded_reason;
   /// Recovery/auto-checkpoint warnings (torn records, skipped stale
-  /// records, failed background checkpoints).
+  /// records, failed background checkpoints, degradation events).
   std::vector<std::string> warnings;
 };
 
@@ -104,43 +140,80 @@ class JournaledDatabase {
   JournaledDatabase& operator=(JournaledDatabase&&) = default;
 
   /// \brief The wrapped database. Reads (Query/Materialize/...) go
-  /// straight through; direct mutation bypasses the journal and is NOT
-  /// durable — use ApplySource for anything that must survive.
+  /// straight through — including while degraded; direct mutation
+  /// bypasses the journal and is NOT durable — use ApplySource for
+  /// anything that must survive.
   Database& db() { return db_; }
   const Database& db() const { return db_; }
 
   /// \brief Applies a module durably: Database::ApplySource, then journal
-  /// append + fsync. Only acknowledged (OK) commits are durable.
+  /// append + fsync. Only acknowledged (OK) commits are durable. While
+  /// degraded, refused up front with kUnavailable (the state is not
+  /// touched and no oids are consumed); a persistent I/O fault during the
+  /// append rolls the application back AND enters degraded mode.
   Result<ModuleResult> ApplySource(const std::string& source,
                                    ApplicationMode mode,
                                    const EvalOptions& options = {});
 
-  /// \brief Writes a checkpoint covering every commit so far and empties
-  /// the journal.
+  /// \brief Applies a registered module by name (under its default mode),
+  /// durably: the journal record carries the module's own serialized
+  /// source (ModuleToSource), so replay never depends on the registry.
+  Result<ModuleResult> ApplyByName(const std::string& name,
+                                   const EvalOptions& options = {});
+
+  /// \brief Writes a checkpoint covering every commit so far, then
+  /// rotates the journal aside (pruning rotated files beyond the
+  /// keep-count) or empties it when rotation is disabled.
   Status Checkpoint();
+
+  /// \brief Recovery-and-resume after degradation (also safe when
+  /// healthy): re-runs full Open() recovery against the on-disk state —
+  /// a fresh scan, never trusting the page cache — and swaps it in if it
+  /// covers every commit this store has acknowledged. On success the
+  /// store is writable again; on failure it stays degraded and returns
+  /// why. Session counters (steps_total) and warnings are preserved.
+  Status Reopen();
+
+  /// \brief True while in read-only degraded mode.
+  bool degraded() const { return degraded_; }
+  /// \brief The root-cause fault that triggered degradation (OK when
+  /// healthy).
+  const Status& degraded_reason() const { return degraded_reason_; }
 
   const std::string& dir() const { return dir_; }
   StorageStatus status() const;
 
  private:
   JournaledDatabase(std::string dir, Database db, Journal journal,
-                    StorageOptions options)
+                    StorageOptions options, Io* io)
       : dir_(std::move(dir)),
         db_(std::move(db)),
         journal_(std::move(journal)),
-        options_(options) {}
+        options_(options),
+        io_(io) {}
 
   Status WriteCheckpoint();
+  // Moves the live journal to journal.<checkpoint_seq_>.old and starts a
+  // fresh one; prunes rotated files beyond the keep-count.
+  Status RotateJournal();
+  void PruneRotatedJournals();
+  // Enters degraded mode if `failure` is a persistent I/O fault
+  // (kUnavailable); returns `failure` either way.
+  Status NoteFailure(Status failure);
 
   std::string dir_;
   Database db_;
   Journal journal_;
   StorageOptions options_;
+  Io* io_ = nullptr;  // resolved from options_.io; never null
   uint64_t last_seq_ = 0;
   uint64_t checkpoint_seq_ = 0;
   uint64_t replayed_at_open_ = 0;
+  uint64_t rotated_journals_ = 0;
   uint64_t steps_total_ = 0;
   uint64_t facts_last_ = 0;
+  bool degraded_ = false;
+  Status degraded_reason_;
   std::vector<std::string> warnings_;
 };
 

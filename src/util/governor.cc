@@ -43,4 +43,13 @@ Status ResourceGovernor::CheckFacts(size_t current_facts) const {
   return Status::OK();
 }
 
+Status ResourceGovernor::CheckBytes(size_t current_bytes) const {
+  if (budget_.max_bytes != 0 && current_bytes > budget_.max_bytes) {
+    return Status::ResourceExhausted(
+        StrCat("instance grew to approximately ", current_bytes,
+               " bytes, exceeding the budget of ", budget_.max_bytes));
+  }
+  return Status::OK();
+}
+
 }  // namespace logres

@@ -81,6 +81,12 @@ struct Budget {
   /// Ceiling on total facts in the evolving instance before
   /// kResourceExhausted (0 = unlimited) — the derived-tuple/memory budget.
   size_t max_facts = 0;
+  /// Ceiling on the approximate byte footprint of the evolving instance
+  /// (0 = unlimited). Facts count rows; this bounds *payload* — a few
+  /// huge strings or deep collections can exhaust memory at a tiny fact
+  /// count. Sizing walks the instance (Instance::ApproxBytes), so the
+  /// engines only compute it when a byte budget is actually set.
+  size_t max_bytes = 0;
   /// Cooperative cancellation; checked at every step.
   CancellationToken cancel;
 
@@ -133,6 +139,14 @@ class ResourceGovernor {
   /// \brief kResourceExhausted when \p current_facts exceeds the fact
   /// budget.
   Status CheckFacts(size_t current_facts) const;
+
+  /// \brief kResourceExhausted when \p current_bytes exceeds the byte
+  /// budget.
+  Status CheckBytes(size_t current_bytes) const;
+
+  /// \brief True when a byte budget is set — callers gate the O(instance)
+  /// ApproxBytes walk on this.
+  bool wants_bytes() const { return budget_.max_bytes != 0; }
 
   size_t steps_used() const { return steps_used_; }
 

@@ -1,0 +1,361 @@
+#include "util/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace logres {
+
+namespace {
+
+IoResult FromSyscall(int64_t rc) {
+  if (rc < 0) return IoResult::Error(errno);
+  return IoResult::Ok(rc);
+}
+
+class PosixIoImpl : public Io {
+ public:
+  IoResult Open(const std::string& path, int flags, int mode) override {
+    return FromSyscall(::open(path.c_str(), flags, mode));
+  }
+  IoResult Close(int fd) override { return FromSyscall(::close(fd)); }
+  IoResult Read(int fd, void* buf, size_t count) override {
+    return FromSyscall(::read(fd, buf, count));
+  }
+  IoResult Write(int fd, const void* buf, size_t count) override {
+    return FromSyscall(::write(fd, buf, count));
+  }
+  IoResult Fsync(int fd) override { return FromSyscall(::fsync(fd)); }
+  IoResult Fdatasync(int fd) override {
+    return FromSyscall(::fdatasync(fd));
+  }
+  IoResult Ftruncate(int fd, uint64_t size) override {
+    return FromSyscall(::ftruncate(fd, static_cast<off_t>(size)));
+  }
+  IoResult Lseek(int fd, int64_t offset, int whence) override {
+    return FromSyscall(::lseek(fd, static_cast<off_t>(offset), whence));
+  }
+  IoResult Rename(const std::string& from, const std::string& to) override {
+    return FromSyscall(::rename(from.c_str(), to.c_str()));
+  }
+  IoResult Unlink(const std::string& path) override {
+    return FromSyscall(::unlink(path.c_str()));
+  }
+  IoResult Mkdir(const std::string& path, int mode) override {
+    return FromSyscall(::mkdir(path.c_str(), static_cast<mode_t>(mode)));
+  }
+  IoResult Exists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return IoResult::Ok(1);
+    if (errno == ENOENT || errno == ENOTDIR) return IoResult::Ok(0);
+    return IoResult::Error(errno);
+  }
+  IoResult ListDir(const std::string& path,
+                   std::vector<std::string>* names) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return IoResult::Error(errno);
+    names->clear();
+    errno = 0;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names->push_back(std::move(name));
+    }
+    int err = errno;
+    ::closedir(dir);
+    if (err != 0) return IoResult::Error(err);
+    return IoResult::Ok(static_cast<int64_t>(names->size()));
+  }
+};
+
+}  // namespace
+
+Io& PosixIo() {
+  static PosixIoImpl posix;
+  return posix;
+}
+
+bool IsTransientIoError(int err) { return err == EINTR || err == EAGAIN; }
+
+Status IoErrorStatus(const IoResult& result, const std::string& what) {
+  return Status::Unavailable(
+      StrCat(what, ": ", std::strerror(result.err)));
+}
+
+namespace {
+
+// Bounded backoff between no-progress transient retries: free for the
+// first few (EINTR normally clears immediately), then short sleeps so a
+// storm does not busy-spin. Total worst-case sleep across kMaxIoRetries
+// attempts stays well under 100 ms.
+void Backoff(size_t attempt) {
+  if (attempt < 8) return;
+  size_t shift = attempt - 8 < 10 ? attempt - 8 : 10;
+  std::this_thread::sleep_for(std::chrono::microseconds(1u << shift));
+}
+
+}  // namespace
+
+Status WriteAll(Io& io, int fd, const char* data, size_t size,
+                const std::string& what) {
+  size_t written = 0;
+  size_t stalled = 0;  // consecutive attempts without progress
+  while (written < size) {
+    IoResult r = io.Write(fd, data + written, size - written);
+    if (!r.ok()) {
+      if (IsTransientIoError(r.err) && stalled < kMaxIoRetries) {
+        Backoff(stalled++);
+        continue;
+      }
+      return IoErrorStatus(r, what);
+    }
+    if (r.value == 0) {
+      // A 0-byte write is a stall, not progress; bounded like EINTR.
+      if (stalled >= kMaxIoRetries) {
+        return Status::Unavailable(StrCat(what, ": write made no progress"));
+      }
+      Backoff(stalled++);
+      continue;
+    }
+    written += static_cast<size_t>(r.value);
+    stalled = 0;  // a short write that advanced is plain progress
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadAll(Io& io, int fd, const std::string& what) {
+  std::string out;
+  char buf[1 << 16];
+  size_t stalled = 0;
+  for (;;) {
+    IoResult r = io.Read(fd, buf, sizeof(buf));
+    if (!r.ok()) {
+      if (IsTransientIoError(r.err) && stalled < kMaxIoRetries) {
+        Backoff(stalled++);
+        continue;
+      }
+      return IoErrorStatus(r, what);
+    }
+    if (r.value == 0) break;  // EOF
+    out.append(buf, static_cast<size_t>(r.value));
+    stalled = 0;
+  }
+  return out;
+}
+
+Status SyncRetry(Io& io, int fd, const std::string& what, bool data_only) {
+  size_t stalled = 0;
+  for (;;) {
+    IoResult r = data_only ? io.Fdatasync(fd) : io.Fsync(fd);
+    if (r.ok()) return Status::OK();
+    if (IsTransientIoError(r.err) && stalled < kMaxIoRetries) {
+      Backoff(stalled++);
+      continue;
+    }
+    return IoErrorStatus(r, what);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyIo
+
+FaultyIo::FaultyIo(Config config, Io* base)
+    : base_(base != nullptr ? base : &PosixIo()),
+      config_(config),
+      rng_(config.seed) {}
+
+void FaultyIo::InjectErrno(Op op, int err, size_t skip, size_t count) {
+  scripted_[op] = Scripted{err, skip, count};
+}
+
+void FaultyIo::ClearInjected() { scripted_.clear(); }
+
+void FaultyIo::ClearAll() {
+  scripted_.clear();
+  uint64_t seed = config_.seed;
+  config_ = Config{};
+  config_.seed = seed;
+  eintr_run_ = 0;
+}
+
+size_t FaultyIo::faults_for(Op op) const {
+  return fault_counts_[static_cast<size_t>(op)];
+}
+
+size_t FaultyIo::calls_for(Op op) const {
+  return call_counts_[static_cast<size_t>(op)];
+}
+
+bool FaultyIo::Draw(double p) {
+  if (p <= 0) return false;
+  return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+}
+
+int FaultyIo::NextFault(Op op, double p_error, int op_errno,
+                        bool interruptible) {
+  call_counts_[static_cast<size_t>(op)]++;
+  // Scripted faults take precedence and consume no randomness, so a test
+  // can overlay a precise fault on top of a randomized schedule.
+  auto it = scripted_.find(op);
+  if (it != scripted_.end()) {
+    Scripted& s = it->second;
+    if (s.skip > 0) {
+      s.skip--;
+    } else if (s.count > 0) {
+      if (s.count != SIZE_MAX) s.count--;
+      faults_injected_++;
+      fault_counts_[static_cast<size_t>(op)]++;
+      return s.err;
+    }
+  }
+  if (interruptible) {
+    if (eintr_run_ > 0) {
+      eintr_run_--;
+      faults_injected_++;
+      fault_counts_[static_cast<size_t>(op)]++;
+      return EINTR;
+    }
+    if (Draw(config_.p_eintr)) {
+      int run = 1;
+      if (config_.max_eintr_run > 1) {
+        run = 1 + static_cast<int>(rng_() %
+                                   static_cast<uint64_t>(
+                                       config_.max_eintr_run));
+      }
+      eintr_run_ = run - 1;
+      faults_injected_++;
+      fault_counts_[static_cast<size_t>(op)]++;
+      return EINTR;
+    }
+  }
+  if (Draw(p_error)) {
+    faults_injected_++;
+    fault_counts_[static_cast<size_t>(op)]++;
+    return op_errno;
+  }
+  return 0;
+}
+
+IoResult FaultyIo::Open(const std::string& path, int flags, int mode) {
+  int err = NextFault(Op::kOpen, config_.p_open_error, config_.open_errno,
+                      /*interruptible=*/true);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Open(path, flags, mode);
+}
+
+IoResult FaultyIo::Close(int fd) {
+  int err = NextFault(Op::kClose, 0, 0, /*interruptible=*/false);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Close(fd);
+}
+
+IoResult FaultyIo::Read(int fd, void* buf, size_t count) {
+  int err = NextFault(Op::kRead, config_.p_read_error, config_.read_errno,
+                      /*interruptible=*/true);
+  if (err != 0) return IoResult::Error(err);
+  size_t ask = count;
+  bool short_read = count > 1 && Draw(config_.p_short_read);
+  if (short_read) {
+    ask = 1 + static_cast<size_t>(rng_() % (count - 1));
+    faults_injected_++;
+    fault_counts_[static_cast<size_t>(Op::kRead)]++;
+  }
+  IoResult r = base_->Read(fd, buf, ask);
+  if (r.ok() && r.value > 0 && Draw(config_.p_read_corrupt)) {
+    // Flip one byte of what was actually read: at the caller this is
+    // indistinguishable from media corruption, and the CRC/parse layers
+    // above must catch it.
+    auto* bytes = static_cast<unsigned char*>(buf);
+    size_t pos = static_cast<size_t>(rng_() %
+                                     static_cast<uint64_t>(r.value));
+    unsigned char flip = static_cast<unsigned char>(1 + rng_() % 255);
+    bytes[pos] ^= flip;
+    faults_injected_++;
+    fault_counts_[static_cast<size_t>(Op::kRead)]++;
+  }
+  return r;
+}
+
+IoResult FaultyIo::Write(int fd, const void* buf, size_t count) {
+  int err = NextFault(Op::kWrite, config_.p_write_error,
+                      config_.write_errno, /*interruptible=*/true);
+  if (err != 0) return IoResult::Error(err);
+  size_t ask = count;
+  if (count > 1 && Draw(config_.p_short_write)) {
+    // Transfer a strict prefix; the bytes written are real (they land in
+    // the base file), exactly like a short write from a full pipe or a
+    // signal-interrupted transfer.
+    ask = 1 + static_cast<size_t>(rng_() % (count - 1));
+    faults_injected_++;
+    fault_counts_[static_cast<size_t>(Op::kWrite)]++;
+  }
+  return base_->Write(fd, buf, ask);
+}
+
+IoResult FaultyIo::Fsync(int fd) {
+  int err = NextFault(Op::kFsync, config_.p_fsync_error,
+                      config_.fsync_errno, /*interruptible=*/true);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Fsync(fd);
+}
+
+IoResult FaultyIo::Fdatasync(int fd) {
+  int err = NextFault(Op::kFdatasync, config_.p_fsync_error,
+                      config_.fsync_errno, /*interruptible=*/true);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Fdatasync(fd);
+}
+
+IoResult FaultyIo::Ftruncate(int fd, uint64_t size) {
+  int err = NextFault(Op::kFtruncate, 0, 0, /*interruptible=*/true);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Ftruncate(fd, size);
+}
+
+IoResult FaultyIo::Lseek(int fd, int64_t offset, int whence) {
+  int err = NextFault(Op::kLseek, 0, 0, /*interruptible=*/false);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Lseek(fd, offset, whence);
+}
+
+IoResult FaultyIo::Rename(const std::string& from, const std::string& to) {
+  int err = NextFault(Op::kRename, config_.p_rename_error,
+                      config_.rename_errno, /*interruptible=*/false);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Rename(from, to);
+}
+
+IoResult FaultyIo::Unlink(const std::string& path) {
+  int err = NextFault(Op::kUnlink, 0, 0, /*interruptible=*/false);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Unlink(path);
+}
+
+IoResult FaultyIo::Mkdir(const std::string& path, int mode) {
+  int err = NextFault(Op::kMkdir, 0, 0, /*interruptible=*/false);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Mkdir(path, mode);
+}
+
+IoResult FaultyIo::Exists(const std::string& path) {
+  int err = NextFault(Op::kExists, 0, 0, /*interruptible=*/false);
+  if (err != 0) return IoResult::Error(err);
+  return base_->Exists(path);
+}
+
+IoResult FaultyIo::ListDir(const std::string& path,
+                           std::vector<std::string>* names) {
+  int err = NextFault(Op::kListDir, 0, 0, /*interruptible=*/false);
+  if (err != 0) return IoResult::Error(err);
+  return base_->ListDir(path, names);
+}
+
+}  // namespace logres

@@ -1,0 +1,216 @@
+// The storage I/O seam: every file operation the durable-state subsystem
+// performs goes through an Io, so faults can be injected deterministically
+// and the degraded-mode contract can be tested without a hostile kernel.
+//
+// Two implementations:
+//
+//   * PosixIo()  — the production singleton; thin Status-free wrappers over
+//     the raw syscalls (open/read/write/fsync/rename/...), each returning
+//     the syscall's value plus errno in an IoResult.
+//   * FaultyIo   — wraps a base Io (PosixIo by default) and perturbs it
+//     with (a) scripted faults, armed failpoint-style per operation with a
+//     skip count and a repeat count, and (b) a seeded randomized schedule
+//     drawing per-call faults from configured probabilities: errno
+//     injections (ENOSPC, EIO, ...), EINTR storms, short writes and reads,
+//     fsync/rename failure, and byte corruption on read (which subsumes
+//     the hostile-dump truncation/byte-flip sweeps at the file layer).
+//
+// On top of the raw interface live the bounded-retry helpers WriteAll /
+// ReadAll / SyncRetry: EINTR and short transfers are *transient* and retried
+// in place (with bounded backoff, so an EINTR storm terminates); every
+// other errno is *persistent* and surfaces as StatusCode::kUnavailable,
+// which is what flips a JournaledDatabase into read-only degraded mode
+// (journaled_database.h). Retry loops never retry a persistent error:
+// ENOSPC does not go away by asking again.
+//
+// The interface is deliberately narrow and fd-based — one seam, everything
+// funnels through it (the discipline of the Nix daemon's store interface).
+
+#ifndef LOGRES_UTIL_IO_H_
+#define LOGRES_UTIL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief Outcome of one raw I/O operation: the syscall's return value
+/// (fd, byte count, 0) and, when it failed, the errno.
+struct IoResult {
+  int64_t value = 0;
+  int err = 0;  // 0 = success; otherwise the errno
+  bool ok() const { return err == 0; }
+
+  static IoResult Ok(int64_t value = 0) { return IoResult{value, 0}; }
+  static IoResult Error(int err) { return IoResult{-1, err}; }
+};
+
+/// \brief The raw file-operation interface. Implementations mirror POSIX
+/// semantics exactly: Read/Write may transfer fewer bytes than asked,
+/// EINTR may interrupt anything, and nothing retries — policy (retry,
+/// degradation) lives in the helpers and callers, not here.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  virtual IoResult Open(const std::string& path, int flags, int mode) = 0;
+  virtual IoResult Close(int fd) = 0;
+  virtual IoResult Read(int fd, void* buf, size_t count) = 0;
+  virtual IoResult Write(int fd, const void* buf, size_t count) = 0;
+  virtual IoResult Fsync(int fd) = 0;
+  virtual IoResult Fdatasync(int fd) = 0;
+  virtual IoResult Ftruncate(int fd, uint64_t size) = 0;
+  virtual IoResult Lseek(int fd, int64_t offset, int whence) = 0;
+  virtual IoResult Rename(const std::string& from, const std::string& to) = 0;
+  virtual IoResult Unlink(const std::string& path) = 0;
+  virtual IoResult Mkdir(const std::string& path, int mode) = 0;
+  /// value: 1 when \p path exists, 0 when not; err set on other failures.
+  virtual IoResult Exists(const std::string& path) = 0;
+  /// Fills \p names with the entries of directory \p path ("." and ".."
+  /// excluded), unsorted.
+  virtual IoResult ListDir(const std::string& path,
+                           std::vector<std::string>* names) = 0;
+};
+
+/// \brief The production implementation (process-wide singleton).
+Io& PosixIo();
+
+/// \brief True for errnos worth retrying in place (EINTR, EAGAIN); false
+/// for persistent faults (ENOSPC, EIO, ...), which must surface.
+bool IsTransientIoError(int err);
+
+/// \brief Maps a failed IoResult to a Status: kUnavailable carrying the
+/// operation and strerror text (persistent I/O faults are "unavailable":
+/// the data is intact in memory, the disk is not accepting it).
+Status IoErrorStatus(const IoResult& result, const std::string& what);
+
+/// \brief Writes all \p size bytes, retrying transient failures (EINTR,
+/// short writes that make progress) with bounded backoff. A persistent
+/// errno, or a transient storm that exceeds the retry bound without
+/// progress, returns kUnavailable. Guaranteed to terminate.
+Status WriteAll(Io& io, int fd, const char* data, size_t size,
+                const std::string& what);
+
+/// \brief Reads until EOF with the same transient-retry policy.
+Result<std::string> ReadAll(Io& io, int fd, const std::string& what);
+
+/// \brief fdatasync with transient-retry. A persistent failure is special:
+/// per the fsync-failure rule ("fsyncgate"), the caller must from then on
+/// treat the file tail as unverified — the kernel may have dropped the
+/// dirty pages and cleared the error, so neither a retry nor the page
+/// cache can be trusted. Callers re-verify by re-reading the file.
+Status SyncRetry(Io& io, int fd, const std::string& what,
+                 bool data_only = true);
+
+/// \brief Consecutive no-progress transient retries before WriteAll /
+/// ReadAll / SyncRetry give up (a storm longer than this is persistent in
+/// practice; the bound is what makes the retry loops provably terminate).
+inline constexpr size_t kMaxIoRetries = 64;
+
+/// \brief Deterministic fault-injecting Io. Wraps a base Io; every
+/// operation first consults the scripted faults, then the randomized
+/// schedule, and only then reaches the base implementation.
+///
+/// Determinism: the randomized schedule is driven by one seeded PRNG that
+/// consumes draws in call order, so a (seed, call sequence) pair always
+/// produces the same faults — a failing soak iteration is reproducible
+/// from its logged seed alone.
+class FaultyIo : public Io {
+ public:
+  /// Which operation a scripted fault or a counter refers to.
+  enum class Op {
+    kOpen, kClose, kRead, kWrite, kFsync, kFdatasync, kFtruncate,
+    kLseek, kRename, kUnlink, kMkdir, kExists, kListDir,
+  };
+  static constexpr size_t kOpCount = 13;
+
+  /// Probabilities (each in [0,1]) for the randomized schedule; all zero
+  /// by default, so a default-constructed config injects nothing.
+  struct Config {
+    uint64_t seed = 0;
+    double p_write_error = 0;    // write fails with write_errno
+    double p_short_write = 0;    // write transfers a strict prefix
+    double p_read_error = 0;     // read fails with read_errno
+    double p_short_read = 0;     // read transfers a strict prefix
+    double p_read_corrupt = 0;   // read succeeds but bytes are flipped
+    double p_eintr = 0;          // any interruptible op starts an EINTR
+                                 // storm of 1..max_eintr_run calls
+    double p_fsync_error = 0;    // fsync/fdatasync fails with fsync_errno
+    double p_rename_error = 0;   // rename fails with rename_errno
+    double p_open_error = 0;     // open fails with open_errno
+    int write_errno = 28;        // ENOSPC
+    int read_errno = 5;          // EIO
+    int fsync_errno = 5;         // EIO
+    int rename_errno = 5;        // EIO
+    int open_errno = 5;          // EIO
+    int max_eintr_run = 8;       // storm length bound
+  };
+
+  explicit FaultyIo(Config config, Io* base = nullptr);
+
+  /// \brief Scripted fault, failpoint-style: after \p skip successful
+  /// consultations of \p op, the next \p count calls fail with \p err.
+  /// count = SIZE_MAX arms a *persistent* fault (until cleared) — the
+  /// shape that drives a store into degraded mode.
+  void InjectErrno(Op op, int err, size_t skip = 0, size_t count = SIZE_MAX);
+
+  /// \brief Clears scripted faults only ("the disk came back") — the
+  /// randomized schedule keeps running. Degraded-mode resume tests call
+  /// this before Reopen.
+  void ClearInjected();
+
+  /// \brief Clears scripted faults and zeroes every probability.
+  void ClearAll();
+
+  /// \brief Total faults delivered (scripted + randomized), and per-op.
+  size_t faults_injected() const { return faults_injected_; }
+  size_t faults_for(Op op) const;
+  /// \brief Raw calls observed per op (faulted or not).
+  size_t calls_for(Op op) const;
+
+  IoResult Open(const std::string& path, int flags, int mode) override;
+  IoResult Close(int fd) override;
+  IoResult Read(int fd, void* buf, size_t count) override;
+  IoResult Write(int fd, const void* buf, size_t count) override;
+  IoResult Fsync(int fd) override;
+  IoResult Fdatasync(int fd) override;
+  IoResult Ftruncate(int fd, uint64_t size) override;
+  IoResult Lseek(int fd, int64_t offset, int whence) override;
+  IoResult Rename(const std::string& from, const std::string& to) override;
+  IoResult Unlink(const std::string& path) override;
+  IoResult Mkdir(const std::string& path, int mode) override;
+  IoResult Exists(const std::string& path) override;
+  IoResult ListDir(const std::string& path,
+                   std::vector<std::string>* names) override;
+
+ private:
+  struct Scripted {
+    int err = 0;
+    size_t skip = 0;   // remaining hits to let through
+    size_t count = 0;  // remaining hits to fail
+  };
+
+  // Returns the errno to inject for this call of `op` (0 = none).
+  // `interruptible` ops may additionally draw an EINTR storm.
+  int NextFault(Op op, double p_error, int op_errno, bool interruptible);
+  bool Draw(double p);
+
+  Io* base_;
+  Config config_;
+  std::mt19937_64 rng_;
+  std::map<Op, Scripted> scripted_;
+  int eintr_run_ = 0;  // remaining calls of the current EINTR storm
+  size_t faults_injected_ = 0;
+  size_t fault_counts_[kOpCount] = {};
+  size_t call_counts_[kOpCount] = {};
+};
+
+}  // namespace logres
+
+#endif  // LOGRES_UTIL_IO_H_

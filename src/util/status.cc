@@ -19,6 +19,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDivergence: return "Divergence";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

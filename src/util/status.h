@@ -32,6 +32,8 @@ enum class StatusCode {
   kDivergence,        // fixpoint did not converge within the step budget
   kResourceExhausted, // wall-clock deadline or memory/fact budget breached
   kCancelled,         // cooperative cancellation was requested
+  kUnavailable,       // storage I/O failed; the operation may succeed after
+                      // the fault clears (degraded-mode writes return this)
 };
 
 /// \brief Human-readable name of a StatusCode ("TypeError", ...).
@@ -92,6 +94,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

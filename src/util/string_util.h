@@ -39,6 +39,9 @@ std::string ToUpper(std::string_view text);
 /// \brief True if \p text starts with \p prefix.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// \brief True if \p text ends with \p suffix.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
 /// \brief printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

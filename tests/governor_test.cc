@@ -86,6 +86,21 @@ TEST(ResourceGovernorTest, FactBudget) {
   EXPECT_TRUE(unlimited.CheckFacts(1u << 30).ok());
 }
 
+TEST(ResourceGovernorTest, ByteBudget) {
+  Budget budget;
+  budget.max_bytes = 4096;
+  ResourceGovernor governor(budget);
+  EXPECT_TRUE(governor.wants_bytes());
+  EXPECT_TRUE(governor.CheckBytes(4096).ok());
+  Status st = governor.CheckBytes(4097);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  // 0 = unlimited, and the engines skip the byte walk entirely.
+  ResourceGovernor unlimited(Budget{});
+  EXPECT_FALSE(unlimited.wants_bytes());
+  EXPECT_TRUE(unlimited.CheckBytes(1u << 30).ok());
+}
+
 TEST(CancellationTest, TokenSharesFlagAcrossCopies) {
   CancellationSource source;
   CancellationToken a = source.token();
@@ -229,6 +244,26 @@ TEST(AlgresBudgetTest, FactBudgetBoundsGrowth) {
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(AlgresBudgetTest, ByteBudgetBoundsGrowth) {
+  auto setup = MakeChain(40);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  auto backend = AlgresBackend::Compile(setup->schema, setup->program);
+  ASSERT_TRUE(backend.ok()) << backend.status();
+  Budget small;
+  small.max_bytes = 512;  // the closure's rows alone dwarf this
+  for (auto strategy :
+       {AlgresStrategy::kNaive, AlgresStrategy::kSemiNaive}) {
+    auto out = backend->Run(setup->db.edb(), strategy, small);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  }
+  // A generous byte budget converges.
+  Budget roomy;
+  roomy.max_bytes = 64u << 20;
+  EXPECT_TRUE(
+      backend->Run(setup->db.edb(), AlgresStrategy::kSemiNaive, roomy).ok());
+}
+
 TEST(AlgresBudgetTest, StratumFailpointFires) {
   auto setup = MakeChain(5);
   ASSERT_TRUE(setup.ok()) << setup.status();
@@ -283,6 +318,33 @@ TEST(EvalStatsTest, ApplySurfacesGovernorAccounting) {
   EXPECT_GE(result->stats.steps, 1u);
   EXPECT_EQ(result->stats.facts, 2u);
   EXPECT_GE(result->stats.elapsed_micros, 0);
+}
+
+TEST(EvalStatsTest, ByteBudgetExhaustsAndStatsBytesGateOnTheBudget) {
+  auto db = Database::Create("associations P = (x: integer);");
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  // Without a byte budget, no byte walk happens and stats.bytes stays 0.
+  auto free_run = db->ApplySource("rules p(x: 1). p(x: 2).",
+                                  ApplicationMode::kRIDV);
+  ASSERT_TRUE(free_run.ok()) << free_run.status();
+  EXPECT_EQ(free_run->stats.bytes, 0u);
+
+  // A generous budget converges and reports the footprint.
+  EvalOptions roomy;
+  roomy.budget.max_bytes = 64u << 20;
+  auto sized = db->ApplySource("rules p(x: 3).", ApplicationMode::kRIDV,
+                               roomy);
+  ASSERT_TRUE(sized.ok()) << sized.status();
+  EXPECT_GT(sized->stats.bytes, 0u);
+
+  // A tiny one is exhausted by the instance itself.
+  EvalOptions tiny;
+  tiny.budget.max_bytes = 16;
+  auto exhausted = db->ApplySource("rules p(x: 4).",
+                                   ApplicationMode::kRIDV, tiny);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(EvalStatsTest, StepsMatchTheStepBudgetBoundary) {

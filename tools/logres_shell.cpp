@@ -16,19 +16,27 @@
 //   save <file>            dump the current state
 //   save -j <dir>          initialize a journaled store at <dir> from the
 //                          current state and switch to it
-//   checkpoint             (journaled) write a checkpoint, empty the journal
-//   journal status         (journaled) seqs, journal size, recovery info
+//   checkpoint             (journaled) write a checkpoint, rotate the journal
+//   journal status         (journaled) seqs, journal size, recovery info,
+//                          and health (DEGRADED after a persistent I/O
+//                          fault: reads keep working, writes are refused)
+//   reopen                 (journaled) recovery-and-resume after DEGRADED:
+//                          re-runs recovery from disk and resumes if no
+//                          acknowledged commit is missing
 //   apply <MODE> <<< ...   apply inline module text under a mode; the
 //                          module text follows until a line with only `;;`
-//   run <name>             apply a registered module by its name
+//   run <name>             apply a registered module by its name (durable
+//                          in journaled mode: the journal carries the
+//                          module's own source)
 //   ? <goal>               answer a goal against the materialized instance
 //   schema | rules | edb   show the current state components
 //   explain                show the analyzed program (strata, schedules)
 //   dot                    print the predicate dependency graph (DOT)
 //   set                    show the evaluation limits
 //   set <limit> <n>        set timeout_ms / max_steps / max_facts /
-//                          threads (0 = one per hardware thread)
-//                          (0 = unlimited) for later apply/run/? commands
+//                          max_bytes / threads (0 = one per hardware
+//                          thread) (0 = unlimited) for later
+//                          apply/run/? commands
 //   quit
 //
 // Ctrl-C during an evaluation cancels it cooperatively (the fixpoint
@@ -256,24 +264,49 @@ class Shell {
       StorageStatus s = jdb_->status();
       std::printf(
           "store         %s\n"
+          "status        %s\n"
           "last seq      %llu\n"
           "checkpoint    seq %llu\n"
-          "journal       %llu record(s), %llu byte(s)\n"
+          "journal       %llu record(s), %llu byte(s), %llu rotated\n"
           "recovery      replayed %llu record(s), truncated %llu byte(s)\n"
           "resources     %llu evaluator step(s) committed, last instance "
           "%llu fact(s)\n",
           jdb_->dir().c_str(),
+          s.degraded ? "DEGRADED (read-only; `reopen` to recover)"
+                     : "healthy",
           static_cast<unsigned long long>(s.last_seq),
           static_cast<unsigned long long>(s.checkpoint_seq),
           static_cast<unsigned long long>(s.journal_records),
           static_cast<unsigned long long>(s.journal_bytes),
+          static_cast<unsigned long long>(s.rotated_journals),
           static_cast<unsigned long long>(s.replayed_at_open),
           static_cast<unsigned long long>(s.truncated_bytes_at_open),
           static_cast<unsigned long long>(s.steps_total),
           static_cast<unsigned long long>(s.facts_last));
+      if (s.degraded) {
+        std::printf("cause         %s\n", s.degraded_reason.c_str());
+      }
       for (const std::string& warning : s.warnings) {
         std::printf("warning: %s\n", warning.c_str());
       }
+      return true;
+    }
+    if (command == "reopen") {
+      if (!jdb_.has_value()) {
+        std::printf("no journaled store open — use `open -j <dir>` or "
+                    "`save -j <dir>`\n");
+        return true;
+      }
+      Status st = jdb_->Reopen();
+      if (!st.ok()) {
+        Report(st);
+        return true;
+      }
+      StorageStatus status = jdb_->status();
+      std::printf("reopened %s (seq %llu, store %s)\n",
+                  jdb_->dir().c_str(),
+                  static_cast<unsigned long long>(status.last_seq),
+                  status.degraded ? "still DEGRADED" : "healthy");
       return true;
     }
     if (command == "apply") {
@@ -308,23 +341,21 @@ class Shell {
       return true;
     }
     if (command == "run") {
-      if (jdb_.has_value()) {
-        // Registered modules are not part of the durable state (dumps do
-        // not carry module blocks), so a `run` could not be replayed.
-        std::printf("run is not durable in journaled mode — paste the "
-                    "module with `apply` instead\n");
-        return true;
-      }
       std::string name;
       words >> name;
-      Instance before = db_.edb();
-      auto result = db_.ApplyByName(name, Options());
+      Instance before = Db().edb();
+      // In journaled mode the store journals the module's serialized
+      // source (dump v2 checkpoints carry module blocks), so `run` is as
+      // durable as `apply`.
+      auto result = jdb_.has_value() ? jdb_->ApplyByName(name, Options())
+                                     : db_.ApplyByName(name, Options());
       if (!result.ok()) {
         ReportEval(result.status());
         return true;
       }
-      std::printf("applied module '%s'\n", name.c_str());
-      InstanceDiff diff = DiffInstances(before, db_.edb());
+      std::printf("applied module '%s'%s\n", name.c_str(),
+                  jdb_.has_value() ? " [durable]" : "");
+      InstanceDiff diff = DiffInstances(before, Db().edb());
       if (!diff.empty()) std::printf("%s", diff.ToString().c_str());
       if (result->goal_answer.has_value()) {
         PrintAnswer(*result->goal_answer);
@@ -347,18 +378,20 @@ class Shell {
       if (key.empty()) {
         std::printf(
             "timeout_ms = %lld\nmax_steps = %zu\nmax_facts = %zu\n"
-            "threads = %zu\n",
+            "max_bytes = %zu\nthreads = %zu\n",
             budget_.timeout.has_value()
                 ? static_cast<long long>(budget_.timeout->count())
                 : 0LL,
-            budget_.max_steps, budget_.max_facts, threads_);
+            budget_.max_steps, budget_.max_facts, budget_.max_bytes,
+            threads_);
         return true;
       }
       long long value = -1;
       words >> value;
       if (value < 0) {
         std::printf(
-            "usage: set [timeout_ms|max_steps|max_facts|threads] <n>\n");
+            "usage: set [timeout_ms|max_steps|max_facts|max_bytes|"
+            "threads] <n>\n");
         return true;
       }
       if (key == "timeout_ms") {
@@ -371,13 +404,15 @@ class Shell {
         budget_.max_steps = static_cast<size_t>(value);
       } else if (key == "max_facts") {
         budget_.max_facts = static_cast<size_t>(value);
+      } else if (key == "max_bytes") {
+        budget_.max_bytes = static_cast<size_t>(value);
       } else if (key == "threads") {
         // 0 = one per hardware thread; results are identical either way.
         threads_ = static_cast<size_t>(value);
       } else {
         std::printf(
             "unknown limit '%s' "
-            "(timeout_ms/max_steps/max_facts/threads)\n",
+            "(timeout_ms/max_steps/max_facts/max_bytes/threads)\n",
             key.c_str());
         return true;
       }

@@ -1,0 +1,624 @@
+// Journal-replay chaos soak: records a store from a generated module
+// trace, then replays it for N iterations under randomized FaultyIo
+// schedules, scripted ENOSPC degradation, and fork-based crash
+// failpoints, asserting after every iteration that recovery lands on a
+// recorded or acknowledged state — never a hybrid — and that the
+// degraded-mode contract (reads keep working, writes refused with
+// kUnavailable, Reopen resumes once the fault clears) holds exactly
+// when a fault schedule demands it.
+//
+// Three iteration shapes, chosen per-iteration from the seed:
+//
+//   randomized  open + apply under a FaultyIo randomized schedule
+//               (errno injections, EINTR storms, short transfers, fsync
+//               and rename failure, corrupt-on-read). A shadow Database
+//               is kept in lockstep: committed applies must leave store
+//               and shadow byte-identical; failed applies must leave
+//               the state untouched (the oid generator excepted — it is
+//               deliberately not rolled back, so the shadow's is
+//               fast-forwarded). Degradation, whenever it happens, is
+//               driven through the full recovery contract.
+//   scripted    a persistent ENOSPC armed on Write after a seeded skip:
+//               every apply before the fault commits, the apply that
+//               hits it must degrade the store, and ClearInjected +
+//               Reopen must resume with zero acknowledged commits lost.
+//   crash       a forked child arms a crash failpoint (immediate _Exit
+//               at the site) and applies a fresh module; the parent
+//               asserts the child died at the site and the recovered
+//               store equals exactly the pre- or post-application dump,
+//               per-site (the fsync window legally allows either).
+//
+// Every iteration ends with a clean (PosixIo) reopen that must succeed,
+// come up healthy, land on an acknowledged state, and accept a new
+// commit. Failing iterations preserve the store directory under
+// --artifacts and print a repro command line; determinism is seed-only
+// (iteration i uses seed --seed + i), so a logged seed reproduces the
+// exact fault schedule.
+//
+// Usage: soak_replay [--iterations N] [--seed S] [--record-seed S]
+//                    [--record-applies N] [--fault-applies N]
+//                    [--artifacts DIR] [--keep]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dump.h"
+#include "storage/journaled_database.h"
+#include "util/failpoint.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace logres::soak {
+namespace fs = std::filesystem;
+
+struct Args {
+  uint64_t iterations = 200;
+  uint64_t seed = 1;
+  uint64_t record_seed = 0;  // 0 = same as seed
+  uint64_t record_applies = 10;
+  uint64_t fault_applies = 6;
+  std::string artifacts = "soak-artifacts";
+  bool keep = false;
+};
+
+const char* kSchema = R"(
+  classes PERSON = (name: string);
+  associations
+    SEED = (name: string);
+    EDGE = (a: string, b: string);
+)";
+
+// ---------------------------------------------------------------------
+// Trace-module generators. Names are partitioned so iteration-local
+// modules never collide with record-phase ones: record/fault names draw
+// from %1000, the degraded-write probe uses 9xxx, crash victims 1xxxxx.
+
+std::string InsertModule(uint64_t a, uint64_t b) {
+  if (a == b) b = a + 1;  // the denial below rejects self loops
+  return "rules edge(a: \"n" + std::to_string(a) + "\", b: \"n" +
+         std::to_string(b) + "\").";
+}
+
+// Consumes an oid: invention seeded from the module's own insert.
+std::string InventModule(uint64_t i) {
+  std::string n = std::to_string(i);
+  return "rules\n  seed(name: \"s" + n +
+         "\").\n  person(self P, name: N) <- seed(name: N).";
+}
+
+// Rejected by its own denial AFTER inventing an oid — exercises the
+// generator gap that gen_before fast-forwarding must re-create.
+std::string RejectedModule(uint64_t i) {
+  std::string n = std::to_string(i);
+  return "rules\n  seed(name: \"r" + n +
+         "\").\n  person(self P, name: N) <- seed(name: N).\n  <- "
+         "seed(name: \"r" + n + "\").";
+}
+
+std::string TraceModule(std::mt19937_64& rng, bool allow_reject) {
+  uint64_t kind = rng() % 10;
+  uint64_t a = rng() % 1000;
+  uint64_t b = rng() % 1000;
+  if (allow_reject && kind >= 8) return RejectedModule(a * 1000 + b);
+  if (kind >= 5) return InventModule(a * 1000 + b);
+  return InsertModule(a, b);
+}
+
+// ---------------------------------------------------------------------
+
+// Drops the "generator N;" line: a failed apply rolls back the state
+// triple but deliberately not the oid generator, and clean recovery
+// only re-creates the gaps that precede a *committed* record — so state
+// comparisons across failure boundaries must ignore the counter.
+std::string StripGen(const std::string& dump) {
+  size_t pos = dump.find("generator ");
+  if (pos == std::string::npos) return dump;
+  size_t end = dump.find('\n', pos);
+  std::string out = dump.substr(0, pos);
+  if (end != std::string::npos) out += dump.substr(end + 1);
+  return out;
+}
+
+struct Ctx {
+  Args args;
+  fs::path root;
+  fs::path record_dir;
+  // Stripped dumps of every state the record phase acknowledged (the
+  // "ladder" — any scan-time truncation must land on one of these).
+  std::vector<std::string> ladder;
+  std::string record_final_full;
+};
+
+// Tracks what a fresh scan of the store's disk may legally produce.
+struct Track {
+  std::string last_acked;          // stripped; a clean scan's floor
+  std::set<std::string> may_land;  // last_acked + in-flight phantoms
+  void Ack(std::string s) {
+    last_acked = std::move(s);
+    may_land = {last_acked};
+  }
+};
+
+Status Record(Ctx* ctx) {
+  ctx->record_dir = ctx->root / "record";
+  StorageOptions opts;
+  opts.checkpoint_interval = 3;  // exercise rotation during the record
+  opts.rotated_journals_keep = 2;
+  auto store =
+      JournaledDatabase::Create(ctx->record_dir.string(), kSchema, opts);
+  LOGRES_RETURN_NOT_OK(store.status());
+  ctx->ladder.push_back(StripGen(DumpDatabase(store->db())));
+  uint64_t seed =
+      ctx->args.record_seed ? ctx->args.record_seed : ctx->args.seed;
+  std::mt19937_64 rng(seed);
+  for (uint64_t i = 0; i < ctx->args.record_applies; ++i) {
+    std::string src = TraceModule(rng, /*allow_reject=*/true);
+    auto r = store->ApplySource(src, ApplicationMode::kRIDV);
+    if (r.ok()) {
+      ctx->ladder.push_back(StripGen(DumpDatabase(store->db())));
+    } else if (r.status().code() != StatusCode::kConstraintViolation) {
+      return r.status().WithContext("record-phase apply " +
+                                    std::to_string(i));
+    }
+  }
+  ctx->record_final_full = DumpDatabase(store->db());
+  return Status::OK();
+}
+
+// The clean epilogue every iteration must pass: reopen with PosixIo,
+// come up healthy on a legal state, accept a new commit.
+std::optional<std::string> CleanVerify(const fs::path& work,
+                                       const std::set<std::string>& legal,
+                                       uint64_t iter) {
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  auto store = JournaledDatabase::Open(work.string(), opts);
+  if (!store.ok()) {
+    return "clean reopen failed: " + store.status().ToString();
+  }
+  if (store->degraded()) {
+    return "clean reopen came up degraded: " +
+           store->degraded_reason().ToString();
+  }
+  std::string got = StripGen(DumpDatabase(store->db()));
+  if (!legal.count(got)) {
+    return "clean recovery produced a state that is neither a recorded "
+           "nor an acknowledged one (hybrid or lost commit)";
+  }
+  auto r = store->ApplySource(InsertModule(200000 + iter, 200001 + iter),
+                              ApplicationMode::kRIDV);
+  if (!r.ok()) {
+    return "recovered store refused a new commit: " + r.status().ToString();
+  }
+  return std::nullopt;
+}
+
+// Shared degraded-mode contract: reads work, writes are refused with
+// kUnavailable, ClearAll + Reopen resumes on an acknowledged (or
+// legally in-flight) state. On success the shadow is resynced.
+std::optional<std::string> DriveRecovery(JournaledDatabase* store,
+                                         FaultyIo* fio, Track* track,
+                                         Database* shadow, uint64_t probe) {
+  auto refused = store->ApplySource(InsertModule(9000 + probe, 9001 + probe),
+                                    ApplicationMode::kRIDV);
+  if (refused.ok()) return std::string("degraded store accepted a write");
+  if (refused.status().code() != StatusCode::kUnavailable) {
+    return "degraded write refused with the wrong code: " +
+           refused.status().ToString();
+  }
+  if (store->degraded_reason().ok()) {
+    return std::string("degraded store carries no root cause");
+  }
+  // Reads must keep working against the in-memory state.
+  (void)DumpDatabase(store->db());
+  fio->ClearAll();
+  Status st = store->Reopen();
+  if (!st.ok()) {
+    return "Reopen after clearing faults failed: " + st.ToString();
+  }
+  if (store->degraded()) {
+    return std::string("store still degraded after a successful Reopen");
+  }
+  std::string got = StripGen(DumpDatabase(store->db()));
+  if (!track->may_land.count(got)) {
+    return std::string(
+        "Reopen recovered a state that is neither the last acknowledged "
+        "one nor a legal in-flight one");
+  }
+  track->Ack(got);
+  *shadow = store->db();
+  return std::nullopt;
+}
+
+// One committed-or-failed apply driven through the store with the
+// shadow in lockstep. Returns an error message on contract violation.
+std::optional<std::string> LockstepApply(JournaledDatabase* store,
+                                         Database* shadow, Track* track,
+                                         const std::string& src) {
+  auto r = store->ApplySource(src, ApplicationMode::kRIDV);
+  if (r.ok()) {
+    auto rs = shadow->ApplySource(src, ApplicationMode::kRIDV);
+    if (!rs.ok()) {
+      return "shadow rejected a module the store committed: " +
+             rs.status().ToString();
+    }
+    if (DumpDatabase(store->db()) != DumpDatabase(*shadow)) {
+      return std::string("store and shadow diverged after a commit");
+    }
+    track->Ack(StripGen(DumpDatabase(store->db())));
+    return std::nullopt;
+  }
+  // The evaluation succeeded (the module is valid); the journal refused
+  // it. A fully-written frame whose fsync or rollback failed may still
+  // be replayed by a later scan — record it as a legal landing spot.
+  Database phantom = *shadow;
+  if (phantom.ApplySource(src, ApplicationMode::kRIDV).ok()) {
+    track->may_land.insert(StripGen(DumpDatabase(phantom)));
+  }
+  shadow->oid_generator()->FastForward(store->db().oids_issued());
+  if (StripGen(DumpDatabase(store->db())) !=
+      StripGen(DumpDatabase(*shadow))) {
+    return std::string("failed apply did not leave the state unchanged");
+  }
+  return std::nullopt;
+}
+
+// Iteration shape 1: randomized FaultyIo schedule.
+std::optional<std::string> RunRandomized(const Ctx& ctx,
+                                         const fs::path& work,
+                                         std::mt19937_64& rng) {
+  FaultyIo::Config cfg;
+  cfg.seed = rng();
+  auto p = [&rng](double max) {
+    return static_cast<double>(rng() % 1000) / 1000.0 * max;
+  };
+  cfg.p_write_error = p(0.08);
+  cfg.p_short_write = p(0.20);
+  cfg.p_eintr = p(0.20);
+  cfg.p_fsync_error = p(0.05);
+  cfg.p_read_error = p(0.03);
+  cfg.p_short_read = p(0.15);
+  cfg.p_read_corrupt = p(0.03);
+  cfg.p_rename_error = p(0.05);
+  cfg.p_open_error = p(0.03);
+  FaultyIo fio(cfg);
+  StorageOptions opts;
+  opts.checkpoint_interval = 2;  // rotation under fire
+  opts.rotated_journals_keep = 2;
+  opts.io = &fio;
+
+  std::set<std::string> legal(ctx.ladder.begin(), ctx.ladder.end());
+  {
+    auto store = JournaledDatabase::Open(work.string(), opts);
+    if (!store.ok()) {
+      // A refused open is legal under faults; the disk must still
+      // recover cleanly to a recorded state (scan-time truncation only
+      // ever lands on a ladder rung).
+      return CleanVerify(work, legal, 0);
+    }
+    std::string baseline = StripGen(DumpDatabase(store->db()));
+    if (!legal.count(baseline)) {
+      // Corrupt-on-read can hand Open a silently corrupted checkpoint
+      // payload (the checkpoint carries no per-record CRC; the journal
+      // does). Nothing downstream is assertable — but the bytes on
+      // disk were only read, so a clean reopen must still succeed.
+      return CleanVerify(work, legal, 0);
+    }
+    Track track;
+    track.Ack(baseline);
+    Database shadow = store->db();
+    for (uint64_t j = 0; j < ctx.args.fault_applies; ++j) {
+      std::string src = TraceModule(rng, /*allow_reject=*/false);
+      if (auto err = LockstepApply(&*store, &shadow, &track, src)) {
+        return err;
+      }
+      if (store->degraded()) {
+        if (auto err = DriveRecovery(&*store, &fio, &track, &shadow, j)) {
+          return err;
+        }
+      }
+    }
+    legal.insert(track.may_land.begin(), track.may_land.end());
+  }
+  return CleanVerify(work, legal, 0);
+}
+
+// Iteration shape 2: scripted persistent ENOSPC — degradation exactly
+// when demanded, resume with nothing lost.
+std::optional<std::string> RunScripted(const Ctx& ctx, const fs::path& work,
+                                       std::mt19937_64& rng) {
+  FaultyIo::Config cfg;  // all probabilities zero: scripted faults only
+  cfg.seed = rng();
+  FaultyIo fio(cfg);
+  size_t skip = rng() % 6;
+  fio.InjectErrno(FaultyIo::Op::kWrite, ENOSPC, skip, SIZE_MAX);
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  opts.io = &fio;
+
+  std::set<std::string> legal(ctx.ladder.begin(), ctx.ladder.end());
+  Track track;
+  {
+    auto store = JournaledDatabase::Open(work.string(), opts);
+    if (!store.ok()) {
+      // Open performs no writes; the armed fault cannot have fired.
+      return "scripted open failed: " + store.status().ToString();
+    }
+    track.Ack(StripGen(DumpDatabase(store->db())));
+    Database shadow = store->db();
+    bool degraded_seen = false;
+    uint64_t applies = ctx.args.fault_applies + skip + 2;
+    for (uint64_t j = 0; j < applies; ++j) {
+      std::string src = TraceModule(rng, /*allow_reject=*/false);
+      auto r = store->ApplySource(src, ApplicationMode::kRIDV);
+      if (!degraded_seen && !r.ok()) {
+        // The first refusal must BE the degradation event — a
+        // persistent ENOSPC never fails an apply "transiently".
+        if (!store->degraded()) {
+          return "apply failed under persistent ENOSPC without entering "
+                 "degraded mode: " + r.status().ToString();
+        }
+        if (fio.faults_injected() == 0) {
+          return std::string("store degraded before any fault fired");
+        }
+        degraded_seen = true;
+        Database phantom = shadow;
+        if (phantom.ApplySource(src, ApplicationMode::kRIDV).ok()) {
+          track.may_land.insert(StripGen(DumpDatabase(phantom)));
+        }
+        shadow.oid_generator()->FastForward(store->db().oids_issued());
+        if (auto err = DriveRecovery(&*store, &fio, &track, &shadow, j)) {
+          return err;
+        }
+        continue;
+      }
+      if (!r.ok()) {
+        return "post-recovery apply failed: " + r.status().ToString();
+      }
+      auto rs = shadow.ApplySource(src, ApplicationMode::kRIDV);
+      if (!rs.ok() || DumpDatabase(store->db()) != DumpDatabase(shadow)) {
+        return std::string("store and shadow diverged (scripted)");
+      }
+      track.Ack(StripGen(DumpDatabase(store->db())));
+    }
+    if (!degraded_seen) {
+      return std::string(
+          "scripted persistent ENOSPC never degraded the store");
+    }
+  }
+  legal.insert(track.may_land.begin(), track.may_land.end());
+  return CleanVerify(work, legal, 1);
+}
+
+// Iteration shape 3: fork a victim, kill it at a failpoint site,
+// assert recovery is byte-identical to pre or post — never a hybrid.
+struct CrashSite {
+  const char* site;
+  bool with_checkpoint;
+  int expect;  // 0 = pre, 1 = post, 2 = either
+};
+constexpr CrashSite kCrashSites[] = {
+    {"journal.append", false, 0},
+    {"journal.fsync", false, 2},
+    {"checkpoint.write", true, 1},
+    {"checkpoint.rename", true, 1},
+    {"checkpoint.truncate", true, 1},
+};
+
+std::optional<std::string> RunCrash(const Ctx& ctx, const fs::path& work,
+                                    std::mt19937_64& rng, uint64_t iter) {
+  const CrashSite& c =
+      kCrashSites[rng() % (sizeof(kCrashSites) / sizeof(kCrashSites[0]))];
+  // A module no other phase ever applies, so pre != post is guaranteed.
+  std::string src = InsertModule(100000 + iter * 2, 100001 + iter * 2);
+
+  std::string pre = StripGen(ctx.record_final_full);
+  std::string post;
+  {
+    auto db = LoadDatabase(ctx.record_final_full);
+    if (!db.ok()) return "offline reload failed: " + db.status().ToString();
+    auto r = db->ApplySource(src, ApplicationMode::kRIDV);
+    if (!r.ok()) {
+      return "offline post-state apply failed: " + r.status().ToString();
+    }
+    post = StripGen(DumpDatabase(*db));
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) return std::string("fork failed: ") + std::strerror(errno);
+  if (pid == 0) {
+    // Victim: open, arm, die at the site (_Exit — no flushes, no
+    // destructors; the closest user-space stand-in for a crash).
+    StorageOptions vopts;
+    vopts.checkpoint_interval = 0;
+    auto store = JournaledDatabase::Open(work.string(), vopts);
+    if (!store.ok()) ::_Exit(11);
+    failpoints::ArmCrash(c.site);
+    auto r = store->ApplySource(src, ApplicationMode::kRIDV);
+    if (c.with_checkpoint) {
+      if (!r.ok()) ::_Exit(12);
+      (void)store->Checkpoint();
+    }
+    ::_Exit(10);  // reached only if the armed site was never hit
+  }
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    return std::string("waitpid failed");
+  }
+  if (!WIFEXITED(wstatus) ||
+      WEXITSTATUS(wstatus) != failpoints::kCrashExitCode) {
+    return "victim did not die at site " + std::string(c.site) +
+           " (exit status " +
+           std::to_string(WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1) +
+           ")";
+  }
+
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  auto reopened = JournaledDatabase::Open(work.string(), opts);
+  if (!reopened.ok()) {
+    return "reopen after crash at " + std::string(c.site) +
+           " failed: " + reopened.status().ToString();
+  }
+  std::string got = StripGen(DumpDatabase(reopened->db()));
+  bool ok = c.expect == 0   ? got == pre
+            : c.expect == 1 ? got == post
+                            : (got == pre || got == post);
+  if (!ok) {
+    return "crash at " + std::string(c.site) +
+           " recovered to neither pre nor post";
+  }
+  auto r = reopened->ApplySource(InsertModule(300000 + iter, 300001 + iter),
+                                 ApplicationMode::kRIDV);
+  if (!r.ok()) {
+    return "store recovered from crash at " + std::string(c.site) +
+           " refused a new commit: " + r.status().ToString();
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+
+void Preserve(const Ctx& ctx, const fs::path& work, uint64_t iter) {
+  std::error_code ec;
+  fs::create_directories(ctx.args.artifacts, ec);
+  fs::copy(work, fs::path(ctx.args.artifacts) / ("iter" + std::to_string(iter)),
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+           ec);
+  if (ec) {
+    std::fprintf(stderr, "  (could not preserve artifacts: %s)\n",
+                 ec.message().c_str());
+  }
+}
+
+int Run(const Args& args) {
+  Ctx ctx;
+  ctx.args = args;
+  std::string templ = "/tmp/logres_soak.XXXXXX";
+  if (::mkdtemp(templ.data()) == nullptr) {
+    std::perror("mkdtemp");
+    return 2;
+  }
+  ctx.root = templ;
+
+  Status rec = Record(&ctx);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "record phase failed: %s\n",
+                 rec.ToString().c_str());
+    return 2;
+  }
+  uint64_t record_seed = args.record_seed ? args.record_seed : args.seed;
+  std::printf("soak_replay: seed=%" PRIu64 " record-seed=%" PRIu64
+              " iterations=%" PRIu64 " (ladder of %zu recorded states)\n",
+              args.seed, record_seed, args.iterations, ctx.ladder.size());
+
+  const char* names[] = {"randomized", "scripted", "crash"};
+  uint64_t failures = 0;
+  for (uint64_t i = 0; i < args.iterations; ++i) {
+    uint64_t seed_i = args.seed + i;
+    std::mt19937_64 rng(seed_i * 0x9E3779B97F4A7C15ULL +
+                        0xD1B54A32D192ED03ULL);
+    int scenario = static_cast<int>(rng() % 3);
+    fs::path work = ctx.root / ("iter" + std::to_string(i));
+    std::error_code ec;
+    fs::copy(ctx.record_dir, work, fs::copy_options::recursive, ec);
+    if (ec) {
+      std::fprintf(stderr, "iter %" PRIu64 ": copy failed: %s\n", i,
+                    ec.message().c_str());
+      return 2;
+    }
+    std::optional<std::string> err;
+    switch (scenario) {
+      case 0: err = RunRandomized(ctx, work, rng); break;
+      case 1: err = RunScripted(ctx, work, rng); break;
+      default: err = RunCrash(ctx, work, rng, i); break;
+    }
+    if (err) {
+      ++failures;
+      std::fprintf(stderr,
+                   "SOAK FAILURE iter=%" PRIu64 " scenario=%s: %s\n"
+                   "  repro: soak_replay --iterations 1 --seed %" PRIu64
+                   " --record-seed %" PRIu64 "\n",
+                   i, names[scenario], err->c_str(), seed_i, record_seed);
+      Preserve(ctx, work, i);
+    }
+    fs::remove_all(work, ec);
+    if ((i + 1) % 50 == 0) {
+      std::printf("  %" PRIu64 "/%" PRIu64 " iterations, %" PRIu64
+                  " failure(s)\n",
+                  i + 1, args.iterations, failures);
+      std::fflush(stdout);
+    }
+  }
+  if (!args.keep) {
+    std::error_code ec;
+    fs::remove_all(ctx.root, ec);
+  } else {
+    std::printf("  (kept %s)\n", ctx.root.c_str());
+  }
+  if (failures) {
+    std::fprintf(stderr,
+                 "soak_replay: %" PRIu64 " of %" PRIu64
+                 " iterations FAILED (seed=%" PRIu64
+                 "; failing stores under %s/)\n",
+                 failures, args.iterations, args.seed,
+                 args.artifacts.c_str());
+    return 1;
+  }
+  std::printf("soak_replay: all %" PRIu64 " iterations passed (seed=%" PRIu64
+              ")\n",
+              args.iterations, args.seed);
+  return 0;
+}
+
+}  // namespace logres::soak
+
+int main(int argc, char** argv) {
+  logres::soak::Args args;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--iterations") {
+      args.iterations = std::strtoull(need(i++), nullptr, 10);
+    } else if (a == "--seed") {
+      args.seed = std::strtoull(need(i++), nullptr, 10);
+    } else if (a == "--record-seed") {
+      args.record_seed = std::strtoull(need(i++), nullptr, 10);
+    } else if (a == "--record-applies") {
+      args.record_applies = std::strtoull(need(i++), nullptr, 10);
+    } else if (a == "--fault-applies") {
+      args.fault_applies = std::strtoull(need(i++), nullptr, 10);
+    } else if (a == "--artifacts") {
+      args.artifacts = need(i++);
+    } else if (a == "--keep") {
+      args.keep = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: soak_replay [--iterations N] [--seed S] "
+                   "[--record-seed S] [--record-applies N] "
+                   "[--fault-applies N] [--artifacts DIR] [--keep]\n");
+      return 2;
+    }
+  }
+  return logres::soak::Run(args);
+}
