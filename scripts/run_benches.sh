@@ -5,6 +5,8 @@
 # measurement: {workload, n, engine, strategy, threads, wall_ms, rows}.
 # The *ChainThreads benchmarks add a worker-count sweep at fixed n; the
 # smoke subset stays single-threaded (its name filter excludes them).
+# bench_storage (B11 durability overhead, B12 recovery vs checkpoint
+# fallback depth) is distilled separately into BENCH_storage.json.
 #
 # Usage:
 #   scripts/run_benches.sh            # full sweep (minutes)
@@ -16,6 +18,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 OUT="${BENCH_OUT:-$ROOT/BENCH_tc.json}"
+STORAGE_OUT="${BENCH_STORAGE_OUT:-$ROOT/BENCH_storage.json}"
 
 SMOKE=0
 if [ "${1:-}" = "--smoke" ]; then
@@ -23,7 +26,7 @@ if [ "${1:-}" = "--smoke" ]; then
 fi
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" --target bench_tc bench_engines \
+cmake --build "$BUILD" --target bench_tc bench_engines bench_storage \
   -j"$(nproc)" >/dev/null
 
 # A tiny min_time keeps the heavyweight closure points at ~1 iteration;
@@ -38,12 +41,14 @@ fi
 
 TC_JSON="$(mktemp)"
 ENGINES_JSON="$(mktemp)"
-trap 'rm -f "$TC_JSON" "$ENGINES_JSON"' EXIT
+STORAGE_JSON="$(mktemp)"
+trap 'rm -f "$TC_JSON" "$ENGINES_JSON" "$STORAGE_JSON"' EXIT
 
 "$BUILD/bench/bench_tc" "${COMMON_ARGS[@]}" "${TC_FILTER[@]}" \
   >"$TC_JSON"
 "$BUILD/bench/bench_engines" "${COMMON_ARGS[@]}" "${ENGINES_FILTER[@]}" \
   >"$ENGINES_JSON"
+"$BUILD/bench/bench_storage" "${COMMON_ARGS[@]}" >"$STORAGE_JSON"
 
 python3 - "$TC_JSON" "$ENGINES_JSON" "$OUT" <<'EOF'
 import json
@@ -127,6 +132,40 @@ for b in json.load(open(engines_path))["benchmarks"]:
         "threads": 1,
         "wall_ms": wall_ms(b),
         "rows": int(b.get("tc_tuples", b.get("facts", 0))),
+    })
+
+json.dump(records, open(out_path, "w"), indent=2)
+print(f"wrote {len(records)} records to {out_path}")
+EOF
+
+python3 - "$STORAGE_JSON" "$STORAGE_OUT" <<'EOF'
+import json
+import re
+import sys
+
+storage_path, out_path = sys.argv[1:3]
+
+def wall_ms(b):
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+    return round(b["real_time"] * scale, 3)
+
+# bench_storage names: BM_B<k>_<Variant>[/<arg>]. The arg is the journal
+# length for B11_Checkpoint/B11_RecoverReplay and the checkpoint fallback
+# depth (corrupt generations the recovery ladder must reject) for
+# B12_RecoverFallback.
+name = re.compile(r"BM_(B\d+)_(\w+?)(?:/(\d+))?")
+records = []
+for b in json.load(open(storage_path))["benchmarks"]:
+    m = name.fullmatch(b["name"])
+    if not m:
+        continue
+    workload, variant, arg = m.groups()
+    records.append({
+        "workload": workload,
+        "variant": variant,
+        "n": int(arg) if arg is not None else 0,
+        "wall_ms": wall_ms(b),
     })
 
 json.dump(records, open(out_path, "w"), indent=2)

@@ -1,0 +1,164 @@
+#include "storage/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace logres {
+
+namespace {
+
+constexpr char kHeaderV2Prefix[] = "-- logres checkpoint v2 seq=";
+constexpr char kHeaderV1Prefix[] = "-- logres checkpoint seq=";
+constexpr char kFooterPrefix[] = "-- logres checkpoint-crc32 ";
+constexpr size_t kCrcHexDigits = 8;
+
+// Parses a decimal uint64 at text[i..], advancing i past the digits.
+// False when there is no digit or the value overflows.
+bool ParseUint(const std::string& text, size_t* i, uint64_t* out) {
+  size_t digits = 0;
+  uint64_t value = 0;
+  while (*i < text.size() && text[*i] >= '0' && text[*i] <= '9') {
+    uint64_t digit = static_cast<uint64_t>(text[*i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+    ++*i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(uint64_t seq, const std::string& dump) {
+  std::string body = StrCat(kHeaderV2Prefix, seq, "\n", dump);
+  if (body.empty() || body.back() != '\n') body += '\n';
+  uint32_t crc = Crc32(body);
+  char hex[kCrcHexDigits + 1];
+  std::snprintf(hex, sizeof(hex), "%08x", crc);
+  return StrCat(body, kFooterPrefix, hex, " bytes=", body.size(), "\n");
+}
+
+Result<CheckpointInfo> VerifyCheckpointText(const std::string& text) {
+  CheckpointInfo info;
+  info.bytes = text.size();
+
+  bool v2 = StartsWith(text, kHeaderV2Prefix);
+  if (!v2 && !StartsWith(text, kHeaderV1Prefix)) {
+    return Status::ParseError("missing checkpoint header");
+  }
+  size_t i = std::strlen(v2 ? kHeaderV2Prefix : kHeaderV1Prefix);
+  if (!ParseUint(text, &i, &info.seq)) {
+    return Status::ParseError("checkpoint header: bad or overflowing seq");
+  }
+  if (i >= text.size() || text[i] != '\n') {
+    return Status::ParseError("checkpoint header: malformed");
+  }
+  if (!v2) {
+    info.version = 1;
+    info.verified = false;  // loadable, but carries no integrity evidence
+    return info;
+  }
+
+  // v2: the footer must be the final line and its CRC must match the
+  // bytes it claims to cover — a missing or short footer is corruption
+  // (a crash or bit rot ate the tail), never a downgrade to v1.
+  size_t footer = text.rfind(kFooterPrefix);
+  if (footer == std::string::npos ||
+      (footer != 0 && text[footer - 1] != '\n')) {
+    return Status::ParseError(
+        "checkpoint v2: CRC footer missing (truncated file?)");
+  }
+  size_t p = footer + std::strlen(kFooterPrefix);
+  if (text.size() - p < kCrcHexDigits) {
+    return Status::ParseError("checkpoint v2: footer truncated");
+  }
+  uint32_t stated_crc = 0;
+  for (size_t k = 0; k < kCrcHexDigits; ++k) {
+    char c = text[p + k];
+    uint32_t nibble;
+    if (c >= '0' && c <= '9') nibble = static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<uint32_t>(c - 'a' + 10);
+    else return Status::ParseError("checkpoint v2: footer CRC not hex");
+    stated_crc = (stated_crc << 4) | nibble;
+  }
+  p += kCrcHexDigits;
+  const std::string bytes_key = " bytes=";
+  if (text.compare(p, bytes_key.size(), bytes_key) != 0) {
+    return Status::ParseError("checkpoint v2: footer malformed");
+  }
+  p += bytes_key.size();
+  uint64_t stated_bytes = 0;
+  if (!ParseUint(text, &p, &stated_bytes)) {
+    return Status::ParseError("checkpoint v2: footer byte count malformed");
+  }
+  if (p + 1 != text.size() || text[p] != '\n') {
+    return Status::ParseError(
+        "checkpoint v2: trailing bytes after the CRC footer");
+  }
+  if (stated_bytes != footer) {
+    return Status::ParseError(
+        StrCat("checkpoint v2: footer covers ", stated_bytes,
+               " byte(s) but sits at offset ", footer));
+  }
+  uint32_t actual = Crc32(text.data(), footer);
+  if (actual != stated_crc) {
+    return Status::ParseError(
+        StrCat("checkpoint v2: CRC mismatch (file says ", stated_crc,
+               ", bytes hash to ", actual, ")"));
+  }
+  info.version = 2;
+  info.verified = true;
+  return info;
+}
+
+std::string CheckpointPath(const std::string& dir) {
+  return StrCat(dir, "/CHECKPOINT");
+}
+
+std::string CheckpointTmpPath(const std::string& dir) {
+  return StrCat(dir, "/CHECKPOINT.tmp");
+}
+
+std::string CheckpointGenerationPath(const std::string& dir, uint64_t seq) {
+  return StrCat(dir, "/CHECKPOINT.", seq, ".old");
+}
+
+bool ParseCheckpointGenerationName(const std::string& name, uint64_t* seq) {
+  if (!StartsWith(name, "CHECKPOINT.") || !EndsWith(name, ".old")) {
+    return false;
+  }
+  size_t begin = std::strlen("CHECKPOINT.");
+  size_t end = name.size() - std::strlen(".old");
+  if (end <= begin) return false;
+  uint64_t value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *seq = value;
+  return true;
+}
+
+std::vector<uint64_t> ListCheckpointGenerations(Io& io,
+                                                const std::string& dir) {
+  std::vector<std::string> names;
+  std::vector<uint64_t> seqs;
+  if (!io.ListDir(dir, &names).ok()) return seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseCheckpointGenerationName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace logres

@@ -1,0 +1,83 @@
+// Checkpoint file format and generation naming.
+//
+// A checkpoint is the dump half of the durability contract: recovery
+// loads the newest one that *verifies* and replays the journal chain
+// past it (journaled_database.h). Because the whole store hangs off this
+// one file, format v2 makes it self-verifying, and `WriteCheckpoint`
+// retains superseded checkpoints as bounded generations so a corrupt
+// HEAD is a fallback, not an outage.
+//
+// Format v2 (written since the escalation-ladder change):
+//
+//   -- logres checkpoint v2 seq=<N>
+//   <DumpDatabase output>
+//   -- logres checkpoint-crc32 <8 hex digits> bytes=<B>
+//
+// The footer is the last line of the file; <B> is the byte count of
+// everything before the footer line and the CRC-32 (IEEE, the journal's
+// polynomial) is computed over exactly those bytes — header line
+// included, so a flipped seq digit is caught too. Both marker lines are
+// `--` comments to the LOGRES lexer, so LoadDatabase swallows the whole
+// file unchanged.
+//
+// Format v1 (`-- logres checkpoint seq=<N>`, no footer) still loads, but
+// reports unverified: a v1 file carries no integrity evidence, and a
+// *truncated v2* file must never pass itself off as a short v1 — the
+// version lives in the header precisely so a missing footer is corruption
+// evidence, not a format guess.
+//
+// Generations: the previous checkpoint is retained as
+// `CHECKPOINT.<seq>.old` (seq = the commit it covers), pruned in
+// lockstep with rotated journals so every retained generation has the
+// rotated `journal.<seq>.old` chain that covers the gap back to HEAD
+// (see DESIGN.md §12 for the retention math).
+
+#ifndef LOGRES_STORAGE_CHECKPOINT_H_
+#define LOGRES_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/io.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief What a checkpoint file's envelope says about itself.
+struct CheckpointInfo {
+  uint64_t seq = 0;
+  int version = 2;
+  /// True when the file carries a CRC footer and it matched (always
+  /// false for v1 — loadable, but unverified).
+  bool verified = false;
+  /// Total size of the checkpoint text in bytes.
+  uint64_t bytes = 0;
+};
+
+/// \brief Encodes a format-v2 checkpoint: header + dump + CRC footer.
+std::string EncodeCheckpoint(uint64_t seq, const std::string& dump);
+
+/// \brief Parses and verifies a checkpoint file's text. v2 requires an
+/// intact footer whose CRC matches; v1 parses its header only. Any
+/// mismatch, truncation, or malformed envelope is an error — the caller
+/// (the recovery ladder, scrub, fsck) treats it as a corrupt generation.
+Result<CheckpointInfo> VerifyCheckpointText(const std::string& text);
+
+/// \brief Paths inside a store directory.
+std::string CheckpointPath(const std::string& dir);
+std::string CheckpointTmpPath(const std::string& dir);
+std::string CheckpointGenerationPath(const std::string& dir, uint64_t seq);
+
+/// \brief Parses the <seq> out of "CHECKPOINT.<seq>.old"; false for any
+/// other name.
+bool ParseCheckpointGenerationName(const std::string& name, uint64_t* seq);
+
+/// \brief Retained generation seqs in \p dir (the `.old` files only, not
+/// HEAD), ascending. I/O failures yield an empty list.
+std::vector<uint64_t> ListCheckpointGenerations(Io& io,
+                                                const std::string& dir);
+
+}  // namespace logres
+
+#endif  // LOGRES_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,93 @@
+// Store integrity checking: the shared artifact checker behind the
+// online scrub (`JournaledDatabase::Scrub`, shell `scrub`) and the
+// offline checker/repairer (`FsckStore`, `tools/logres_fsck`).
+//
+// The checker is strictly read-only and goes through the `Io` seam, so
+// scrub can run against a live store without blocking writers and fsck
+// can be fault-injected in tests. Verdicts are split into *errors*
+// (corrupt checkpoint generations, corrupt sealed journals, a broken
+// replay chain — anything that reduces what recovery can reach) and
+// *notes* (torn live-journal tail, stale records, CHECKPOINT.tmp debris,
+// v1 checkpoints — expected crash artifacts recovery already handles).
+// Only errors make a store "not clean".
+//
+// `FsckStore(..., {repair: true})` is the offline repair ladder:
+// quarantine every corrupt artifact (rename to `<name>.quarantine` —
+// never delete evidence), drop unreachable journal suffixes past a
+// replay-chain break, run full `JournaledDatabase::Open` recovery, and
+// seal the recovered state with a fresh verified v2 checkpoint. Crash
+// site: `fsck.repair` (between quarantine and the reseal) — the
+// crash matrix asserts a store killed mid-repair still reopens onto an
+// acked state.
+
+#ifndef LOGRES_STORAGE_FSCK_H_
+#define LOGRES_STORAGE_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/io.h"
+#include "util/status.h"
+
+namespace logres {
+
+/// \brief One store artifact's integrity verdict.
+struct StoreFileCheck {
+  std::string name;     ///< file name within the store directory
+  std::string kind;     ///< checkpoint | checkpoint-generation | journal |
+                        ///< rotated-journal | checkpoint-tmp | other
+  std::string verdict;  ///< ok | unverified-v1 | corrupt | torn-tail |
+                        ///< debris | ignored
+  bool error = false;   ///< counts against a clean bill of health
+  uint64_t bytes = 0;
+  uint64_t seq = 0;      ///< covered/name seq when the name carries one
+  uint64_t records = 0;  ///< valid records (journal files)
+  std::string detail;    ///< human-readable reason for the verdict
+};
+
+/// \brief Read-only integrity pass over every artifact in \p dir:
+/// checkpoint generations are envelope-verified (header, v2 CRC footer)
+/// and parse-checked, journal files are frame-scanned. Never mutates the
+/// store.
+std::vector<StoreFileCheck> CheckStoreFiles(Io& io, const std::string& dir);
+
+struct FsckOptions {
+  /// Quarantine corrupt artifacts and rewrite a verified checkpoint.
+  /// Requires exclusive access to the store (offline).
+  bool repair = false;
+  /// File operations go through this (PosixIo when null; borrowed).
+  Io* io = nullptr;
+};
+
+struct FsckReport {
+  /// Per-file verdicts (post-repair state when repair ran).
+  std::vector<StoreFileCheck> files;
+  /// Cross-file findings: replay-chain breaks, uncovered generations,
+  /// "no usable generation at all".
+  std::vector<std::string> store_findings;
+  /// Actions --repair took, in order.
+  std::vector<std::string> repairs;
+  /// Error-level findings (file and store level). 0 = clean.
+  uint64_t errors = 0;
+  /// Non-error observations.
+  uint64_t notes = 0;
+  /// True when at least one checkpoint generation is usable.
+  bool recoverable = false;
+  /// Highest commit seq a recovery of this store reaches.
+  uint64_t recovered_seq = 0;
+  /// Machine-readable line report (one `fsck <key>=<value>...` line per
+  /// file and finding, then a summary line).
+  std::string ToText() const;
+};
+
+/// \brief Checks (and with \p options.repair, repairs) the store at
+/// \p dir. Errors out only when the directory cannot be walked or a
+/// requested repair could not complete; a merely-corrupt store is a
+/// *report*, not an error.
+Result<FsckReport> FsckStore(const std::string& dir,
+                             const FsckOptions& options = {});
+
+}  // namespace logres
+
+#endif  // LOGRES_STORAGE_FSCK_H_

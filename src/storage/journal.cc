@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/crc32.h"
@@ -46,22 +47,6 @@ Status SyncParentDir(Io& io, const std::string& path) {
                         /*data_only=*/false);
   (void)io.Close(static_cast<int>(fd.value));
   return st;
-}
-
-Result<std::string> ReadWholeFile(Io& io, const std::string& path,
-                                  bool* exists) {
-  *exists = true;
-  IoResult fd = io.Open(path, O_RDONLY, 0);
-  if (!fd.ok()) {
-    if (fd.err == ENOENT) {
-      *exists = false;
-      return std::string();
-    }
-    return IoErrorStatus(fd, StrCat("open ", path));
-  }
-  auto data = ReadAll(io, static_cast<int>(fd.value), StrCat("read ", path));
-  (void)io.Close(static_cast<int>(fd.value));
-  return data;
 }
 
 // Parses "key=<uint64>" from a whitespace-separated header field.
@@ -139,12 +124,51 @@ Result<JournalRecord> DecodeJournalPayload(const std::string& payload) {
   return record;
 }
 
+std::string JournalPath(const std::string& dir) {
+  return StrCat(dir, "/journal");
+}
+
+std::string RotatedJournalPath(const std::string& dir, uint64_t seq) {
+  return StrCat(dir, "/journal.", seq, ".old");
+}
+
+bool ParseRotatedJournalName(const std::string& name, uint64_t* seq) {
+  if (!StartsWith(name, "journal.") || !EndsWith(name, ".old")) {
+    return false;
+  }
+  size_t begin = std::strlen("journal.");
+  size_t end = name.size() - std::strlen(".old");
+  if (end <= begin) return false;
+  uint64_t value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *seq = value;
+  return true;
+}
+
+std::vector<uint64_t> ListRotatedJournals(Io& io, const std::string& dir) {
+  std::vector<std::string> names;
+  std::vector<uint64_t> seqs;
+  if (!io.ListDir(dir, &names).ok()) return seqs;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseRotatedJournalName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
 Result<JournalScan> ScanJournal(const std::string& path, Io* io) {
   Io& the_io = io != nullptr ? *io : PosixIo();
   JournalScan scan;
   bool exists = false;
   LOGRES_ASSIGN_OR_RETURN(std::string data,
-                          ReadWholeFile(the_io, path, &exists));
+                          ReadFileIfExists(the_io, path, &exists));
   if (!exists || data.empty()) return scan;  // absent/empty: valid, empty
 
   if (data.size() < kMagicSize ||

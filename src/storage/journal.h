@@ -97,6 +97,23 @@ Result<JournalRecord> DecodeJournalPayload(const std::string& payload);
 /// reported in warnings, not as errors.
 Result<JournalScan> ScanJournal(const std::string& path, Io* io = nullptr);
 
+/// \brief The live journal's path inside a store directory.
+std::string JournalPath(const std::string& dir);
+
+/// \brief The rotated-journal path for the checkpoint that covers it:
+/// `<dir>/journal.<seq>.old` holds exactly the records a checkpoint with
+/// that seq folded in (they cover the gap from the previous checkpoint).
+std::string RotatedJournalPath(const std::string& dir, uint64_t seq);
+
+/// \brief Parses the <seq> out of "journal.<seq>.old"; false for any
+/// other name.
+bool ParseRotatedJournalName(const std::string& name, uint64_t* seq);
+
+/// \brief Rotated-journal seqs currently in \p dir, ascending. I/O
+/// failures yield an empty list (callers treat the listing as
+/// best-effort).
+std::vector<uint64_t> ListRotatedJournals(Io& io, const std::string& dir);
+
 /// \brief An open journal file, append side.
 ///
 /// Move-only; owns the file descriptor. Appends are all-or-nothing from

@@ -2,11 +2,18 @@
 //
 // A JournaledDatabase wraps a Database with the on-disk layout
 //
-//   <dir>/CHECKPOINT         -- "-- logres checkpoint seq=<N>" + DumpDatabase
-//   <dir>/CHECKPOINT.tmp     -- transient; atomically renamed over CHECKPOINT
-//   <dir>/journal            -- append-only log of committed applications
-//   <dir>/journal.<N>.old    -- rotated journals (records covered by the
-//                               checkpoint with seq N); bounded keep-count
+//   <dir>/CHECKPOINT          -- self-verifying checkpoint (format v2:
+//                                header + DumpDatabase + CRC-32 footer;
+//                                see storage/checkpoint.h)
+//   <dir>/CHECKPOINT.tmp      -- transient; atomically renamed over
+//                                CHECKPOINT
+//   <dir>/CHECKPOINT.<N>.old  -- retained checkpoint generations (the
+//                                checkpoint that covered seq N); bounded
+//                                keep-count, pruned in lockstep with
+//                                rotated journals
+//   <dir>/journal             -- append-only log of committed applications
+//   <dir>/journal.<N>.old     -- rotated journals (records covered by the
+//                                checkpoint with seq N); bounded keep-count
 //
 // and gives module application the same all-or-nothing guarantee *across
 // process death* that Database::Apply already gives in process:
@@ -15,21 +22,43 @@
 //               append the record and fsync it BEFORE acknowledging the
 //               commit. If the append fails, the in-memory state is
 //               rolled back too, so memory never runs ahead of disk.
-//   checkpoint: write "-- logres checkpoint seq=N" + the dump to
-//               CHECKPOINT.tmp, fsync, atomically rename over CHECKPOINT,
-//               fsync the directory, then rotate the journal aside (or
-//               empty it when rotated_journals_keep is 0). Taken
+//   checkpoint: write the v2 envelope to CHECKPOINT.tmp, fsync, retain
+//               the outgoing CHECKPOINT as CHECKPOINT.<seq>.old,
+//               atomically rename the tmp over CHECKPOINT, fsync the
+//               directory, then rotate the journal aside (or empty it
+//               when rotated_journals_keep is 0) and prune generations
+//               and rotated journals past the keep-count together. Taken
 //               automatically every StorageOptions::checkpoint_interval
 //               commits (0 disables) or on demand.
-//   recovery:   load the newest valid CHECKPOINT, truncate the journal at
-//               the first torn/corrupt record (warning, not error), and
-//               deterministically replay every record with seq >
-//               checkpoint seq — fast-forwarding the oid generator to
-//               each record's gen_before so invented oids come out
-//               byte-identical, and cross-checking gen_after. Records
-//               with seq <= checkpoint seq are skipped: they cover the
-//               window where a crash hit between the checkpoint rename
-//               and the journal rotation.
+//   recovery:   an escalation ladder. Open() tries CHECKPOINT first; if
+//               it is missing, truncated, or fails its CRC, it falls back
+//               to the newest CHECKPOINT.<N>.old that verifies, and so on
+//               down the generations. Whichever generation loads, the
+//               journal *chain* past it — every rotated journal.<M>.old
+//               with M > N, oldest first, then the live journal (torn
+//               tail truncated first, warning not error) — is replayed
+//               deterministically: records with seq <= the running seq
+//               are skipped (the crash window between checkpoint rename
+//               and journal rotation), the oid generator is
+//               fast-forwarded to each record's gen_before so invented
+//               oids come out byte-identical, and gen_after is
+//               cross-checked. Falling back is a *warning* naming the
+//               generation and depth, never an error: as long as one
+//               generation verifies, the store opens.
+//
+//               If the chain itself is broken (a seq gap — some sealed
+//               segment was lost), replay stops at the last contiguous
+//               record and the store opens DEGRADED (read-only): the
+//               recovered prefix is every bit of reachable history, but
+//               accepting new commits would re-issue seqs that stale
+//               segments still carry. `logres_fsck --repair` (or
+//               restoring the missing segment and reopening) clears it.
+//
+//   scrub:      Scrub() re-reads and re-verifies every artifact (all
+//               checkpoint generations, all journal segments) through the
+//               Io seam without mutating anything — bit rot is found
+//               while the store is healthy, not at the next recovery.
+//               Results are folded into status() and `journal status`.
 //
 // Every file operation goes through the Io seam (util/io.h):
 // StorageOptions::io injects a FaultyIo for testing; production uses
@@ -59,7 +88,8 @@
 // (dump format v2), so ApplyByName keeps working after recovery.
 //
 // Failpoint sites, in write order: journal.append, journal.fsync,
-// checkpoint.write, checkpoint.rename, checkpoint.truncate. The
+// checkpoint.write, checkpoint.rename, checkpoint.truncate,
+// checkpoint.prune (plus fsck.repair in storage/fsck.cc). The
 // crash-injection matrix (tests/storage_crash_test.cc) kills the process
 // at each and asserts the reopened store equals exactly the pre- or
 // post-application dump, never a hybrid.
@@ -73,6 +103,7 @@
 
 #include "core/database.h"
 #include "core/dump.h"
+#include "storage/fsck.h"
 #include "storage/journal.h"
 #include "util/io.h"
 #include "util/status.h"
@@ -85,11 +116,30 @@ struct StorageOptions {
   uint64_t checkpoint_interval = 64;
   /// Rotated journals to keep (journal.<seq>.old); 0 = no rotation, the
   /// journal is emptied in place after a checkpoint (the pre-rotation
-  /// behaviour).
+  /// behaviour). Checkpoint generations (CHECKPOINT.<seq>.old) use the
+  /// same keep-count: a retained checkpoint is only useful while the
+  /// rotated journals that bridge it back to HEAD survive, so the two
+  /// are retained and pruned in lockstep (DESIGN.md §12).
   uint64_t rotated_journals_keep = 3;
   /// File operations go through this (PosixIo when null). The pointer is
   /// borrowed; it must outlive the store. Tests inject a FaultyIo here.
   Io* io = nullptr;
+};
+
+/// \brief One checkpoint generation as `journal status` reports it
+/// (HEAD plus each retained CHECKPOINT.<seq>.old, newest first).
+struct CheckpointGenerationInfo {
+  uint64_t seq = 0;
+  bool head = false;  ///< the live CHECKPOINT (as opposed to a .old)
+  uint64_t bytes = 0;
+  int version = 0;       ///< checkpoint format version (0 = unreadable)
+  bool verified = false;  ///< v2 CRC footer present and matching
+  bool usable = false;    ///< recovery could load this generation
+  /// True when the rotated-journal chain needed to replay this
+  /// generation forward to HEAD is complete on disk (by name; always
+  /// true for HEAD itself, whose chain is the live journal).
+  bool chain_covered = false;
+  std::string detail;  ///< why unusable, when it is
 };
 
 /// \brief Observable state of the store (`journal status` in the shell).
@@ -102,6 +152,13 @@ struct StorageStatus {
   uint64_t truncated_bytes_at_open = 0;
   /// Rotated journal files currently kept on disk.
   uint64_t rotated_journals = 0;
+  /// Retained checkpoint generations (CHECKPOINT.<seq>.old) on disk.
+  uint64_t checkpoint_generations = 0;
+  /// Which generation Open() actually recovered from: the seq it covered
+  /// and how many newer generations had to be skipped (0 = the live
+  /// CHECKPOINT; 1 = the newest .old; ...).
+  uint64_t recovered_checkpoint_seq = 0;
+  uint64_t recovered_fallback_depth = 0;
   /// Cumulative evaluator steps and last result-instance fact count over
   /// the commits this process made (from ModuleResult::stats).
   uint64_t steps_total = 0;
@@ -110,9 +167,24 @@ struct StorageStatus {
   /// degraded_reason), reads keep working. Reopen() to recover.
   bool degraded = false;
   std::string degraded_reason;
+  /// Online scrub results (false/empty until Scrub() has run).
+  bool scrubbed = false;
+  bool last_scrub_ok = false;
+  std::string last_scrub_summary;
+  std::string last_scrub_time;
   /// Recovery/auto-checkpoint warnings (torn records, skipped stale
-  /// records, failed background checkpoints, degradation events).
+  /// records, fallback recoveries, failed background checkpoints,
+  /// degradation events).
   std::vector<std::string> warnings;
+};
+
+/// \brief What one Scrub() pass found.
+struct ScrubReport {
+  std::vector<StoreFileCheck> files;
+  uint64_t errors = 0;  ///< error-level findings (0 = clean)
+  uint64_t notes = 0;   ///< non-error observations (torn tails, debris)
+  std::string summary;  ///< one line, as `journal status` shows it
+  bool ok() const { return errors == 0; }
 };
 
 /// \brief A Database whose committed module applications survive process
@@ -131,8 +203,10 @@ class JournaledDatabase {
                                           const std::string& source,
                                           StorageOptions options = {});
 
-  /// \brief Opens an existing store, running recovery (checkpoint load +
-  /// journal truncation + deterministic replay).
+  /// \brief Opens an existing store, running the recovery escalation
+  /// ladder (newest verifying checkpoint generation + chained
+  /// rotated-journal replay; see the file comment). Errors only when no
+  /// generation at all can be recovered from.
   static Result<JournaledDatabase> Open(const std::string& dir,
                                         StorageOptions options = {});
 
@@ -161,9 +235,10 @@ class JournaledDatabase {
   Result<ModuleResult> ApplyByName(const std::string& name,
                                    const EvalOptions& options = {});
 
-  /// \brief Writes a checkpoint covering every commit so far, then
-  /// rotates the journal aside (pruning rotated files beyond the
-  /// keep-count) or empties it when rotation is disabled.
+  /// \brief Writes a checkpoint covering every commit so far (retaining
+  /// the previous one as a generation), then rotates the journal aside
+  /// (pruning rotated journals and checkpoint generations beyond the
+  /// keep-count, in lockstep) or empties it when rotation is disabled.
   Status Checkpoint();
 
   /// \brief Recovery-and-resume after degradation (also safe when
@@ -173,6 +248,18 @@ class JournaledDatabase {
   /// store is writable again; on failure it stays degraded and returns
   /// why. Session counters (steps_total) and warnings are preserved.
   Status Reopen();
+
+  /// \brief Online integrity scrub: re-reads and re-verifies every
+  /// checkpoint generation and journal segment through the Io seam.
+  /// Strictly read-only against the store files (works while degraded);
+  /// the outcome lands in status() (last_scrub_*) and, when errors are
+  /// found, in warnings. Returns the per-file report.
+  ScrubReport Scrub();
+
+  /// \brief The checkpoint generations currently on disk (HEAD first,
+  /// then .old files newest-first), each re-verified from disk, with
+  /// chain coverage computed from the rotated journals present.
+  std::vector<CheckpointGenerationInfo> Generations() const;
 
   /// \brief True while in read-only degraded mode.
   bool degraded() const { return degraded_; }
@@ -194,9 +281,11 @@ class JournaledDatabase {
 
   Status WriteCheckpoint();
   // Moves the live journal to journal.<checkpoint_seq_>.old and starts a
-  // fresh one; prunes rotated files beyond the keep-count.
+  // fresh one; prunes retired artifacts beyond the keep-count.
   Status RotateJournal();
-  void PruneRotatedJournals();
+  // Prunes rotated journals and checkpoint generations past the
+  // keep-count, oldest first and in lockstep. Site: checkpoint.prune.
+  Status PruneRetired();
   // Enters degraded mode if `failure` is a persistent I/O fault
   // (kUnavailable); returns `failure` either way.
   Status NoteFailure(Status failure);
@@ -210,10 +299,21 @@ class JournaledDatabase {
   uint64_t checkpoint_seq_ = 0;
   uint64_t replayed_at_open_ = 0;
   uint64_t rotated_journals_ = 0;
+  uint64_t checkpoint_generations_ = 0;
+  uint64_t recovered_checkpoint_seq_ = 0;
+  uint64_t recovered_fallback_depth_ = 0;
+  // False when recovery could not use the live CHECKPOINT: an
+  // unverifiable HEAD must never be renamed over a good generation, so
+  // the next WriteCheckpoint clobbers it instead of retaining it.
+  bool head_checkpoint_retainable_ = false;
   uint64_t steps_total_ = 0;
   uint64_t facts_last_ = 0;
   bool degraded_ = false;
   Status degraded_reason_;
+  bool scrubbed_ = false;
+  bool last_scrub_ok_ = false;
+  std::string last_scrub_summary_;
+  std::string last_scrub_time_;
   std::vector<std::string> warnings_;
 };
 

@@ -151,6 +151,30 @@ Result<std::string> ReadAll(Io& io, int fd, const std::string& what) {
   return out;
 }
 
+Result<std::string> ReadFileToString(Io& io, const std::string& path) {
+  IoResult fd = io.Open(path, O_RDONLY, 0);
+  if (!fd.ok()) return IoErrorStatus(fd, StrCat("open ", path));
+  auto data = ReadAll(io, static_cast<int>(fd.value), StrCat("read ", path));
+  (void)io.Close(static_cast<int>(fd.value));
+  return data;
+}
+
+Result<std::string> ReadFileIfExists(Io& io, const std::string& path,
+                                     bool* exists) {
+  *exists = true;
+  IoResult fd = io.Open(path, O_RDONLY, 0);
+  if (!fd.ok()) {
+    if (fd.err == ENOENT) {
+      *exists = false;
+      return std::string();
+    }
+    return IoErrorStatus(fd, StrCat("open ", path));
+  }
+  auto data = ReadAll(io, static_cast<int>(fd.value), StrCat("read ", path));
+  (void)io.Close(static_cast<int>(fd.value));
+  return data;
+}
+
 Status SyncRetry(Io& io, int fd, const std::string& what, bool data_only) {
   size_t stalled = 0;
   for (;;) {

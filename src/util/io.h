@@ -100,6 +100,16 @@ Status WriteAll(Io& io, int fd, const char* data, size_t size,
 /// \brief Reads until EOF with the same transient-retry policy.
 Result<std::string> ReadAll(Io& io, int fd, const std::string& what);
 
+/// \brief Reads the whole of \p path through \p io (open + ReadAll +
+/// close). The scrub/fsck read path: strictly read-only, never touches
+/// the file's size or position as seen by concurrent writers.
+Result<std::string> ReadFileToString(Io& io, const std::string& path);
+
+/// \brief Like ReadFileToString, but a missing file is not an error: it
+/// yields an empty string with *\p exists set to false.
+Result<std::string> ReadFileIfExists(Io& io, const std::string& path,
+                                     bool* exists);
+
 /// \brief fdatasync with transient-retry. A persistent failure is special:
 /// per the fsync-failure rule ("fsyncgate"), the caller must from then on
 /// treat the file tail as unverified — the kernel may have dropped the

@@ -16,6 +16,11 @@
 //   checkpoint.write    the commit is already journaled            -> post
 //   checkpoint.rename   tmp file written, rename not done          -> post
 //   checkpoint.truncate new CHECKPOINT + stale journal records     -> post
+//   checkpoint.prune    checkpoint + rotation done, retention
+//                       cleanup not yet                            -> post
+//   fsck.repair         (separate test) killed between quarantine
+//                       and reseal: the store must stay openable
+//                       onto the acknowledged state
 //
 // Each site runs with and without a checkpoint between the setup
 // application and the crash, covering recovery both straight from a
@@ -31,11 +36,13 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <string_view>
 
 #include "core/database.h"
 #include "core/dump.h"
+#include "storage/fsck.h"
 #include "storage/journaled_database.h"
 #include "util/failpoint.h"
 
@@ -81,6 +88,14 @@ StorageOptions NoAutoCheckpoint() {
 // The --crash-victim branch: open, arm, die at the site.
 int RunVictim(const std::string& dir, const std::string& site,
               const std::string& op) {
+  if (op == "fsck-repair") {
+    // No store handle: fsck is an offline tool, killed mid-repair.
+    failpoints::ArmCrash(site);
+    FsckOptions options;
+    options.repair = true;
+    (void)FsckStore(dir, options);
+    return 10;
+  }
   auto store = JournaledDatabase::Open(dir, NoAutoCheckpoint());
   if (!store.ok()) return 11;
   failpoints::ArmCrash(site);
@@ -145,6 +160,9 @@ constexpr CrashCase kMatrix[] = {
     {"checkpoint.write", "checkpoint", Expect::kPost},
     {"checkpoint.rename", "checkpoint", Expect::kPost},
     {"checkpoint.truncate", "checkpoint", Expect::kPost},
+    // Retention cleanup runs strictly after the new CHECKPOINT is in
+    // place, so dying mid-prune can only leave extra files behind.
+    {"checkpoint.prune", "checkpoint", Expect::kPost},
 };
 
 void RunCase(const CrashCase& c, bool checkpoint_before) {
@@ -257,6 +275,73 @@ TEST(StorageCrashTest, TornFinalRecordIsTruncatedOnRecovery) {
   // The sheared record is gone; what remains is exactly the state the
   // checkpoint covers — not a hybrid.
   EXPECT_EQ(DumpDatabase(reopened->db()), init_dump);
+}
+
+// Kill logres_fsck --repair between the quarantine renames and the
+// reseal: quarantine never deletes anything, so a half-finished repair
+// must leave a store that still opens onto the acknowledged state — and
+// a second repair pass must finish the job.
+TEST(StorageCrashTest, KillDuringFsckRepairLeavesRecoverableStore) {
+  std::string dir = MakeTempDir();
+  std::string acked;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema, NoAutoCheckpoint());
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kSetupModule, ApplicationMode::kRIDV).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(
+        store->ApplySource(kVictimModule, ApplicationMode::kRIDV).ok());
+    acked = DumpDatabase(store->db());
+  }
+  // Corrupt HEAD so the repair has real work to do.
+  {
+    std::string path = dir + "/CHECKPOINT";
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execl("/proc/self/exe", "storage_crash_test", "--crash-victim",
+            dir.c_str(), "fsck.repair", "fsck-repair",
+            static_cast<char*>(nullptr));
+    ::_Exit(127);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), failpoints::kCrashExitCode)
+      << "victim did not die at fsck.repair";
+
+  // The half-repaired store still opens onto the acknowledged state.
+  {
+    auto reopened = JournaledDatabase::Open(dir, NoAutoCheckpoint());
+    if (!reopened.ok()) {
+      PreserveArtifacts(dir, "fsck.repair");
+      FAIL() << "reopen after crashed repair failed: " << reopened.status();
+    }
+    EXPECT_EQ(DumpDatabase(reopened->db()), acked);
+  }
+
+  // A second repair pass completes and leaves a clean store.
+  FsckOptions options;
+  options.repair = true;
+  auto repaired = FsckStore(dir, options);
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_EQ(repaired->errors, 0u);
+  auto healed = JournaledDatabase::Open(dir, NoAutoCheckpoint());
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_FALSE(healed->degraded());
+  EXPECT_EQ(DumpDatabase(healed->db()), acked);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 
 #include "core/database.h"
 #include "core/dump.h"
+#include "storage/checkpoint.h"
+#include "storage/fsck.h"
 #include "storage/journal.h"
 #include "storage/journaled_database.h"
 #include "util/failpoint.h"
@@ -682,6 +684,401 @@ TEST(HostileReadTest, RecoveryUnderCorruptReadsNeverCrashesOrHybrids) {
         << "seed " << seed
         << ": clean recovery after a hostile scan is not any recorded state";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint format v2: self-verifying envelope, v1 compatibility.
+
+TEST(CheckpointFormatTest, V2RoundTripVerifiesAndRejectsAnyDamage) {
+  std::string text = EncodeCheckpoint(7, "schema PERSON;\nbody line\n");
+  auto info = VerifyCheckpointText(text);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->seq, 7u);
+  EXPECT_EQ(info->version, 2);
+  EXPECT_TRUE(info->verified);
+  EXPECT_EQ(info->bytes, text.size());
+
+  // Any single flipped byte — header, body, or footer — must fail
+  // verification, and so must truncation at any length: a truncated v2
+  // file never passes itself off as a short v1.
+  for (size_t off = 0; off < text.size(); ++off) {
+    std::string bad = text;
+    bad[off] = static_cast<char>(bad[off] ^ 0xFF);
+    EXPECT_FALSE(VerifyCheckpointText(bad).ok()) << "flip at offset " << off;
+  }
+  for (size_t len = 0; len < text.size(); ++len) {
+    EXPECT_FALSE(VerifyCheckpointText(text.substr(0, len)).ok())
+        << "truncated to " << len;
+  }
+}
+
+TEST(CheckpointFormatTest, V1ParsesButIsUnverified) {
+  auto info = VerifyCheckpointText("-- logres checkpoint seq=3\nbody\n");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->version, 1);
+  EXPECT_FALSE(info->verified);
+  EXPECT_EQ(info->seq, 3u);
+}
+
+TEST(CheckpointGenerationTest, V1HeadCheckpointStillLoads) {
+  std::string dir = MakeTempDir();
+  std::string acked;
+  {
+    StorageOptions opts;
+    opts.checkpoint_interval = 0;
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    acked = DumpDatabase(store->db());
+  }
+  // Rewrite HEAD as a pre-ladder v1 file: v1 header, no CRC footer.
+  std::string text = ReadFile(dir + "/CHECKPOINT");
+  auto info = VerifyCheckpointText(text);
+  ASSERT_TRUE(info.ok()) << info.status();
+  size_t body_start = text.find('\n') + 1;
+  size_t footer = text.rfind("-- logres checkpoint-crc32 ");
+  ASSERT_NE(footer, std::string::npos);
+  WriteFile(dir + "/CHECKPOINT",
+            "-- logres checkpoint seq=" + std::to_string(info->seq) + "\n" +
+                text.substr(body_start, footer - body_start));
+
+  auto reopened = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(DumpDatabase(reopened->db()), acked);
+  EXPECT_EQ(reopened->status().recovered_fallback_depth, 0u);
+  auto gens = reopened->Generations();
+  ASSERT_FALSE(gens.empty());
+  EXPECT_TRUE(gens[0].head);
+  EXPECT_EQ(gens[0].version, 1);
+  EXPECT_FALSE(gens[0].verified);
+  EXPECT_TRUE(gens[0].usable);
+}
+
+TEST(CheckpointGenerationTest, GenerationsPruneInLockstepWithJournals) {
+  std::string dir = MakeTempDir();
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  opts.rotated_journals_keep = 2;
+  auto store = JournaledDatabase::Create(dir, kSchema, opts);
+  ASSERT_TRUE(store.ok()) << store.status();
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_TRUE(
+        store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+    ASSERT_TRUE(store->Checkpoint().ok()) << "checkpoint " << seq;
+  }
+  // Generations prune with the same keep-count as rotated journals
+  // (which the RotationTest above pins to {3,4}): every surviving
+  // generation keeps the rotated chain that bridges it to HEAD.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/CHECKPOINT.0.old"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/CHECKPOINT.1.old"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/CHECKPOINT.2.old"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/CHECKPOINT.3.old"));
+  EXPECT_EQ(store->status().checkpoint_generations, 2u);
+
+  auto gens = store->Generations();
+  ASSERT_EQ(gens.size(), 3u);
+  EXPECT_TRUE(gens[0].head);
+  EXPECT_EQ(gens[0].seq, 4u);
+  EXPECT_EQ(gens[1].seq, 3u);
+  EXPECT_EQ(gens[2].seq, 2u);
+  for (const auto& g : gens) {
+    EXPECT_TRUE(g.verified) << "seq " << g.seq;
+    EXPECT_TRUE(g.usable) << "seq " << g.seq;
+    EXPECT_TRUE(g.chain_covered) << "seq " << g.seq;
+  }
+}
+
+TEST(CheckpointGenerationTest, TmpDebrisIsRemovedWithWarning) {
+  std::string dir = MakeTempDir();
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+  }
+  WriteFile(dir + "/CHECKPOINT.tmp", "half-written checkpoint");
+  auto reopened = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_FALSE(std::filesystem::exists(dir + "/CHECKPOINT.tmp"));
+  bool mentioned = false;
+  for (const std::string& w : reopened->status().warnings) {
+    mentioned |= w.find("CHECKPOINT.tmp") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned)
+      << "tmp debris removal must be recorded, not silent";
+}
+
+// ---------------------------------------------------------------------------
+// Hostile checkpoints: the recovery escalation ladder. Corrupting the
+// live CHECKPOINT at ANY byte offset — or truncating it at ANY length —
+// must fall back to the retained generation and chain-replay onto the
+// byte-identical acknowledged state: a warning, never an error, never a
+// hybrid.
+
+TEST(HostileCheckpointTest, ByteFlipSweepFallsBackByteIdentical) {
+  std::string dir = MakeTempDir();
+  std::string acked;
+  {
+    StorageOptions opts;
+    opts.checkpoint_interval = 0;
+    opts.rotated_journals_keep = 2;
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    acked = DumpDatabase(store->db());
+  }
+  const std::string pristine = ReadFile(dir + "/CHECKPOINT");
+  ASSERT_FALSE(pristine.empty());
+  for (size_t off = 0; off < pristine.size(); ++off) {
+    std::string bytes = pristine;
+    bytes[off] = static_cast<char>(bytes[off] ^ 0xFF);
+    WriteFile(dir + "/CHECKPOINT", bytes);
+    auto reopened = JournaledDatabase::Open(dir);
+    ASSERT_TRUE(reopened.ok())
+        << "flip at offset " << off << ": " << reopened.status();
+    EXPECT_FALSE(reopened->degraded()) << "offset " << off;
+    EXPECT_EQ(DumpDatabase(reopened->db()), acked) << "offset " << off;
+    EXPECT_EQ(reopened->status().recovered_fallback_depth, 1u)
+        << "offset " << off;
+    EXPECT_EQ(reopened->status().recovered_checkpoint_seq, 0u)
+        << "offset " << off;
+    EXPECT_FALSE(reopened->status().warnings.empty()) << "offset " << off;
+  }
+  WriteFile(dir + "/CHECKPOINT", pristine);
+  auto clean = JournaledDatabase::Open(dir);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->status().recovered_fallback_depth, 0u);
+}
+
+TEST(HostileCheckpointTest, TruncationSweepFallsBackByteIdentical) {
+  std::string dir = MakeTempDir();
+  std::string acked;
+  {
+    StorageOptions opts;
+    opts.checkpoint_interval = 0;
+    opts.rotated_journals_keep = 2;
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    acked = DumpDatabase(store->db());
+  }
+  const std::string pristine = ReadFile(dir + "/CHECKPOINT");
+  ASSERT_FALSE(pristine.empty());
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    WriteFile(dir + "/CHECKPOINT", pristine.substr(0, len));
+    auto reopened = JournaledDatabase::Open(dir);
+    ASSERT_TRUE(reopened.ok())
+        << "truncated to " << len << ": " << reopened.status();
+    EXPECT_FALSE(reopened->degraded()) << "len " << len;
+    EXPECT_EQ(DumpDatabase(reopened->db()), acked) << "len " << len;
+    EXPECT_EQ(reopened->status().recovered_fallback_depth, 1u)
+        << "len " << len;
+    EXPECT_FALSE(reopened->status().warnings.empty()) << "len " << len;
+  }
+  WriteFile(dir + "/CHECKPOINT", pristine);
+}
+
+// A corrupt segment in the MIDDLE of the rotated-journal chain, with
+// the newer checkpoint generations also gone: the ladder falls back to
+// a generation whose chain breaks mid-replay. The store must open
+// DEGRADED read-only on a prefix rung (never a hybrid, never a fork),
+// and fsck --repair must rebuild a store that reopens clean.
+TEST(HostileCheckpointTest, MiddleRotatedJournalCorruptionSweep) {
+  namespace fs = std::filesystem;
+  std::string dir = MakeTempDir();
+  std::vector<std::string> ladder;
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  opts.rotated_journals_keep = 3;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ladder.push_back(DumpDatabase(store->db()));
+    const char* mods[] = {kTupleModule, kInventModule, kInventModule2};
+    for (const char* m : mods) {
+      ASSERT_TRUE(store->ApplySource(m, ApplicationMode::kRIDV).ok());
+      ladder.push_back(DumpDatabase(store->db()));
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
+    ASSERT_TRUE(store
+                    ->ApplySource(R"(rules knows(a: "tail", b: "bob").)",
+                                  ApplicationMode::kRIDV)
+                    .ok());
+    ladder.push_back(DumpDatabase(store->db()));
+  }
+  // Layout now: HEAD seq 3, generations {0,1,2}, rotated {1,2,3}, one
+  // live-journal record (seq 4).
+  auto corrupt_middle = [](const std::string& path) {
+    std::string bytes = ReadFile(path);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+    WriteFile(path, bytes);
+  };
+  const std::string segment = ReadFile(dir + "/journal.2.old");
+  ASSERT_FALSE(segment.empty());
+
+  std::string work = MakeTempDir();
+  for (size_t off = 0; off < segment.size(); ++off) {
+    std::error_code ec;
+    fs::remove_all(work, ec);
+    fs::copy(dir, work, fs::copy_options::recursive, ec);
+    ASSERT_FALSE(ec) << ec.message();
+    // Kill HEAD and the newest retained generation so recovery must
+    // traverse the corrupted middle segment.
+    corrupt_middle(work + "/CHECKPOINT");
+    corrupt_middle(work + "/CHECKPOINT.2.old");
+    std::string bytes = segment;
+    bytes[off] = static_cast<char>(bytes[off] ^ 0xFF);
+    WriteFile(work + "/journal.2.old", bytes);
+
+    auto broken = JournaledDatabase::Open(work, opts);
+    ASSERT_TRUE(broken.ok())
+        << "offset " << off << ": " << broken.status();
+    EXPECT_TRUE(broken->degraded())
+        << "offset " << off
+        << ": a broken replay chain must degrade, not fork history";
+    std::string got = DumpDatabase(broken->db());
+    bool on_ladder = false;
+    for (const std::string& rung : ladder) on_ladder |= (got == rung);
+    EXPECT_TRUE(on_ladder) << "offset " << off << ": recovered a hybrid";
+
+    auto detected = FsckStore(work);
+    ASSERT_TRUE(detected.ok()) << detected.status();
+    EXPECT_GT(detected->errors, 0u) << "offset " << off;
+
+    FsckOptions repair;
+    repair.repair = true;
+    auto repaired = FsckStore(work, repair);
+    ASSERT_TRUE(repaired.ok())
+        << "offset " << off << ": " << repaired.status();
+    EXPECT_EQ(repaired->errors, 0u) << "offset " << off;
+
+    auto healed = JournaledDatabase::Open(work, opts);
+    ASSERT_TRUE(healed.ok())
+        << "offset " << off << ": " << healed.status();
+    EXPECT_FALSE(healed->degraded()) << "offset " << off;
+    got = DumpDatabase(healed->db());
+    on_ladder = false;
+    for (const std::string& rung : ladder) on_ladder |= (got == rung);
+    EXPECT_TRUE(on_ladder) << "offset " << off << ": repair made a hybrid";
+    EXPECT_TRUE(
+        healed->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok())
+        << "offset " << off;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Online scrub.
+
+TEST(ScrubTest, CleanThenCorruptGeneration) {
+  std::string dir = MakeTempDir();
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  opts.rotated_journals_keep = 2;
+  auto store = JournaledDatabase::Create(dir, kSchema, opts);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+
+  ScrubReport clean = store->Scrub();
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(clean.errors, 0u);
+  EXPECT_FALSE(clean.files.empty());
+  StorageStatus st = store->status();
+  EXPECT_TRUE(st.scrubbed);
+  EXPECT_TRUE(st.last_scrub_ok);
+  EXPECT_FALSE(st.last_scrub_summary.empty());
+  EXPECT_FALSE(st.last_scrub_time.empty());
+
+  // A generation rots on disk behind the store's back: the next scrub
+  // must find it, flip last_scrub_ok, and warn — while the store itself
+  // keeps accepting writes (scrub is strictly read-only).
+  std::string gen = dir + "/CHECKPOINT.0.old";
+  std::string bytes = ReadFile(gen);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  WriteFile(gen, bytes);
+
+  ScrubReport bad = store->Scrub();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_GT(bad.errors, 0u);
+  st = store->status();
+  EXPECT_TRUE(st.scrubbed);
+  EXPECT_FALSE(st.last_scrub_ok);
+  EXPECT_FALSE(st.warnings.empty());
+  EXPECT_TRUE(
+      store->ApplySource(kInventModule2, ApplicationMode::kRIDV).ok());
+}
+
+// ---------------------------------------------------------------------------
+// fsck as a library (the CLI battery lives in logres_fsck --selftest).
+
+TEST(FsckTest, CleanStoreReportsArtifactsAndNoErrors) {
+  std::string dir = MakeTempDir();
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  opts.rotated_journals_keep = 2;
+  auto store = JournaledDatabase::Create(dir, kSchema, opts);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+
+  auto report = FsckStore(dir);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_TRUE(report->recoverable);
+  bool saw_checkpoint = false, saw_generation = false, saw_journal = false;
+  for (const StoreFileCheck& f : report->files) {
+    saw_checkpoint |= f.kind == "checkpoint";
+    saw_generation |= f.kind == "checkpoint-generation";
+    saw_journal |= f.kind == "journal";
+  }
+  EXPECT_TRUE(saw_checkpoint);
+  EXPECT_TRUE(saw_generation);
+  EXPECT_TRUE(saw_journal);
+  EXPECT_NE(report->ToText().find("fsck summary"), std::string::npos);
+}
+
+TEST(FsckTest, MissingHeadRecoversFromGeneration) {
+  std::string dir = MakeTempDir();
+  std::string acked;
+  StorageOptions opts;
+  opts.checkpoint_interval = 0;
+  opts.rotated_journals_keep = 2;
+  {
+    auto store = JournaledDatabase::Create(dir, kSchema, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(
+        store->ApplySource(kTupleModule, ApplicationMode::kRIDV).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(
+        store->ApplySource(kInventModule, ApplicationMode::kRIDV).ok());
+    acked = DumpDatabase(store->db());
+  }
+  ASSERT_TRUE(std::filesystem::remove(dir + "/CHECKPOINT"));
+
+  auto report = FsckStore(dir);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->recoverable);
+
+  auto reopened = JournaledDatabase::Open(dir, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_FALSE(reopened->degraded());
+  EXPECT_EQ(DumpDatabase(reopened->db()), acked);
+  EXPECT_GE(reopened->status().recovered_fallback_depth, 1u);
 }
 
 }  // namespace

@@ -18,8 +18,13 @@
 //                          current state and switch to it
 //   checkpoint             (journaled) write a checkpoint, rotate the journal
 //   journal status         (journaled) seqs, journal size, recovery info,
-//                          and health (DEGRADED after a persistent I/O
-//                          fault: reads keep working, writes are refused)
+//                          checkpoint generations (with CRC verdicts and
+//                          chain coverage), last scrub, and health
+//                          (DEGRADED after a persistent I/O fault: reads
+//                          keep working, writes are refused)
+//   scrub                  (journaled) online integrity check: re-reads
+//                          and re-verifies every checkpoint generation
+//                          and journal segment without mutating anything
 //   reopen                 (journaled) recovery-and-resume after DEGRADED:
 //                          re-runs recovery from disk and resumes if no
 //                          acknowledged commit is missing
@@ -182,6 +187,15 @@ class Shell {
             path.c_str(), Db().edb().TotalFacts(),
             static_cast<unsigned long long>(status.last_seq),
             static_cast<unsigned long long>(status.replayed_at_open));
+        if (status.recovered_fallback_depth > 0) {
+          std::printf(
+              "recovered from checkpoint generation seq %llu (fallback "
+              "depth %llu)\n",
+              static_cast<unsigned long long>(
+                  status.recovered_checkpoint_seq),
+              static_cast<unsigned long long>(
+                  status.recovered_fallback_depth));
+        }
         for (const std::string& warning : status.warnings) {
           std::printf("warning: %s\n", warning.c_str());
         }
@@ -286,8 +300,56 @@ class Shell {
       if (s.degraded) {
         std::printf("cause         %s\n", s.degraded_reason.c_str());
       }
+      if (s.recovered_fallback_depth > 0) {
+        std::printf("recovered     from generation seq %llu (fallback "
+                    "depth %llu)\n",
+                    static_cast<unsigned long long>(
+                        s.recovered_checkpoint_seq),
+                    static_cast<unsigned long long>(
+                        s.recovered_fallback_depth));
+      }
+      std::printf("scrub         %s\n",
+                  s.scrubbed
+                      ? StrCat(s.last_scrub_ok ? "ok" : "ERRORS", " at ",
+                               s.last_scrub_time, " (",
+                               s.last_scrub_summary, ")")
+                            .c_str()
+                      : "never run (use `scrub`)");
+      for (const CheckpointGenerationInfo& gen : jdb_->Generations()) {
+        std::printf(
+            "generation    seq %llu %s v%d %s %s (%llu byte(s))\n",
+            static_cast<unsigned long long>(gen.seq),
+            gen.head ? "HEAD" : ".old", gen.version,
+            gen.verified ? "crc-ok" : (gen.usable ? "unverified" : "CORRUPT"),
+            gen.chain_covered ? "chain-covered" : "chain-incomplete",
+            static_cast<unsigned long long>(gen.bytes));
+        if (!gen.detail.empty()) {
+          std::printf("              %s\n", gen.detail.c_str());
+        }
+      }
       for (const std::string& warning : s.warnings) {
         std::printf("warning: %s\n", warning.c_str());
+      }
+      return true;
+    }
+    if (command == "scrub") {
+      if (!jdb_.has_value()) {
+        std::printf("no journaled store open — use `open -j <dir>` or "
+                    "`save -j <dir>`\n");
+        return true;
+      }
+      ScrubReport report = jdb_->Scrub();
+      for (const StoreFileCheck& file : report.files) {
+        std::printf("scrub  %-24s %-20s %s%s%s\n", file.name.c_str(),
+                    file.kind.c_str(), file.verdict.c_str(),
+                    file.detail.empty() ? "" : " — ",
+                    file.detail.c_str());
+      }
+      std::printf("scrub %s: %s\n", report.ok() ? "ok" : "FOUND ERRORS",
+                  report.summary.c_str());
+      if (!report.ok()) {
+        std::printf("run `logres_fsck %s` for repair options\n",
+                    jdb_->dir().c_str());
       }
       return true;
     }
@@ -307,6 +369,14 @@ class Shell {
                   jdb_->dir().c_str(),
                   static_cast<unsigned long long>(status.last_seq),
                   status.degraded ? "still DEGRADED" : "healthy");
+      if (status.recovered_fallback_depth > 0) {
+        std::printf(
+            "recovered from checkpoint generation seq %llu (fallback "
+            "depth %llu)\n",
+            static_cast<unsigned long long>(status.recovered_checkpoint_seq),
+            static_cast<unsigned long long>(
+                status.recovered_fallback_depth));
+      }
       return true;
     }
     if (command == "apply") {

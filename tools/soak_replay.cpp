@@ -7,7 +7,7 @@
 // kUnavailable, Reopen resumes once the fault clears) holds exactly
 // when a fault schedule demands it.
 //
-// Three iteration shapes, chosen per-iteration from the seed:
+// Four iteration shapes, chosen per-iteration from the seed:
 //
 //   randomized  open + apply under a FaultyIo randomized schedule
 //               (errno injections, EINTR storms, short transfers, fsync
@@ -27,10 +27,19 @@
 //               asserts the child died at the site and the recovered
 //               store equals exactly the pre- or post-application dump,
 //               per-site (the fsync window legally allows either).
+//   ckptcorrupt the live CHECKPOINT is corrupted on disk (a byte flip
+//               or a truncation at a seeded offset). logres_fsck must
+//               detect it as an error-level finding (100% detection),
+//               Open must escalate to an older checkpoint generation
+//               and chain-replay onto the exact acknowledged state,
+//               and --repair must leave a store that fscks clean and
+//               reopens onto the acked state.
 //
 // Every iteration ends with a clean (PosixIo) reopen that must succeed,
 // come up healthy, land on an acknowledged state, and accept a new
-// commit. Failing iterations preserve the store directory under
+// commit — followed by an fsck invariant: the surviving store must
+// check out clean (error-level findings are tolerated only if --repair
+// clears them). Failing iterations preserve the store directory under
 // --artifacts and print a repro command line; determinism is seed-only
 // (iteration i uses seed --seed + i), so a logged seed reproduces the
 // exact fault schedule.
@@ -49,6 +58,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <random>
 #include <set>
@@ -57,6 +67,7 @@
 
 #include "core/database.h"
 #include "core/dump.h"
+#include "storage/fsck.h"
 #include "storage/journaled_database.h"
 #include "util/failpoint.h"
 #include "util/io.h"
@@ -312,10 +323,11 @@ std::optional<std::string> RunRandomized(const Ctx& ctx,
     }
     std::string baseline = StripGen(DumpDatabase(store->db()));
     if (!legal.count(baseline)) {
-      // Corrupt-on-read can hand Open a silently corrupted checkpoint
-      // payload (the checkpoint carries no per-record CRC; the journal
-      // does). Nothing downstream is assertable — but the bytes on
-      // disk were only read, so a clean reopen must still succeed.
+      // v2 checkpoints carry a whole-file CRC, so a corrupt read now
+      // surfaces as generation fallback or a refused open rather than
+      // a silently corrupted payload — this branch is a safety net for
+      // anything that still slips through. The bytes on disk were only
+      // read, so a clean reopen must still succeed.
       return CleanVerify(work, legal, 0);
     }
     Track track;
@@ -491,6 +503,130 @@ std::optional<std::string> RunCrash(const Ctx& ctx, const fs::path& work,
   return std::nullopt;
 }
 
+// Iteration shape 4: corrupt the live CHECKPOINT on disk, then demand
+// the whole escalation ladder — fsck detection, generation fallback
+// with chained replay onto the acked state, repair back to clean.
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::optional<std::string> RunCkptCorrupt(const Ctx& ctx,
+                                          const fs::path& work,
+                                          std::mt19937_64& rng,
+                                          uint64_t iter) {
+  fs::path head = work / "CHECKPOINT";
+  std::string bytes = ReadFileBytes(head.string());
+  if (bytes.empty()) {
+    return std::string("CHECKPOINT missing from the record copy");
+  }
+  if (rng() % 2 == 0) {
+    size_t off = rng() % bytes.size();
+    bytes[off] = static_cast<char>(bytes[off] ^ 0xFF);
+  } else {
+    bytes.resize(rng() % bytes.size());
+  }
+  WriteFileBytes(head.string(), bytes);
+
+  // Detection: every injected corruption must surface as an
+  // error-level finding, and an older generation must keep the store
+  // recoverable.
+  auto detected = FsckStore(work.string());
+  if (!detected.ok()) {
+    return "fsck of the corrupted store failed: " +
+           detected.status().ToString();
+  }
+  if (detected->errors == 0) {
+    return std::string("fsck missed an injected checkpoint corruption");
+  }
+  if (!detected->recoverable) {
+    return "fsck found no usable generation under a corrupt HEAD:\n" +
+           detected->ToText();
+  }
+
+  // Recovery: Open must fall back and land exactly on the last
+  // acknowledged record-phase state, then accept a new commit.
+  std::string acked;
+  {
+    StorageOptions opts;
+    opts.checkpoint_interval = 0;
+    auto store = JournaledDatabase::Open(work.string(), opts);
+    if (!store.ok()) {
+      return "open under a corrupt CHECKPOINT failed: " +
+             store.status().ToString();
+    }
+    if (store->degraded()) {
+      return "open under a corrupt CHECKPOINT came up degraded: " +
+             store->degraded_reason().ToString();
+    }
+    if (store->status().recovered_fallback_depth == 0) {
+      return std::string(
+          "open under a corrupt CHECKPOINT did not report a fallback");
+    }
+    if (StripGen(DumpDatabase(store->db())) != ctx.ladder.back()) {
+      return std::string(
+          "fallback recovery missed the last acknowledged state");
+    }
+    auto r = store->ApplySource(InsertModule(400000 + iter, 400001 + iter),
+                                ApplicationMode::kRIDV);
+    if (!r.ok()) {
+      return "fallback-recovered store refused a new commit: " +
+             r.status().ToString();
+    }
+    acked = StripGen(DumpDatabase(store->db()));
+  }
+
+  // Repair: quarantine + reseal must leave a store that fscks clean.
+  FsckOptions repair_opts;
+  repair_opts.repair = true;
+  auto repaired = FsckStore(work.string(), repair_opts);
+  if (!repaired.ok()) {
+    return "fsck --repair failed: " + repaired.status().ToString();
+  }
+  if (repaired->errors > 0) {
+    return "fsck --repair left error-level findings:\n" + repaired->ToText();
+  }
+  if (repaired->repairs.empty()) {
+    return std::string("fsck --repair took no action on a corrupt store");
+  }
+  return CleanVerify(work, {acked}, iter);
+}
+
+// Post-iteration invariant: whatever the scenario did, the surviving
+// store must check out under fsck. Error-level findings are tolerated
+// only if --repair clears them (a clean reopen already truncated torn
+// tails and removed tmp debris, so a healthy iteration fscks clean).
+std::optional<std::string> FsckVerify(const fs::path& work) {
+  auto report = FsckStore(work.string());
+  if (!report.ok()) {
+    return "post-iteration fsck failed: " + report.status().ToString();
+  }
+  if (!report->recoverable) {
+    return "post-iteration fsck found the store unrecoverable:\n" +
+           report->ToText();
+  }
+  if (report->errors == 0) return std::nullopt;
+  FsckOptions repair_opts;
+  repair_opts.repair = true;
+  auto repaired = FsckStore(work.string(), repair_opts);
+  if (!repaired.ok()) {
+    return "post-iteration fsck --repair failed: " +
+           repaired.status().ToString();
+  }
+  if (repaired->errors > 0) {
+    return "post-iteration fsck --repair could not clean the store:\n" +
+           repaired->ToText();
+  }
+  return std::nullopt;
+}
+
 // ---------------------------------------------------------------------
 
 void Preserve(const Ctx& ctx, const fs::path& work, uint64_t iter) {
@@ -526,13 +662,13 @@ int Run(const Args& args) {
               " iterations=%" PRIu64 " (ladder of %zu recorded states)\n",
               args.seed, record_seed, args.iterations, ctx.ladder.size());
 
-  const char* names[] = {"randomized", "scripted", "crash"};
+  const char* names[] = {"randomized", "scripted", "crash", "ckptcorrupt"};
   uint64_t failures = 0;
   for (uint64_t i = 0; i < args.iterations; ++i) {
     uint64_t seed_i = args.seed + i;
     std::mt19937_64 rng(seed_i * 0x9E3779B97F4A7C15ULL +
                         0xD1B54A32D192ED03ULL);
-    int scenario = static_cast<int>(rng() % 3);
+    int scenario = static_cast<int>(rng() % 4);
     fs::path work = ctx.root / ("iter" + std::to_string(i));
     std::error_code ec;
     fs::copy(ctx.record_dir, work, fs::copy_options::recursive, ec);
@@ -545,8 +681,10 @@ int Run(const Args& args) {
     switch (scenario) {
       case 0: err = RunRandomized(ctx, work, rng); break;
       case 1: err = RunScripted(ctx, work, rng); break;
-      default: err = RunCrash(ctx, work, rng, i); break;
+      case 2: err = RunCrash(ctx, work, rng, i); break;
+      default: err = RunCkptCorrupt(ctx, work, rng, i); break;
     }
+    if (!err) err = FsckVerify(work);
     if (err) {
       ++failures;
       std::fprintf(stderr,
