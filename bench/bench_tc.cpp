@@ -23,17 +23,20 @@ namespace {
 using bench::ChainEdges;
 using bench::EdgeDatabase;
 using bench::RandomEdges;
+using bench::ScaleFreeEdges;
 
 void RunLogres(benchmark::State& state, bool semi_naive,
                std::vector<std::pair<int64_t, int64_t>> edges,
                size_t threads = 1, bool snapshot_steps = false,
-               EvalMode mode = EvalMode::kStratified) {
+               EvalMode mode = EvalMode::kStratified,
+               bool intern_values = true) {
   Database db = EdgeDatabase(edges);
   EvalOptions options;
   options.semi_naive = semi_naive;
   options.num_threads = threads;
   options.use_snapshot_steps = snapshot_steps;
   options.mode = mode;
+  options.intern_values = intern_values;
   size_t result_size = 0;
   for (auto _ : state) {
     Database fresh = EdgeDatabase(edges);
@@ -104,10 +107,11 @@ BENCHMARK(BM_LogresChainStepPathNoninf)
 // reference path's per-step cost is the E ⊕ Δ rebuild plus the
 // whole-instance comparison — both O(n) — while the undo path rolls back
 // and re-derives only the ~33 net facts: O(|Δ|) per step regardless of n.
-void BM_LogresReachStepPathNoninf(benchmark::State& state) {
-  const int64_t n = state.range(0);
+void RunReachNoninf(benchmark::State& state, int64_t n,
+                    bool snapshot_steps, bool intern_values) {
   EvalOptions options;
-  options.use_snapshot_steps = state.range(1) != 0;
+  options.use_snapshot_steps = snapshot_steps;
+  options.intern_values = intern_values;
   options.mode = EvalMode::kNonInflationary;
   size_t result_size = 0;
   for (auto _ : state) {
@@ -131,13 +135,59 @@ void BM_LogresReachStepPathNoninf(benchmark::State& state) {
   }
   state.counters["tc_tuples"] = static_cast<double>(result_size);
 }
+
+void BM_LogresReachStepPathNoninf(benchmark::State& state) {
+  RunReachNoninf(state, state.range(0), state.range(1) != 0, true);
+}
 BENCHMARK(BM_LogresReachStepPathNoninf)
     ->Args({1024, 0})->Args({1024, 1})
     ->Args({4096, 0})->Args({4096, 1});
 
+// Interner ablation on the bounded-reach loop (args {n, intern}), on the
+// default undo-log step path: every step rolls back and re-derives the
+// same ~33 REACH facts, so with interning on each re-derivation is a
+// table hit resolving to the canonical node instead of a fresh
+// allocation, and every membership re-check is a pointer compare.
+void BM_LogresReachInternedNoninf(benchmark::State& state) {
+  RunReachNoninf(state, state.range(0), false, state.range(1) != 0);
+}
+BENCHMARK(BM_LogresReachInternedNoninf)
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({4096, 0})->Args({4096, 1});
+
+// Value-interner ablation, mirroring the *StepPath series: hash-consing
+// off (arg 0, the historical fresh-allocation path behind
+// EvalOptions::intern_values) vs on (arg 1, the default). Dumps are
+// byte-identical either way (tests/random_program_test.cc proves it);
+// what moves is the cost of materializing and re-comparing duplicate
+// derivations.
+void BM_LogresChainInterned(benchmark::State& state) {
+  RunLogres(state, true, ChainEdges(state.range(0)), 1, false,
+            EvalMode::kStratified, state.range(1) != 0);
+}
+BENCHMARK(BM_LogresChainInterned)
+    ->Args({256, 0})->Args({256, 1})
+    ->Args({1024, 0})->Args({1024, 1});
+
+// Scale-free closure: preferential-attachment hubs mean the same tc pair
+// is derived along many distinct paths, so the run is dominated by
+// duplicate detection — the dedup-heavy regime the interner targets.
+void BM_LogresScaleFreeSemiNaive(benchmark::State& state) {
+  RunLogres(state, true, ScaleFreeEdges(state.range(0)));
+}
+BENCHMARK(BM_LogresScaleFreeSemiNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LogresScaleFreeInterned(benchmark::State& state) {
+  RunLogres(state, true, ScaleFreeEdges(state.range(0)), 1, false,
+            EvalMode::kStratified, state.range(1) != 0);
+}
+BENCHMARK(BM_LogresScaleFreeInterned)
+    ->Args({128, 0})->Args({128, 1})
+    ->Args({256, 0})->Args({256, 1});
+
 void RunAlgres(benchmark::State& state, AlgresStrategy strategy,
                std::vector<std::pair<int64_t, int64_t>> edges,
-               size_t threads = 1) {
+               size_t threads = 1, bool intern_values = true) {
   Database db = EdgeDatabase(edges);
   auto unit = Parse(bench::kTcRules);
   auto program = Typecheck(db.schema(), {}, unit->rules);
@@ -148,7 +198,8 @@ void RunAlgres(benchmark::State& state, AlgresStrategy strategy,
   }
   size_t result_size = 0;
   for (auto _ : state) {
-    auto out = backend->Run(db.edb(), strategy, Budget{}, threads);
+    auto out = backend->Run(db.edb(), strategy, Budget{}, threads,
+                            intern_values);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     result_size = out->TuplesOf("TC").size();
   }
@@ -171,6 +222,15 @@ void BM_AlgresChainThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_AlgresChainThreads)
     ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+
+// Same interner ablation for the compiled backend (args {n, intern}).
+void BM_AlgresScaleFreeInterned(benchmark::State& state) {
+  RunAlgres(state, AlgresStrategy::kSemiNaive,
+            ScaleFreeEdges(state.range(0)), 1, state.range(1) != 0);
+}
+BENCHMARK(BM_AlgresScaleFreeInterned)
+    ->Args({256, 0})->Args({256, 1})
+    ->Args({512, 0})->Args({512, 1});
 
 void RunDatalog(benchmark::State& state, datalog::EvalStrategy strategy,
                 std::vector<std::pair<int64_t, int64_t>> edges,

@@ -9,6 +9,7 @@
 #ifndef LOGRES_BENCH_BENCH_UTIL_H_
 #define LOGRES_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -38,6 +39,40 @@ inline std::vector<std::pair<int64_t, int64_t>> RandomEdges(
   auto m = static_cast<int64_t>(factor * static_cast<double>(n));
   for (int64_t i = 0; i < m; ++i) {
     edges.emplace_back(node(rng), node(rng));
+  }
+  return edges;
+}
+
+/// \brief A scale-free graph grown by preferential attachment
+/// (Barabási–Albert): after an (m+1)-clique seed, each new node i attaches
+/// to m existing nodes picked with probability proportional to their
+/// degree, implemented with the classic repeated-endpoint list (every node
+/// appears in `endpoints` once per incident edge, so a uniform draw from
+/// the list is a degree-weighted draw). Edges always point old -> new, so
+/// the graph is a DAG and its closure is finite. The hubs this growth
+/// produces mean transitive closure derives the same pair along many
+/// distinct paths — the duplicate-heavy regime the value interner targets.
+inline std::vector<std::pair<int64_t, int64_t>> ScaleFreeEdges(
+    int64_t n, int64_t m = 2, uint64_t seed = 0xC0FFEE) {
+  auto rng = Rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  std::vector<int64_t> endpoints;
+  const int64_t clique = std::min(m + 1, n);
+  for (int64_t i = 0; i < clique; ++i) {
+    for (int64_t j = 0; j < i; ++j) {
+      edges.emplace_back(j, i);
+      endpoints.push_back(j);
+      endpoints.push_back(i);
+    }
+  }
+  for (int64_t i = clique; i < n; ++i) {
+    for (int64_t k = 0; k < m; ++k) {
+      std::uniform_int_distribution<size_t> pick(0, endpoints.size() - 1);
+      const int64_t target = endpoints[pick(rng)];
+      edges.emplace_back(target, i);
+      endpoints.push_back(target);
+      endpoints.push_back(i);
+    }
   }
   return edges;
 }

@@ -66,22 +66,47 @@ def wall_ms(b):
 
 # bench_tc names: BM_<Engine><Workload><Strategy>/<n>
 tc_name = re.compile(
-    r"BM_(Logres|Algres|Datalog)(Chain|Random|Forest)(SemiNaive|Naive)/(\d+)")
+    r"BM_(Logres|Algres|Datalog)(Chain|Random|Forest|ScaleFree)"
+    r"(SemiNaive|Naive)/(\d+)")
 # Parallel sweep: BM_<Engine>ChainThreads/<n>/<threads> (always semi-naive).
 tc_threads = re.compile(
     r"BM_(Logres|Algres|Datalog)ChainThreads/(\d+)/(\d+)")
 # Step-application ablation: BM_Logres<Wl>StepPath[Noninf]/<n>/<snapshot>.
 tc_steppath = re.compile(
     r"BM_Logres(Chain|Reach)StepPath(Noninf)?/(\d+)/([01])")
+# Value-interner ablation: BM_<Engine><Wl>Interned[Noninf]/<n>/<intern>.
+tc_interned = re.compile(
+    r"BM_(Logres|Algres)(Chain|ScaleFree|Reach)Interned(Noninf)?"
+    r"/(\d+)/([01])")
+
+def workload_key(workload):
+    return "scale_free" if workload == "ScaleFree" else workload.lower()
+
 for b in json.load(open(tc_path))["benchmarks"]:
     m = tc_name.fullmatch(b["name"])
     if m:
         engine, workload, strategy, n = m.groups()
         records.append({
-            "workload": workload.lower(),
+            "workload": workload_key(workload),
             "n": int(n),
             "engine": engine.lower(),
             "strategy": "semi_naive" if strategy == "SemiNaive" else "naive",
+            "threads": 1,
+            "wall_ms": wall_ms(b),
+            "rows": int(b.get("tc_tuples", 0)),
+        })
+        continue
+    m = tc_interned.fullmatch(b["name"])
+    if m:
+        engine, workload, noninf, n, intern = m.groups()
+        strategy = "interned" if intern == "1" else "uninterned"
+        if noninf:
+            strategy += "_noninf"
+        records.append({
+            "workload": workload_key(workload),
+            "n": int(n),
+            "engine": engine.lower(),
+            "strategy": strategy,
             "threads": 1,
             "wall_ms": wall_ms(b),
             "rows": int(b.get("tc_tuples", 0)),

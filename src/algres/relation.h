@@ -8,7 +8,11 @@
 //
 // Storage is an insertion-stable row vector plus a hash bucket table over
 // the rows' memoized Value hashes: Insert/Contains are O(1) expected
-// instead of a deep tree comparison per level of a std::set. On-demand
+// instead of a deep tree comparison per level of a std::set. With the
+// value interner on (algres/interner.h, the default) the residual deep
+// compares on bucket collisions collapse too: cells are canonical nodes,
+// so Value::operator== inside FindRow and the join-key maps is a pointer
+// comparison. On-demand
 // secondary indexes over column subsets (IndexOn) give the algebra its
 // build/probe hash joins; every mutation invalidates them. Iteration
 // order is insertion order; canonical (sorted) order — the order dumps

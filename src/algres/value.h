@@ -12,6 +12,13 @@
 // defined over all values so that sets and relations can deduplicate
 // efficiently (set semantics is load-bearing in LOGRES: associations are
 // duplicate-free, classes are keyed by oid).
+//
+// When interning is enabled (the default — see algres/interner.h),
+// construction routes through a process-wide hash-consing table: leaf
+// strings are interned once, composite nodes are hash-consed bottom-up,
+// and structurally equal values share one canonical node, so equality
+// collapses to a pointer comparison (real-free values) and Compare()
+// short-circuits on shared subtrees.
 
 #ifndef LOGRES_ALGRES_VALUE_H_
 #define LOGRES_ALGRES_VALUE_H_
@@ -154,6 +161,11 @@ class Value {
   /// \brief Field lookup returning nullopt on absence (no error allocation).
   std::optional<Value> FindField(const std::string& label) const;
 
+  /// \brief Field lookup by reference: a pointer into this tuple's rep
+  /// (valid while any Value shares the rep), nullptr on absence or when
+  /// this is not a tuple. The copy-free probe path for hot index lookups.
+  const Value* FindFieldRef(const std::string& label) const;
+
   /// \brief Number of fields (tuple) or elements (collections).
   size_t size() const;
 
@@ -199,6 +211,12 @@ class Value {
   /// reps are structurally equal, but equal values need not share reps.
   bool SameRep(const Value& other) const { return rep_ == other.rep_; }
 
+  /// \brief True when this value holds a canonical node owned by the
+  /// ValueInterner. Canonical nodes are unique per bit-structurally-
+  /// distinct value: two live interned values are bit-structurally equal
+  /// iff they share the rep.
+  bool is_interned() const;
+
   /// \brief Approximate heap footprint in bytes: the rep, string payload,
   /// and children, recursively. Structurally shared subtrees are counted
   /// at every occurrence (an upper bound — the byte *budget* wants the
@@ -210,9 +228,10 @@ class Value {
   std::string ToString() const;
 
   friend bool operator==(const Value& a, const Value& b) {
+    // Canonical nodes fast-path: shared rep is equality; two *different*
+    // interned real-free reps are provably unequal (EqualSlow).
     if (a.rep_ == b.rep_) return true;
-    if (a.Hash() != b.Hash()) return false;
-    return a.Compare(b) == 0;
+    return a.EqualSlow(b);
   }
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
   friend bool operator<(const Value& a, const Value& b) {
@@ -233,7 +252,15 @@ class Value {
   struct Rep;
 
  private:
+  // File-local interner machinery in value.cc reads reps through this.
+  friend struct ValueInternAccess;
+
   explicit Value(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  // Distinct-rep equality: interned-pointer fast path, then hash, then
+  // Compare. Out of line because it reads Rep fields.
+  bool EqualSlow(const Value& other) const;
+
   std::shared_ptr<const Rep> rep_;
 };
 

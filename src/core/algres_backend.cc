@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "algres/interner.h"
 #include "core/builtin.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
@@ -633,7 +634,12 @@ Result<bool> AlgresBackend::RunStratum(
     }
     return rows;
   };
-  auto check_growth = [&db, &total_rows, governor]() -> Status {
+  // Byte budget: the larger of the database's logical footprint (shared
+  // subtrees counted per occurrence, the historical measure) and the
+  // interner residency this run added (see Evaluator::CheckByteBudget).
+  uint64_t intern_bytes_base = ValueInterner::stats().resident_bytes;
+  auto check_growth = [&db, &total_rows, governor,
+                       intern_bytes_base]() -> Status {
     LOGRES_RETURN_NOT_OK(governor->CheckFacts(total_rows()));
     if (governor->wants_bytes()) {
       size_t bytes = 0;
@@ -643,6 +649,11 @@ Result<bool> AlgresBackend::RunStratum(
           bytes += 32 + row.capacity() * sizeof(Value);
           for (const Value& v : row) bytes += v.ApproxBytes();
         }
+      }
+      uint64_t resident = ValueInterner::stats().resident_bytes;
+      if (resident > intern_bytes_base) {
+        bytes = std::max(bytes,
+                         static_cast<size_t>(resident - intern_bytes_base));
       }
       LOGRES_RETURN_NOT_OK(governor->CheckBytes(bytes));
     }
@@ -709,7 +720,11 @@ Result<bool> AlgresBackend::RunStratum(
 Result<RelationalDb> AlgresBackend::RunRelational(RelationalDb db,
                                                   AlgresStrategy strategy,
                                                   const Budget& budget,
-                                                  size_t num_threads) const {
+                                                  size_t num_threads,
+                                                  bool intern_values) const {
+  // Interning mode for the whole run, like Evaluator::Run (values built
+  // before entry — the EDB conversion — intern lazily as rows churn).
+  ScopedInternValues intern_scope(intern_values);
   // Make sure every predicate has a relation.
   for (const auto& [name, columns] : pred_columns_) {
     if (!db.count(name)) db.emplace(name, Relation(columns));
@@ -743,11 +758,16 @@ Result<RelationalDb> AlgresBackend::RunRelational(RelationalDb db,
 Result<Instance> AlgresBackend::Run(const Instance& edb,
                                     AlgresStrategy strategy,
                                     const Budget& budget,
-                                    size_t num_threads) const {
+                                    size_t num_threads,
+                                    bool intern_values) const {
+  // Scoped here as well so the instance<->relational conversions on both
+  // sides of the fixpoint build canonical (or plain) values too.
+  ScopedInternValues intern_scope(intern_values);
   LOGRES_ASSIGN_OR_RETURN(RelationalDb db,
                           InstanceToRelations(*schema_, edb));
   LOGRES_ASSIGN_OR_RETURN(db, RunRelational(std::move(db), strategy,
-                                            budget, num_threads));
+                                            budget, num_threads,
+                                            intern_values));
   return RelationsToInstance(*schema_, db);
 }
 

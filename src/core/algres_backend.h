@@ -72,18 +72,22 @@ class AlgresBackend {
   /// defaults (and its divergence/cancellation semantics) with the direct
   /// Evaluator's EvalOptions. \p num_threads partitions the compiled
   /// joins' probe phases (1 = serial, 0 = one per hardware thread); the
-  /// result is identical for every thread count.
+  /// result is identical for every thread count. \p intern_values scopes
+  /// the hash-consing interner over the run, mirroring
+  /// EvalOptions::intern_values (results identical either way).
   Result<Instance> Run(const Instance& edb,
                        AlgresStrategy strategy = AlgresStrategy::kSemiNaive,
                        const Budget& budget = {},
-                       size_t num_threads = 1) const;
+                       size_t num_threads = 1,
+                       bool intern_values = true) const;
 
   /// \brief Relational entry point (used by benchmarks to skip instance
   /// conversion).
   Result<RelationalDb> RunRelational(
       RelationalDb db,
       AlgresStrategy strategy = AlgresStrategy::kSemiNaive,
-      const Budget& budget = {}, size_t num_threads = 1) const;
+      const Budget& budget = {}, size_t num_threads = 1,
+      bool intern_values = true) const;
 
  private:
   struct CompiledLiteral {

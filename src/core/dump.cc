@@ -105,6 +105,13 @@ std::string ValueToSource(const Value& value) {
 namespace {
 
 // Recursive-descent value parser over the shared token stream.
+//
+// Construction goes through the ordinary Value factories, so loading a
+// dump (or replaying a journal through it) rebuilds the interned heap
+// deterministically when interning is on: every parsed value resolves to
+// its canonical node bottom-up, and the parse is insensitive to which
+// values already exist — dumps emitted afterwards are byte-identical
+// with interning on or off.
 class ValueParser {
  public:
   explicit ValueParser(std::vector<Token> tokens)

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 
+#include "algres/interner.h"
 #include "core/undo_log.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
@@ -377,8 +378,8 @@ class JoinContext {
 
   /// The value a bound term probes an index with: whole-object bindings
   /// reduce to their oid (delegated to the instance, which owns the
-  /// access paths).
-  static Value NormalizeForIndex(const Value& v) {
+  /// access paths). Copy-free: returns a reference into \p v.
+  static const Value& NormalizeForIndex(const Value& v) {
     return Instance::NormalizeForIndex(v);
   }
 
@@ -396,7 +397,7 @@ class JoinContext {
           rp.self_term->kind() == TermKind::kVariable) {
         auto it = b.find(rp.self_term->name());
         if (it != b.end()) {
-          Value probe = NormalizeForIndex(it->second);
+          const Value& probe = NormalizeForIndex(it->second);
           if (probe.kind() == ValueKind::kOid) {
             Oid oid = probe.oid_value();
             if (!source.OidsOf(rp.name).count(oid)) return Status::OK();
@@ -1695,9 +1696,7 @@ Result<bool> Evaluator::RunStratum(
                               &undo));
         if (!changed) return true;
         LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
-        if (governor->wants_bytes()) {
-          LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
-        }
+        LOGRES_RETURN_NOT_OK(CheckByteBudget(*instance, governor));
         delta = std::move(added);
         continue;
       }
@@ -1707,9 +1706,7 @@ Result<bool> Evaluator::RunStratum(
           ApplyDeltaUndo(schema_, instance, step_delta, &undo, &net));
       if (net.Empty()) return true;
       LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
-      if (governor->wants_bytes()) {
-        LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
-      }
+      LOGRES_RETURN_NOT_OK(CheckByteBudget(*instance, governor));
       delta = std::move(added);
       continue;
     }
@@ -1726,9 +1723,7 @@ Result<bool> Evaluator::RunStratum(
           ApplyDeltaInPlace(schema_, instance, step_delta, &changed));
       if (!changed) return true;
       LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
-      if (governor->wants_bytes()) {
-        LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
-      }
+      LOGRES_RETURN_NOT_OK(CheckByteBudget(*instance, governor));
       delta = std::move(added);
       continue;
     }
@@ -1738,9 +1733,7 @@ Result<bool> Evaluator::RunStratum(
     if (next == *instance) return true;
     *instance = std::move(next);
     LOGRES_RETURN_NOT_OK(governor->CheckFacts(instance->TotalFacts()));
-    if (governor->wants_bytes()) {
-      LOGRES_RETURN_NOT_OK(governor->CheckBytes(instance->ApproxBytes()));
-    }
+    LOGRES_RETURN_NOT_OK(CheckByteBudget(*instance, governor));
     delta = std::move(added);
   }
 }
@@ -1749,6 +1742,13 @@ Result<Instance> Evaluator::Run(const Instance& edb,
                                 const EvalOptions& options) {
   stats_ = EvalStats{};
   invention_memo_.clear();
+  // Interning mode for the whole evaluation (see EvalOptions): every
+  // Value built from here on is canonical (on) or fresh (off). Baselines
+  // are captured so stats and the byte budget report this run's share of
+  // the process-wide interner.
+  ScopedInternValues intern_scope(options.intern_values);
+  intern_hits_base_ = ValueInterner::stats().hits;
+  intern_bytes_base_ = ValueInterner::stats().resident_bytes;
   Instance instance = edb;
   ResourceGovernor governor(options.budget);
   auto started = std::chrono::steady_clock::now();
@@ -1803,9 +1803,7 @@ Result<Instance> Evaluator::Run(const Instance& edb,
         if (net == prev) break;
         prev = std::move(net);
         LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
-        if (governor.wants_bytes()) {
-          LOGRES_RETURN_NOT_OK(governor.CheckBytes(instance.ApproxBytes()));
-        }
+        LOGRES_RETURN_NOT_OK(CheckByteBudget(instance, &governor));
       }
     } else {
       // Reference path: rebuild from a copy of E each step and compare
@@ -1826,9 +1824,7 @@ Result<Instance> Evaluator::Run(const Instance& edb,
         if (next == instance) break;
         instance = std::move(next);
         LOGRES_RETURN_NOT_OK(governor.CheckFacts(instance.TotalFacts()));
-        if (governor.wants_bytes()) {
-          LOGRES_RETURN_NOT_OK(governor.CheckBytes(instance.ApproxBytes()));
-        }
+        LOGRES_RETURN_NOT_OK(CheckByteBudget(instance, &governor));
       }
     }
   } else if (options.mode == EvalMode::kStratified &&
@@ -1885,10 +1881,33 @@ Result<Instance> Evaluator::Run(const Instance& edb,
   stats_.steps = governor.steps_used() + substratum_steps;
   stats_.facts = instance.TotalFacts();
   if (governor.wants_bytes()) stats_.bytes = instance.ApproxBytes();
+  if (options.intern_values) {
+    ValueInternerStats is = ValueInterner::stats();
+    stats_.interner_nodes = is.live_nodes;
+    stats_.interner_hits = is.hits - intern_hits_base_;
+    stats_.interner_bytes = is.resident_bytes;
+  }
   stats_.elapsed_micros = std::chrono::duration_cast<std::chrono::microseconds>(
                               std::chrono::steady_clock::now() - started)
                               .count();
   return instance;
+}
+
+Status Evaluator::CheckByteBudget(const Instance& instance,
+                                  ResourceGovernor* governor) const {
+  if (!governor->wants_bytes()) return Status::OK();
+  // The budget bounds the larger of the instance's logical footprint
+  // (ApproxBytes counts shared subtrees at every occurrence — the
+  // historical measure, kept so byte-budget behavior matches the
+  // non-interned path) and the memory this evaluation actually grew the
+  // interner by (deduplicated canonical nodes resident beyond the
+  // Run-entry baseline).
+  size_t bytes = instance.ApproxBytes();
+  uint64_t resident = ValueInterner::stats().resident_bytes;
+  if (resident > intern_bytes_base_) {
+    bytes = std::max(bytes, static_cast<size_t>(resident - intern_bytes_base_));
+  }
+  return governor->CheckBytes(bytes);
 }
 
 Status Evaluator::CheckDenials(const Instance& instance) const {

@@ -94,6 +94,13 @@ struct EvalOptions {
   /// are byte-identical either way (the differential suites prove it);
   /// the copy path costs O(|instance|) per step.
   bool use_snapshot_steps = false;
+  /// Route Value construction through the hash-consing interner
+  /// (algres/interner.h) for the duration of the evaluation: one
+  /// canonical node per structurally-distinct real-free value, equality
+  /// by pointer compare. Results are byte-identical either way (the
+  /// differential suites prove it); off is the plain-allocation
+  /// reference path, like use_snapshot_steps.
+  bool intern_values = true;
   /// Worker threads for the per-step valuation (1 = today's serial path,
   /// 0 = one per hardware thread). The per-step work is partitioned by
   /// rule — and, under semi-naive evaluation, by contiguous shards of the
@@ -123,6 +130,13 @@ struct EvalStats {
   /// Threads the evaluation ran with (EvalOptions::num_threads resolved;
   /// 1 = serial).
   size_t threads = 1;
+  /// Interner observability (EvalOptions::intern_values; all 0 when
+  /// interning was off): canonical nodes alive at the end of the run,
+  /// constructions that found an existing node during the run, and bytes
+  /// resident in live canonical nodes at the end of the run.
+  size_t interner_nodes = 0;
+  size_t interner_hits = 0;
+  size_t interner_bytes = 0;
   /// Time spent enumerating/firing each rule, in microseconds, indexed by
   /// the rule's position in the analyzed program. Under parallel
   /// evaluation this sums the per-worker time of the rule's tasks, so it
@@ -162,9 +176,18 @@ class Evaluator {
   // Invented-oid memo: (rule index, serialized body valuation) -> oid.
   std::map<std::pair<size_t, std::string>, Oid> invention_memo_;
 
+  // Interner baselines captured at Run entry, so stats and the byte
+  // budget report this evaluation's share of the process-wide interner.
+  uint64_t intern_hits_base_ = 0;
+  uint64_t intern_bytes_base_ = 0;
+
   Result<bool> RunStratum(const std::vector<const CheckedRule*>& rules,
                           Instance* instance, const EvalOptions& options,
                           ResourceGovernor* governor, ThreadPool* pool);
+  /// Enforces Budget::max_bytes against the larger of the instance's
+  /// logical footprint and the interner residency this evaluation added.
+  Status CheckByteBudget(const Instance& instance,
+                         ResourceGovernor* governor) const;
   Status CheckDenials(const Instance& instance) const;
 };
 

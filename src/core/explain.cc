@@ -125,12 +125,21 @@ InstanceDiff DiffInstances(const Instance& before, const Instance& after) {
 }
 
 std::string ExplainStats(const EvalStats& stats) {
+  // Interner fields print only when interning was on (they are all 0
+  // otherwise), like the optional bytes field.
+  std::string interner;
+  if (stats.interner_nodes != 0 || stats.interner_hits != 0 ||
+      stats.interner_bytes != 0) {
+    interner = StrCat(" interned_nodes=", stats.interner_nodes,
+                      " interned_hits=", stats.interner_hits,
+                      " interned_bytes=", stats.interner_bytes);
+  }
   return StrCat("steps=", stats.steps, " firings=", stats.rule_firings,
                 " invented_oids=", stats.invented_oids,
                 " deletions=", stats.deletions, " facts=", stats.facts,
                 stats.bytes != 0 ? StrCat(" bytes=", stats.bytes) : "",
                 " elapsed_us=", stats.elapsed_micros,
-                " threads=", stats.threads);
+                " threads=", stats.threads, interner);
 }
 
 }  // namespace logres

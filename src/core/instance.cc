@@ -210,10 +210,10 @@ void Instance::InvalidateAssocIndexes(const std::string& assoc) {
   }
 }
 
-Value Instance::NormalizeForIndex(const Value& v) {
+const Value& Instance::NormalizeForIndex(const Value& v) {
   if (v.kind() == ValueKind::kTuple) {
-    std::optional<Value> self = v.FindField(kSelfLabel);
-    if (self.has_value() && self->kind() == ValueKind::kOid) {
+    const Value* self = v.FindFieldRef(kSelfLabel);
+    if (self != nullptr && self->kind() == ValueKind::kOid) {
       return *self;
     }
   }
@@ -232,10 +232,10 @@ const Instance::ValueIndex& Instance::AssocIndex(
   auto it = assoc_index_cache_.find(key);  // raced build by another worker
   if (it != assoc_index_cache_.end()) return it->second;
   ValueIndex index;
+  const Value nil = Value::Nil();
   for (const Value& tuple : TuplesOf(assoc)) {
-    std::optional<Value> fv = tuple.FindField(label);
-    index.emplace(NormalizeForIndex(fv.has_value() ? *fv : Value::Nil()),
-                  tuple);
+    const Value* fv = tuple.FindFieldRef(label);
+    index.emplace(NormalizeForIndex(fv != nullptr ? *fv : nil), tuple);
   }
   return assoc_index_cache_.emplace(std::move(key), std::move(index))
       .first->second;
@@ -253,12 +253,12 @@ const Instance::OidIndex& Instance::ClassIndex(
   auto it = class_index_cache_.find(key);  // raced build by another worker
   if (it != class_index_cache_.end()) return it->second;
   OidIndex index;
+  const Value nil = Value::Nil();
   for (Oid oid : OidsOf(cls)) {
     auto ov = OValue(oid);
     if (!ov.ok()) continue;
-    std::optional<Value> fv = ov.value().FindField(label);
-    index.emplace(NormalizeForIndex(fv.has_value() ? *fv : Value::Nil()),
-                  oid);
+    const Value* fv = ov.value().FindFieldRef(label);
+    index.emplace(NormalizeForIndex(fv != nullptr ? *fv : nil), oid);
   }
   return class_index_cache_.emplace(std::move(key), std::move(index))
       .first->second;

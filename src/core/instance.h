@@ -165,8 +165,9 @@ class Instance {
 
   /// \brief The value a bound term probes an index with: whole-object
   /// bindings (tuples carrying the reserved self field) reduce to their
-  /// oid.
-  static Value NormalizeForIndex(const Value& v);
+  /// oid. Returns a reference — either \p v itself or the self field
+  /// inside its rep — so hot probe paths never copy; valid while \p v is.
+  static const Value& NormalizeForIndex(const Value& v);
 
   // ---- Whole-instance operations ------------------------------------------
 

@@ -43,6 +43,13 @@ namespace logres {
 class Instance;
 
 /// \brief One elementary state change, with enough context to invert it.
+///
+/// Pre-images are held as Value handles — refcounted pointers to the very
+/// nodes the instance held, canonical ones when the interner is on. A
+/// rollback therefore re-inserts the same physical nodes it removed (no
+/// reconstruction), so it can never resurrect a non-canonical duplicate
+/// of a value the interner owns; it also keeps released-then-restored
+/// nodes alive across the window by holding their refcount.
 struct UndoRecord {
   enum class Kind {
     kClassKeyCreated,   // pi gained an (empty) entry for class `name`

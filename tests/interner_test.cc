@@ -1,0 +1,234 @@
+// Unit tests for the hash-consed value interner (algres/interner.h):
+// canonicalization, the pinned small-int cache, the plain-allocation off
+// mode and mixed-mode comparisons, real exclusion, refcounted release
+// returning memory, shard determinism under concurrent construction, and
+// the canonical invariant across undo-log rollback. The byte-identical
+// dump battery lives in random_program_test / parallel_test.
+
+#include "algres/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algres/value.h"
+#include "core/database.h"
+#include "core/instance.h"
+#include "core/undo_log.h"
+#include "util/string_util.h"
+
+namespace logres {
+namespace {
+
+TEST(Interner, CanonicalizationSharesOneNodePerValue) {
+  ScopedInternValues on(true);
+  Value s1 = Value::String("interner-canon");
+  Value s2 = Value::String("interner-canon");
+  EXPECT_TRUE(s1.SameRep(s2));
+  EXPECT_TRUE(s1.is_interned());
+
+  // Composites hash-cons bottom-up: equal trees are one node at every
+  // level.
+  auto make = [] {
+    return Value::MakeTuple(
+        {{"k", Value::String("interner-canon")},
+         {"v", Value::MakeSet({Value::Int(1000001), Value::Int(1000002)})}});
+  };
+  Value t1 = make();
+  Value t2 = make();
+  EXPECT_TRUE(t1.SameRep(t2));
+  EXPECT_TRUE(t1.is_interned());
+  EXPECT_TRUE(t1.tuple_fields()[1].second.SameRep(
+      t2.tuple_fields()[1].second));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.Compare(t2), 0);
+
+  // Distinct values stay distinct.
+  EXPECT_FALSE(s1.SameRep(Value::String("interner-other")));
+  EXPECT_NE(s1, Value::String("interner-other"));
+}
+
+TEST(Interner, SmallIntCacheIsPinned) {
+  ScopedInternValues on(true);
+  EXPECT_TRUE(Value::Int(0).SameRep(Value::Int(0)));
+  EXPECT_TRUE(Value::Int(-128).SameRep(Value::Int(-128)));
+  EXPECT_TRUE(Value::Int(2047).SameRep(Value::Int(2047)));
+  EXPECT_TRUE(Value::Int(0).is_interned());
+  // Outside the cache the table still canonicalizes.
+  EXPECT_TRUE(Value::Int(1 << 20).SameRep(Value::Int(1 << 20)));
+}
+
+TEST(Interner, OffModeAllocatesFreshRepsAndMixesCorrectly) {
+  ScopedInternValues on(true);
+  Value canonical = Value::String("interner-mixed");
+  ASSERT_TRUE(canonical.is_interned());
+  {
+    ScopedInternValues off(false);
+    EXPECT_FALSE(ValueInterner::enabled());
+    Value plain = Value::String("interner-mixed");
+    Value plain2 = Value::String("interner-mixed");
+    EXPECT_FALSE(plain.is_interned());
+    EXPECT_FALSE(plain.SameRep(plain2));
+    // Equality and ordering are representation-blind: interned and plain
+    // nodes compare by structure.
+    EXPECT_EQ(plain, plain2);
+    EXPECT_EQ(plain, canonical);
+    EXPECT_EQ(canonical.Compare(plain), 0);
+    EXPECT_EQ(plain.Hash(), canonical.Hash());
+  }
+  EXPECT_TRUE(ValueInterner::enabled());  // RAII restored
+}
+
+TEST(Interner, RealContainingValuesAreNeverInterned) {
+  ScopedInternValues on(true);
+  Value r1 = Value::Real(1.5);
+  Value r2 = Value::Real(1.5);
+  EXPECT_FALSE(r1.is_interned());
+  EXPECT_FALSE(r1.SameRep(r2));
+  EXPECT_EQ(r1, r2);
+  // ...nor is any composite containing a real anywhere.
+  Value t = Value::MakeTuple({{"x", Value::Real(2.5)}});
+  EXPECT_FALSE(t.is_interned());
+  Value nested = Value::MakeSet({Value::Int(1), t});
+  EXPECT_FALSE(nested.is_interned());
+  // The 0.0 / -0.0 printing distinction survives (they compare equal, so
+  // sharing a node would corrupt one of the two renderings).
+  EXPECT_EQ(Value::Real(0.0).ToString(), "0");
+  EXPECT_EQ(Value::Real(-0.0).ToString(), "-0");
+  EXPECT_EQ(Value::Real(0.0).Compare(Value::Real(-0.0)), 0);
+}
+
+TEST(Interner, ReleaseReturnsMemory) {
+  ScopedInternValues on(true);
+  ValueInternerStats before = ValueInterner::stats();
+  constexpr int kValues = 100;
+  {
+    std::vector<Value> held;
+    for (int i = 0; i < kValues; ++i) {
+      held.push_back(Value::String(StrCat("interner-release-", i)));
+    }
+    ValueInternerStats during = ValueInterner::stats();
+    EXPECT_EQ(during.live_nodes, before.live_nodes + kValues);
+    EXPECT_GT(during.resident_bytes, before.resident_bytes);
+    // A re-construction while held is a hit, not a new node.
+    Value again = Value::String("interner-release-0");
+    EXPECT_TRUE(again.SameRep(held[0]));
+    EXPECT_EQ(ValueInterner::stats().live_nodes,
+              before.live_nodes + kValues);
+  }
+  // Last references died: the deleter unlinked the nodes and returned
+  // the memory.
+  ValueInternerStats after = ValueInterner::stats();
+  EXPECT_EQ(after.live_nodes, before.live_nodes);
+  EXPECT_EQ(after.resident_bytes, before.resident_bytes);
+  EXPECT_EQ(after.released, before.released + kValues);
+}
+
+TEST(Interner, ShardDeterminismUnderConcurrentConstruction) {
+  ScopedInternValues on(true);
+  constexpr int kThreads = 4;
+  constexpr int kValues = 500;
+  // Each worker builds the same value set concurrently; whoever loses the
+  // insert race must adopt the winner's canonical node.
+  std::vector<std::vector<Value>> built(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&built, w] {
+      built[w].reserve(kValues);
+      for (int i = 0; i < kValues; ++i) {
+        built[w].push_back(Value::MakeTuple(
+            {{"a", Value::String(StrCat("interner-shard-", i))},
+             {"b", Value::Int(1'000'000 + i)}}));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int w = 1; w < kThreads; ++w) {
+    for (int i = 0; i < kValues; ++i) {
+      ASSERT_TRUE(built[0][i].SameRep(built[w][i]))
+          << "worker " << w << " value " << i;
+      ASSERT_TRUE(built[w][i].is_interned());
+    }
+  }
+}
+
+TEST(Interner, RollbackOverUndoLogKeepsCanonicalInvariant) {
+  ScopedInternValues on(true);
+  Instance inst;
+  Value t = Value::MakeTuple({{"a", Value::String("interner-undo")},
+                              {"b", Value::Int(1 << 21)}});
+  ASSERT_TRUE(inst.InsertTuple("A", t));
+
+  // Erase under an undo log, then roll back: the pre-image record holds
+  // the canonical handle, so the restored tuple is the *same node*, not
+  // a resurrected duplicate.
+  UndoLog log;
+  ASSERT_TRUE(inst.EraseTuple("A", t, &log));
+  EXPECT_TRUE(inst.TuplesOf("A").empty());
+  inst.RollbackTo(&log, 0);
+  ASSERT_EQ(inst.TuplesOf("A").size(), 1u);
+  EXPECT_TRUE(inst.TuplesOf("A").begin()->SameRep(t));
+  EXPECT_TRUE(inst.TuplesOf("A").begin()->is_interned());
+
+  // Same invariant for o-value overwrite pre-images.
+  auto sdb = Database::Create("classes C = (n: string);");
+  ASSERT_TRUE(sdb.ok()) << sdb.status();
+  OidGenerator gen;
+  Value ov1 = Value::MakeTuple({{"n", Value::String("interner-ov-1")}});
+  Value ov2 = Value::MakeTuple({{"n", Value::String("interner-ov-2")}});
+  auto oid = inst.CreateObject(sdb->schema(), "C", ov1, &gen);
+  ASSERT_TRUE(oid.ok()) << oid.status();
+  UndoLog ovlog;
+  ASSERT_TRUE(inst.SetOValue(*oid, ov2, &ovlog).ok());
+  inst.RollbackTo(&ovlog, 0);
+  auto restored = inst.OValue(*oid);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->SameRep(ov1));
+  EXPECT_TRUE(restored->is_interned());
+}
+
+TEST(Interner, EvalStatsSurfaceInternerCounters) {
+  auto db_result = Database::Create(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);");
+  ASSERT_TRUE(db_result.ok()) << db_result.status();
+  Database db = std::move(db_result).value();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(db.InsertTuple("E", Value::MakeTuple(
+        {{"a", Value::Int(i)}, {"b", Value::Int(i + 1)}})).ok());
+  }
+  const std::string module =
+      "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).";
+
+  EvalOptions on;
+  on.intern_values = true;
+  auto applied = db.ApplySource(module, ApplicationMode::kRIDV, on);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_GT(applied->stats.interner_nodes, 0u);
+  EXPECT_GT(applied->stats.interner_hits, 0u);
+  EXPECT_GT(applied->stats.interner_bytes, 0u);
+
+  // Off: the counters stay zero (the plain path never touches the table).
+  auto db2_result = Database::Create(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);");
+  ASSERT_TRUE(db2_result.ok());
+  Database db2 = std::move(db2_result).value();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(db2.InsertTuple("E", Value::MakeTuple(
+        {{"a", Value::Int(i)}, {"b", Value::Int(i + 1)}})).ok());
+  }
+  EvalOptions off;
+  off.intern_values = false;
+  auto applied_off = db2.ApplySource(module, ApplicationMode::kRIDV, off);
+  ASSERT_TRUE(applied_off.ok()) << applied_off.status();
+  EXPECT_EQ(applied_off->stats.interner_nodes, 0u);
+  EXPECT_EQ(applied_off->stats.interner_hits, 0u);
+  EXPECT_EQ(applied_off->stats.interner_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace logres

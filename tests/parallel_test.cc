@@ -37,7 +37,8 @@ std::string RunAndDump(const std::string& schema,
                        const std::function<void(Database*)>& populate,
                        const std::string& module, size_t threads,
                        EvalMode mode = EvalMode::kStratified,
-                       bool snapshot_steps = false) {
+                       bool snapshot_steps = false,
+                       bool intern_values = true) {
   auto db_result = Database::Create(schema);
   EXPECT_TRUE(db_result.ok()) << db_result.status();
   if (!db_result.ok()) return {};
@@ -47,6 +48,7 @@ std::string RunAndDump(const std::string& schema,
   options.num_threads = threads;
   options.mode = mode;
   options.use_snapshot_steps = snapshot_steps;
+  options.intern_values = intern_values;
   auto apply = db.ApplySource(module, ApplicationMode::kRIDV, options);
   EXPECT_TRUE(apply.ok()) << apply.status() << " (threads=" << threads
                           << ")";
@@ -58,7 +60,11 @@ std::string RunAndDump(const std::string& schema,
 
 // Asserts the dump is byte-identical across the thread sweep — for both
 // step-application paths (the undo-log default and the copy-per-step
-// reference), which must also agree with each other.
+// reference) and for both value-representation paths (the hash-consing
+// interner and the plain-allocation reference), all of which must also
+// agree with each other. The interner dimension sweeps threads {1,4}
+// only: concurrent workers intern into the shared sharded table, and the
+// dump must not depend on which worker canonicalized a node first.
 void ExpectDeterministicSweep(const std::string& schema,
                               const std::function<void(Database*)>& populate,
                               const std::string& module,
@@ -71,6 +77,15 @@ void ExpectDeterministicSweep(const std::string& schema,
       EXPECT_EQ(serial, RunAndDump(schema, populate, module, threads, mode,
                                    snapshot_steps))
           << "threads=" << threads << " snapshot_steps=" << snapshot_steps;
+    }
+  }
+  for (bool intern : {true, false}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      if (intern && threads == 1) continue;  // the reference run above
+      EXPECT_EQ(serial,
+                RunAndDump(schema, populate, module, threads, mode,
+                           /*snapshot_steps=*/false, intern))
+          << "threads=" << threads << " intern=" << intern;
     }
   }
 }

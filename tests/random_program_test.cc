@@ -14,6 +14,7 @@
 #include <random>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "core/algres_backend.h"
@@ -181,28 +182,33 @@ TEST_P(DifferentialProperty, ThreeEnginesAgree) {
   ASSERT_TRUE(direct_parallel.ok()) << direct_parallel.status();
   EXPECT_EQ(parallel_eval.stats().threads, 4u);
 
-  // Engine 1c: the retained copy-per-step reference path
-  // (use_snapshot_steps) must produce a byte-identical instance to the
-  // default undo-log path, serial and at 4 threads.
-  std::map<std::pair<bool, size_t>, std::string> direct_dumps;
-  direct_dumps[{false, 4}] = direct_parallel->ToString();
-  for (bool snapshot_steps : {false, true}) {
-    for (size_t threads : {size_t{1}, size_t{4}}) {
-      if (!snapshot_steps && threads == 4) continue;  // ran above
-      OidGenerator g;
-      Evaluator e(db.schema(), *program, &g);
-      EvalOptions o;
-      o.use_snapshot_steps = snapshot_steps;
-      o.num_threads = threads;
-      auto run = e.Run(edb, o);
-      ASSERT_TRUE(run.ok()) << run.status() << "\n" << gen.logres_rules;
-      direct_dumps[{snapshot_steps, threads}] = run->ToString();
+  // Engine 1c: the retained reference paths — copy-per-step
+  // (use_snapshot_steps) and plain allocation (intern_values off) — must
+  // produce byte-identical instances to the default undo-log + interned
+  // path, serial and at 4 threads.
+  std::map<std::tuple<bool, bool, size_t>, std::string> direct_dumps;
+  direct_dumps[{true, false, 4}] = direct_parallel->ToString();
+  for (bool intern : {true, false}) {
+    for (bool snapshot_steps : {false, true}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        if (intern && !snapshot_steps && threads == 4) continue;  // above
+        OidGenerator g;
+        Evaluator e(db.schema(), *program, &g);
+        EvalOptions o;
+        o.intern_values = intern;
+        o.use_snapshot_steps = snapshot_steps;
+        o.num_threads = threads;
+        auto run = e.Run(edb, o);
+        ASSERT_TRUE(run.ok()) << run.status() << "\n" << gen.logres_rules;
+        direct_dumps[{intern, snapshot_steps, threads}] = run->ToString();
+      }
     }
   }
   for (const auto& [key, dump] : direct_dumps) {
     EXPECT_EQ(dump, direct_dumps.begin()->second)
-        << "snapshot_steps=" << key.first << " threads=" << key.second
-        << "\n" << gen.logres_rules;
+        << "intern=" << std::get<0>(key)
+        << " snapshot_steps=" << std::get<1>(key)
+        << " threads=" << std::get<2>(key) << "\n" << gen.logres_rules;
   }
 
   auto backend = AlgresBackend::Compile(db.schema(), *program);
@@ -212,6 +218,12 @@ TEST_P(DifferentialProperty, ThreeEnginesAgree) {
   auto compiled_parallel =
       backend->Run(edb, AlgresStrategy::kSemiNaive, Budget{}, 4);
   ASSERT_TRUE(compiled_parallel.ok()) << compiled_parallel.status();
+  // Compiled backend with interning off is byte-identical too.
+  auto compiled_plain = backend->Run(edb, AlgresStrategy::kSemiNaive,
+                                     Budget{}, 1, /*intern_values=*/false);
+  ASSERT_TRUE(compiled_plain.ok()) << compiled_plain.status();
+  EXPECT_EQ(compiled->ToString(), compiled_plain->ToString())
+      << gen.logres_rules;
 
   // Engine 1: direct evaluator (serial) through the full Apply pipeline.
   auto apply = db.ApplySource(gen.logres_rules, ApplicationMode::kRIDV);
@@ -294,21 +306,27 @@ Result<ChainEngines> MakeChainEngines(int n) {
 void ExpectClassification(const ChainEngines& engines, const Budget& budget,
                           StatusCode expected) {
   for (size_t threads : {size_t{1}, size_t{4}}) {
-    // Both step-application paths classify identically: the undo-log
-    // default and the copy-per-step reference.
+    // All step-application paths classify identically: the undo-log
+    // default and the copy-per-step reference, with and without the
+    // value interner.
     for (bool snapshot_steps : {false, true}) {
-      OidGenerator gen;
-      Evaluator evaluator(engines.schema, engines.program, &gen);
-      EvalOptions options;
-      options.budget = budget;
-      options.num_threads = threads;
-      options.use_snapshot_steps = snapshot_steps;
-      auto direct = evaluator.Run(engines.db.edb(), options);
-      ASSERT_FALSE(direct.ok()) << "direct, threads=" << threads
-                                << ", snapshot=" << snapshot_steps;
-      EXPECT_EQ(direct.status().code(), expected)
-          << "direct, threads=" << threads
-          << ", snapshot=" << snapshot_steps << ": " << direct.status();
+      for (bool intern : {true, false}) {
+        OidGenerator gen;
+        Evaluator evaluator(engines.schema, engines.program, &gen);
+        EvalOptions options;
+        options.budget = budget;
+        options.num_threads = threads;
+        options.use_snapshot_steps = snapshot_steps;
+        options.intern_values = intern;
+        auto direct = evaluator.Run(engines.db.edb(), options);
+        ASSERT_FALSE(direct.ok()) << "direct, threads=" << threads
+                                  << ", snapshot=" << snapshot_steps
+                                  << ", intern=" << intern;
+        EXPECT_EQ(direct.status().code(), expected)
+            << "direct, threads=" << threads
+            << ", snapshot=" << snapshot_steps << ", intern=" << intern
+            << ": " << direct.status();
+      }
     }
 
     datalog::EvalOptions dl;

@@ -40,8 +40,10 @@
 //   set                    show the evaluation limits
 //   set <limit> <n>        set timeout_ms / max_steps / max_facts /
 //                          max_bytes / threads (0 = one per hardware
-//                          thread) (0 = unlimited) for later
+//                          thread) / intern_values (0 = plain-allocation
+//                          reference path) (0 = unlimited) for later
 //                          apply/run/? commands
+//   value stats            show the hash-consing interner's counters
 //   quit
 //
 // Ctrl-C during an evaluation cancels it cooperatively (the fixpoint
@@ -63,6 +65,7 @@
 #include <sstream>
 #include <string>
 
+#include "algres/interner.h"
 #include "core/database.h"
 #include "core/dump.h"
 #include "core/explain.h"
@@ -126,6 +129,7 @@ class Shell {
     options.budget = budget_;
     options.budget.cancel = InterruptSource().token();
     options.num_threads = threads_;
+    options.intern_values = intern_values_;
     return options;
   }
 
@@ -448,12 +452,12 @@ class Shell {
       if (key.empty()) {
         std::printf(
             "timeout_ms = %lld\nmax_steps = %zu\nmax_facts = %zu\n"
-            "max_bytes = %zu\nthreads = %zu\n",
+            "max_bytes = %zu\nthreads = %zu\nintern_values = %d\n",
             budget_.timeout.has_value()
                 ? static_cast<long long>(budget_.timeout->count())
                 : 0LL,
             budget_.max_steps, budget_.max_facts, budget_.max_bytes,
-            threads_);
+            threads_, intern_values_ ? 1 : 0);
         return true;
       }
       long long value = -1;
@@ -461,7 +465,7 @@ class Shell {
       if (value < 0) {
         std::printf(
             "usage: set [timeout_ms|max_steps|max_facts|max_bytes|"
-            "threads] <n>\n");
+            "threads|intern_values] <n>\n");
         return true;
       }
       if (key == "timeout_ms") {
@@ -479,14 +483,31 @@ class Shell {
       } else if (key == "threads") {
         // 0 = one per hardware thread; results are identical either way.
         threads_ = static_cast<size_t>(value);
+      } else if (key == "intern_values") {
+        // 0 = plain-allocation reference path; results are identical
+        // either way (EvalOptions::intern_values).
+        intern_values_ = value != 0;
       } else {
         std::printf(
             "unknown limit '%s' "
-            "(timeout_ms/max_steps/max_facts/max_bytes/threads)\n",
+            "(timeout_ms/max_steps/max_facts/max_bytes/threads/"
+            "intern_values)\n",
             key.c_str());
         return true;
       }
       std::printf("set %s = %lld\n", key.c_str(), value);
+      return true;
+    }
+    if (command == "value") {
+      // `value stats`: the hash-consing interner's counters, in the
+      // spirit of `journal status`.
+      std::string sub;
+      words >> sub;
+      if (sub != "stats") {
+        std::printf("usage: value stats\n");
+        return true;
+      }
+      std::printf("%s\n", ValueInterner::stats().ToString().c_str());
       return true;
     }
     if (command == "schema") {
@@ -547,6 +568,7 @@ class Shell {
   bool has_db_ = false;
   Budget budget_;  // adjusted with `set`; cancel token added per command
   size_t threads_ = 1;  // `set threads`; 0 = one per hardware thread
+  bool intern_values_ = true;  // `set intern_values`; off = reference path
 };
 
 }  // namespace
