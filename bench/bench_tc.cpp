@@ -13,8 +13,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+
 #include "bench_util.h"
 #include "core/algres_backend.h"
+#include "core/parser.h"
 #include "datalog/datalog.h"
 
 namespace logres {
@@ -281,6 +285,177 @@ void BM_DatalogChainThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_DatalogChainThreads)
     ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4});
+
+// ---------------------------------------------------------------------------
+// Goal-directed point queries (magic sets, core/magic.h). Args are
+// {n, sel, gd}: sel picks the bound source constant — 0 = the chain tail
+// (a ~1-node cone), 1 = ~1% of the chain demanded, 100 = source 0 (the
+// longest single-source cone, still O(n) of the O(n²) closure) — and gd
+// toggles EvalOptions::goal_directed. The whole-program baseline's cost
+// is independent of the goal constant (it materializes everything and
+// filters), so the gd=0 row is measured once per n, at sel=0.
+//
+// tc_tuples reports the answer rows; evaluated_facts the total facts the
+// run materialized (EDB + cone for gd=1, EDB + full closure for gd=0) —
+// the directly comparable work measure.
+
+int64_t GoalSource(int64_t n, int64_t sel) {
+  if (sel == 0) return n - 2;
+  if (sel == 1) return std::max<int64_t>(0, n - 2 - n / 100);
+  return 0;
+}
+
+Database EdgeRuleDatabase(
+    const std::vector<std::pair<int64_t, int64_t>>& edges) {
+  auto db = Database::Create(
+      "associations E = (a: integer, b: integer);"
+      "             TC = (a: integer, b: integer);"
+      "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+      "      tc(a: X, b: Z) <- tc(a: X, b: Y), e(a: Y, b: Z).");
+  for (const auto& [a, b] : edges) {
+    (void)db->InsertTuple("E", Value::MakeTuple(
+        {{"a", Value::Int(a)}, {"b", Value::Int(b)}}));
+  }
+  return std::move(db).value();
+}
+
+void RunLogresGoalDirected(benchmark::State& state,
+                           std::vector<std::pair<int64_t, int64_t>> edges,
+                           int64_t source, bool goal_directed) {
+  Database db = EdgeRuleDatabase(edges);
+  EvalOptions options;
+  options.goal_directed = goal_directed;
+  const std::string goal =
+      "? tc(a: " + std::to_string(source) + ", b: X).";
+  size_t answers = 0;
+  EvalStats stats;
+  for (auto _ : state) {
+    auto out = db.Query(goal, options, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    answers = out->size();
+  }
+  state.counters["tc_tuples"] = static_cast<double>(answers);
+  state.counters["evaluated_facts"] = static_cast<double>(stats.facts);
+}
+
+void RunAlgresGoalDirected(benchmark::State& state,
+                           std::vector<std::pair<int64_t, int64_t>> edges,
+                           int64_t source, bool goal_directed) {
+  Database db = EdgeRuleDatabase(edges);
+  auto goal = ParseGoal("? tc(a: " + std::to_string(source) + ", b: X).");
+  if (!goal.ok()) {
+    state.SkipWithError(goal.status().ToString().c_str());
+    return;
+  }
+  EvalOptions options;
+  options.goal_directed = goal_directed;
+  size_t answers = 0;
+  EvalStats stats;
+  for (auto _ : state) {
+    auto out = AlgresBackend::QueryGoal(db.schema(), db.functions(),
+                                        db.rules(), db.edb(), *goal,
+                                        options, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    answers = out->size();
+  }
+  state.counters["tc_tuples"] = static_cast<double>(answers);
+  state.counters["evaluated_facts"] = static_cast<double>(stats.facts);
+}
+
+void RunDatalogGoalDirected(benchmark::State& state,
+                            std::vector<std::pair<int64_t, int64_t>> edges,
+                            int64_t source, bool goal_directed) {
+  namespace dl = datalog;
+  dl::Program p;
+  for (const auto& [a, b] : edges) {
+    (void)p.AddFact("edge", {dl::Constant::Int(a), dl::Constant::Int(b)});
+  }
+  auto var = [](const char* name) { return dl::Term::Var(name); };
+  dl::Rule r1;
+  r1.head = dl::Literal{"tc", {var("X"), var("Y")}, false};
+  r1.body = {dl::Literal{"edge", {var("X"), var("Y")}, false}};
+  dl::Rule r2;
+  r2.head = dl::Literal{"tc", {var("X"), var("Z")}, false};
+  r2.body = {dl::Literal{"tc", {var("X"), var("Y")}, false},
+             dl::Literal{"edge", {var("Y"), var("Z")}, false}};
+  (void)p.AddRule(r1);
+  (void)p.AddRule(r2);
+  dl::Literal goal{"tc", {dl::Term::Int(source), var("X")}, false};
+  dl::EvalOptions options;
+  options.goal_directed = goal_directed;
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto out = dl::Query(p, goal, options);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    answers = out->size();
+  }
+  state.counters["tc_tuples"] = static_cast<double>(answers);
+}
+
+void BM_LogresChainGoalDirected(benchmark::State& state) {
+  RunLogresGoalDirected(state, ChainEdges(state.range(0)),
+                        GoalSource(state.range(0), state.range(1)),
+                        state.range(2) != 0);
+}
+void BM_AlgresChainGoalDirected(benchmark::State& state) {
+  RunAlgresGoalDirected(state, ChainEdges(state.range(0)),
+                        GoalSource(state.range(0), state.range(1)),
+                        state.range(2) != 0);
+}
+void BM_DatalogChainGoalDirected(benchmark::State& state) {
+  RunDatalogGoalDirected(state, ChainEdges(state.range(0)),
+                         GoalSource(state.range(0), state.range(1)),
+                         state.range(2) != 0);
+}
+#define LOGRES_GD_CHAIN_ARGS(n) \
+    ->Args({n, 0, 1})->Args({n, 0, 0})->Args({n, 1, 1})->Args({n, 100, 1})
+BENCHMARK(BM_LogresChainGoalDirected)
+    LOGRES_GD_CHAIN_ARGS(256)
+    LOGRES_GD_CHAIN_ARGS(1024)
+    LOGRES_GD_CHAIN_ARGS(4096);
+BENCHMARK(BM_AlgresChainGoalDirected)
+    LOGRES_GD_CHAIN_ARGS(256)
+    LOGRES_GD_CHAIN_ARGS(1024)
+    LOGRES_GD_CHAIN_ARGS(4096);
+BENCHMARK(BM_DatalogChainGoalDirected)
+    LOGRES_GD_CHAIN_ARGS(256)
+    LOGRES_GD_CHAIN_ARGS(1024)
+    LOGRES_GD_CHAIN_ARGS(4096);
+
+// Scale-free: sel maps to source n-1 (latest-attached node), n/2, and 0
+// (the oldest hub). Reachability through the hubs keeps even a selective
+// cone large, so the win is smaller than on chains — that is the point
+// of benching both. The whole-program 4096 points are omitted: the dense
+// closure there dwarfs the full-sweep time budget, and the gd=1 rows
+// still record the cone cost at that scale.
+int64_t ScaleFreeSource(int64_t n, int64_t sel) {
+  if (sel == 0) return n - 1;
+  if (sel == 1) return n / 2;
+  return 0;
+}
+
+void BM_LogresScaleFreeGoalDirected(benchmark::State& state) {
+  RunLogresGoalDirected(state, ScaleFreeEdges(state.range(0)),
+                        ScaleFreeSource(state.range(0), state.range(1)),
+                        state.range(2) != 0);
+}
+void BM_AlgresScaleFreeGoalDirected(benchmark::State& state) {
+  RunAlgresGoalDirected(state, ScaleFreeEdges(state.range(0)),
+                        ScaleFreeSource(state.range(0), state.range(1)),
+                        state.range(2) != 0);
+}
+void BM_DatalogScaleFreeGoalDirected(benchmark::State& state) {
+  RunDatalogGoalDirected(state, ScaleFreeEdges(state.range(0)),
+                         ScaleFreeSource(state.range(0), state.range(1)),
+                         state.range(2) != 0);
+}
+#define LOGRES_GD_SCALEFREE_ARGS \
+    LOGRES_GD_CHAIN_ARGS(256) \
+    LOGRES_GD_CHAIN_ARGS(1024) \
+    ->Args({4096, 0, 1})->Args({4096, 1, 1})->Args({4096, 100, 1})
+BENCHMARK(BM_LogresScaleFreeGoalDirected) LOGRES_GD_SCALEFREE_ARGS;
+BENCHMARK(BM_AlgresScaleFreeGoalDirected) LOGRES_GD_SCALEFREE_ARGS;
+BENCHMARK(BM_DatalogScaleFreeGoalDirected) LOGRES_GD_SCALEFREE_ARGS;
 
 }  // namespace
 }  // namespace logres

@@ -35,7 +35,9 @@ COMMON_ARGS=(--benchmark_format=json --benchmark_min_time=0.001)
 TC_FILTER=()
 ENGINES_FILTER=()
 if [ "$SMOKE" = 1 ]; then
-  TC_FILTER=(--benchmark_filter='/(16|32)$')
+  # The smoke subset also carries one selective-goal pair (goal-directed
+  # vs whole-program at the same point) so CI watches the magic-set path.
+  TC_FILTER=(--benchmark_filter='/(16|32)$|ChainGoalDirected/256/0/[01]$')
   ENGINES_FILTER=(--benchmark_filter='/(8|64)$')
 fi
 
@@ -78,6 +80,14 @@ tc_steppath = re.compile(
 tc_interned = re.compile(
     r"BM_(Logres|Algres)(Chain|ScaleFree|Reach)Interned(Noninf)?"
     r"/(\d+)/([01])")
+# Goal-directed point queries: BM_<Engine><Wl>GoalDirected/<n>/<sel>/<gd>.
+# sel encodes the bound source's selectivity (0 = ~1 node, 1 = ~1%,
+# 100 = the longest single-source cone); gd=0 is the whole-program
+# baseline. rows is the answer count; the cone-vs-closure work shows in
+# wall_ms.
+tc_goal = re.compile(
+    r"BM_(Logres|Algres|Datalog)(Chain|ScaleFree)GoalDirected"
+    r"/(\d+)/(\d+)/([01])")
 
 def workload_key(workload):
     return "scale_free" if workload == "ScaleFree" else workload.lower()
@@ -102,6 +112,21 @@ for b in json.load(open(tc_path))["benchmarks"]:
         strategy = "interned" if intern == "1" else "uninterned"
         if noninf:
             strategy += "_noninf"
+        records.append({
+            "workload": workload_key(workload),
+            "n": int(n),
+            "engine": engine.lower(),
+            "strategy": strategy,
+            "threads": 1,
+            "wall_ms": wall_ms(b),
+            "rows": int(b.get("tc_tuples", 0)),
+        })
+        continue
+    m = tc_goal.fullmatch(b["name"])
+    if m:
+        engine, workload, n, sel, gd = m.groups()
+        strategy = ("goal_directed_sel" if gd == "1" else
+                    "goal_whole_sel") + sel
         records.append({
             "workload": workload_key(workload),
             "n": int(n),

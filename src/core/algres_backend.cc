@@ -7,6 +7,7 @@
 
 #include "algres/interner.h"
 #include "core/builtin.h"
+#include "core/magic.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -769,6 +770,70 @@ Result<Instance> AlgresBackend::Run(const Instance& edb,
                                             budget, num_threads,
                                             intern_values));
   return RelationsToInstance(*schema_, db);
+}
+
+Result<std::vector<Bindings>> AlgresBackend::QueryGoal(
+    const Schema& effective_schema,
+    const std::vector<FunctionDecl>& functions,
+    const std::vector<Rule>& rules, const Instance& edb, const Goal& goal,
+    const EvalOptions& options, EvalStats* stats) {
+  AlgresStrategy strategy = options.semi_naive ? AlgresStrategy::kSemiNaive
+                                               : AlgresStrategy::kNaive;
+  std::string fallback_reason;
+  if (options.goal_directed) {
+    MagicRewrite mr = MagicRewriteForGoal(effective_schema, functions,
+                                          rules, goal, options);
+    if (mr.applied) {
+      Result<AlgresBackend> backend = Compile(mr.schema, mr.checked);
+      if (backend.ok()) {
+        Instance seeded = edb;
+        for (const auto& [assoc, tuple] : mr.seeds) {
+          seeded.InsertTuple(assoc, tuple);
+        }
+        LOGRES_ASSIGN_OR_RETURN(
+            Instance demanded,
+            backend->Run(seeded, strategy, options.budget,
+                         options.num_threads, options.intern_values));
+        if (stats != nullptr) {
+          stats->magic_rules = mr.magic_rule_count;
+          stats->demand_facts = CountMagicFacts(demanded);
+        }
+        StripMagicFacts(&demanded);
+        if (stats != nullptr) {
+          stats->facts = demanded.TotalFacts();
+          stats->cone_fraction =
+              edb.TotalFacts() == 0
+                  ? 0.0
+                  : static_cast<double>(demanded.TotalFacts()) /
+                        edb.TotalFacts();
+        }
+        OidGenerator gen;
+        Evaluator answerer(mr.schema, mr.checked, &gen);
+        return answerer.AnswerGoal(demanded, goal);
+      }
+      // The rewrite left this backend's compilable fragment — treat it
+      // like any other refusal and answer whole-program.
+      fallback_reason =
+          StrCat("rewrite not compilable: ", backend.status().message());
+    } else {
+      fallback_reason = std::move(mr.fallback_reason);
+    }
+  }
+  LOGRES_ASSIGN_OR_RETURN(CheckedProgram program,
+                          Typecheck(effective_schema, functions, rules));
+  LOGRES_ASSIGN_OR_RETURN(AlgresBackend backend,
+                          Compile(effective_schema, program));
+  LOGRES_ASSIGN_OR_RETURN(
+      Instance instance,
+      backend.Run(edb, strategy, options.budget, options.num_threads,
+                  options.intern_values));
+  if (stats != nullptr) {
+    stats->facts = instance.TotalFacts();
+    stats->goal_directed_fallback = std::move(fallback_reason);
+  }
+  OidGenerator gen;
+  Evaluator answerer(effective_schema, program, &gen);
+  return answerer.AnswerGoal(instance, goal);
 }
 
 }  // namespace logres

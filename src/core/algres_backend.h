@@ -36,6 +36,7 @@
 
 #include "algres/algebra.h"
 #include "algres/relation.h"
+#include "core/eval.h"
 #include "core/instance.h"
 #include "core/schema.h"
 #include "core/typecheck.h"
@@ -88,6 +89,20 @@ class AlgresBackend {
       AlgresStrategy strategy = AlgresStrategy::kSemiNaive,
       const Budget& budget = {}, size_t num_threads = 1,
       bool intern_values = true) const;
+
+  /// \brief Answers \p goal over (\p rules, \p edb) on this backend.
+  /// When options.goal_directed is on, the magic-set rewrite
+  /// (core/magic.h) is compiled instead of the whole program, so only
+  /// the goal's demanded cone is materialized; the whole program is
+  /// compiled when the rewrite refuses (reason recorded in
+  /// stats->goal_directed_fallback) or its output leaves the compilable
+  /// fragment. The strategy follows options.semi_naive; budget, threads
+  /// and interning map to Run's parameters.
+  static Result<std::vector<Bindings>> QueryGoal(
+      const Schema& effective_schema,
+      const std::vector<FunctionDecl>& functions,
+      const std::vector<Rule>& rules, const Instance& edb, const Goal& goal,
+      const EvalOptions& options, EvalStats* stats = nullptr);
 
  private:
   struct CompiledLiteral {

@@ -1,7 +1,9 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/magic.h"
 #include "core/typecheck.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
@@ -125,21 +127,87 @@ Result<Instance> Database::Materialize(const EvalOptions& options) const {
   return Evaluate(schema_, functions_, rules_, edb_, options, nullptr);
 }
 
+Result<std::optional<std::vector<Bindings>>> Database::QueryGoalDirected(
+    const Schema& schema, const std::vector<FunctionDecl>& functions,
+    const std::vector<Rule>& rules, const Instance& edb, const Goal& goal,
+    const EvalOptions& options, EvalStats* stats, Instance* cone) const {
+  LOGRES_ASSIGN_OR_RETURN(Schema effective,
+                          EffectiveSchema(schema, functions));
+  MagicRewrite mr =
+      MagicRewriteForGoal(effective, functions, rules, goal, options);
+  if (!mr.applied) {
+    if (stats != nullptr) stats->goal_directed_fallback = mr.fallback_reason;
+    return std::optional<std::vector<Bindings>>();
+  }
+  Instance seeded = edb;
+  for (const auto& [assoc, tuple] : mr.seeds) {
+    seeded.InsertTuple(assoc, tuple);
+  }
+  Evaluator evaluator(mr.schema, mr.checked, &gen_);
+  LOGRES_ASSIGN_OR_RETURN(Instance demanded, evaluator.Run(seeded, options));
+  EvalStats run_stats = evaluator.stats();
+  run_stats.magic_rules = mr.magic_rule_count;
+  run_stats.demand_facts = CountMagicFacts(demanded);
+  StripMagicFacts(&demanded);
+  run_stats.facts = demanded.TotalFacts();
+  run_stats.cone_fraction =
+      edb.TotalFacts() == 0
+          ? 0.0
+          : static_cast<double>(demanded.TotalFacts()) / edb.TotalFacts();
+  LOGRES_RETURN_NOT_OK(demanded.CheckConsistent(effective));
+  LOGRES_ASSIGN_OR_RETURN(auto answer, evaluator.AnswerGoal(demanded, goal));
+  if (stats != nullptr) *stats = std::move(run_stats);
+  if (cone != nullptr) *cone = std::move(demanded);
+  return std::optional(std::move(answer));
+}
+
 Result<std::vector<Bindings>> Database::Query(
     const Goal& goal, const EvalOptions& options) const {
-  LOGRES_ASSIGN_OR_RETURN(Instance instance, Materialize(options));
+  return Query(goal, options, nullptr);
+}
+
+Result<std::vector<Bindings>> Database::Query(const Goal& goal,
+                                              const EvalOptions& options,
+                                              EvalStats* stats) const {
+  std::string fallback_reason;
+  if (options.goal_directed) {
+    EvalStats gd_stats;
+    LOGRES_ASSIGN_OR_RETURN(
+        auto attempted,
+        QueryGoalDirected(schema_, functions_, rules_, edb_, goal, options,
+                          &gd_stats, nullptr));
+    if (attempted.has_value()) {
+      if (stats != nullptr) *stats = std::move(gd_stats);
+      return *std::move(attempted);
+    }
+    fallback_reason = std::move(gd_stats.goal_directed_fallback);
+  }
+  EvalStats whole_stats;
+  LOGRES_ASSIGN_OR_RETURN(
+      Instance instance,
+      Evaluate(schema_, functions_, rules_, edb_, options, &whole_stats));
   LOGRES_ASSIGN_OR_RETURN(Schema effective,
                           EffectiveSchema(schema_, functions_));
   LOGRES_ASSIGN_OR_RETURN(CheckedProgram program,
                           Typecheck(effective, functions_, rules_));
   Evaluator evaluator(effective, program, &gen_);
+  if (stats != nullptr) {
+    *stats = std::move(whole_stats);
+    stats->goal_directed_fallback = std::move(fallback_reason);
+  }
   return evaluator.AnswerGoal(instance, goal);
 }
 
 Result<std::vector<Bindings>> Database::Query(
     const std::string& goal_text, const EvalOptions& options) const {
+  return Query(goal_text, options, nullptr);
+}
+
+Result<std::vector<Bindings>> Database::Query(
+    const std::string& goal_text, const EvalOptions& options,
+    EvalStats* stats) const {
   LOGRES_ASSIGN_OR_RETURN(Goal goal, ParseGoal(goal_text));
-  return Query(goal, options);
+  return Query(goal, options, stats);
 }
 
 Result<ModuleResult> Database::Apply(const Module& module,
@@ -285,6 +353,7 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
   }
 
   ModuleResult result;
+  bool goal_answered = false;
 
   switch (mode) {
     case ApplicationMode::kRIDI:
@@ -296,9 +365,31 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
           MergeFunctions(functions_, module.functions);
       std::vector<Rule> rules = rules_;
       rules.insert(rules.end(), module.rules.begin(), module.rules.end());
-      LOGRES_ASSIGN_OR_RETURN(
-          result.instance,
-          Evaluate(merged, fns, rules, edb_, options, &result.stats));
+      if (module.goal.has_value() && options.goal_directed) {
+        // A selective goal evaluates only its demanded cone
+        // (core/magic.h); result.instance is then that cone — the part
+        // of the merged fixpoint the goal depends on — rather than the
+        // whole instance. Falls back to the whole fixpoint whenever the
+        // rewrite cannot prove equivalence.
+        Instance cone;
+        LOGRES_ASSIGN_OR_RETURN(
+            auto attempted,
+            QueryGoalDirected(merged, fns, rules, edb_, *module.goal,
+                              options, &result.stats, &cone));
+        if (attempted.has_value()) {
+          result.instance = std::move(cone);
+          result.goal_answer = *std::move(attempted);
+          goal_answered = true;
+        }
+      }
+      if (!goal_answered) {
+        std::string fallback_reason =
+            std::move(result.stats.goal_directed_fallback);
+        LOGRES_ASSIGN_OR_RETURN(
+            result.instance,
+            Evaluate(merged, fns, rules, edb_, options, &result.stats));
+        result.stats.goal_directed_fallback = std::move(fallback_reason);
+      }
       if (mode == ApplicationMode::kRADI) {
         schema_ = std::move(merged);
         rules_ = std::move(rules);
@@ -400,7 +491,7 @@ Result<ModuleResult> Database::ApplyInPlace(const Module& module,
   // Goal answering (modes *DI only; Evaluate already used the module's
   // rules for RIDI/RADI). Note: for the *DI modes the state members
   // still hold S0/R0 here, so the merge below reconstructs S0 ∪ SM.
-  if (module.goal.has_value()) {
+  if (module.goal.has_value() && !goal_answered) {
     Schema merged = schema_;
     LOGRES_RETURN_NOT_OK(merged.Merge(module.schema));
     std::vector<FunctionDecl> fns =

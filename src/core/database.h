@@ -131,13 +131,30 @@ class Database {
   /// \brief Materializes the instance I of the current state (E, R, S).
   Result<Instance> Materialize(const EvalOptions& options = {}) const;
 
-  /// \brief Materializes and answers \p goal.
+  /// \brief Answers \p goal. When EvalOptions::goal_directed is on and
+  /// the goal has bound arguments, the program is rewritten with magic
+  /// sets (core/magic.h) so only the goal's demanded cone is evaluated;
+  /// otherwise (or when the rewrite falls back — see
+  /// EvalStats::goal_directed_fallback) the whole instance is
+  /// materialized and filtered. Answers are identical either way.
   Result<std::vector<Bindings>> Query(const Goal& goal,
                                       const EvalOptions& options = {}) const;
+
+  /// \brief Query with evaluation observability: \p stats receives the
+  /// run's counters, including the goal-directed ones (magic_rules,
+  /// demand_facts, cone_fraction, goal_directed_fallback).
+  Result<std::vector<Bindings>> Query(const Goal& goal,
+                                      const EvalOptions& options,
+                                      EvalStats* stats) const;
 
   /// \brief Parses and answers a goal ("? person(name: X)").
   Result<std::vector<Bindings>> Query(const std::string& goal_text,
                                       const EvalOptions& options = {}) const;
+
+  /// \brief Parsing + stats overload of the above.
+  Result<std::vector<Bindings>> Query(const std::string& goal_text,
+                                      const EvalOptions& options,
+                                      EvalStats* stats) const;
 
   // ---- Module application ----------------------------------------------------
   /// \brief Applies \p module under \p mode. On success the state is
@@ -178,6 +195,19 @@ class Database {
                             const std::vector<Rule>& rules,
                             const Instance& edb, const EvalOptions& options,
                             EvalStats* stats) const;
+
+  // Attempts goal-directed (magic-set) evaluation of `goal` against
+  // (`schema`, `functions`, `rules`, `edb`). Returns nullopt when the
+  // rewrite refused (reason in stats->goal_directed_fallback) — the
+  // caller then takes the whole-program path. Once the rewrite applies,
+  // evaluation failures (budget exhaustion, cancellation, ...) propagate
+  // as errors exactly like the whole-program path's. On success `stats`
+  // holds the cone run's counters and `cone` (if non-null) the demanded
+  // cone with magic relations stripped.
+  Result<std::optional<std::vector<Bindings>>> QueryGoalDirected(
+      const Schema& schema, const std::vector<FunctionDecl>& functions,
+      const std::vector<Rule>& rules, const Instance& edb, const Goal& goal,
+      const EvalOptions& options, EvalStats* stats, Instance* cone) const;
 
   // The EDB undo log to record mutations into while at least one snapshot
   // window is open; nullptr (don't record) otherwise, so the log never

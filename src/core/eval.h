@@ -101,6 +101,15 @@ struct EvalOptions {
   /// differential suites prove it); off is the plain-allocation
   /// reference path, like use_snapshot_steps.
   bool intern_values = true;
+  /// Goal-directed evaluation: when answering a goal with at least one
+  /// bound (constant) argument, rewrite the program with magic sets
+  /// (core/magic.h) so only the demanded cone is computed, instead of
+  /// materializing the whole fixpoint and filtering. Answers are
+  /// identical — the rewrite falls back to whole-program evaluation
+  /// (recording EvalStats::goal_directed_fallback) whenever it cannot
+  /// prove that, e.g. when the rewrite would lose stratification. Off is
+  /// the whole-program reference path, like use_snapshot_steps.
+  bool goal_directed = true;
   /// Worker threads for the per-step valuation (1 = today's serial path,
   /// 0 = one per hardware thread). The per-step work is partitioned by
   /// rule — and, under semi-naive evaluation, by contiguous shards of the
@@ -137,6 +146,19 @@ struct EvalStats {
   size_t interner_nodes = 0;
   size_t interner_hits = 0;
   size_t interner_bytes = 0;
+  /// Goal-directed (magic-set) observability, filled by the query paths
+  /// when EvalOptions::goal_directed engaged the rewrite (all zero /
+  /// empty otherwise): demand rules the rewrite added, magic-predicate
+  /// tuples the evaluation derived (seeds included), and the size of the
+  /// demanded cone relative to the extensional database —
+  /// cone facts / edb facts, so values near (or above) 1 mean the goal
+  /// was not selective and values near 0 mean the rewrite skipped most
+  /// of the fixpoint. When the rewrite refused and evaluation fell back
+  /// to the whole program, goal_directed_fallback holds the reason.
+  size_t magic_rules = 0;
+  size_t demand_facts = 0;
+  double cone_fraction = 0;
+  std::string goal_directed_fallback;
   /// Time spent enumerating/firing each rule, in microseconds, indexed by
   /// the rule's position in the analyzed program. Under parallel
   /// evaluation this sums the per-worker time of the rule's tasks, so it

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/magic.h"
 #include "util/string_util.h"
 
 namespace logres {
@@ -107,6 +108,9 @@ InstanceDiff DiffInstances(const Instance& before, const Instance& after) {
       }
     }
     for (const auto& [assoc, tuples] : inst.associations()) {
+      // Magic (demand) relations are evaluation scaffolding, never part
+      // of the user-visible instance.
+      if (IsMagicName(assoc)) continue;
       for (const Value& t : tuples) {
         facts.insert(StrCat(assoc, " ", t.ToString()));
       }
@@ -134,12 +138,24 @@ std::string ExplainStats(const EvalStats& stats) {
                       " interned_hits=", stats.interner_hits,
                       " interned_bytes=", stats.interner_bytes);
   }
+  // Goal-directed fields print only when a query went through the
+  // magic-set path (applied or explicitly fallen back).
+  std::string goal_directed;
+  if (!stats.goal_directed_fallback.empty()) {
+    goal_directed =
+        StrCat(" goal_directed=fallback (", stats.goal_directed_fallback, ")");
+  } else if (stats.magic_rules != 0 || stats.demand_facts != 0 ||
+             stats.cone_fraction != 0) {
+    goal_directed = StrCat(" magic_rules=", stats.magic_rules,
+                           " demand_facts=", stats.demand_facts,
+                           " cone_fraction=", stats.cone_fraction);
+  }
   return StrCat("steps=", stats.steps, " firings=", stats.rule_firings,
                 " invented_oids=", stats.invented_oids,
                 " deletions=", stats.deletions, " facts=", stats.facts,
                 stats.bytes != 0 ? StrCat(" bytes=", stats.bytes) : "",
                 " elapsed_us=", stats.elapsed_micros,
-                " threads=", stats.threads, interner);
+                " threads=", stats.threads, interner, goal_directed);
 }
 
 }  // namespace logres

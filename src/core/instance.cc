@@ -149,6 +149,14 @@ bool Instance::EraseTuple(const std::string& assoc, const Value& tuple,
   return true;
 }
 
+bool Instance::DropAssociation(const std::string& assoc) {
+  auto it = associations_.find(assoc);
+  if (it == associations_.end()) return false;
+  InvalidateAssocIndexes(assoc);
+  associations_.erase(it);
+  return true;
+}
+
 void Instance::RollbackTo(UndoLog* log, size_t base) {
   for (size_t i = log->size(); i-- > base;) {
     UndoRecord& rec = (*log)[i];

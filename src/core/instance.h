@@ -142,6 +142,13 @@ class Instance {
     return associations_;
   }
 
+  /// \brief Drops association \p assoc entirely — tuples *and* the
+  /// relation entry, so dumps and operator== (which observe empty
+  /// entries) cannot tell it was ever there. Used to strip magic
+  /// (demand) relations from goal-directed evaluation results; not
+  /// undo-logged. True if the entry existed.
+  bool DropAssociation(const std::string& assoc);
+
   // ---- Indexed access paths -----------------------------------------------
   //
   // Lazily built hash indexes over association fields and class o-value

@@ -555,5 +555,107 @@ TEST(ExhaustionRollbackTest, InjectedCommitFailureRollsBackReplacedEdb) {
   EXPECT_EQ(db.edb().TuplesOf("PATH").size(), 6u);
 }
 
+// ---------------------------------------------------------------------------
+// Goal-directed evaluation under budget pressure
+//
+// The magic-set rewrite changes how much work a budget has to cover, but
+// not the transactional contract: exhaustion mid-demand rolls the state
+// back exactly like whole-program exhaustion does, and a selective goal's
+// small cone can converge under a budget the whole program exhausts.
+
+TEST(GoalDirectedBudgetTest, ExhaustionMidDemandRollsBackTransactionally) {
+  auto setup = MakeChain(30);
+  ASSERT_TRUE(setup.ok()) << setup.status();
+  Database& db = setup->db;
+  ASSERT_EQ(db.edb().AssocIndex("EDGE", "src").size(), 30u);
+  const std::string before = DumpDatabase(db);
+
+  // The goal binds src: 0, whose demanded cone spans the whole chain —
+  // the rewrite applies, and the goal-directed run itself exhausts the
+  // step budget mid-demand.
+  EvalOptions tight;
+  tight.budget.max_steps = 2;
+  ASSERT_TRUE(tight.goal_directed);
+  auto result = db.ApplySource(
+      "rules path(src: X, dst: Y) <- edge(src: X, dst: Y)."
+      "      path(src: X, dst: Z) <- path(src: X, dst: Y),"
+      "                              edge(src: Y, dst: Z)."
+      "goal ? path(src: 0, dst: X).",
+      ApplicationMode::kRIDI, tight);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDivergence);
+
+  // All-or-nothing: state byte-identical, warmed indexes still answer for
+  // it, and no magic relation survived the abort.
+  EXPECT_EQ(DumpDatabase(db), before);
+  EXPECT_EQ(db.edb().AssocIndex("EDGE", "src").size(), 30u);
+  EXPECT_EQ(db.edb().AssocIndex("PATH", "src").size(), 0u);
+  for (const auto& [name, tuples] : db.edb().associations()) {
+    EXPECT_EQ(name.find("$MAGIC$"), std::string::npos) << name;
+  }
+  // And the same application converges once the budget allows it.
+  auto ok = db.ApplySource(
+      "rules path(src: X, dst: Y) <- edge(src: X, dst: Y)."
+      "      path(src: X, dst: Z) <- path(src: X, dst: Y),"
+      "                              edge(src: Y, dst: Z)."
+      "goal ? path(src: 0, dst: X).",
+      ApplicationMode::kRIDI);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_TRUE(ok->goal_answer.has_value());
+  EXPECT_EQ(ok->goal_answer->size(), 30u);
+  EXPECT_EQ(DumpDatabase(db), before);
+}
+
+TEST(GoalDirectedBudgetTest, SelectiveGoalConvergesWhereWholeProgramDiverges) {
+  // The cone of path(src: 62, ...) on a 64-chain is two facts deep; the
+  // whole program needs ~64 fixpoint rounds. A step budget between the
+  // two separates the paths: goal-directed answers, whole-program is
+  // classified divergent.
+  auto db = Database::Create(R"(
+    associations
+      EDGE = (src: integer, dst: integer);
+      PATH = (src: integer, dst: integer);
+    rules
+      path(src: X, dst: Y) <- edge(src: X, dst: Y).
+      path(src: X, dst: Z) <- path(src: X, dst: Y), edge(src: Y, dst: Z).
+  )");
+  ASSERT_TRUE(db.ok()) << db.status();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(db->InsertTuple(
+                      "EDGE", Value::MakeTuple({{"src", Value::Int(i)},
+                                                {"dst", Value::Int(i + 1)}}))
+                    .ok());
+  }
+
+  EvalOptions tight;
+  tight.budget.max_steps = 8;
+  EvalStats stats;
+  auto directed = db->Query("? path(src: 62, dst: X).", tight, &stats);
+  ASSERT_TRUE(directed.ok()) << directed.status();
+  EXPECT_EQ(directed->size(), 2u);
+  EXPECT_TRUE(stats.goal_directed_fallback.empty())
+      << stats.goal_directed_fallback;
+  EXPECT_LE(stats.steps, 8u);
+
+  EvalOptions whole = tight;
+  whole.goal_directed = false;
+  auto starved = db->Query("? path(src: 62, dst: X).", whole);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kDivergence);
+
+  // The same separation under a fact ceiling: the cone stays under a
+  // budget the full closure (64 + 2080 facts) breaches.
+  EvalOptions cramped;
+  cramped.budget.max_facts = 80;
+  auto small = db->Query("? path(src: 62, dst: X).", cramped);
+  ASSERT_TRUE(small.ok()) << small.status();
+  EXPECT_EQ(small->size(), 2u);
+  EvalOptions cramped_whole = cramped;
+  cramped_whole.goal_directed = false;
+  auto burst = db->Query("? path(src: 62, dst: X).", cramped_whole);
+  ASSERT_FALSE(burst.ok());
+  EXPECT_EQ(burst.status().code(), StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace logres

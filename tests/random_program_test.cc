@@ -19,6 +19,7 @@
 
 #include "core/algres_backend.h"
 #include "core/database.h"
+#include "core/parser.h"
 #include "datalog/datalog.h"
 
 namespace logres {
@@ -248,6 +249,125 @@ TEST_P(DifferentialProperty, ThreeEnginesAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialProperty,
                          ::testing::Range(0u, 40u));
 
+// ---- Goal-directed point queries ------------------------------------------
+//
+// For the same random programs, point queries with randomized adornments
+// (all-bound, one bound field, all-free) must answer identically with the
+// magic-set rewrite on and off, on every engine, thread count, and
+// interner setting — and the LOGRES answers must match the flat baseline's
+// fact-for-fact.
+
+class PointQueryDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PointQueryDifferential, GoalDirectedMatchesWholeProgram) {
+  GeneratedProgram gen = Generate(GetParam());
+  std::mt19937 rng(GetParam() * 40503u + 7);
+
+  // One state (E, R, S): schema plus the generated rules, so Query runs
+  // the persistent-rule path the shell and modules use.
+  std::string source = "associations ";
+  for (int p = 0; p < kPredicates; ++p) {
+    source += "P" + std::to_string(p) + " = (f1: integer, f2: integer); ";
+  }
+  source += gen.logres_rules;
+  auto db_result = Database::Create(source);
+  ASSERT_TRUE(db_result.ok()) << db_result.status() << "\n" << source;
+  Database db = std::move(db_result).value();
+  for (const auto& fact : gen.edb_facts) {
+    ASSERT_TRUE(db.InsertTuple("P" + std::to_string(fact[0]),
+        Value::MakeTuple({{"f1", Value::Int(fact[1])},
+                          {"f2", Value::Int(fact[2])}})).ok());
+  }
+
+  using datalog::Term;
+  for (int g = 0; g < 6; ++g) {
+    int pred = static_cast<int>(rng() % kPredicates);
+    // Adornment: 0 = all-bound, 1 = f1 bound, 2 = f2 bound, 3 = all-free.
+    int kind = static_cast<int>(rng() % 4);
+    std::optional<int64_t> c1, c2;
+    if (kind == 0 || kind == 1) c1 = static_cast<int64_t>(rng() % kConstants);
+    if (kind == 0 || kind == 2) c2 = static_cast<int64_t>(rng() % kConstants);
+    std::string goal_text =
+        "? p" + std::to_string(pred) +
+        "(f1: " + (c1 ? std::to_string(*c1) : std::string("QX")) +
+        ", f2: " + (c2 ? std::to_string(*c2) : std::string("QY")) + ").";
+    SCOPED_TRACE(goal_text);
+    auto goal = ParseGoal(goal_text);
+    ASSERT_TRUE(goal.ok()) << goal.status();
+
+    std::optional<std::vector<Bindings>> reference;
+    for (bool gd : {true, false}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        for (bool intern : {true, false}) {
+          EvalOptions options;
+          options.goal_directed = gd;
+          options.num_threads = threads;
+          options.intern_values = intern;
+          SCOPED_TRACE(testing::Message()
+                       << "gd=" << gd << " threads=" << threads
+                       << " intern=" << intern);
+          auto direct = db.Query(goal_text, options);
+          ASSERT_TRUE(direct.ok()) << direct.status() << "\n" << source;
+          if (!reference.has_value()) {
+            reference = *direct;
+          } else {
+            EXPECT_EQ(*direct, *reference) << source;
+          }
+          auto compiled = AlgresBackend::QueryGoal(
+              db.schema(), db.functions(), db.rules(), db.edb(), *goal,
+              options);
+          ASSERT_TRUE(compiled.ok()) << compiled.status() << "\n" << source;
+          EXPECT_EQ(*compiled, *reference) << source;
+        }
+      }
+    }
+
+    // Even an all-free goal may legitimately apply the rewrite: it prunes
+    // rules unreachable from the goal predicate, and constants inside
+    // rule bodies seed demand on their own. The answer-equality checks
+    // above are the invariant; here we only require the refusal contract:
+    // when the rewrite does fall back, a reason is recorded.
+    {
+      EvalStats stats;
+      ASSERT_TRUE(db.Query(goal_text, EvalOptions{}, &stats).ok());
+      if (!stats.goal_directed_fallback.empty()) {
+        EXPECT_EQ(stats.magic_rules, 0u);
+        EXPECT_EQ(stats.demand_facts, 0u);
+      }
+    }
+
+    // Cross-engine: the same answers as the flat baseline, fact-for-fact.
+    std::set<std::pair<int64_t, int64_t>> logres_facts;
+    for (const Bindings& b : *reference) {
+      logres_facts.emplace(c1 ? *c1 : b.at("QX").int_value(),
+                           c2 ? *c2 : b.at("QY").int_value());
+    }
+    datalog::Literal dl_goal{
+        "p" + std::to_string(pred),
+        {c1 ? Term::Int(*c1) : Term::Var("QX"),
+         c2 ? Term::Int(*c2) : Term::Var("QY")},
+        false};
+    for (bool gd : {true, false}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        datalog::EvalOptions dl;
+        dl.goal_directed = gd;
+        dl.num_threads = threads;
+        auto flat = datalog::Query(gen.baseline, dl_goal, dl);
+        ASSERT_TRUE(flat.ok()) << flat.status() << "\n" << source;
+        std::set<std::pair<int64_t, int64_t>> flat_facts;
+        for (const auto& fact : *flat) {
+          flat_facts.emplace(fact[0].int_value(), fact[1].int_value());
+        }
+        EXPECT_EQ(flat_facts, logres_facts)
+            << "gd=" << gd << " threads=" << threads << "\n" << source;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointQueryDifferential,
+                         ::testing::Range(0u, 40u));
+
 // ---- Budget classification parity -----------------------------------------
 //
 // The three engines share the governor contract: step exhaustion is
@@ -262,10 +382,16 @@ struct ChainEngines {
 };
 
 Result<ChainEngines> MakeChainEngines(int n) {
+  // The rules live in the state too, so the goal-directed parity tests
+  // below can exercise Database::Query; the whole-program tests keep
+  // using the separately typechecked `program` over `db.edb()`.
   LOGRES_ASSIGN_OR_RETURN(
       Database db,
       Database::Create("associations E = (a: integer, b: integer);"
-                       "             TC = (a: integer, b: integer);"));
+                       "             TC = (a: integer, b: integer);"
+                       "rules tc(a: X, b: Y) <- e(a: X, b: Y)."
+                       "      tc(a: X, b: Z) <- tc(a: X, b: Y),"
+                       "                        e(a: Y, b: Z)."));
   datalog::Program baseline;
   for (int i = 0; i < n; ++i) {
     if (!db.InsertTuple(
@@ -369,6 +495,76 @@ TEST(ClassificationParity, FactCeilingIsResourceExhaustedEverywhere) {
   Budget cramped;
   cramped.max_facts = 25;  // the 24 EDB tuples + first derived round breach
   ExpectClassification(*engines, cramped, StatusCode::kResourceExhausted);
+}
+
+// The same contract holds goal-directed: once the magic rewrite applies,
+// budget failures propagate with the whole-program classification — they
+// are never silently converted into a fallback. The goal's cone from node
+// 0 spans the whole chain, so the budgets breach exactly as above.
+void ExpectGoalDirectedClassification(ChainEngines& engines,
+                                      const Budget& budget,
+                                      StatusCode expected) {
+  auto goal = ParseGoal("? tc(a: 0, b: X).");
+  ASSERT_TRUE(goal.ok()) << goal.status();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (bool intern : {true, false}) {
+      EvalOptions options;
+      options.budget = budget;
+      options.num_threads = threads;
+      options.intern_values = intern;
+      auto direct = engines.db.Query(*goal, options);
+      ASSERT_FALSE(direct.ok())
+          << "direct, threads=" << threads << ", intern=" << intern;
+      EXPECT_EQ(direct.status().code(), expected)
+          << "direct, threads=" << threads << ", intern=" << intern << ": "
+          << direct.status();
+      auto compiled = AlgresBackend::QueryGoal(
+          engines.db.schema(), engines.db.functions(), engines.db.rules(),
+          engines.db.edb(), *goal, options);
+      ASSERT_FALSE(compiled.ok())
+          << "algres, threads=" << threads << ", intern=" << intern;
+      EXPECT_EQ(compiled.status().code(), expected)
+          << "algres, threads=" << threads << ", intern=" << intern << ": "
+          << compiled.status();
+    }
+
+    datalog::EvalOptions dl;
+    dl.budget = budget;
+    dl.num_threads = threads;
+    datalog::Literal dl_goal{
+        "tc", {datalog::Term::Int(0), datalog::Term::Var("X")}, false};
+    datalog::GoalDirectedInfo info;
+    auto flat = datalog::Query(engines.baseline, dl_goal, dl, &info);
+    ASSERT_FALSE(flat.ok()) << "datalog, threads=" << threads;
+    EXPECT_EQ(flat.status().code(), expected)
+        << "datalog, threads=" << threads << ": " << flat.status();
+  }
+}
+
+TEST(ClassificationParity, GoalDirectedStepExhaustionIsDivergence) {
+  auto engines = MakeChainEngines(24);
+  ASSERT_TRUE(engines.ok()) << engines.status();
+  Budget tight;
+  tight.max_steps = 2;
+  ExpectGoalDirectedClassification(*engines, tight, StatusCode::kDivergence);
+}
+
+TEST(ClassificationParity, GoalDirectedZeroDeadlineIsResourceExhausted) {
+  auto engines = MakeChainEngines(24);
+  ASSERT_TRUE(engines.ok()) << engines.status();
+  Budget expired;
+  expired.timeout = std::chrono::milliseconds(0);
+  ExpectGoalDirectedClassification(*engines, expired,
+                                   StatusCode::kResourceExhausted);
+}
+
+TEST(ClassificationParity, GoalDirectedFactCeilingIsResourceExhausted) {
+  auto engines = MakeChainEngines(24);
+  ASSERT_TRUE(engines.ok()) << engines.status();
+  Budget cramped;
+  cramped.max_facts = 25;
+  ExpectGoalDirectedClassification(*engines, cramped,
+                                   StatusCode::kResourceExhausted);
 }
 
 }  // namespace

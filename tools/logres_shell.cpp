@@ -33,9 +33,12 @@
 //   run <name>             apply a registered module by its name (durable
 //                          in journaled mode: the journal carries the
 //                          module's own source)
-//   ? <goal>               answer a goal against the materialized instance
+//   ? <goal>               answer a goal (goal-directed by default: only
+//                          the goal's demanded cone is evaluated)
 //   schema | rules | edb   show the current state components
 //   explain                show the analyzed program (strata, schedules)
+//   explain ? <goal>       show the goal-directed rewrite plan (or why
+//                          the rewrite falls back to whole-program)
 //   dot                    print the predicate dependency graph (DOT)
 //   set                    show the evaluation limits
 //   set <limit> <n>        set timeout_ms / max_steps / max_facts /
@@ -43,6 +46,9 @@
 //                          thread) / intern_values (0 = plain-allocation
 //                          reference path) (0 = unlimited) for later
 //                          apply/run/? commands
+//   set goal_directed on|off
+//                          toggle magic-set query evaluation (off = the
+//                          whole-program reference path)
 //   value stats            show the hash-consing interner's counters
 //   quit
 //
@@ -69,6 +75,8 @@
 #include "core/database.h"
 #include "core/dump.h"
 #include "core/explain.h"
+#include "core/magic.h"
+#include "core/parser.h"
 #include "storage/journaled_database.h"
 #include "util/governor.h"
 #include "util/string_util.h"
@@ -130,6 +138,7 @@ class Shell {
     options.budget.cancel = InterruptSource().token();
     options.num_threads = threads_;
     options.intern_values = intern_values_;
+    options.goal_directed = goal_directed_;
     return options;
   }
 
@@ -438,12 +447,14 @@ class Shell {
     }
     if (command == "?") {
       std::string goal = line.substr(line.find('?'));
-      auto answer = Db().Query(goal, Options());
+      EvalStats stats;
+      auto answer = Db().Query(goal, Options(), &stats);
       if (!answer.ok()) {
         ReportEval(answer.status());
         return true;
       }
       PrintAnswer(*answer);
+      std::printf("(%s)\n", ExplainStats(stats).c_str());
       return true;
     }
     if (command == "set") {
@@ -452,12 +463,29 @@ class Shell {
       if (key.empty()) {
         std::printf(
             "timeout_ms = %lld\nmax_steps = %zu\nmax_facts = %zu\n"
-            "max_bytes = %zu\nthreads = %zu\nintern_values = %d\n",
+            "max_bytes = %zu\nthreads = %zu\nintern_values = %d\n"
+            "goal_directed = %s\n",
             budget_.timeout.has_value()
                 ? static_cast<long long>(budget_.timeout->count())
                 : 0LL,
             budget_.max_steps, budget_.max_facts, budget_.max_bytes,
-            threads_, intern_values_ ? 1 : 0);
+            threads_, intern_values_ ? 1 : 0, goal_directed_ ? "on" : "off");
+        return true;
+      }
+      if (key == "goal_directed") {
+        // Magic-set query evaluation; off = the whole-program reference
+        // path (answers identical, see EvalOptions::goal_directed).
+        std::string mode;
+        words >> mode;
+        if (mode == "on" || mode == "1") {
+          goal_directed_ = true;
+        } else if (mode == "off" || mode == "0") {
+          goal_directed_ = false;
+        } else {
+          std::printf("usage: set goal_directed on|off\n");
+          return true;
+        }
+        std::printf("set goal_directed = %s\n", goal_directed_ ? "on" : "off");
         return true;
       }
       long long value = -1;
@@ -465,7 +493,7 @@ class Shell {
       if (value < 0) {
         std::printf(
             "usage: set [timeout_ms|max_steps|max_facts|max_bytes|"
-            "threads|intern_values] <n>\n");
+            "threads|intern_values] <n> | set goal_directed on|off\n");
         return true;
       }
       if (key == "timeout_ms") {
@@ -491,7 +519,7 @@ class Shell {
         std::printf(
             "unknown limit '%s' "
             "(timeout_ms/max_steps/max_facts/max_bytes/threads/"
-            "intern_values)\n",
+            "intern_values/goal_directed)\n",
             key.c_str());
         return true;
       }
@@ -526,6 +554,22 @@ class Shell {
       return true;
     }
     if (command == "explain" || command == "dot") {
+      // `explain ? <goal>`: the goal-directed rewrite plan (adornments,
+      // guarded/magic rules, seeds) — or the recorded fallback reason.
+      if (command == "explain" && line.find('?') != std::string::npos) {
+        auto goal = ParseGoal(line.substr(line.find('?')));
+        if (!goal.ok()) {
+          Report(goal.status());
+          return true;
+        }
+        MagicRewrite rewrite = MagicRewriteForGoal(
+            Db().schema(), Db().functions(), Db().rules(), *goal, Options());
+        std::printf("%s", rewrite.plan.c_str());
+        if (!rewrite.plan.empty() && rewrite.plan.back() != '\n') {
+          std::printf("\n");
+        }
+        return true;
+      }
       auto program = Typecheck(Db().schema(), Db().functions(),
                                Db().rules());
       if (!program.ok()) {
@@ -569,6 +613,7 @@ class Shell {
   Budget budget_;  // adjusted with `set`; cancel token added per command
   size_t threads_ = 1;  // `set threads`; 0 = one per hardware thread
   bool intern_values_ = true;  // `set intern_values`; off = reference path
+  bool goal_directed_ = true;  // `set goal_directed`; off = whole-program
 };
 
 }  // namespace
